@@ -1,0 +1,46 @@
+(* Benchmark harness: regenerates every figure, table and listing in
+   the paper's evaluation plus the ablations documented in DESIGN.md.
+
+     dune exec bench/main.exe              # everything
+     dune exec bench/main.exe -- fig2      # one experiment
+
+   Experiments:
+     fig2         Figure 2 latency series (LinnOS vs guardrailed)
+     fig1-props   Figure 1 left: P1-P6 detection matrix
+     fig1-actions Figure 1 right: A1-A4 actions applied
+     listing2     Listings 1-2: compile + verify the example spec
+     overhead     Ablation A: VM microbenchmarks + interval sweep
+     deps         Ablation B: timer vs dependency triggering
+     oscillation  Ablation C: guardrail feedback loops
+     incremental  Ablation D: incremental deployment
+     compile-stats Ablation E: compiler statistics over specs/
+     scale        Ablation F: monitor-count scalability *)
+
+let experiments =
+  [
+    ("fig2", Fig2.run);
+    ("fig1-props", Fig1_props.run);
+    ("fig1-actions", Fig1_actions.run);
+    ("listing2", Listing2.run);
+    ("overhead", Overhead.run);
+    ("deps", Deps_ablation.run);
+    ("oscillation", Oscillation.run);
+    ("incremental", Incremental.run);
+    ("compile-stats", Compile_stats.run);
+    ("scale", Scale.run);
+  ]
+
+let () =
+  let requested = List.tl (Array.to_list Sys.argv) in
+  match requested with
+  | [] -> List.iter (fun (_, run) -> run ()) experiments
+  | names ->
+    List.iter
+      (fun name ->
+        match List.assoc_opt name experiments with
+        | Some run -> run ()
+        | None ->
+          Printf.eprintf "unknown experiment %S; known: %s\n" name
+            (String.concat ", " (List.map fst experiments));
+          exit 1)
+      names

@@ -1,0 +1,122 @@
+(* Ablation A — monitor overhead.
+
+   Two parts:
+   1. Host-clock microbenchmarks (Bechamel) of the pieces that run on
+      kernel hot paths: VM rule evaluation at several rule sizes,
+      with and without CSE, windowed aggregation at several window
+      populations, and feature-store save/load.
+   2. The TIMER sampling-interval trade-off the paper's §4.1 calls
+      out ("TIMER allows systematic sampling in order to regulate the
+      overhead of checking"): sweeping the Listing 2 check interval
+      against detection latency and total checking work on the
+      Figure 2 scenario. *)
+
+open Gr_util
+open Bechamel
+open Toolkit
+
+let make_store ~samples_per_key =
+  let clock = ref 0 in
+  let store = Gr_runtime.Feature_store.create ~clock:(fun () -> !clock) () in
+  List.iter
+    (fun key ->
+      for i = 1 to samples_per_key do
+        clock := i * 100_000;
+        Gr_runtime.Feature_store.save store key (float_of_int i)
+      done)
+    [ "a"; "b"; "c"; "d" ];
+  clock := samples_per_key * 100_000;
+  store
+
+let compile_rule ?(optimize = true) src =
+  let spec =
+    Gr_dsl.Parser.parse_exn
+      (Printf.sprintf
+         {|guardrail g { trigger: { TIMER(0, 1s) } rule: { %s } action: { REPORT("m") } }|} src)
+  in
+  let m = List.hd (Gr_compiler.Lower.spec spec) in
+  let m = if optimize then Gr_compiler.Opt.optimize_monitor m else m in
+  (m.Gr_compiler.Monitor.rule, m.Gr_compiler.Monitor.slots)
+
+let rule_of_terms n =
+  String.concat " && "
+    (List.init n (fun i -> Printf.sprintf "LOAD(%s) + %d < 1000000" [| "a"; "b"; "c"; "d" |].(i mod 4) i))
+
+let vm_tests =
+  let store = make_store ~samples_per_key:16 in
+  let store_1k = make_store ~samples_per_key:1000 in
+  let bench_rule name ?(optimize = true) ~store src =
+    let rule, slots = compile_rule ~optimize src in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           ignore (Gr_runtime.Vm.run ~store ~slots rule : Gr_runtime.Vm.result)))
+  in
+  [
+    bench_rule "rule/1-term" ~store (rule_of_terms 1);
+    bench_rule "rule/8-terms" ~store (rule_of_terms 8);
+    bench_rule "rule/32-terms" ~store (rule_of_terms 32);
+    bench_rule "agg/window-16" ~store "AVG(a, 10s) < 1000";
+    bench_rule "agg/window-1000" ~store:store_1k "AVG(a, 200s) < 1000";
+    bench_rule "agg/8x-same-cse" ~store
+      (String.concat " && " (List.init 8 (fun i -> Printf.sprintf "AVG(a, 10s) < %d" (1000 + i))));
+    bench_rule "agg/8x-same-nocse" ~optimize:false ~store
+      (String.concat " && " (List.init 8 (fun i -> Printf.sprintf "AVG(a, 10s) < %d" (1000 + i))));
+  ]
+
+let store_tests =
+  let store = make_store ~samples_per_key:16 in
+  let counter = ref 0. in
+  [
+    Test.make ~name:"store/save"
+      (Staged.stage (fun () ->
+           counter := !counter +. 1.;
+           Gr_runtime.Feature_store.save store "bench_key" !counter));
+    Test.make ~name:"store/load"
+      (Staged.stage (fun () -> ignore (Gr_runtime.Feature_store.load store "a" : float)));
+  ]
+
+let run_bechamel tests =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false () in
+  let grouped = Test.make_grouped ~name:"guardrails" tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ ns ] -> Printf.printf "  %-28s %10.1f ns/run\n" name ns
+      | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+    (List.sort compare rows)
+
+let run () =
+  Common.section "Ablation A — monitor overhead";
+  print_endline "VM and feature-store microbenchmarks (host clock):";
+  run_bechamel (vm_tests @ store_tests);
+  print_endline "";
+  print_endline "TIMER interval sweep on the Figure 2 scenario:";
+  Printf.printf "  %-10s %-18s %-10s %-16s\n" "interval" "detection delay" "checks"
+    "est. check cost";
+  List.iter
+    (fun interval_ns ->
+      let rig = Common.make_fig2_rig ~seed:7 () in
+      let src =
+        Printf.sprintf
+          {|guardrail sweep { trigger: { TIMER(0, %d) } rule: { LOAD(false_submit_rate) <= 0.05 } action: { REPORT("over"); SAVE(ml_enabled, false) } }|}
+          interval_ns
+      in
+      let handles = Guardrails.Deployment.install_source_exn rig.deployment src in
+      Gr_kernel.Kernel.run_until rig.kernel Common.run_until;
+      let stats =
+        Guardrails.Engine.Stats.get (Guardrails.Deployment.engine rig.deployment) (List.hd handles)
+      in
+      let detection =
+        match Common.first_violation rig.deployment with
+        | Some at -> Format.asprintf "%a" Time_ns.pp (Time_ns.diff at Common.aging_at)
+        | None -> "never"
+      in
+      Printf.printf "  %-10s %-18s %-10d %12.0f ns\n"
+        (Format.asprintf "%a" Time_ns.pp interval_ns)
+        detection stats.checks stats.overhead_ns)
+    [ Time_ns.ms 10; Time_ns.ms 100; Time_ns.sec 1; Time_ns.sec 5 ]

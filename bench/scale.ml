@@ -1,0 +1,45 @@
+(* Ablation F — how many guardrails can a kernel afford?
+
+   §3.3's incremental-deployment story implies fleets of monitors.
+   This sweep installs N copies of a Listing 2-sized TIMER monitor
+   (each over its own keys, 100ms interval) against the Figure 2
+   workload and reports total checks, the engine's estimated checking
+   work, and the host wall-clock per simulated second — the knee, if
+   any, is where monitor dispatch would start to matter. *)
+
+open Gr_util
+
+let monitor_source i =
+  Printf.sprintf
+    {|guardrail scale_%d { trigger: { TIMER(0, 100ms) } rule: { AVG(key_%d, 1s) <= 1000 } action: { REPORT("over") } }|}
+    i i
+
+let run_with ~monitors =
+  let rig = Common.make_fig2_rig ~seed:7 () in
+  (* Each monitor watches its own key, fed by the shared I/O stream. *)
+  for i = 0 to monitors - 1 do
+    Guardrails.Deployment.forward_hook_arg rig.deployment ~hook:"blk:io_complete"
+      ~arg:"latency_us"
+      ~key:(Printf.sprintf "key_%d" i)
+      ();
+    ignore
+      (Guardrails.Deployment.install_source_exn rig.deployment (monitor_source i)
+        : Guardrails.Engine.handle list)
+  done;
+  let wall_start = Unix.gettimeofday () in
+  Gr_kernel.Kernel.run_until rig.kernel Common.run_until;
+  let wall = Unix.gettimeofday () -. wall_start in
+  let engine = Guardrails.Deployment.engine rig.deployment in
+  ( Guardrails.Engine.Stats.total_checks engine,
+    Guardrails.Engine.Stats.total_overhead_ns engine,
+    wall )
+
+let run () =
+  Common.section "Ablation F — monitor-count scalability";
+  Printf.printf "  %-10s %-12s %-18s %s\n" "monitors" "checks" "est. check work" "host s/sim s";
+  List.iter
+    (fun n ->
+      let checks, overhead, wall = run_with ~monitors:n in
+      Printf.printf "  %-10d %-12d %12.0f ns    %8.3f\n" n checks overhead
+        (wall /. Time_ns.to_float_sec Common.run_until))
+    [ 1; 10; 50; 200 ]

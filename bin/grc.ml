@@ -1,0 +1,143 @@
+(* grc — the guardrail compiler CLI.
+
+   Subcommands:
+     grc check   FILE     parse and typecheck
+     grc compile FILE     full pipeline; print disassembly + verifier stats
+     grc deps    FILE     interference edges and feedback-loop cycles
+     grc fmt     FILE     parse and pretty-print canonical form *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Guardrail source file.")
+
+let with_spec path f =
+  let src = read_file path in
+  match Guardrails.Parser.parse src with
+  | Error (pos, msg) ->
+    Format.eprintf "%s: parse error at %a: %s@." path Guardrails.Ast.pp_pos pos msg;
+    1
+  | Ok spec -> (
+    match Guardrails.Typecheck.check_spec spec with
+    | Error errs ->
+      List.iter (fun e -> Format.eprintf "%s: %a@." path Guardrails.Typecheck.pp_error e) errs;
+      1
+    | Ok () -> f spec)
+
+let check_cmd =
+  let run path =
+    with_spec path (fun spec ->
+        Format.printf "%s: %d guardrail(s) OK@." path (List.length spec);
+        0)
+  in
+  Cmd.v (Cmd.info "check" ~doc:"Parse and typecheck a guardrail spec")
+    Term.(const run $ file_arg)
+
+let compile_cmd =
+  let run path no_opt =
+    with_spec path (fun spec ->
+        let monitors = Guardrails.Lower.spec spec in
+        let monitors =
+          if no_opt then monitors else List.map Guardrails.Opt.optimize_monitor monitors
+        in
+        List.fold_left
+          (fun rc m ->
+            match Guardrails.Verify.verify m with
+            | Error errs ->
+              Format.eprintf "monitor %s rejected:@." m.Guardrails.Monitor.name;
+              List.iter (fun e -> Format.eprintf "  %s@." e) errs;
+              1
+            | Ok stats ->
+              Format.printf "%a" Guardrails.Monitor.pp m;
+              Format.printf
+                "  verified: %d rule insts, %d total insts, %d slots, est cost %.0fns/check@.@."
+                stats.rule_insts stats.total_insts stats.n_slots stats.est_cost_ns;
+              rc)
+          0 monitors)
+  in
+  let no_opt =
+    Arg.(value & flag & info [ "no-opt" ] ~doc:"Skip the CSE/DCE optimisation passes.")
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile, verify and disassemble monitors")
+    Term.(const run $ file_arg $ no_opt)
+
+let deps_cmd =
+  let run path =
+    with_spec path (fun spec ->
+        let monitors = List.map Guardrails.Opt.optimize_monitor (Guardrails.Lower.spec spec) in
+        let edges = Guardrails.Deps.interference monitors in
+        if edges = [] then Format.printf "no interference edges@."
+        else
+          List.iter
+            (fun e ->
+              Format.printf "%s -> %s (via key %s)@." e.Guardrails.Deps.writer e.reader e.key)
+            edges;
+        (match Guardrails.Deps.cycles monitors with
+        | [] -> Format.printf "no feedback-loop cycles@."
+        | cycles ->
+          List.iter
+            (fun cycle ->
+              Format.printf "FEEDBACK LOOP: %s@." (String.concat " -> " (cycle @ [ List.hd cycle ])))
+            cycles);
+        List.iter
+          (fun m ->
+            Format.printf "monitor %s reads {%s} writes {%s}@." m.Guardrails.Monitor.name
+              (String.concat ", " (Guardrails.Monitor.reads m))
+              (String.concat ", " (Guardrails.Monitor.writes m)))
+          monitors;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "deps" ~doc:"Dependency analysis: interference edges and feedback loops")
+    Term.(const run $ file_arg)
+
+let cgen_cmd =
+  let run path header =
+    if header then begin
+      print_string Guardrails.Cgen.runtime_header;
+      0
+    end
+    else
+      with_spec path (fun spec ->
+          let monitors = List.map Guardrails.Opt.optimize_monitor (Guardrails.Lower.spec spec) in
+          let bad =
+            List.filter_map
+              (fun m ->
+                match Guardrails.Verify.verify m with
+                | Ok _ -> None
+                | Error errs -> Some (m.Guardrails.Monitor.name, errs))
+              monitors
+          in
+          match bad with
+          | (name, errs) :: _ ->
+            Format.eprintf "monitor %s rejected by the verifier:@." name;
+            List.iter (fun e -> Format.eprintf "  %s@." e) errs;
+            1
+          | [] ->
+            print_string (Guardrails.Cgen.spec monitors);
+            0)
+  in
+  let header =
+    Arg.(value & flag & info [ "header" ] ~doc:"Print guardrail_rt.h instead of monitor code.")
+  in
+  Cmd.v
+    (Cmd.info "cgen" ~doc:"Emit the C translation of verified monitors (kernel-module target)")
+    Term.(const run $ file_arg $ header)
+
+let fmt_cmd =
+  let run path =
+    with_spec path (fun spec ->
+        print_string (Guardrails.Pretty.spec_to_string spec);
+        0)
+  in
+  Cmd.v (Cmd.info "fmt" ~doc:"Pretty-print the canonical form") Term.(const run $ file_arg)
+
+let () =
+  let info = Cmd.info "grc" ~version:"1.0.0" ~doc:"Guardrail compiler for learned OS policies" in
+  exit (Cmd.eval' (Cmd.group info [ check_cmd; compile_cmd; deps_cmd; cgen_cmd; fmt_cmd ]))

@@ -1,0 +1,95 @@
+(* File readahead: the P3 out-of-bounds guardrail on the paper's own
+   illustration — a learned prefetcher "prefetching chunks from a
+   file beyond the memory limit for a process".
+
+   A learned readahead policy predicts the remaining sequential run
+   and prefetches it, beating the doubling heuristic on long streams.
+   At t=1s a bad model update multiplies its window predictions; the
+   oversized prefetches blow the process's page budget and evict the
+   pages the application is about to read. A FUNCTION-triggered P3
+   guardrail inspects every readahead decision against the memory
+   limit and replaces the policy with the heuristic on the first
+   illegal request.
+
+   Run with: dune exec examples/readahead.exe *)
+
+open Gr_util
+
+let cache_pages = 128
+
+let () =
+  let kernel = Guardrails.Kernel.create ~seed:31 in
+  let fs = Guardrails.Fs.create ~hooks:kernel.hooks ~cache_pages () in
+  let model = Gr_policy.Readahead.train ~rng:kernel.rng ~mean_run:48. () in
+  Guardrails.Policy_slot.install (Guardrails.Fs.slot fs) ~name:"learned-readahead"
+    (Gr_policy.Readahead.policy model);
+  Guardrails.Kernel.register_policy kernel ~name:"readahead"
+    ~replace:(fun () -> Guardrails.Policy_slot.use_fallback (Guardrails.Fs.slot fs))
+    ~restore:(fun () -> Guardrails.Policy_slot.restore (Guardrails.Fs.slot fs))
+    ~retrain:(fun () -> Gr_policy.Readahead.retrain model ~mean_run:48.)
+    ();
+
+  let d = Guardrails.Deployment.create ~kernel () in
+  Guardrails.Deployment.forward_hook_arg d ~hook:"fs:readahead" ~arg:"requested"
+    ~key:"readahead_req" ();
+  let p3 =
+    Gr_props.Props.P3_output_bounds.source ~name:"readahead-within-memory-limit"
+      ~hook:"fs:readahead" ~key:"readahead_req" ~lo:0.
+      ~hi:(float_of_int cache_pages)
+      ~actions:
+        [
+          {|REPORT("prefetch beyond the process memory limit", readahead_req)|};
+          {|REPLACE("readahead")|};
+        ]
+      ()
+  in
+  ignore (Guardrails.Deployment.install_source_exn d p3 : Guardrails.Engine.handle list);
+
+  (* Streaming reader: 48-page sequential runs separated by seeks. *)
+  let rng = Rng.split kernel.rng in
+  let offset = ref 0 and left = ref 0 in
+  let hit_series = ref [] in
+  let last_reads = ref 0 and last_hits = ref 0 in
+  ignore
+    (Guardrails.Sim.every kernel.engine ~interval:(Time_ns.us 20) (fun _ ->
+         if !left = 0 then begin
+           offset := Rng.int rng 60_000;
+           left := 48
+         end
+         else incr offset;
+         decr left;
+         ignore (Guardrails.Fs.read fs ~offset:!offset : bool))
+      : Guardrails.Sim.handle);
+  ignore
+    (Guardrails.Sim.every kernel.engine ~interval:(Time_ns.ms 250) (fun e ->
+         let reads = Guardrails.Fs.reads fs and hits = Guardrails.Fs.hits fs in
+         let rate =
+           if reads = !last_reads then 0.
+           else float_of_int (hits - !last_hits) /. float_of_int (reads - !last_reads)
+         in
+         last_reads := reads;
+         last_hits := hits;
+         hit_series := (Gr_sim.Engine.now e, rate) :: !hit_series)
+      : Guardrails.Sim.handle);
+  ignore
+    (Guardrails.Sim.schedule_at kernel.engine (Time_ns.sec 1) (fun _ ->
+         print_endline "t=1s: bad model update (windows x50)";
+         Gr_policy.Readahead.inject_scale model 50.)
+      : Guardrails.Sim.handle);
+
+  Guardrails.Kernel.run_until kernel (Time_ns.sec 2);
+
+  (match Guardrails.Engine.violations (Guardrails.Deployment.engine d) with
+  | [] -> print_endline "P3 never fired"
+  | v :: _ ->
+    Format.printf "P3 fired at %a (requested %.0f pages against a %d-page limit)@." Time_ns.pp
+      v.Guardrails.Engine.at
+      (match v.Guardrails.Engine.snapshot with (_, r) :: _ -> r | [] -> nan)
+      cache_pages);
+  Printf.printf "readahead policy now: %s\n"
+    (Guardrails.Policy_slot.current_name (Guardrails.Fs.slot fs));
+  Printf.printf "wasted prefetches: %d\n" (Guardrails.Fs.prefetch_wasted fs);
+  print_endline "page-cache hit rate (250ms windows):";
+  List.iter
+    (fun (at, rate) -> Format.printf "  %a  %5.1f%%@." Time_ns.pp at (100. *. rate))
+    (List.rev !hit_series)

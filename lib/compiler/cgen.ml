@@ -1,0 +1,225 @@
+module Ast = Gr_dsl.Ast
+
+let c_identifier name =
+  let buf = Buffer.create (String.length name) in
+  String.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' -> Buffer.add_char buf c
+      | '0' .. '9' ->
+        if i = 0 then Buffer.add_char buf '_';
+        Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    name;
+  if Buffer.length buf = 0 then "_anon" else Buffer.contents buf
+
+let runtime_header =
+  {|/* guardrail_rt.h — runtime ABI for generated guardrail monitors.
+ *
+ * A host environment (kernel module shim, eBPF skeleton, or the
+ * userspace test harness) provides these entry points. Generated
+ * code never allocates, loops or traps: rule and action functions
+ * are straight-line over double-precision locals.
+ */
+#ifndef GUARDRAIL_RT_H
+#define GUARDRAIL_RT_H
+
+#include <stdint.h>
+
+struct gr_store;  /* the global feature store (SAVE/LOAD, Sec. 4.3) */
+struct gr_ctx;    /* engine context: triggers, actions, logging */
+
+/* Feature store. */
+double gr_load(struct gr_store *store, const char *key);
+void gr_save(struct gr_store *store, const char *key, double value);
+
+/* Windowed aggregates over a key's timestamped samples. */
+enum gr_agg_fn {
+  GR_AGG_AVG,
+  GR_AGG_RATE,
+  GR_AGG_COUNT,
+  GR_AGG_SUM,
+  GR_AGG_MIN,
+  GR_AGG_MAX,
+  GR_AGG_STDDEV,
+  GR_AGG_QUANTILE,
+  GR_AGG_DELTA,
+};
+double gr_agg(struct gr_store *store, const char *key, enum gr_agg_fn fn,
+              uint64_t window_ns, double param);
+
+/* Actions (Sec. 3.2 / Figure 1, right). */
+void gr_report(struct gr_ctx *ctx, const char *monitor, const char *message,
+               const char *const *keys, int n_keys);
+void gr_replace(struct gr_ctx *ctx, const char *policy);
+void gr_restore(struct gr_ctx *ctx, const char *policy);
+void gr_retrain(struct gr_ctx *ctx, const char *policy);
+void gr_deprioritize(struct gr_ctx *ctx, const char *cls, int weight);
+void gr_kill(struct gr_ctx *ctx, const char *cls);
+
+/* Trigger registration. */
+typedef void (*gr_check_fn)(struct gr_store *store, struct gr_ctx *ctx);
+#define GR_NO_STOP UINT64_MAX
+void gr_timer(struct gr_ctx *ctx, uint64_t start_ns, uint64_t interval_ns,
+              uint64_t stop_ns, gr_check_fn check);
+void gr_on_function(struct gr_ctx *ctx, const char *hook, gr_check_fn check);
+void gr_on_change(struct gr_ctx *ctx, const char *key, gr_check_fn check);
+
+#endif /* GUARDRAIL_RT_H */
+|}
+
+let c_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let c_string s = Printf.sprintf "%S" s
+
+let agg_enum = function
+  | Ast.Avg -> "GR_AGG_AVG"
+  | Ast.Rate -> "GR_AGG_RATE"
+  | Ast.Count -> "GR_AGG_COUNT"
+  | Ast.Sum -> "GR_AGG_SUM"
+  | Ast.Min -> "GR_AGG_MIN"
+  | Ast.Max -> "GR_AGG_MAX"
+  | Ast.Stddev -> "GR_AGG_STDDEV"
+  | Ast.Quantile -> "GR_AGG_QUANTILE"
+  | Ast.Delta -> "GR_AGG_DELTA"
+
+(* Emits the body of a program: one "double rN = ...;" per
+   instruction. Comparisons and logical operators produce 0.0/1.0,
+   matching the VM. Division is totalised exactly as in the VM. *)
+let emit_program buf ~slots_var (p : Ir.program) =
+  let reg i = Printf.sprintf "r%d" i in
+  Array.iter
+    (fun inst ->
+      let dst = reg (Ir.dst inst) in
+      let rhs =
+        match inst with
+        | Ir.Const { value; _ } -> c_float value
+        | Ir.Load { slot; _ } ->
+          Printf.sprintf "gr_load(store, %s[%d])" slots_var slot
+        | Ir.Agg { fn; slot; window_ns; param; _ } ->
+          Printf.sprintf "gr_agg(store, %s[%d], %s, %.0fULL, %s)" slots_var slot (agg_enum fn)
+            window_ns (c_float param)
+        | Ir.Unop { op; src; _ } -> (
+          match op with
+          | Ast.Neg -> Printf.sprintf "-%s" (reg src)
+          | Ast.Abs -> Printf.sprintf "(%s < 0.0 ? -%s : %s)" (reg src) (reg src) (reg src)
+          | Ast.Not -> Printf.sprintf "(double)(%s == 0.0)" (reg src))
+        | Ir.Binop { op; lhs; rhs; _ } -> (
+          let a = reg lhs and b = reg rhs in
+          match op with
+          | Ast.Add -> Printf.sprintf "%s + %s" a b
+          | Ast.Sub -> Printf.sprintf "%s - %s" a b
+          | Ast.Mul -> Printf.sprintf "%s * %s" a b
+          | Ast.Div -> Printf.sprintf "(%s == 0.0 ? 0.0 : %s / %s)" b a b
+          | Ast.Lt -> Printf.sprintf "(double)(%s < %s)" a b
+          | Ast.Le -> Printf.sprintf "(double)(%s <= %s)" a b
+          | Ast.Gt -> Printf.sprintf "(double)(%s > %s)" a b
+          | Ast.Ge -> Printf.sprintf "(double)(%s >= %s)" a b
+          | Ast.Eq -> Printf.sprintf "(double)(%s == %s)" a b
+          | Ast.Ne -> Printf.sprintf "(double)(%s != %s)" a b
+          | Ast.And -> Printf.sprintf "(double)(%s != 0.0 && %s != 0.0)" a b
+          | Ast.Or -> Printf.sprintf "(double)(%s != 0.0 || %s != 0.0)" a b)
+      in
+      Buffer.add_string buf (Printf.sprintf "  const double %s = %s;\n" dst rhs))
+    p.insts;
+  Buffer.add_string buf (Printf.sprintf "  return r%d;\n" p.result)
+
+let emit_action buf ~ident ~index (action : Monitor.action) =
+  match action with
+  | Monitor.Report { message; keys } ->
+    let keys_var = Printf.sprintf "gr_%s_report_%d_keys" ident index in
+    Buffer.add_string buf
+      (Printf.sprintf "  static const char *const %s[] = { %s };\n" keys_var
+         (if keys = [] then "0" else String.concat ", " (List.map c_string keys)));
+    Buffer.add_string buf
+      (Printf.sprintf "  gr_report(ctx, %s, %s, %s, %d);\n" (c_string ident) (c_string message)
+         keys_var (List.length keys))
+  | Monitor.Replace p ->
+    Buffer.add_string buf (Printf.sprintf "  gr_replace(ctx, %s);\n" (c_string p))
+  | Monitor.Restore p ->
+    Buffer.add_string buf (Printf.sprintf "  gr_restore(ctx, %s);\n" (c_string p))
+  | Monitor.Retrain p ->
+    Buffer.add_string buf (Printf.sprintf "  gr_retrain(ctx, %s);\n" (c_string p))
+  | Monitor.Deprioritize { cls; weight } ->
+    Buffer.add_string buf (Printf.sprintf "  gr_deprioritize(ctx, %s, %d);\n" (c_string cls) weight)
+  | Monitor.Kill cls -> Buffer.add_string buf (Printf.sprintf "  gr_kill(ctx, %s);\n" (c_string cls))
+  | Monitor.Save { key; value = _ } ->
+    Buffer.add_string buf
+      (Printf.sprintf "  gr_save(store, %s, gr_%s_save_%d(store));\n" (c_string key) ident index)
+
+let emit_trigger buf ~ident (trigger : Monitor.trigger) =
+  match trigger with
+  | Monitor.Timer { start_ns; interval_ns; stop_ns } ->
+    Buffer.add_string buf
+      (Printf.sprintf "  gr_timer(ctx, %dULL, %dULL, %s, gr_check_%s);\n" start_ns interval_ns
+         (match stop_ns with Some s -> Printf.sprintf "%dULL" s | None -> "GR_NO_STOP")
+         ident)
+  | Monitor.Function hook ->
+    Buffer.add_string buf
+      (Printf.sprintf "  gr_on_function(ctx, %s, gr_check_%s);\n" (c_string hook) ident)
+  | Monitor.On_change key ->
+    Buffer.add_string buf
+      (Printf.sprintf "  gr_on_change(ctx, %s, gr_check_%s);\n" (c_string key) ident)
+
+let monitor_body buf (m : Monitor.t) =
+  let ident = c_identifier m.name in
+  let slots_var = Printf.sprintf "gr_%s_slots" ident in
+  Buffer.add_string buf (Printf.sprintf "/* guardrail %s */\n" m.name);
+  Buffer.add_string buf
+    (Printf.sprintf "static const char *const %s[] = {\n%s};\n" slots_var
+       (String.concat ""
+          (List.map (fun s -> Printf.sprintf "  %s,\n" (c_string s)) (Array.to_list m.slots))));
+  (* SAVE value programs first, so the action sequence can call them. *)
+  List.iteri
+    (fun index action ->
+      match action with
+      | Monitor.Save { value; _ } ->
+        Buffer.add_string buf
+          (Printf.sprintf "static double gr_%s_save_%d(struct gr_store *store) {\n" ident index);
+        Buffer.add_string buf "  (void)store;\n";
+        emit_program buf ~slots_var value;
+        Buffer.add_string buf "}\n"
+      | _ -> ())
+    m.actions;
+  Buffer.add_string buf
+    (Printf.sprintf "static double gr_rule_%s(struct gr_store *store) {\n" ident);
+  Buffer.add_string buf "  (void)store;\n";
+  emit_program buf ~slots_var m.rule;
+  Buffer.add_string buf "}\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "static void gr_actions_%s(struct gr_store *store, struct gr_ctx *ctx) {\n  (void)store;\n  (void)ctx;\n"
+       ident);
+  List.iteri (fun index action -> emit_action buf ~ident ~index action) m.actions;
+  Buffer.add_string buf "}\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "static void gr_check_%s(struct gr_store *store, struct gr_ctx *ctx) {\n\
+       \  if (gr_rule_%s(store) == 0.0)\n\
+       \    gr_actions_%s(store, ctx);\n\
+        }\n"
+       ident ident ident);
+  Buffer.add_string buf (Printf.sprintf "void gr_register_%s(struct gr_ctx *ctx) {\n" ident);
+  List.iter (emit_trigger buf ~ident) m.triggers;
+  Buffer.add_string buf "}\n\n";
+  ident
+
+let prelude =
+  "/* Generated by grc — do not edit. */\n#include \"guardrail_rt.h\"\n\n"
+
+let monitor m =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf prelude;
+  ignore (monitor_body buf m : string);
+  Buffer.contents buf
+
+let spec monitors =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf prelude;
+  let idents = List.map (monitor_body buf) monitors in
+  Buffer.add_string buf "void gr_register_all(struct gr_ctx *ctx) {\n";
+  List.iter (fun ident -> Buffer.add_string buf (Printf.sprintf "  gr_register_%s(ctx);\n" ident)) idents;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,36 @@
+(** C backend: emits a kernel-loadable C translation of a verified
+    monitor.
+
+    The paper compiles guardrails "into monitors capable of running
+    within the kernel, either as eBPF programs or as kernel modules".
+    The simulator in this repository plays the role of the kernel for
+    the experiments; this module is the bridge to the real target: a
+    verified {!Monitor.t} becomes a self-contained C compilation unit
+    against a small runtime ABI ({!runtime_header}) that a kernel
+    module or an eBPF skeleton provides (feature-store access,
+    windowed aggregates, the A1-A4 action entry points, trigger
+    registration).
+
+    The emitted code preserves the IR's guarantees: each function is
+    straight-line, single-assignment into [double] locals, and free
+    of loops, so it is as analysable as the IR that produced it.
+    Generated code compiles with [gcc -Wall -Werror] (checked in the
+    test suite). *)
+
+val runtime_header : string
+(** Contents of [guardrail_rt.h]: the ABI the generated code links
+    against. Emit once per build. *)
+
+val monitor : Monitor.t -> string
+(** C source for one monitor: a slot table, one rule function, one
+    action sequence, per-SAVE value functions, and a registration
+    entry point [gr_register_<name>] that arms the monitor's
+    triggers. Precondition: the monitor passed {!Verify.verify}. *)
+
+val spec : Monitor.t list -> string
+(** One compilation unit holding several monitors plus a combined
+    [gr_register_all]. *)
+
+val c_identifier : string -> string
+(** Mangles a guardrail name (possibly hyphenated) into a valid C
+    identifier; exposed for tests. *)

@@ -1,0 +1,39 @@
+type error =
+  | Parse_error of Gr_dsl.Ast.pos * string
+  | Type_errors of Gr_dsl.Typecheck.error list
+  | Verify_errors of string * string list
+
+let pp_error fmt = function
+  | Parse_error (pos, msg) -> Format.fprintf fmt "parse error at %a: %s" Gr_dsl.Ast.pp_pos pos msg
+  | Type_errors errs ->
+    Format.fprintf fmt "type errors:";
+    List.iter (fun e -> Format.fprintf fmt "@\n  %a" Gr_dsl.Typecheck.pp_error e) errs
+  | Verify_errors (name, errs) ->
+    Format.fprintf fmt "monitor %s rejected by the verifier:" name;
+    List.iter (fun e -> Format.fprintf fmt "@\n  %s" e) errs
+
+let source ?limits ?(optimize = true) src =
+  match Gr_dsl.Parser.parse src with
+  | Error (pos, msg) -> Error (Parse_error (pos, msg))
+  | Ok spec -> (
+    match Gr_dsl.Typecheck.check_spec spec with
+    | Error errs -> Error (Type_errors errs)
+    | Ok () -> (
+      let monitors = Lower.spec spec in
+      let monitors = if optimize then List.map Opt.optimize_monitor monitors else monitors in
+      let failed =
+        List.filter_map
+          (fun m ->
+            match Verify.verify ?limits m with
+            | Ok _ -> None
+            | Error errs -> Some (m.Monitor.name, errs))
+          monitors
+      in
+      match failed with
+      | [] -> Ok monitors
+      | (name, errs) :: _ -> Error (Verify_errors (name, errs))))
+
+let source_exn ?limits ?optimize src =
+  match source ?limits ?optimize src with
+  | Ok monitors -> monitors
+  | Error e -> failwith (Format.asprintf "%a" pp_error e)

@@ -1,0 +1,21 @@
+(** End-to-end compilation driver: source text to verified monitors.
+
+    Pipeline: parse -> typecheck -> constant fold -> lower ->
+    optimise (CSE + DCE) -> verify. This is the function behind both
+    the public {!Guardrails} facade and the [grc] CLI. *)
+
+type error =
+  | Parse_error of Gr_dsl.Ast.pos * string
+  | Type_errors of Gr_dsl.Typecheck.error list
+  | Verify_errors of string * string list
+      (** monitor name and its verifier findings *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val source :
+  ?limits:Verify.limits -> ?optimize:bool -> string -> (Monitor.t list, error) result
+(** [optimize] defaults to [true]; the overhead ablation compiles
+    with [false] to quantify what CSE/DCE buy. *)
+
+val source_exn : ?limits:Verify.limits -> ?optimize:bool -> string -> Monitor.t list
+(** @raise Failure with a rendered error message. *)

@@ -1,0 +1,46 @@
+type edge = { writer : string; reader : string; key : string }
+
+let interference monitors =
+  let edges = ref [] in
+  List.iter
+    (fun w ->
+      let writes = Monitor.writes w in
+      List.iter
+        (fun r ->
+          let reads = Monitor.reads r in
+          List.iter
+            (fun key ->
+              if List.mem key reads then
+                edges := { writer = w.Monitor.name; reader = r.Monitor.name; key } :: !edges)
+            writes)
+        monitors)
+    monitors;
+  List.rev !edges
+
+let cycles monitors =
+  let edges = interference monitors in
+  let succs name =
+    List.sort_uniq String.compare
+      (List.filter_map (fun e -> if e.writer = name then Some e.reader else None) edges)
+  in
+  let names = List.map (fun m -> m.Monitor.name) monitors in
+  (* Collect elementary cycles by DFS from each node, only keeping
+     cycles whose smallest member is the start node so each is
+     reported once. Monitor counts are small, so simplicity wins over
+     Johnson's algorithm. *)
+  let found = ref [] in
+  (* [path] holds the current walk, newest first, rooted at [start].
+     Restricting the walk to nodes >= start means every elementary
+     cycle is discovered exactly once, rooted at its smallest member. *)
+  let rec dfs start path node =
+    List.iter
+      (fun next ->
+        if next = start then found := List.rev path :: !found
+        else if (not (List.mem next path)) && String.compare start next < 0 then
+          dfs start (next :: path) next)
+      (succs node)
+  in
+  List.iter (fun s -> dfs s [ s ] s) (List.sort_uniq String.compare names);
+  List.sort_uniq compare !found
+
+let auto_triggers m = List.map (fun key -> Monitor.On_change key) (Monitor.reads m)

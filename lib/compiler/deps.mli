@@ -1,0 +1,34 @@
+(** Dependency analysis over compiled monitors.
+
+    Two uses, both from the paper's §6 discussion:
+
+    - {b Dependency-triggered checking}: a monitor's read set is the
+      exact set of feature-store keys whose updates can change its
+      rule; the runtime's ON_CHANGE machinery uses {!auto_triggers}
+      to check a property "only when relevant system state changes"
+      instead of on a timer.
+
+    - {b Feedback-loop detection}: deploying multiple guardrails can
+      oscillate when preventing one violation triggers another. A
+      monitor that SAVEs a key another monitor reads is an edge in
+      the interference graph; cycles in that graph are potential
+      feedback loops, reported at compile time. *)
+
+type edge = {
+  writer : string;  (** monitor name *)
+  reader : string;  (** monitor name *)
+  key : string;  (** store key carrying the interference *)
+}
+
+val interference : Monitor.t list -> edge list
+(** Every (writer, reader) pair connected through a key; includes
+    self-loops (a monitor reading a key it writes). *)
+
+val cycles : Monitor.t list -> string list list
+(** Monitor-name cycles in the interference graph (each cycle listed
+    once, starting from its lexicographically smallest member).
+    A self-loop yields a singleton cycle. *)
+
+val auto_triggers : Monitor.t -> Monitor.trigger list
+(** ON_CHANGE triggers covering the monitor's full read set — the
+    dependency-tracking alternative to its TIMER triggers. *)

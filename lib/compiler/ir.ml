@@ -1,0 +1,69 @@
+module Ast = Gr_dsl.Ast
+
+type slot = int
+
+type inst =
+  | Const of { dst : int; value : float }
+  | Load of { dst : int; slot : slot }
+  | Agg of { dst : int; fn : Ast.agg; slot : slot; window_ns : float; param : float }
+  | Unop of { dst : int; op : Ast.unop; src : int }
+  | Binop of { dst : int; op : Ast.binop; lhs : int; rhs : int }
+
+type program = { insts : inst array; result : int; n_regs : int }
+
+let dst = function
+  | Const { dst; _ } | Load { dst; _ } | Agg { dst; _ } | Unop { dst; _ } | Binop { dst; _ }
+    -> dst
+
+let operands = function
+  | Const _ | Load _ | Agg _ -> []
+  | Unop { src; _ } -> [ src ]
+  | Binop { lhs; rhs; _ } -> [ lhs; rhs ]
+
+let with_dst inst dst =
+  match inst with
+  | Const c -> Const { c with dst }
+  | Load l -> Load { l with dst }
+  | Agg a -> Agg { a with dst }
+  | Unop u -> Unop { u with dst }
+  | Binop b -> Binop { b with dst }
+
+let map_operands inst f =
+  match inst with
+  | Const _ | Load _ | Agg _ -> inst
+  | Unop u -> Unop { u with src = f u.src }
+  | Binop b -> Binop { b with lhs = f b.lhs; rhs = f b.rhs }
+
+let read_slots program =
+  let slots =
+    Array.to_list program.insts
+    |> List.filter_map (function
+         | Load { slot; _ } | Agg { slot; _ } -> Some slot
+         | Const _ | Unop _ | Binop _ -> None)
+  in
+  List.sort_uniq Int.compare slots
+
+let slot_name ~slots slot =
+  if slot >= 0 && slot < Array.length slots then slots.(slot)
+  else Printf.sprintf "<bad slot %d>" slot
+
+let pp_inst ~slots fmt inst =
+  match inst with
+  | Const { dst; value } -> Format.fprintf fmt "r%d <- const %g" dst value
+  | Load { dst; slot } -> Format.fprintf fmt "r%d <- load %s" dst (slot_name ~slots slot)
+  | Agg { dst; fn; slot; window_ns; param } ->
+    if fn = Gr_dsl.Ast.Quantile then
+      Format.fprintf fmt "r%d <- quantile[q=%g] %s over %gns" dst param
+        (slot_name ~slots slot) window_ns
+    else
+      Format.fprintf fmt "r%d <- %s %s over %gns" dst
+        (String.lowercase_ascii (Ast.agg_name fn))
+        (slot_name ~slots slot) window_ns
+  | Unop { dst; op; src } ->
+    Format.fprintf fmt "r%d <- %s r%d" dst (Ast.unop_symbol op) src
+  | Binop { dst; op; lhs; rhs } ->
+    Format.fprintf fmt "r%d <- r%d %s r%d" dst lhs (Ast.binop_symbol op) rhs
+
+let pp_program ~slots fmt program =
+  Array.iter (fun inst -> Format.fprintf fmt "  %a@\n" (pp_inst ~slots) inst) program.insts;
+  Format.fprintf fmt "  ret r%d@\n" program.result

@@ -1,0 +1,43 @@
+(** Register-based intermediate representation for guardrail monitors.
+
+    Rules and SAVE values compile to straight-line, loop-free programs
+    over an infinite virtual register file of floats (booleans are
+    0/1). Straight-line by construction means termination is a
+    syntactic property — the monitor analogue of the eBPF verifier's
+    no-backward-jumps rule — and single assignment in instruction
+    order makes defined-before-use a one-pass check ({!Verify}).
+
+    Feature-store keys are resolved to integer {e slots} into the
+    enclosing monitor's slot table, so the runtime never hashes
+    strings on the hot path. *)
+
+type slot = int
+(** Index into the monitor's slot table. *)
+
+type inst =
+  | Const of { dst : int; value : float }
+  | Load of { dst : int; slot : slot }
+      (** Latest value of a key; 0 when the key has never been saved. *)
+  | Agg of { dst : int; fn : Gr_dsl.Ast.agg; slot : slot; window_ns : float; param : float }
+      (** Windowed aggregate over a key's timestamped samples.
+          [param] is QUANTILE's q; 0 for other functions. *)
+  | Unop of { dst : int; op : Gr_dsl.Ast.unop; src : int }
+  | Binop of { dst : int; op : Gr_dsl.Ast.binop; lhs : int; rhs : int }
+
+type program = {
+  insts : inst array;
+  result : int;  (** register holding the program's value *)
+  n_regs : int;
+}
+
+val dst : inst -> int
+val operands : inst -> int list
+val with_dst : inst -> int -> inst
+val map_operands : inst -> (int -> int) -> inst
+
+val read_slots : program -> slot list
+(** Sorted, deduplicated slots the program reads (Load or Agg). *)
+
+val pp_inst : slots:string array -> Format.formatter -> inst -> unit
+val pp_program : slots:string array -> Format.formatter -> program -> unit
+(** Human-readable disassembly, used by the [grc] CLI. *)

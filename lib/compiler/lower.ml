@@ -1,0 +1,104 @@
+module Ast = Gr_dsl.Ast
+module Typecheck = Gr_dsl.Typecheck
+
+exception Error of Ast.pos * string
+
+let slot_for table key =
+  match Hashtbl.find_opt table key with
+  | Some s -> s
+  | None ->
+    let s = Hashtbl.length table in
+    Hashtbl.add table key s;
+    s
+
+let const_or_fail ~what (e : Ast.expr Ast.located) =
+  match Typecheck.const_value e with
+  | Some v -> v
+  | None -> raise (Error (e.pos, what ^ " must be constant (did the spec typecheck?)"))
+
+(* Emits instructions for [e] into [code] (reversed), returning the
+   result register. Registers are numbered by emission order, so the
+   single-assignment/defined-before-use invariant holds by
+   construction. *)
+let rec emit table code next (e : Ast.expr Ast.located) =
+  let push inst =
+    let dst = !next in
+    incr next;
+    code := Ir.with_dst inst dst :: !code;
+    dst
+  in
+  match e.node with
+  | Ast.Number value -> push (Ir.Const { dst = 0; value })
+  | Ast.Bool b -> push (Ir.Const { dst = 0; value = (if b then 1. else 0.) })
+  | Ast.Load key -> push (Ir.Load { dst = 0; slot = slot_for table key })
+  | Ast.Unop (op, sub) ->
+    let src = emit table code next sub in
+    push (Ir.Unop { dst = 0; op; src })
+  | Ast.Binop (op, lhs, rhs) ->
+    let lhs = emit table code next lhs in
+    let rhs = emit table code next rhs in
+    push (Ir.Binop { dst = 0; op; lhs; rhs })
+  | Ast.Agg { fn; key; window; param } ->
+    let window_ns = const_or_fail ~what:"aggregation window" window in
+    let param =
+      match param with Some q -> const_or_fail ~what:"quantile" q | None -> 0.
+    in
+    push (Ir.Agg { dst = 0; fn; slot = slot_for table key; window_ns; param })
+
+let program_of table (e : Ast.expr Ast.located) =
+  let code = ref [] and next = ref 0 in
+  let result = emit table code next (Typecheck.const_fold e) in
+  { Ir.insts = Array.of_list (List.rev !code); result; n_regs = !next }
+
+let expr ~slots e = program_of slots e
+
+(* Conjoins rules: r1 && r2 && ... as one program. *)
+let rules_program table = function
+  | [] -> invalid_arg "Lower.rules_program: no rules"
+  | first :: rest ->
+    let conj =
+      List.fold_left
+        (fun acc rule -> Ast.at acc.Ast.pos (Ast.Binop (Ast.And, acc, rule)))
+        first rest
+    in
+    program_of table conj
+
+let lower_trigger (tr : Ast.trigger Ast.located) =
+  match tr.node with
+  | Ast.Timer { start; interval; stop } ->
+    Monitor.Timer
+      {
+        start_ns = int_of_float (const_or_fail ~what:"TIMER start" start);
+        interval_ns = int_of_float (const_or_fail ~what:"TIMER interval" interval);
+        stop_ns =
+          Option.map (fun e -> int_of_float (const_or_fail ~what:"TIMER stop" e)) stop;
+      }
+  | Ast.Function hook -> Monitor.Function hook
+  | Ast.On_change key -> Monitor.On_change key
+
+let lower_action table (a : Ast.action Ast.located) =
+  match a.node with
+  | Ast.Report { message; keys } -> Monitor.Report { message; keys }
+  | Ast.Replace p -> Monitor.Replace p
+  | Ast.Restore p -> Monitor.Restore p
+  | Ast.Retrain p -> Monitor.Retrain p
+  | Ast.Deprioritize { cls; weight } ->
+    Monitor.Deprioritize
+      { cls; weight = int_of_float (const_or_fail ~what:"DEPRIORITIZE weight" weight) }
+  | Ast.Kill cls -> Monitor.Kill cls
+  | Ast.Save { key; value } ->
+    (* The key being saved is also entered in the slot table so that
+       dependency analysis sees reads and writes in one namespace. *)
+    ignore (slot_for table key : int);
+    Monitor.Save { key; value = program_of table value }
+
+let guardrail (g : Ast.guardrail) =
+  let table = Hashtbl.create 16 in
+  let rule = rules_program table g.rules in
+  let actions = List.map (lower_action table) g.actions in
+  let triggers = List.map lower_trigger g.triggers in
+  let slots = Array.make (Hashtbl.length table) "" in
+  Hashtbl.iter (fun key s -> slots.(s) <- key) table;
+  { Monitor.name = g.name; slots; triggers; rule; actions }
+
+let spec gs = List.map guardrail gs

@@ -1,0 +1,20 @@
+(** Lowering from the typed AST to monitor IR.
+
+    Precondition: the guardrail passed {!Gr_dsl.Typecheck.check_spec}.
+    Lowering constant-folds first (so [TIMER(0, 2 * 500ms)] resolves),
+    assigns feature-store keys to slots, flattens expressions to
+    single-assignment register code (naively — one register per AST
+    node; {!Opt} cleans up), and conjoins multiple rules into one
+    program. *)
+
+exception Error of Gr_dsl.Ast.pos * string
+(** Raised only on inputs that violate the precondition (e.g. a
+    non-constant TIMER argument). *)
+
+val guardrail : Gr_dsl.Ast.guardrail -> Monitor.t
+val spec : Gr_dsl.Ast.spec -> Monitor.t list
+
+val expr :
+  slots:(string, int) Hashtbl.t -> Gr_dsl.Ast.expr Gr_dsl.Ast.located -> Ir.program
+(** Lowers one expression against a (mutable, growing) slot table;
+    exposed for tests. *)

@@ -1,0 +1,59 @@
+type trigger =
+  | Timer of { start_ns : int; interval_ns : int; stop_ns : int option }
+  | Function of string
+  | On_change of string
+
+type action =
+  | Report of { message : string; keys : string list }
+  | Replace of string
+  | Restore of string
+  | Retrain of string
+  | Deprioritize of { cls : string; weight : int }
+  | Kill of string
+  | Save of { key : string; value : Ir.program }
+
+type t = {
+  name : string;
+  slots : string array;
+  triggers : trigger list;
+  rule : Ir.program;
+  actions : action list;
+}
+
+let reads t =
+  let of_program p = List.map (fun s -> t.slots.(s)) (Ir.read_slots p) in
+  let save_reads =
+    List.concat_map
+      (function Save { value; _ } -> of_program value | _ -> [])
+      t.actions
+  in
+  List.sort_uniq String.compare (of_program t.rule @ save_reads)
+
+let writes t =
+  List.sort_uniq String.compare
+    (List.filter_map (function Save { key; _ } -> Some key | _ -> None) t.actions)
+
+let pp_trigger fmt = function
+  | Timer { start_ns; interval_ns; stop_ns } ->
+    Format.fprintf fmt "timer start=%dns interval=%dns%s" start_ns interval_ns
+      (match stop_ns with None -> "" | Some s -> Printf.sprintf " stop=%dns" s)
+  | Function hook -> Format.fprintf fmt "function %s" hook
+  | On_change key -> Format.fprintf fmt "on-change %s" key
+
+let pp_action ~slots fmt = function
+  | Report { message; keys } ->
+    Format.fprintf fmt "report %S%s" message
+      (if keys = [] then "" else " keys=" ^ String.concat "," keys)
+  | Replace p -> Format.fprintf fmt "replace %s" p
+  | Restore p -> Format.fprintf fmt "restore %s" p
+  | Retrain p -> Format.fprintf fmt "retrain %s" p
+  | Deprioritize { cls; weight } -> Format.fprintf fmt "deprioritize %s weight=%d" cls weight
+  | Kill cls -> Format.fprintf fmt "kill %s" cls
+  | Save { key; value } ->
+    Format.fprintf fmt "save %s <- {@\n%a}" key (Ir.pp_program ~slots) value
+
+let pp fmt t =
+  Format.fprintf fmt "monitor %s@\n" t.name;
+  List.iter (fun tr -> Format.fprintf fmt "  trigger: %a@\n" pp_trigger tr) t.triggers;
+  Format.fprintf fmt "  rule:@\n%a" (Ir.pp_program ~slots:t.slots) t.rule;
+  List.iter (fun a -> Format.fprintf fmt "  action: %a@\n" (pp_action ~slots:t.slots) a) t.actions

@@ -1,0 +1,42 @@
+(** Compiled guardrail monitors.
+
+    A monitor is the loadable artifact the paper's framework installs
+    in the kernel: resolved triggers, a verified rule program whose
+    value is the property ("true" = healthy), and resolved action
+    descriptors to run on violation. *)
+
+type trigger =
+  | Timer of {
+      start_ns : int;
+      interval_ns : int;
+      stop_ns : int option;
+    }
+  | Function of string  (** kernel hook name *)
+  | On_change of string  (** feature-store key *)
+
+type action =
+  | Report of { message : string; keys : string list }
+  | Replace of string
+  | Restore of string
+  | Retrain of string
+  | Deprioritize of { cls : string; weight : int }
+  | Kill of string
+  | Save of { key : string; value : Ir.program }
+      (** The value program shares the monitor's slot table. *)
+
+type t = {
+  name : string;
+  slots : string array;  (** slot index -> feature-store key *)
+  triggers : trigger list;
+  rule : Ir.program;  (** property holds iff the result is non-zero *)
+  actions : action list;
+}
+
+val reads : t -> string list
+(** Keys the rule (and SAVE value programs) read; sorted, unique. *)
+
+val writes : t -> string list
+(** Keys written by SAVE actions; sorted, unique. *)
+
+val pp : Format.formatter -> t -> unit
+(** Disassembly of the whole monitor. *)

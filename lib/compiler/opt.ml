@@ -1,0 +1,73 @@
+(* A value key identifies an instruction's computation up to its
+   operand registers; two instructions with equal keys compute equal
+   values because programs are single-assignment and evaluation is
+   deterministic. *)
+type value_key =
+  | Kconst of float
+  | Kload of int
+  | Kagg of Gr_dsl.Ast.agg * int * float * float
+  | Kunop of Gr_dsl.Ast.unop * int
+  | Kbinop of Gr_dsl.Ast.binop * int * int
+
+let key_of subst inst =
+  match inst with
+  | Ir.Const { value; _ } -> Kconst value
+  | Ir.Load { slot; _ } -> Kload slot
+  | Ir.Agg { fn; slot; window_ns; param; _ } -> Kagg (fn, slot, window_ns, param)
+  | Ir.Unop { op; src; _ } -> Kunop (op, subst src)
+  | Ir.Binop { op; lhs; rhs; _ } -> Kbinop (op, subst lhs, subst rhs)
+
+let cse (p : Ir.program) =
+  let canonical = Array.init p.n_regs (fun i -> i) in
+  let subst r = canonical.(r) in
+  let table = Hashtbl.create 32 in
+  let insts =
+    Array.map
+      (fun inst ->
+        let inst = Ir.map_operands inst subst in
+        let key = key_of (fun r -> r) inst in
+        (match Hashtbl.find_opt table key with
+        | Some existing -> canonical.(Ir.dst inst) <- existing
+        | None -> Hashtbl.add table key (Ir.dst inst));
+        inst)
+      p.insts
+  in
+  { p with insts; result = subst p.result }
+
+let dce (p : Ir.program) =
+  let live = Array.make p.n_regs false in
+  live.(p.result) <- true;
+  (* Single backward pass suffices: operands always precede dsts. *)
+  for i = Array.length p.insts - 1 downto 0 do
+    let inst = p.insts.(i) in
+    if live.(Ir.dst inst) then List.iter (fun r -> live.(r) <- true) (Ir.operands inst)
+  done;
+  let remap = Array.make p.n_regs (-1) in
+  let next = ref 0 in
+  let kept =
+    Array.to_list p.insts
+    |> List.filter_map (fun inst ->
+           if not live.(Ir.dst inst) then None
+           else begin
+             let inst = Ir.map_operands inst (fun r -> remap.(r)) in
+             let dst = !next in
+             incr next;
+             remap.(Ir.dst inst) <- dst;
+             Some (Ir.with_dst inst dst)
+           end)
+  in
+  { Ir.insts = Array.of_list kept; result = remap.(p.result); n_regs = !next }
+
+let optimize p = dce (cse p)
+
+let optimize_monitor (m : Monitor.t) =
+  {
+    m with
+    rule = optimize m.rule;
+    actions =
+      List.map
+        (function
+          | Monitor.Save { key; value } -> Monitor.Save { key; value = optimize value }
+          | other -> other)
+        m.actions;
+  }

@@ -1,0 +1,25 @@
+(** IR optimisation passes.
+
+    Monitors run on every trigger firing, potentially on hot kernel
+    paths (FUNCTION triggers), so redundant work matters: a rule like
+    [AVG(lat, 1s) > 50 && AVG(lat, 1s) < 5000] must scan the sample
+    window once, not twice. Passes preserve evaluation semantics
+    exactly; the test suite checks optimised and unoptimised programs
+    agree on random stores.
+
+    Aggregations are pure within a single evaluation (the store does
+    not change mid-program), so they are eligible for CSE. *)
+
+val cse : Ir.program -> Ir.program
+(** Value-numbering common-subexpression elimination. Leaves dead
+    instructions behind; run {!dce} afterwards. *)
+
+val dce : Ir.program -> Ir.program
+(** Removes instructions not reachable from the result register and
+    renumbers so that register [i] is defined by instruction [i]. *)
+
+val optimize : Ir.program -> Ir.program
+(** [dce (cse p)], the standard pipeline. *)
+
+val optimize_monitor : Monitor.t -> Monitor.t
+(** Optimises the rule and every SAVE value program. *)

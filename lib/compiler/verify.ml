@@ -1,0 +1,121 @@
+type limits = {
+  max_insts : int;
+  max_regs : int;
+  max_slots : int;
+  max_actions : int;
+  max_window_ns : float;
+}
+
+let default_limits =
+  {
+    max_insts = 4096;
+    max_regs = 256;
+    max_slots = 64;
+    max_actions = 16;
+    max_window_ns = 600e9;
+  }
+
+type stats = {
+  rule_insts : int;
+  total_insts : int;
+  n_slots : int;
+  n_actions : int;
+  est_cost_ns : float;
+}
+
+(* Cost model: rough nanoseconds per instruction on the simulated
+   in-kernel interpreter. Aggregations pay a surcharge standing in
+   for the window scan. *)
+let est_inst_cost_ns = function
+  | Ir.Const _ -> 1.
+  | Ir.Unop _ | Ir.Binop _ -> 2.
+  | Ir.Load _ -> 6.
+  | Ir.Agg _ -> 40.
+
+let verify_program ~limits ~what ~n_slots (p : Ir.program) =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errs := (what ^ ": " ^ m) :: !errs) fmt in
+  let n = Array.length p.insts in
+  if n > limits.max_insts then err "program too long (%d > %d instructions)" n limits.max_insts;
+  if p.n_regs > limits.max_regs then err "too many registers (%d > %d)" p.n_regs limits.max_regs;
+  if p.n_regs <> n then err "register count %d does not match instruction count %d" p.n_regs n;
+  if n = 0 then err "empty program"
+  else if p.result < 0 || p.result >= n then err "result register r%d undefined" p.result;
+  Array.iteri
+    (fun i inst ->
+      if Ir.dst inst <> i then err "instruction %d writes r%d (must write r%d)" i (Ir.dst inst) i;
+      List.iter
+        (fun r -> if r < 0 || r >= i then err "instruction %d reads r%d before definition" i r)
+        (Ir.operands inst);
+      match inst with
+      | Ir.Load { slot; _ } | Ir.Agg { slot; _ } when slot < 0 || slot >= n_slots ->
+        err "instruction %d references slot %d outside the slot table" i slot
+      | Ir.Agg { window_ns; param; fn; _ } ->
+        if not (window_ns > 0.) then err "instruction %d has non-positive window" i;
+        if window_ns > limits.max_window_ns then
+          err "instruction %d window %.0fns exceeds limit %.0fns" i window_ns
+            limits.max_window_ns;
+        if fn = Gr_dsl.Ast.Quantile && not (param > 0. && param < 1.) then
+          err "instruction %d quantile parameter %g outside (0, 1)" i param
+      | Ir.Const _ | Ir.Load _ | Ir.Unop _ | Ir.Binop _ -> ())
+    p.insts;
+  let cost = Array.fold_left (fun acc i -> acc +. est_inst_cost_ns i) 0. p.insts in
+  (!errs, n, cost)
+
+let verify ?(limits = default_limits) (m : Monitor.t) =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun msg -> errs := msg :: !errs) fmt in
+  let n_slots = Array.length m.slots in
+  if n_slots > limits.max_slots then
+    err "too many feature-store slots (%d > %d)" n_slots limits.max_slots;
+  if m.triggers = [] then err "monitor has no triggers";
+  List.iter
+    (function
+      | Monitor.Timer { interval_ns; _ } when interval_ns <= 0 ->
+        err "timer trigger has non-positive interval"
+      | Monitor.Timer { start_ns; _ } when start_ns < 0 -> err "timer trigger starts in the past"
+      | Monitor.Timer { start_ns; stop_ns = Some stop; _ } when stop <= start_ns ->
+        err "timer trigger stops before it starts"
+      | Monitor.Function hook when hook = "" -> err "FUNCTION trigger with empty hook name"
+      | Monitor.On_change key when key = "" -> err "ON_CHANGE trigger with empty key"
+      | Monitor.Timer _ | Monitor.Function _ | Monitor.On_change _ -> ())
+    m.triggers;
+  let n_actions = List.length m.actions in
+  if n_actions = 0 then err "monitor has no actions";
+  if n_actions > limits.max_actions then
+    err "too many actions (%d > %d)" n_actions limits.max_actions;
+  let rule_errs, rule_insts, rule_cost =
+    verify_program ~limits ~what:"rule" ~n_slots m.rule
+  in
+  errs := rule_errs @ !errs;
+  let total_insts = ref rule_insts and total_cost = ref rule_cost in
+  List.iter
+    (fun action ->
+      match action with
+      | Monitor.Save { key; value } ->
+        if key = "" then err "SAVE with empty key";
+        let save_errs, n, cost =
+          verify_program ~limits ~what:(Printf.sprintf "save(%s)" key) ~n_slots value
+        in
+        errs := save_errs @ !errs;
+        total_insts := !total_insts + n;
+        total_cost := !total_cost +. cost
+      | Monitor.Replace p | Monitor.Restore p | Monitor.Retrain p ->
+        if p = "" then err "action with empty policy name"
+      | Monitor.Deprioritize { cls; weight } ->
+        if cls = "" then err "DEPRIORITIZE with empty class";
+        if weight < 1 then err "DEPRIORITIZE weight %d below 1" weight
+      | Monitor.Kill cls -> if cls = "" then err "KILL with empty class"
+      | Monitor.Report { message; _ } -> if message = "" then err "REPORT with empty message")
+    m.actions;
+  match !errs with
+  | [] ->
+    Ok
+      {
+        rule_insts;
+        total_insts = !total_insts;
+        n_slots;
+        n_actions;
+        est_cost_ns = !total_cost;
+      }
+  | errors -> Error (List.rev errors)

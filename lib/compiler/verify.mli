@@ -1,0 +1,49 @@
+(** Static verifier for compiled monitors.
+
+    The paper compiles guardrails to eBPF programs or kernel modules;
+    what makes that safe is the loader-side verifier. This is the
+    analogue for monitor IR. A monitor that passes verification
+    cannot crash, loop, or touch state outside the feature store:
+
+    - programs are straight-line (no jump instructions exist in the
+      IR) and bounded in length — termination in O(length);
+    - registers are written exactly once, by the instruction with
+      their index, and read only after being written;
+    - every slot reference is within the monitor's slot table;
+    - aggregation windows are positive and bounded (unbounded windows
+      would make per-check cost grow without limit);
+    - quantile parameters lie in (0, 1);
+    - division is total by VM definition (x/0 = 0), so no arithmetic
+      traps;
+    - action arguments are sane (weights >= 1, SAVE value programs
+      verify recursively, non-empty policy/class names).
+
+    [stats] also carries a static worst-case cost estimate used by
+    the P5 overhead property and the overhead ablation. *)
+
+type limits = {
+  max_insts : int;  (** per program; default 4096 *)
+  max_regs : int;  (** default 256 *)
+  max_slots : int;  (** default 64 *)
+  max_actions : int;  (** default 16 *)
+  max_window_ns : float;  (** default 600s *)
+}
+
+val default_limits : limits
+
+type stats = {
+  rule_insts : int;
+  total_insts : int;  (** rule + SAVE value programs *)
+  n_slots : int;
+  n_actions : int;
+  est_cost_ns : float;
+      (** static per-check cost estimate from the instruction cost
+          model (aggregations are charged a window-scan surcharge) *)
+}
+
+val verify : ?limits:limits -> Monitor.t -> (stats, string list) result
+(** All violations found, not just the first. *)
+
+val est_inst_cost_ns : Ir.inst -> float
+(** The cost model, exposed so the runtime charges consistent
+    simulated overhead per executed instruction. *)

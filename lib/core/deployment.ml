@@ -1,0 +1,117 @@
+open Gr_util
+
+type t = {
+  kernel : Gr_kernel.Kernel.t;
+  store : Gr_runtime.Feature_store.t;
+  engine : Gr_runtime.Engine.t;
+  mutable monitors : (Gr_runtime.Engine.handle * Gr_compiler.Monitor.t) list;
+}
+
+let create ~kernel ?config ?(store_capacity = 4096) () =
+  let store =
+    Gr_runtime.Feature_store.create
+      ~clock:(fun () -> Gr_kernel.Kernel.now kernel)
+      ~capacity_per_key:store_capacity ()
+  in
+  let engine = Gr_runtime.Engine.create ~kernel ~store ?config () in
+  { kernel; store; engine; monitors = [] }
+
+let kernel t = t.kernel
+let store t = t.store
+let engine t = t.engine
+
+type error =
+  | Compile of Gr_compiler.Compile.error
+  | Install of string * string list
+
+let pp_error fmt = function
+  | Compile e -> Gr_compiler.Compile.pp_error fmt e
+  | Install (name, errs) ->
+    Format.fprintf fmt "installing monitor %s failed:" name;
+    List.iter (fun e -> Format.fprintf fmt "@\n  %s" e) errs
+
+let install_monitor t monitor =
+  match Gr_runtime.Engine.install t.engine monitor with
+  | Ok handle ->
+    t.monitors <- t.monitors @ [ (handle, monitor) ];
+    Ok handle
+  | Error errs -> Error (Install (monitor.Gr_compiler.Monitor.name, errs))
+
+let uninstall t handle =
+  Gr_runtime.Engine.uninstall t.engine handle;
+  t.monitors <- List.filter (fun (h, _) -> h != handle) t.monitors
+
+let install_source t src =
+  match Gr_compiler.Compile.source src with
+  | Error e -> Error (Compile e)
+  | Ok monitors ->
+    let rec go installed = function
+      | [] -> Ok (List.rev installed)
+      | m :: rest -> (
+        match install_monitor t m with
+        | Ok handle -> go (handle :: installed) rest
+        | Error e ->
+          (* Roll back monitors from this source. *)
+          List.iter (uninstall t) installed;
+          Error e)
+    in
+    go [] monitors
+
+let install_source_exn t src =
+  match install_source t src with
+  | Ok handles -> handles
+  | Error e -> failwith (Format.asprintf "%a" pp_error e)
+
+let installed_monitors t = List.map snd t.monitors
+let feedback_cycles t = Gr_compiler.Deps.cycles (installed_monitors t)
+
+let save t key value = Gr_runtime.Feature_store.save t.store key value
+
+let forward_hook_arg t ~hook ~arg ?key () =
+  let key = Option.value ~default:arg key in
+  ignore
+    (Gr_kernel.Hooks.subscribe t.kernel.hooks hook (fun args ->
+         match List.assoc_opt arg args with
+         | Some v -> save t key v
+         | None -> ())
+      : Gr_kernel.Hooks.subscription)
+
+let derive_window_avg t ~src ~dst ~window ~every =
+  ignore
+    (Gr_sim.Engine.every t.kernel.engine ~interval:every (fun _ ->
+         let avg =
+           Gr_runtime.Feature_store.aggregate t.store ~key:src ~fn:Gr_dsl.Ast.Avg
+             ~window_ns:(float_of_int window) ~param:0.
+         in
+         save t dst avg)
+      : Gr_sim.Engine.handle)
+
+let derive_periodic t ~key ~every sample =
+  ignore
+    (Gr_sim.Engine.every t.kernel.engine ~interval:every (fun _ -> save t key (sample ()))
+      : Gr_sim.Engine.handle)
+
+let bind_control_key t ~key callback =
+  Gr_runtime.Feature_store.on_save t.store (fun k v -> if k = key then callback v);
+  if Gr_runtime.Feature_store.mem t.store key then
+    callback (Gr_runtime.Feature_store.load t.store key)
+
+let wire_scheduler t sched =
+  Gr_runtime.Engine.set_deprioritize_handler t.engine (fun ~cls ~weight ->
+      ignore (Gr_kernel.Sched.deprioritize_class sched ~cls ~weight : int));
+  Gr_runtime.Engine.set_kill_handler t.engine (fun ~cls ->
+      ignore (Gr_kernel.Sched.kill_class sched ~cls : int));
+  let max_wait () = Gr_kernel.Sched.max_wait_ms sched in
+  let jain () =
+    let received = List.map snd (Gr_kernel.Sched.received_by_class sched) in
+    Stats.jain_index (Array.of_list received)
+  in
+  (* Seed both keys so guardrails checking before the first periodic
+     sample see healthy values, not LOAD's 0-default. *)
+  save t "sched_max_wait_ms" (max_wait ());
+  save t "sched_jain" (jain ());
+  derive_periodic t ~key:"sched_max_wait_ms" ~every:(Time_ns.ms 10) max_wait;
+  derive_periodic t ~key:"sched_jain" ~every:(Time_ns.ms 10) jain;
+  save t "sched_wasted_cores" 0.;
+  derive_periodic t ~key:"sched_wasted_cores" ~every:(Time_ns.ms 10) (fun () ->
+      float_of_int (Gr_kernel.Sched.wasted_cores sched))

@@ -1,0 +1,97 @@
+(** A guardrail deployment: one kernel, one feature store, one runtime
+    engine, plus the instrumentation glue that connects them.
+
+    This is the high-level entry point a kernel developer uses:
+
+    {[
+      let kernel = Gr_kernel.Kernel.create ~seed:42 in
+      let d = Deployment.create ~kernel () in
+      Deployment.forward_hook_arg d ~hook:"blk:io_complete"
+        ~arg:"false_submit" ~key:"false_submit";
+      Deployment.derive_window_avg d ~src:"false_submit"
+        ~dst:"false_submit_rate" ~window:(Time_ns.sec 10)
+        ~every:(Time_ns.ms 100);
+      let handles = Deployment.install_source_exn d listing2 in
+      ...
+    ]}
+
+    Guardrails are installed incrementally (§3.3): each
+    [install_source] call adds monitors next to whatever is already
+    running, and the deployment re-runs feedback-loop detection over
+    the full installed set after each addition. *)
+
+type t
+
+val create :
+  kernel:Gr_kernel.Kernel.t ->
+  ?config:Gr_runtime.Engine.config ->
+  ?store_capacity:int ->
+  unit ->
+  t
+
+val kernel : t -> Gr_kernel.Kernel.t
+val store : t -> Gr_runtime.Feature_store.t
+val engine : t -> Gr_runtime.Engine.t
+
+type error =
+  | Compile of Gr_compiler.Compile.error
+  | Install of string * string list  (** monitor name, verifier findings *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val install_source : t -> string -> (Gr_runtime.Engine.handle list, error) result
+(** Compiles and installs every guardrail in the source text. On
+    error nothing from this source stays installed. *)
+
+val install_source_exn : t -> string -> Gr_runtime.Engine.handle list
+
+val install_monitor :
+  t -> Gr_compiler.Monitor.t -> (Gr_runtime.Engine.handle, error) result
+
+val installed_monitors : t -> Gr_compiler.Monitor.t list
+
+val uninstall : t -> Gr_runtime.Engine.handle -> unit
+(** Disarms the monitor and removes it from {!installed_monitors};
+    paired with {!install_source} this is runtime guardrail
+    replacement without a reboot (§6). *)
+
+val feedback_cycles : t -> string list list
+(** Feedback-loop (SAVE/LOAD) cycles across everything installed —
+    re-checked after each install; §6's oscillation hazard, statically. *)
+
+(** {1 Instrumentation glue}
+
+    Monitors only see the feature store; these helpers pump kernel
+    signals into it. *)
+
+val save : t -> string -> float -> unit
+
+val forward_hook_arg : t -> hook:string -> arg:string -> ?key:string -> unit -> unit
+(** Every time [hook] fires, saves its [arg] scalar under [key]
+    (default: the arg name). Missing args are ignored. *)
+
+val derive_window_avg :
+  t ->
+  src:string ->
+  dst:string ->
+  window:Gr_util.Time_ns.t ->
+  every:Gr_util.Time_ns.t ->
+  unit
+(** Periodically saves the windowed average of [src] as [dst] — e.g.
+    deriving [false_submit_rate] from per-I/O [false_submit] markers,
+    the paper's Listing 2 setup. *)
+
+val derive_periodic : t -> key:string -> every:Gr_util.Time_ns.t -> (unit -> float) -> unit
+(** Periodically samples an arbitrary kernel metric into the store
+    (e.g. the scheduler's max runnable wait). *)
+
+val bind_control_key : t -> key:string -> (float -> unit) -> unit
+(** Invokes the callback whenever [key] is saved — how a policy
+    watches a control key like [ml_enabled] that a SAVE action
+    flips. The callback also runs immediately if the key already has
+    a value. *)
+
+val wire_scheduler : t -> Gr_kernel.Sched.t -> unit
+(** Routes DEPRIORITIZE/KILL actions to the scheduler and samples
+    starvation/fairness/utilisation metrics ([sched_max_wait_ms],
+    [sched_jain], [sched_wasted_cores]) every 10ms. *)

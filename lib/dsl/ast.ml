@@ -1,0 +1,78 @@
+type pos = { line : int; col : int }
+
+let pp_pos fmt { line; col } = Format.fprintf fmt "line %d, column %d" line col
+
+type 'a located = { node : 'a; pos : pos }
+
+let at pos node = { node; pos }
+
+type unop = Neg | Not | Abs
+
+type binop = Add | Sub | Mul | Div | Lt | Le | Gt | Ge | Eq | Ne | And | Or
+
+type agg = Avg | Rate | Count | Sum | Min | Max | Stddev | Quantile | Delta
+
+type expr =
+  | Number of float
+  | Bool of bool
+  | Load of string
+  | Unop of unop * expr located
+  | Binop of binop * expr located * expr located
+  | Agg of agg_call
+
+and agg_call = {
+  fn : agg;
+  key : string;
+  window : expr located;
+  param : expr located option;
+}
+
+type trigger =
+  | Timer of { start : expr located; interval : expr located; stop : expr located option }
+  | Function of string
+  | On_change of string
+
+type action =
+  | Report of { message : string; keys : string list }
+  | Replace of string
+  | Restore of string
+  | Retrain of string
+  | Deprioritize of { cls : string; weight : expr located }
+  | Kill of string
+  | Save of { key : string; value : expr located }
+
+type guardrail = {
+  name : string;
+  triggers : trigger located list;
+  rules : expr located list;
+  actions : action located list;
+}
+
+type spec = guardrail list
+
+let unop_symbol = function Neg -> "-" | Not -> "!" | Abs -> "ABS"
+
+let binop_symbol = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | And -> "&&"
+  | Or -> "||"
+
+let agg_name = function
+  | Avg -> "AVG"
+  | Rate -> "RATE"
+  | Count -> "COUNT"
+  | Sum -> "SUM"
+  | Min -> "MIN"
+  | Max -> "MAX"
+  | Stddev -> "STDDEV"
+  | Quantile -> "QUANTILE"
+  | Delta -> "DELTA"

@@ -1,0 +1,91 @@
+(** Abstract syntax of the guardrail specification language.
+
+    The grammar follows Listing 1 of the paper:
+    {v
+    <Guardrail> ::= <Property> (<Action>)+
+    <Property>  ::= (<Trigger>)+ (<Rule>)+
+    <Trigger>   ::= TIMER | FUNCTION
+    <Rule>      ::= <Expression>
+    <Action>    ::= REPORT | REPLACE | RETRAIN | DEPRIORITIZE
+    v}
+    extended with the ON_CHANGE dependency trigger (the §6 "check only
+    when relevant state changes" direction), the SAVE action used by
+    Listing 2, RESTORE/KILL action variants, and windowed aggregation
+    builtins over the feature store (AVG, RATE, COUNT, SUM, MIN, MAX,
+    STDDEV, QUANTILE).
+
+    All numeric literals are floats; duration literals ([10ms], [1s],
+    [500us], [250ns]) are sugar for their value in nanoseconds. *)
+
+type pos = { line : int; col : int }
+
+val pp_pos : Format.formatter -> pos -> unit
+
+type 'a located = { node : 'a; pos : pos }
+
+val at : pos -> 'a -> 'a located
+
+type unop = Neg | Not | Abs
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And
+  | Or
+
+type agg = Avg | Rate | Count | Sum | Min | Max | Stddev | Quantile | Delta
+
+type expr =
+  | Number of float
+  | Bool of bool
+  | Load of string  (** [LOAD(key)]: latest value of a store key *)
+  | Unop of unop * expr located
+  | Binop of binop * expr located * expr located
+  | Agg of agg_call
+
+and agg_call = {
+  fn : agg;
+  key : string;
+  window : expr located;  (** nanoseconds; must be a positive constant *)
+  param : expr located option;  (** QUANTILE's q; others take none *)
+}
+
+type trigger =
+  | Timer of {
+      start : expr located;  (** first check time, ns *)
+      interval : expr located;  (** period, ns *)
+      stop : expr located option;
+    }
+  | Function of string  (** hook name, e.g. ["blk:io_complete"] *)
+  | On_change of string  (** fires when the named store key is saved *)
+
+type action =
+  | Report of { message : string; keys : string list }
+      (** Log the violation with a snapshot of the named keys. *)
+  | Replace of string  (** switch the named policy to its fallback *)
+  | Restore of string  (** reinstate the named learned policy *)
+  | Retrain of string  (** kick an asynchronous retrain *)
+  | Deprioritize of { cls : string; weight : expr located }
+  | Kill of string  (** kill every task of a scheduling class *)
+  | Save of { key : string; value : expr located }
+
+type guardrail = {
+  name : string;
+  triggers : trigger located list;  (** non-empty *)
+  rules : expr located list;  (** non-empty; conjoined *)
+  actions : action located list;  (** non-empty *)
+}
+
+type spec = guardrail list
+
+val unop_symbol : unop -> string
+val binop_symbol : binop -> string
+val agg_name : agg -> string

@@ -1,0 +1,263 @@
+type token =
+  | IDENT of string
+  | NUMBER of float
+  | STRING of string
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | COLON
+  | SEMI
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQEQ
+  | NE
+  | ANDAND
+  | OROR
+  | BANG
+  | TRUE
+  | FALSE
+  | GUARDRAIL
+  | TRIGGER
+  | RULE
+  | ACTION
+  | EOF
+
+exception Error of Ast.pos * string
+
+type state = {
+  src : string;
+  mutable off : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let pos st = { Ast.line = st.line; col = st.col }
+let error st msg = raise (Error (pos st, msg))
+let peek st = if st.off < String.length st.src then Some st.src.[st.off] else None
+
+let peek2 st =
+  if st.off + 1 < String.length st.src then Some st.src.[st.off + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.off <- st.off + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '.'
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_ws st
+  | Some '/' when peek2 st = Some '/' ->
+    while peek st <> None && peek st <> Some '\n' do
+      advance st
+    done;
+    skip_ws st
+  | Some '/' when peek2 st = Some '*' ->
+    advance st;
+    advance st;
+    let rec find_close () =
+      match (peek st, peek2 st) with
+      | Some '*', Some '/' ->
+        advance st;
+        advance st
+      | Some _, _ ->
+        advance st;
+        find_close ()
+      | None, _ -> error st "unterminated block comment"
+    in
+    find_close ();
+    skip_ws st
+  | _ -> ()
+
+let lex_string st =
+  advance st (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> error st "unterminated string literal"
+    | Some '"' -> advance st
+    | Some '\\' -> begin
+      advance st;
+      match peek st with
+      | Some 'n' ->
+        Buffer.add_char buf '\n';
+        advance st;
+        loop ()
+      | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        loop ()
+      | None -> error st "unterminated escape"
+    end
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      loop ()
+  in
+  loop ();
+  STRING (Buffer.contents buf)
+
+(* A number is digits, optional fraction, optional exponent, then an
+   optional duration suffix (ns/us/ms/s) scaling it to nanoseconds. *)
+let lex_number st =
+  let start = st.off in
+  while (match peek st with Some c -> is_digit c | None -> false) do
+    advance st
+  done;
+  (match (peek st, peek2 st) with
+  | Some '.', Some c when is_digit c ->
+    advance st;
+    while (match peek st with Some c -> is_digit c | None -> false) do
+      advance st
+    done
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E') ->
+    let after_e =
+      match peek2 st with
+      | Some c when is_digit c -> true
+      | Some ('+' | '-') -> true
+      | _ -> false
+    in
+    if after_e then begin
+      advance st;
+      (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+      while (match peek st with Some c -> is_digit c | None -> false) do
+        advance st
+      done
+    end
+  | _ -> ());
+  let base = float_of_string (String.sub st.src start (st.off - start)) in
+  (* Duration suffix: longest match among ns, us, ms, s. *)
+  let suffix_start = st.off in
+  while (match peek st with Some c -> is_ident_start c | None -> false) do
+    advance st
+  done;
+  let suffix = String.sub st.src suffix_start (st.off - suffix_start) in
+  match suffix with
+  | "" -> NUMBER base
+  | "ns" -> NUMBER base
+  | "us" -> NUMBER (base *. 1e3)
+  | "ms" -> NUMBER (base *. 1e6)
+  | "s" -> NUMBER (base *. 1e9)
+  | other -> error st (Printf.sprintf "unknown duration suffix %S" other)
+
+let lex_ident st =
+  let start = st.off in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  match String.sub st.src start (st.off - start) with
+  | "guardrail" -> GUARDRAIL
+  | "trigger" -> TRIGGER
+  | "rule" -> RULE
+  | "action" -> ACTION
+  | "true" -> TRUE
+  | "false" -> FALSE
+  | name -> IDENT name
+
+let next_token st =
+  skip_ws st;
+  let p = pos st in
+  let tok =
+    match peek st with
+    | None -> EOF
+    | Some '"' -> lex_string st
+    | Some c when is_digit c -> lex_number st
+    | Some c when is_ident_start c -> lex_ident st
+    | Some c ->
+      let two target result =
+        if peek2 st = Some target then begin
+          advance st;
+          advance st;
+          Some result
+        end
+        else None
+      in
+      let simple result =
+        advance st;
+        result
+      in
+      (match c with
+      | '{' -> simple LBRACE
+      | '}' -> simple RBRACE
+      | '(' -> simple LPAREN
+      | ')' -> simple RPAREN
+      | ',' -> simple COMMA
+      | ':' -> simple COLON
+      | ';' -> simple SEMI
+      | '+' -> simple PLUS
+      | '-' -> simple MINUS
+      | '*' -> simple STAR
+      | '/' -> simple SLASH
+      | '<' -> ( match two '=' LE with Some t -> t | None -> simple LT)
+      | '>' -> ( match two '=' GE with Some t -> t | None -> simple GT)
+      | '=' -> (
+        match two '=' EQEQ with
+        | Some t -> t
+        | None -> error st "'=' must be '==' (comparison); SAVE uses a comma")
+      | '!' -> ( match two '=' NE with Some t -> t | None -> simple BANG)
+      | '&' -> (
+        match two '&' ANDAND with Some t -> t | None -> error st "'&' must be '&&'")
+      | '|' -> (
+        match two '|' OROR with Some t -> t | None -> error st "'|' must be '||'")
+      | c -> error st (Printf.sprintf "unexpected character %C" c))
+  in
+  (tok, p)
+
+let tokenize src =
+  let st = { src; off = 0; line = 1; col = 1 } in
+  let rec loop acc =
+    let ((tok, _) as t) = next_token st in
+    if tok = EOF then List.rev (t :: acc) else loop (t :: acc)
+  in
+  loop []
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | NUMBER f -> Printf.sprintf "number %g" f
+  | STRING s -> Printf.sprintf "string %S" s
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | COMMA -> "','"
+  | COLON -> "':'"
+  | SEMI -> "';'"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | EQEQ -> "'=='"
+  | NE -> "'!='"
+  | ANDAND -> "'&&'"
+  | OROR -> "'||'"
+  | BANG -> "'!'"
+  | TRUE -> "'true'"
+  | FALSE -> "'false'"
+  | GUARDRAIL -> "'guardrail'"
+  | TRIGGER -> "'trigger'"
+  | RULE -> "'rule'"
+  | ACTION -> "'action'"
+  | EOF -> "end of input"

@@ -1,0 +1,48 @@
+(** Hand-written lexer for guardrail specifications.
+
+    Supports [//] line comments and [/* ... */] block comments, string
+    literals in double quotes, and numeric literals with an optional
+    duration suffix ([ns], [us], [ms], [s]) that scales the value to
+    nanoseconds — so [TIMER(0, 1s)] and [TIMER(0, 1e9)] are the same
+    trigger. *)
+
+type token =
+  | IDENT of string
+  | NUMBER of float
+  | STRING of string
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | COLON
+  | SEMI
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQEQ
+  | NE
+  | ANDAND
+  | OROR
+  | BANG
+  | TRUE
+  | FALSE
+  | GUARDRAIL
+  | TRIGGER
+  | RULE
+  | ACTION
+  | EOF
+
+exception Error of Ast.pos * string
+
+val tokenize : string -> (token * Ast.pos) list
+(** The result always ends with an [EOF] token.
+    @raise Error on an unrecognised character or unterminated
+    string/comment. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,407 @@
+open Ast
+
+type state = { mutable toks : (Lexer.token * pos) list }
+
+let error pos msg = raise (Lexer.Error (pos, msg))
+
+let peek st = match st.toks with (t, p) :: _ -> (t, p) | [] -> assert false
+
+let advance st = match st.toks with _ :: rest when rest <> [] -> st.toks <- rest | _ -> ()
+
+let expect st tok =
+  let t, p = peek st in
+  if t = tok then advance st
+  else error p (Printf.sprintf "expected %s but found %s" (Lexer.token_to_string tok) (Lexer.token_to_string t))
+
+let expect_ident st what =
+  match peek st with
+  | Lexer.IDENT name, _ ->
+    advance st;
+    name
+  | t, p -> error p (Printf.sprintf "expected %s but found %s" what (Lexer.token_to_string t))
+
+let expect_string st what =
+  match peek st with
+  | Lexer.STRING s, _ ->
+    advance st;
+    s
+  | t, p -> error p (Printf.sprintf "expected %s (a string) but found %s" what (Lexer.token_to_string t))
+
+(* A name or key: an identifier, or a string literal for names that
+   the identifier syntax cannot express (e.g. hook names with ':'). *)
+let expect_name st what =
+  match peek st with
+  | Lexer.IDENT name, _ ->
+    advance st;
+    name
+  | Lexer.STRING s, _ ->
+    advance st;
+    s
+  | t, p -> error p (Printf.sprintf "expected %s but found %s" what (Lexer.token_to_string t))
+
+let agg_of_ident = function
+  | "AVG" -> Some Avg
+  | "RATE" -> Some Rate
+  | "COUNT" -> Some Count
+  | "SUM" -> Some Sum
+  | "MIN" -> Some Min
+  | "MAX" -> Some Max
+  | "STDDEV" -> Some Stddev
+  | "QUANTILE" -> Some Quantile
+  | "DELTA" -> Some Delta
+  | _ -> None
+
+(* Precedence-climbing expression parser. Levels, loosest first:
+   || / && / comparison / additive / multiplicative / unary / atom. *)
+let rec parse_or st =
+  let lhs = parse_and st in
+  match peek st with
+  | Lexer.OROR, p ->
+    advance st;
+    let rhs = parse_or st in
+    at p (Binop (Or, lhs, rhs))
+  | _ -> lhs
+
+and parse_and st =
+  let lhs = parse_cmp st in
+  match peek st with
+  | Lexer.ANDAND, p ->
+    advance st;
+    let rhs = parse_and st in
+    at p (Binop (And, lhs, rhs))
+  | _ -> lhs
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op =
+    match peek st with
+    | Lexer.LT, p -> Some (Lt, p)
+    | Lexer.LE, p -> Some (Le, p)
+    | Lexer.GT, p -> Some (Gt, p)
+    | Lexer.GE, p -> Some (Ge, p)
+    | Lexer.EQEQ, p -> Some (Eq, p)
+    | Lexer.NE, p -> Some (Ne, p)
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some (op, p) ->
+    advance st;
+    let rhs = parse_add st in
+    at p (Binop (op, lhs, rhs))
+
+and parse_add st =
+  let rec loop lhs =
+    match peek st with
+    | Lexer.PLUS, p ->
+      advance st;
+      loop (at p (Binop (Add, lhs, parse_mul st)))
+    | Lexer.MINUS, p ->
+      advance st;
+      loop (at p (Binop (Sub, lhs, parse_mul st)))
+    | _ -> lhs
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop lhs =
+    match peek st with
+    | Lexer.STAR, p ->
+      advance st;
+      loop (at p (Binop (Mul, lhs, parse_unary st)))
+    | Lexer.SLASH, p ->
+      advance st;
+      loop (at p (Binop (Div, lhs, parse_unary st)))
+    | _ -> lhs
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Lexer.MINUS, p ->
+    advance st;
+    at p (Unop (Neg, parse_unary st))
+  | Lexer.BANG, p ->
+    advance st;
+    at p (Unop (Not, parse_unary st))
+  | _ -> parse_atom st
+
+and parse_atom st =
+  match peek st with
+  | Lexer.NUMBER f, p ->
+    advance st;
+    at p (Number f)
+  | Lexer.TRUE, p ->
+    advance st;
+    at p (Bool true)
+  | Lexer.FALSE, p ->
+    advance st;
+    at p (Bool false)
+  | Lexer.LPAREN, _ ->
+    advance st;
+    let e = parse_or st in
+    expect st Lexer.RPAREN;
+    e
+  | Lexer.IDENT "LOAD", p ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let key = expect_name st "a feature-store key" in
+    expect st Lexer.RPAREN;
+    at p (Load key)
+  | Lexer.IDENT "ABS", p ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let e = parse_or st in
+    expect st Lexer.RPAREN;
+    at p (Unop (Abs, e))
+  | Lexer.IDENT "start_time", p ->
+    (* Listing 2 writes TIMER(start_time, 1e9); treat the symbolic
+       start as "from deployment", i.e. 0. *)
+    advance st;
+    at p (Number 0.)
+  | Lexer.IDENT name, p when agg_of_ident name <> None ->
+    let fn = Option.get (agg_of_ident name) in
+    advance st;
+    expect st Lexer.LPAREN;
+    let key = expect_name st "a feature-store key" in
+    expect st Lexer.COMMA;
+    (* QUANTILE(key, q, window); others are FN(key, window). *)
+    let first = parse_or st in
+    let param, window =
+      if fn = Quantile then begin
+        expect st Lexer.COMMA;
+        let window = parse_or st in
+        (Some first, window)
+      end
+      else (None, first)
+    in
+    expect st Lexer.RPAREN;
+    at p (Agg { fn; key; window; param })
+  | t, p -> error p (Printf.sprintf "expected an expression but found %s" (Lexer.token_to_string t))
+
+(* Guardrail names may be hyphenated, as in the paper's
+   low-false-submit: parse IDENT (- IDENT)*. *)
+let parse_guardrail_name st =
+  let first = expect_ident st "a guardrail name" in
+  let buf = Buffer.create 16 in
+  Buffer.add_string buf first;
+  (* Keywords may appear as name fragments (the paper's example is
+     low-false-submit, where "false" lexes as a keyword). *)
+  let fragment = function
+    | Lexer.IDENT part -> Some part
+    | Lexer.TRUE -> Some "true"
+    | Lexer.FALSE -> Some "false"
+    | Lexer.TRIGGER -> Some "trigger"
+    | Lexer.RULE -> Some "rule"
+    | Lexer.ACTION -> Some "action"
+    | Lexer.GUARDRAIL -> Some "guardrail"
+    | Lexer.NUMBER f when Float.is_integer f && f >= 0. && f < 1e9 ->
+      (* Versioned names like retry-guard-2. *)
+      Some (string_of_int (int_of_float f))
+    | _ -> None
+  in
+  let rec loop () =
+    match st.toks with
+    | (Lexer.MINUS, _) :: (tok, _) :: rest -> (
+      match fragment tok with
+      | Some part ->
+        Buffer.add_char buf '-';
+        Buffer.add_string buf part;
+        st.toks <- rest;
+        loop ()
+      | None -> ())
+    | _ -> ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_trigger st =
+  match peek st with
+  | Lexer.IDENT "TIMER", p ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let start = parse_or st in
+    expect st Lexer.COMMA;
+    let interval = parse_or st in
+    let stop =
+      match peek st with
+      | Lexer.COMMA, _ ->
+        advance st;
+        Some (parse_or st)
+      | _ -> None
+    in
+    expect st Lexer.RPAREN;
+    at p (Timer { start; interval; stop })
+  | Lexer.IDENT "FUNCTION", p ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let name = expect_name st "a hook name" in
+    expect st Lexer.RPAREN;
+    at p (Function name)
+  | Lexer.IDENT "ON_CHANGE", p ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let key = expect_name st "a feature-store key" in
+    expect st Lexer.RPAREN;
+    at p (On_change key)
+  | t, p ->
+    error p
+      (Printf.sprintf "expected TIMER, FUNCTION or ON_CHANGE but found %s"
+         (Lexer.token_to_string t))
+
+let parse_action st =
+  match peek st with
+  | Lexer.IDENT "REPORT", p ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let message = expect_string st "a report message" in
+    let rec keys acc =
+      match peek st with
+      | Lexer.COMMA, _ ->
+        advance st;
+        keys (expect_name st "a feature-store key" :: acc)
+      | _ -> List.rev acc
+    in
+    let keys = keys [] in
+    expect st Lexer.RPAREN;
+    at p (Report { message; keys })
+  | Lexer.IDENT "REPLACE", p ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let name = expect_name st "a registered policy name" in
+    expect st Lexer.RPAREN;
+    at p (Replace name)
+  | Lexer.IDENT "RESTORE", p ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let name = expect_name st "a registered policy name" in
+    expect st Lexer.RPAREN;
+    at p (Restore name)
+  | Lexer.IDENT "RETRAIN", p ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let name = expect_name st "a registered policy name" in
+    expect st Lexer.RPAREN;
+    at p (Retrain name)
+  | Lexer.IDENT "DEPRIORITIZE", p ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let cls = expect_name st "a scheduling class" in
+    expect st Lexer.COMMA;
+    let weight = parse_or st in
+    expect st Lexer.RPAREN;
+    at p (Deprioritize { cls; weight })
+  | Lexer.IDENT "KILL", p ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let cls = expect_name st "a scheduling class" in
+    expect st Lexer.RPAREN;
+    at p (Kill cls)
+  | Lexer.IDENT "SAVE", p ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let key = expect_name st "a feature-store key" in
+    expect st Lexer.COMMA;
+    let value = parse_or st in
+    expect st Lexer.RPAREN;
+    at p (Save { key; value })
+  | t, p ->
+    error p
+      (Printf.sprintf
+         "expected REPORT, REPLACE, RESTORE, RETRAIN, DEPRIORITIZE, KILL or SAVE but found %s"
+         (Lexer.token_to_string t))
+
+let skip_separators st =
+  let rec loop () =
+    match peek st with
+    | (Lexer.COMMA | Lexer.SEMI), _ ->
+      advance st;
+      loop ()
+    | _ -> ()
+  in
+  loop ()
+
+(* Parses "{ item (sep item)* }" where items end at '}'. *)
+let parse_block st parse_item =
+  expect st Lexer.LBRACE;
+  let rec loop acc =
+    skip_separators st;
+    match peek st with
+    | Lexer.RBRACE, _ ->
+      advance st;
+      List.rev acc
+    | _ -> loop (parse_item st :: acc)
+  in
+  loop []
+
+let parse_guardrail st =
+  expect st Lexer.GUARDRAIL;
+  let name = parse_guardrail_name st in
+  expect st Lexer.LBRACE;
+  let triggers = ref [] and rules = ref [] and actions = ref [] in
+  let rec sections () =
+    skip_separators st;
+    match peek st with
+    | Lexer.RBRACE, _ -> advance st
+    | Lexer.TRIGGER, _ ->
+      advance st;
+      expect st Lexer.COLON;
+      triggers := !triggers @ parse_block st parse_trigger;
+      sections ()
+    | Lexer.RULE, _ ->
+      advance st;
+      expect st Lexer.COLON;
+      rules := !rules @ parse_block st (fun st -> parse_or st);
+      sections ()
+    | Lexer.ACTION, _ ->
+      advance st;
+      expect st Lexer.COLON;
+      actions := !actions @ parse_block st parse_action;
+      sections ()
+    | t, p ->
+      error p
+        (Printf.sprintf "expected 'trigger:', 'rule:' or 'action:' but found %s"
+           (Lexer.token_to_string t))
+  in
+  sections ();
+  let check what = function
+    | [] -> error (peek st |> snd) (Printf.sprintf "guardrail %s has no %s" name what)
+    | items -> items
+  in
+  {
+    name;
+    triggers = check "trigger" !triggers;
+    rules = check "rule" !rules;
+    actions = check "action" !actions;
+  }
+
+let parse_spec st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.EOF, _ -> List.rev acc
+    | Lexer.GUARDRAIL, _ -> loop (parse_guardrail st :: acc)
+    | t, p ->
+      error p (Printf.sprintf "expected 'guardrail' but found %s" (Lexer.token_to_string t))
+  in
+  loop []
+
+let with_state src f =
+  let st = { toks = Lexer.tokenize src } in
+  f st
+
+let parse_exn src = with_state src parse_spec
+
+let parse src =
+  match parse_exn src with
+  | spec -> Ok spec
+  | exception Lexer.Error (pos, msg) -> Error (pos, msg)
+
+let parse_expr src =
+  match
+    with_state src (fun st ->
+        let e = parse_or st in
+        expect st Lexer.EOF;
+        e)
+  with
+  | e -> Ok e
+  | exception Lexer.Error (pos, msg) -> Error (pos, msg)

@@ -1,0 +1,29 @@
+(** Recursive-descent parser for guardrail specifications.
+
+    Accepts the concrete syntax of Listing 2:
+    {v
+    guardrail low-false-submit {
+      trigger: {
+        TIMER(start_time, 1e9)   // periodically check every 1s
+      },
+      rule: {
+        LOAD(false_submit_rate) <= 0.05
+      },
+      action: {
+        SAVE(ml_enabled, false)
+      }
+    }
+    v}
+    Hyphenated guardrail names are supported (as in the paper);
+    sections may appear in any order and may repeat; items inside a
+    section are separated by commas, semicolons or newlines; trailing
+    commas after a section are optional. The identifier [start_time]
+    is sugar for 0 (check from deployment). *)
+
+val parse : string -> (Ast.spec, Ast.pos * string) result
+
+val parse_exn : string -> Ast.spec
+(** @raise Lexer.Error on any syntax error. *)
+
+val parse_expr : string -> (Ast.expr Ast.located, Ast.pos * string) result
+(** Parses a standalone expression; used by tests and the CLI. *)

@@ -1,0 +1,106 @@
+open Ast
+
+(* Binding strength of each operator, used to parenthesise minimally:
+   higher binds tighter. Comparison operators are non-associative in
+   the grammar, so equal precedence on either side is parenthesised. *)
+let prec = function
+  | Or -> 1
+  | And -> 2
+  | Lt | Le | Gt | Ge | Eq | Ne -> 3
+  | Add | Sub -> 4
+  | Mul | Div -> 5
+
+let float_lit f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else begin
+    (* Shortest decimal form that round-trips. *)
+    let rec try_prec p =
+      if p > 17 then Printf.sprintf "%.17g" f
+      else begin
+        let s = Printf.sprintf "%.*g" p f in
+        if float_of_string s = f then s else try_prec (p + 1)
+      end
+    in
+    try_prec 1
+  end
+
+let rec pp_expr ~parent fmt { node; _ } =
+  match node with
+  | Number f -> Format.pp_print_string fmt (float_lit f)
+  | Bool b -> Format.pp_print_bool fmt b
+  | Load key -> Format.fprintf fmt "LOAD(%s)" key
+  | Unop (Abs, e) -> Format.fprintf fmt "ABS(%a)" (pp_expr ~parent:0) e
+  | Unop (op, e) -> Format.fprintf fmt "%s%a" (unop_symbol op) (pp_expr ~parent:6) e
+  | Binop (op, lhs, rhs) ->
+    let p = prec op in
+    let needs_parens = p <= parent in
+    (* Parenthesise the side that re-parsing would otherwise regroup:
+       && and || parse right-associative, arithmetic left-associative,
+       comparisons are non-associative. *)
+    let lhs_parent, rhs_parent =
+      match op with
+      | And | Or -> (p, p - 1)
+      | Add | Sub | Mul | Div -> (p - 1, p)
+      | Lt | Le | Gt | Ge | Eq | Ne -> (p, p)
+    in
+    let open_p, close_p = if needs_parens then ("(", ")") else ("", "") in
+    Format.fprintf fmt "%s%a %s %a%s" open_p
+      (pp_expr ~parent:lhs_parent) lhs (binop_symbol op)
+      (pp_expr ~parent:rhs_parent) rhs close_p
+  | Agg { fn; key; window; param } -> (
+    match param with
+    | Some q ->
+      Format.fprintf fmt "%s(%s, %a, %a)" (agg_name fn) key (pp_expr ~parent:0) q
+        (pp_expr ~parent:0) window
+    | None ->
+      Format.fprintf fmt "%s(%s, %a)" (agg_name fn) key (pp_expr ~parent:0) window)
+
+let expr fmt e = pp_expr ~parent:0 fmt e
+
+let trigger fmt { node; _ } =
+  match node with
+  | Timer { start; interval; stop = None } ->
+    Format.fprintf fmt "TIMER(%a, %a)" expr start expr interval
+  | Timer { start; interval; stop = Some stop } ->
+    Format.fprintf fmt "TIMER(%a, %a, %a)" expr start expr interval expr stop
+  | Function name -> Format.fprintf fmt "FUNCTION(%S)" name
+  | On_change key -> Format.fprintf fmt "ON_CHANGE(%s)" key
+
+let action fmt { node; _ } =
+  match node with
+  | Report { message; keys } ->
+    Format.fprintf fmt "REPORT(%S" message;
+    List.iter (fun k -> Format.fprintf fmt ", %s" k) keys;
+    Format.pp_print_string fmt ")"
+  | Replace name -> Format.fprintf fmt "REPLACE(%S)" name
+  | Restore name -> Format.fprintf fmt "RESTORE(%S)" name
+  | Retrain name -> Format.fprintf fmt "RETRAIN(%S)" name
+  | Deprioritize { cls; weight } ->
+    Format.fprintf fmt "DEPRIORITIZE(%S, %a)" cls expr weight
+  | Kill cls -> Format.fprintf fmt "KILL(%S)" cls
+  | Save { key; value } -> Format.fprintf fmt "SAVE(%s, %a)" key expr value
+
+(* Items are separated by ';' — without an explicit separator, two
+   newline-separated rules such as "LOAD(a) < 1" and "-5 < 3" would
+   re-parse as one expression ("1 - 5"). *)
+let block fmt name pp items =
+  Format.fprintf fmt "  %s: {@\n" name;
+  List.iter (fun item -> Format.fprintf fmt "    %a;@\n" pp item) items;
+  Format.fprintf fmt "  }@\n"
+
+let guardrail fmt g =
+  Format.fprintf fmt "guardrail %s {@\n" g.name;
+  block fmt "trigger" trigger g.triggers;
+  block fmt "rule" expr g.rules;
+  block fmt "action" action g.actions;
+  Format.fprintf fmt "}@\n"
+
+let spec fmt gs =
+  List.iteri
+    (fun i g ->
+      if i > 0 then Format.pp_print_newline fmt ();
+      guardrail fmt g)
+    gs
+
+let expr_to_string e = Format.asprintf "%a" expr e
+let spec_to_string s = Format.asprintf "%a" spec s

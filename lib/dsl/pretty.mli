@@ -1,0 +1,14 @@
+(** Pretty-printer for guardrail specifications.
+
+    Emits concrete syntax that {!Parser.parse} accepts, which the test
+    suite uses as a parse/print round-trip property. Durations are
+    printed as plain nanosecond numbers (canonical form). *)
+
+val expr : Format.formatter -> Ast.expr Ast.located -> unit
+val trigger : Format.formatter -> Ast.trigger Ast.located -> unit
+val action : Format.formatter -> Ast.action Ast.located -> unit
+val guardrail : Format.formatter -> Ast.guardrail -> unit
+val spec : Format.formatter -> Ast.spec -> unit
+
+val expr_to_string : Ast.expr Ast.located -> string
+val spec_to_string : Ast.spec -> string

@@ -1,0 +1,206 @@
+open Ast
+
+type ty = Num | Bool
+
+type error = { pos : pos; message : string }
+
+let pp_error fmt { pos; message } = Format.fprintf fmt "%a: %s" pp_pos pos message
+
+let ty_name = function Num -> "a number" | Bool -> "a boolean"
+
+exception Type_error of error
+
+let fail pos message = raise (Type_error { pos; message })
+
+let rec infer ({ node; pos } : expr located) =
+  match node with
+  | Number _ -> Num
+  | Ast.Bool _ -> Bool
+  | Load _ -> Num
+  | Unop (Neg, e) ->
+    expect Num e;
+    Num
+  | Unop (Abs, e) ->
+    expect Num e;
+    Num
+  | Unop (Not, e) ->
+    expect Bool e;
+    Bool
+  | Binop ((Add | Sub | Mul | Div), lhs, rhs) ->
+    expect Num lhs;
+    expect Num rhs;
+    Num
+  | Binop ((Lt | Le | Gt | Ge), lhs, rhs) ->
+    expect Num lhs;
+    expect Num rhs;
+    Bool
+  | Binop ((Eq | Ne), lhs, rhs) ->
+    let tl = infer lhs and tr = infer rhs in
+    if tl <> tr then
+      fail pos
+        (Printf.sprintf "cannot compare %s with %s" (ty_name tl) (ty_name tr));
+    Bool
+  | Binop ((And | Or), lhs, rhs) ->
+    expect Bool lhs;
+    expect Bool rhs;
+    Bool
+  | Agg { fn; key = _; window; param } ->
+    expect Num window;
+    (match (fn, param) with
+    | Quantile, Some q -> expect Num q
+    | Quantile, None -> fail pos "QUANTILE requires a quantile argument"
+    | _, Some { pos; _ } -> fail pos "only QUANTILE takes a parameter"
+    | _, None -> ());
+    Num
+
+and expect ty e =
+  let actual = infer e in
+  if actual <> ty then
+    fail e.pos (Printf.sprintf "expected %s but this is %s" (ty_name ty) (ty_name actual))
+
+let infer_expr e = match infer e with ty -> Ok ty | exception Type_error err -> Error err
+
+let rec const_fold ({ node; pos } as e : expr located) =
+  match node with
+  | Number _ | Ast.Bool _ | Load _ -> e
+  | Unop (op, sub) -> (
+    let sub = const_fold sub in
+    match (op, sub.node) with
+    | Neg, Number f -> at pos (Number (-.f))
+    | Abs, Number f -> at pos (Number (Float.abs f))
+    | Not, Ast.Bool b -> at pos (Ast.Bool (not b))
+    | Not, Unop (Not, inner) -> inner
+    | _ -> at pos (Unop (op, sub)))
+  | Binop (op, lhs, rhs) -> (
+    let lhs = const_fold lhs and rhs = const_fold rhs in
+    match (op, lhs.node, rhs.node) with
+    | Add, Number a, Number b -> at pos (Number (a +. b))
+    | Sub, Number a, Number b -> at pos (Number (a -. b))
+    | Mul, Number a, Number b -> at pos (Number (a *. b))
+    (* Division by a constant zero is preserved: the VM defines x/0 =
+       0, and folding here would have to replicate that semantics. *)
+    | Div, Number a, Number b when b <> 0. -> at pos (Number (a /. b))
+    | Lt, Number a, Number b -> at pos (Ast.Bool (a < b))
+    | Le, Number a, Number b -> at pos (Ast.Bool (a <= b))
+    | Gt, Number a, Number b -> at pos (Ast.Bool (a > b))
+    | Ge, Number a, Number b -> at pos (Ast.Bool (a >= b))
+    | Eq, Number a, Number b -> at pos (Ast.Bool (a = b))
+    | Ne, Number a, Number b -> at pos (Ast.Bool (a <> b))
+    | Eq, Ast.Bool a, Ast.Bool b -> at pos (Ast.Bool (a = b))
+    | Ne, Ast.Bool a, Ast.Bool b -> at pos (Ast.Bool (a <> b))
+    | And, Ast.Bool a, Ast.Bool b -> at pos (Ast.Bool (a && b))
+    | Or, Ast.Bool a, Ast.Bool b -> at pos (Ast.Bool (a || b))
+    (* Algebraic identities; all sub-expressions here are pure. *)
+    | Add, Number 0., _ -> rhs
+    | Add, _, Number 0. -> lhs
+    | Sub, _, Number 0. -> lhs
+    | Mul, Number 1., _ -> rhs
+    | Mul, _, Number 1. -> lhs
+    | Div, _, Number 1. -> lhs
+    | And, Ast.Bool true, _ -> rhs
+    | And, _, Ast.Bool true -> lhs
+    | And, Ast.Bool false, _ -> at pos (Ast.Bool false)
+    | Or, Ast.Bool false, _ -> rhs
+    | Or, _, Ast.Bool false -> lhs
+    | Or, Ast.Bool true, _ -> at pos (Ast.Bool true)
+    | _ -> at pos (Binop (op, lhs, rhs)))
+  | Agg call ->
+    at pos
+      (Agg
+         {
+           call with
+           window = const_fold call.window;
+           param = Option.map const_fold call.param;
+         })
+
+let const_value e =
+  match (const_fold e).node with Number f -> Some f | _ -> None
+
+let check_const_num ~what ~pred ~pred_desc (e : expr located) =
+  match infer_expr e with
+  | Error err -> [ err ]
+  | Ok Bool -> [ { pos = e.pos; message = what ^ " must be a number" } ]
+  | Ok Num -> (
+    match const_value e with
+    | None -> [ { pos = e.pos; message = what ^ " must be a constant" } ]
+    | Some v ->
+      if pred v then []
+      else [ { pos = e.pos; message = Printf.sprintf "%s must be %s (got %g)" what pred_desc v } ])
+
+let rec check_agg_args (e : expr located) =
+  match e.node with
+  | Number _ | Ast.Bool _ | Load _ -> []
+  | Unop (_, sub) -> check_agg_args sub
+  | Binop (_, lhs, rhs) -> check_agg_args lhs @ check_agg_args rhs
+  | Agg { fn; window; param; _ } ->
+    check_const_num ~what:"aggregation window" ~pred:(fun v -> v > 0.)
+      ~pred_desc:"positive" window
+    @ (match (fn, param) with
+      | Quantile, Some q ->
+        check_const_num ~what:"quantile" ~pred:(fun v -> v > 0. && v < 1.)
+          ~pred_desc:"in (0, 1)" q
+      | _ -> [])
+    @ check_agg_args window
+    @ (match param with Some p -> check_agg_args p | None -> [])
+
+let check_rule (e : expr located) =
+  (match infer_expr e with
+  | Error err -> [ err ]
+  | Ok Bool -> []
+  | Ok Num -> [ { pos = e.pos; message = "a rule must be a boolean expression" } ])
+  @ check_agg_args e
+
+let check_trigger ({ node; pos = _ } : trigger located) =
+  match node with
+  | Function _ | On_change _ -> []
+  | Timer { start; interval; stop } -> (
+    check_const_num ~what:"TIMER start" ~pred:(fun v -> v >= 0.) ~pred_desc:"non-negative"
+      start
+    @ check_const_num ~what:"TIMER interval" ~pred:(fun v -> v > 0.) ~pred_desc:"positive"
+        interval
+    @
+    match stop with
+    | None -> []
+    | Some stop_e -> (
+      check_const_num ~what:"TIMER stop" ~pred:(fun v -> v > 0.) ~pred_desc:"positive" stop_e
+      @
+      match (const_value start, const_value stop_e) with
+      | Some s, Some p when p <= s ->
+        [ { pos = stop_e.pos; message = "TIMER stop must be after start" } ]
+      | _ -> []))
+
+let check_action ({ node; pos = _ } : action located) =
+  match node with
+  | Report _ | Replace _ | Restore _ | Retrain _ | Kill _ -> []
+  | Deprioritize { weight; _ } ->
+    check_const_num ~what:"DEPRIORITIZE weight" ~pred:(fun v -> v >= 1.)
+      ~pred_desc:"at least 1" weight
+  | Save { value; _ } ->
+    (match infer_expr value with Error err -> [ err ] | Ok _ -> [])
+    @ check_agg_args value
+
+let check_guardrail g =
+  List.concat_map check_trigger g.triggers
+  @ List.concat_map check_rule g.rules
+  @ List.concat_map check_action g.actions
+
+let check_spec spec =
+  let dup_errors =
+    let seen = Hashtbl.create 8 in
+    List.filter_map
+      (fun g ->
+        if Hashtbl.mem seen g.name then
+          Some
+            {
+              pos = { line = 0; col = 0 };
+              message = Printf.sprintf "duplicate guardrail name %S" g.name;
+            }
+        else begin
+          Hashtbl.add seen g.name ();
+          None
+        end)
+      spec
+  in
+  match dup_errors @ List.concat_map check_guardrail spec with
+  | [] -> Ok ()
+  | errs -> Error errs

@@ -1,0 +1,40 @@
+(** Static checks on parsed guardrail specifications.
+
+    The language has two types, numbers and booleans. The checker
+    enforces:
+    - every rule is boolean;
+    - arithmetic operates on numbers, [&&]/[||]/[!] on booleans;
+    - [==]/[!=] compare like types; [<] etc. compare numbers;
+    - aggregation windows are constant, positive numbers;
+    - QUANTILE's q is a constant in (0, 1);
+    - TIMER arguments are constant, non-negative numbers with a
+      positive interval (and stop > start when given);
+    - DEPRIORITIZE weight is a constant positive number;
+    - SAVE values are numbers or booleans (booleans are stored
+      as 0/1);
+    - guardrail names are unique within a spec.
+
+    Constancy is checked after constant folding, so
+    [TIMER(0, 2 * 500ms)] is legal. *)
+
+type ty = Num | Bool
+
+type error = { pos : Ast.pos; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val infer_expr : Ast.expr Ast.located -> (ty, error) result
+(** Type of a standalone expression. *)
+
+val const_fold : Ast.expr Ast.located -> Ast.expr Ast.located
+(** Bottom-up constant folding and algebraic simplification
+    ([x*1 = x], [x+0 = x], [true && e = e], [!!e = e], ...). Folding
+    never changes evaluation semantics: division by a constant zero is
+    left in place (it evaluates to the VM's well-defined 0 at run
+    time, see {!Gr_runtime}). *)
+
+val const_value : Ast.expr Ast.located -> float option
+(** [Some v] if the expression folds to the number [v]. *)
+
+val check_spec : Ast.spec -> (unit, error list) result
+(** All errors in the spec, not just the first. *)

@@ -1,0 +1,74 @@
+open Gr_util
+
+type victim_chooser = candidates:int array -> int
+
+type policy = { policy_name : string; choose_victim : victim_chooser }
+
+let lru = { policy_name = "lru"; choose_victim = (fun ~candidates -> candidates.(0)) }
+
+let random rng =
+  let rng = Rng.split rng in
+  { policy_name = "random"; choose_victim = (fun ~candidates -> Rng.choice rng candidates) }
+
+type t = {
+  hooks : Hooks.t;
+  capacity : int;
+  slot : policy Policy_slot.t;
+  mutable order : int list; (* LRU first, MRU last *)
+  present : (int, unit) Hashtbl.t;
+  mutable accesses : int;
+  mutable hits : int;
+}
+
+let create ~hooks ~capacity =
+  if capacity <= 0 then invalid_arg "Cache.create: capacity must be positive";
+  {
+    hooks;
+    capacity;
+    slot = Policy_slot.create ~name:"cache:replacement" ~fallback:("lru", lru);
+    order = [];
+    present = Hashtbl.create (2 * capacity);
+    accesses = 0;
+    hits = 0;
+  }
+
+let slot t = t.slot
+let contains t ~key = Hashtbl.mem t.present key
+let size t = Hashtbl.length t.present
+
+let touch t key = t.order <- List.filter (fun k -> k <> key) t.order @ [ key ]
+
+let evict t =
+  let candidates = Array.of_list t.order in
+  if Array.length candidates > 0 then begin
+    let victim = (Policy_slot.current t.slot).choose_victim ~candidates in
+    (* A buggy learned policy may name a key that is not cached; fall
+       back to true LRU rather than corrupting the cache. *)
+    let victim = if Hashtbl.mem t.present victim then victim else candidates.(0) in
+    Hashtbl.remove t.present victim;
+    t.order <- List.filter (fun k -> k <> victim) t.order
+  end
+
+let access t ~key =
+  t.accesses <- t.accesses + 1;
+  let hit = contains t ~key in
+  if hit then begin
+    t.hits <- t.hits + 1;
+    touch t key
+  end
+  else begin
+    if size t >= t.capacity then evict t;
+    Hashtbl.add t.present key ();
+    t.order <- t.order @ [ key ]
+  end;
+  Hooks.fire t.hooks "cache:access"
+    [ ("key", float_of_int key); ("hit", if hit then 1. else 0.) ];
+  hit
+
+let accesses t = t.accesses
+let hits t = t.hits
+let hit_rate t = if t.accesses = 0 then 0. else float_of_int t.hits /. float_of_int t.accesses
+
+let reset_stats t =
+  t.accesses <- 0;
+  t.hits <- 0

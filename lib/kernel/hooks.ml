@@ -1,0 +1,43 @@
+type args = (string * float) list
+
+type listener = { id : int; fn : args -> unit }
+
+type point = { mutable listeners : listener list; mutable fired : int }
+
+type t = { points : (string, point) Hashtbl.t; mutable next_id : int }
+
+type subscription = { hook : string; listener_id : int }
+
+let create () = { points = Hashtbl.create 64; next_id = 0 }
+
+let point t name =
+  match Hashtbl.find_opt t.points name with
+  | Some p -> p
+  | None ->
+    let p = { listeners = []; fired = 0 } in
+    Hashtbl.add t.points name p;
+    p
+
+let subscribe t name fn =
+  let p = point t name in
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  (* Keep subscription order: append. Lists are short (a few monitors
+     per hook), so the O(n) append is irrelevant. *)
+  p.listeners <- p.listeners @ [ { id; fn } ];
+  { hook = name; listener_id = id }
+
+let unsubscribe t sub =
+  match Hashtbl.find_opt t.points sub.hook with
+  | None -> ()
+  | Some p -> p.listeners <- List.filter (fun l -> l.id <> sub.listener_id) p.listeners
+
+let fire t name args =
+  let p = point t name in
+  p.fired <- p.fired + 1;
+  List.iter (fun l -> l.fn args) p.listeners
+
+let fire_count t name =
+  match Hashtbl.find_opt t.points name with None -> 0 | Some p -> p.fired
+
+let known_hooks t = List.of_seq (Hashtbl.to_seq_keys t.points)

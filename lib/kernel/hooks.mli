@@ -1,0 +1,37 @@
+(** Kernel hook points.
+
+    The paper's FUNCTION trigger evaluates a guardrail "whenever a
+    specific function (e.g. a learned scheduler routine) is called"
+    (§4.1). The simulated kernel exposes that by firing a named hook
+    at each instrumentable call site; the guardrail engine subscribes
+    monitors to hook names, and kernel instrumentation also uses hooks
+    to publish features (named scalars) that listeners may forward into
+    the feature store.
+
+    Hook names are free-form strings such as ["blk:io_complete"] or
+    ["sched:pick_next"]. Firing an unknown hook is cheap and legal —
+    subscription creates the hook point lazily, which is what lets
+    guardrails be deployed incrementally (§3.3). *)
+
+type t
+
+type args = (string * float) list
+(** Named scalar arguments carried by a hook firing, e.g.
+    [["latency_us", 132.; "device", 1.]]. *)
+
+val create : unit -> t
+
+type subscription
+
+val subscribe : t -> string -> (args -> unit) -> subscription
+(** Listeners fire in subscription order. *)
+
+val unsubscribe : t -> subscription -> unit
+
+val fire : t -> string -> args -> unit
+
+val fire_count : t -> string -> int
+(** Times the named hook has fired; 0 for unknown hooks. *)
+
+val known_hooks : t -> string list
+(** All hook names that have ever been fired or subscribed to. *)

@@ -1,0 +1,20 @@
+type t = {
+  engine : Gr_sim.Engine.t;
+  hooks : Hooks.t;
+  registry : Policy_slot.Registry.t;
+  rng : Gr_util.Rng.t;
+}
+
+let create ~seed =
+  {
+    engine = Gr_sim.Engine.create ();
+    hooks = Hooks.create ();
+    registry = Policy_slot.Registry.create ();
+    rng = Gr_util.Rng.create seed;
+  }
+
+let now t = Gr_sim.Engine.now t.engine
+let run_until t limit = Gr_sim.Engine.run_until t.engine limit
+
+let register_policy t ~name ?(retrain = Policy_slot.Registry.no_retrain) ~replace ~restore () =
+  Policy_slot.Registry.register t.registry name { replace; restore; retrain }

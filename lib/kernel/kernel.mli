@@ -1,0 +1,30 @@
+(** The simulated kernel: one virtual clock, one hook registry, one
+    policy-control registry, one seeded random stream.
+
+    Subsystems ({!Blk}, {!Sched}, {!Mm}, {!Cache}) are constructed on
+    top of a kernel as an experiment needs them; this module only owns
+    the shared spine so that guardrail monitors, workload generators
+    and subsystems all observe the same time and hooks. *)
+
+type t = {
+  engine : Gr_sim.Engine.t;
+  hooks : Hooks.t;
+  registry : Policy_slot.Registry.t;
+  rng : Gr_util.Rng.t;
+}
+
+val create : seed:int -> t
+
+val now : t -> Gr_util.Time_ns.t
+
+val run_until : t -> Gr_util.Time_ns.t -> unit
+
+val register_policy :
+  t ->
+  name:string ->
+  ?retrain:(unit -> unit) ->
+  replace:(unit -> unit) ->
+  restore:(unit -> unit) ->
+  unit ->
+  unit
+(** Convenience wrapper over {!Policy_slot.Registry.register}. *)

@@ -1,0 +1,74 @@
+type 'a entry = { impl_name : string; impl : 'a }
+
+type 'a t = {
+  name : string;
+  mutable stack : 'a entry list; (* top is live; bottom is the safe fallback *)
+  mutable saved : 'a entry option; (* learned impl parked by use_fallback *)
+  mutable transitions : (string * string) list; (* newest first *)
+}
+
+let create ~name ~fallback:(impl_name, impl) =
+  { name; stack = [ { impl_name; impl } ]; saved = None; transitions = [] }
+
+let name t = t.name
+
+let live t =
+  match t.stack with
+  | top :: _ -> top
+  | [] -> assert false (* the fallback is never popped *)
+
+let record t from_ to_ = if from_ <> to_ then t.transitions <- (from_, to_) :: t.transitions
+
+let install t ~name:impl_name impl =
+  let from_ = (live t).impl_name in
+  t.stack <- { impl_name; impl } :: t.stack;
+  t.saved <- None;
+  record t from_ impl_name
+
+let current t = (live t).impl
+let current_name t = (live t).impl_name
+
+let rec bottom = function
+  | [ e ] -> e
+  | _ :: rest -> bottom rest
+  | [] -> assert false
+
+let use_fallback t =
+  match t.stack with
+  | [ _ ] -> () (* already on fallback *)
+  | top :: _ ->
+    let fb = bottom t.stack in
+    t.saved <- Some top;
+    t.stack <- [ fb ];
+    record t top.impl_name fb.impl_name
+  | [] -> assert false
+
+let restore t =
+  match t.saved with
+  | None -> ()
+  | Some entry ->
+    let from_ = (live t).impl_name in
+    t.stack <- entry :: t.stack;
+    t.saved <- None;
+    record t from_ entry.impl_name
+
+let on_fallback t = t.saved <> None
+let transitions t = List.rev t.transitions
+
+module Registry = struct
+  type controls = {
+    replace : unit -> unit;
+    restore : unit -> unit;
+    retrain : unit -> unit;
+  }
+
+  type t = (string, controls) Hashtbl.t
+
+  let create () = Hashtbl.create 16
+  let register t name controls = Hashtbl.replace t name controls
+  let find t name = Hashtbl.find_opt t name
+  let names t = List.of_seq (Hashtbl.to_seq_keys t)
+
+  let no_retrain () =
+    Logs.warn (fun m -> m "RETRAIN requested for a policy that cannot retrain")
+end

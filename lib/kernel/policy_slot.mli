@@ -1,0 +1,60 @@
+(** Named policy slots with fallback stacks.
+
+    The REPLACE action (A2) "swaps out a misbehaving learned policy
+    with a known-safe fallback" (§3.2). Each subsystem that can host a
+    learned policy owns a slot: a stack of named implementations whose
+    top is live. REPLACE pops to the fallback; RESTORE re-installs the
+    learned policy. The slot records every transition with its
+    timestamp so experiments can mark "guardrail triggered" points.
+
+    The untyped {!Registry} lets the action engine drive slots by name
+    without knowing the implementation type, which is how compiled
+    monitors reference policies. *)
+
+type 'a t
+
+val create : name:string -> fallback:string * 'a -> 'a t
+(** A slot is born running its fallback. *)
+
+val name : 'a t -> string
+
+val install : 'a t -> name:string -> 'a -> unit
+(** Pushes a new implementation; it becomes live. *)
+
+val current : 'a t -> 'a
+val current_name : 'a t -> string
+
+val use_fallback : 'a t -> unit
+(** Pops to the bottom (known-safe) implementation. Idempotent. *)
+
+val restore : 'a t -> unit
+(** Reinstates the most recently installed implementation after a
+    [use_fallback]. Idempotent when already live. *)
+
+val on_fallback : 'a t -> bool
+val transitions : 'a t -> (string * string) list
+(** Chronological (from, to) implementation-name changes. *)
+
+module Registry : sig
+  (** Name-indexed registry of controls the action engine can invoke.
+      Policies register [replace]/[restore]/[retrain] closures; the
+      scheduler registers [deprioritize]. *)
+
+  type controls = {
+    replace : unit -> unit;  (** switch slot to its fallback *)
+    restore : unit -> unit;  (** reinstate the learned policy *)
+    retrain : unit -> unit;  (** kick an (async, simulated) retrain *)
+  }
+
+  type t
+
+  val create : unit -> t
+  val register : t -> string -> controls -> unit
+  (** Re-registering a name overwrites the old entry. *)
+
+  val find : t -> string -> controls option
+  val names : t -> string list
+
+  val no_retrain : unit -> unit
+  (** Placeholder for policies that cannot retrain; logs a warning. *)
+end

@@ -1,0 +1,70 @@
+(** Small multi-layer perceptron, trained with minibatch SGD.
+
+    This is the "light neural network" substrate behind the learned
+    policies (the LinnOS-style latency classifier uses a three-layer
+    net, as in the original paper). It is deliberately dependency-free
+    and deterministic: weight initialisation draws from an explicit
+    {!Gr_util.Rng.t}.
+
+    Inference cost matters to the reproduction — the P5 property
+    (decision overhead) charges simulated time per forward pass — so
+    {!forward_count} and {!flops_per_forward} are exposed for the
+    overhead accounting. *)
+
+type activation = Relu | Sigmoid | Tanh | Linear
+
+type t
+
+val create :
+  rng:Gr_util.Rng.t ->
+  layers:int list ->
+  ?hidden:activation ->
+  ?output:activation ->
+  unit ->
+  t
+(** [create ~rng ~layers:[n_in; h1; ...; n_out] ()] builds a network
+    with He-scaled random weights. [hidden] defaults to [Relu],
+    [output] to [Sigmoid]. Requires at least two layer sizes, all
+    positive. *)
+
+val input_dim : t -> int
+val output_dim : t -> int
+
+val forward : t -> float array -> float array
+(** Runs inference. The input array length must equal [input_dim].
+    Returns a fresh array of length [output_dim]. *)
+
+val predict_class : t -> float array -> int
+(** Index of the largest output; for a 1-output sigmoid net, returns
+    0/1 by thresholding at 0.5. *)
+
+val train_batch : t -> lr:float -> (float array * float array) array -> float
+(** One SGD step on a minibatch of (input, target) pairs using mean
+    squared error on the post-activation outputs. Returns the mean
+    batch loss before the update. *)
+
+val train :
+  t ->
+  rng:Gr_util.Rng.t ->
+  epochs:int ->
+  batch_size:int ->
+  lr:float ->
+  (float array * float array) array ->
+  float
+(** Shuffled minibatch training over the dataset; returns the final
+    epoch's mean loss. *)
+
+val forward_count : t -> int
+(** Number of forward passes executed since creation. *)
+
+val flops_per_forward : t -> int
+(** Approximate multiply-accumulate count of one inference, used to
+    derive a simulated inference latency. *)
+
+val copy : t -> t
+(** Deep copy; used to snapshot a model before simulated retraining. *)
+
+val scale_first_layer : t -> float -> unit
+(** Multiplies the first layer's weights (not biases) in place.
+    Scaling up amplifies the network's sensitivity to its inputs —
+    the fault-injection knob behind the P2 robustness experiments. *)

@@ -1,0 +1,84 @@
+open Gr_util
+open Gr_nn
+
+type t = {
+  rng : Rng.t;
+  cpus : int;
+  samples : int;
+  epochs : int;
+  mutable model : Mlp.t;
+  mutable enabled : bool;
+  mutable affinity : float;
+  mutable retrains : int;
+}
+
+(* The scorer sees one queue at a time: [relative length; is_cpu0].
+   Lower score = better placement target. Training imitates the
+   least-loaded expert: score = queue length, no CPU preference. *)
+let fit t =
+  let data =
+    Array.init t.samples (fun _ ->
+        let len = float_of_int (Rng.int t.rng 16) in
+        let is0 = if Rng.bool t.rng then 1. else 0. in
+        ([| len /. 16.; is0 |], [| len /. 16. |]))
+  in
+  let model =
+    Mlp.create ~rng:(Rng.split t.rng) ~layers:[ 2; 6; 1 ] ~hidden:Gr_nn.Mlp.Tanh
+      ~output:Gr_nn.Mlp.Linear ()
+  in
+  ignore (Mlp.train model ~rng:t.rng ~epochs:t.epochs ~batch_size:16 ~lr:0.1 data : float);
+  t.model <- model
+
+let train ~rng ~cpus ?(samples = 800) ?(epochs = 30) () =
+  let rng = Rng.split rng in
+  let t =
+    {
+      rng;
+      cpus;
+      samples;
+      epochs;
+      model = Mlp.create ~rng:(Rng.copy rng) ~layers:[ 2; 1 ] ~output:Gr_nn.Mlp.Linear ();
+      enabled = true;
+      affinity = 0.;
+      retrains = 0;
+    }
+  in
+  fit t;
+  t
+
+let score t ~len ~cpu =
+  let is0 = if cpu = 0 then 1. else 0. in
+  let base = (Mlp.forward t.model [| float_of_int len /. 16.; is0 |]).(0) in
+  base -. (t.affinity *. is0)
+
+let place t ~queue_lens =
+  let best = ref 0 and best_score = ref infinity in
+  Array.iteri
+    (fun cpu len ->
+      let s = score t ~len ~cpu in
+      if s < !best_score then begin
+        best := cpu;
+        best_score := s
+      end)
+    queue_lens;
+  !best
+
+let balancer t =
+  {
+    Gr_kernel.Sched.balancer_name = "learned-balancer";
+    place =
+      (fun ~queue_lens ->
+        if t.enabled then place t ~queue_lens
+        else Gr_kernel.Sched.least_loaded.place ~queue_lens);
+  }
+
+let set_enabled t v = t.enabled <- v
+let enabled t = t.enabled
+let inject_affinity t ~strength = t.affinity <- strength
+
+let retrain t =
+  t.retrains <- t.retrains + 1;
+  t.affinity <- 0.;
+  fit t
+
+let retrain_count t = t.retrains

@@ -1,0 +1,120 @@
+open Gr_util
+open Gr_nn
+
+type key_state = { mutable last_access : int; mutable count : int }
+
+type t = {
+  rng : Rng.t;
+  epochs : int;
+  mutable model : Mlp.t;
+  mutable scaler : Scaler.t;
+  mutable enabled : bool;
+  mutable retrains : int;
+  mutable tick : int; (* logical access clock *)
+  table : (int, key_state) Hashtbl.t;
+}
+
+let features_of t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> [| 1e6; 0. |]
+  | Some st -> [| float_of_int (t.tick - st.last_access); float_of_int st.count |]
+
+(* Training examples: at each access, (recency, frequency) of the key
+   versus the distance to its next use. Output is log1p(distance) so
+   the regression target stays in a small range. *)
+let dataset trace =
+  let n = Array.length trace in
+  let next_use = Array.make n (2 * n) in
+  let next_seen = Hashtbl.create 256 in
+  for i = n - 1 downto 0 do
+    (match Hashtbl.find_opt next_seen trace.(i) with Some j -> next_use.(i) <- j | None -> ());
+    Hashtbl.replace next_seen trace.(i) i
+  done;
+  let state = Hashtbl.create 256 in
+  let samples = ref [] in
+  Array.iteri
+    (fun i key ->
+      let recency, count =
+        match Hashtbl.find_opt state key with
+        | Some (last, c) -> (float_of_int (i - last), float_of_int c)
+        | None -> (1e6, 0.)
+      in
+      Hashtbl.replace state key
+        (i, match Hashtbl.find_opt state key with Some (_, c) -> c + 1 | None -> 1);
+      let distance = float_of_int (next_use.(i) - i) in
+      samples := ([| recency; count |], [| log1p distance |]) :: !samples)
+    trace;
+  Array.of_list (List.rev !samples)
+
+let fit t trace =
+  let raw = dataset trace in
+  let scaler = Scaler.fit (Array.map fst raw) in
+  let data = Array.map (fun (x, y) -> (Scaler.transform scaler x, y)) raw in
+  let model =
+    Mlp.create ~rng:(Rng.split t.rng) ~layers:[ 2; 10; 1 ] ~output:Gr_nn.Mlp.Linear ()
+  in
+  ignore (Mlp.train model ~rng:t.rng ~epochs:t.epochs ~batch_size:32 ~lr:0.02 data : float);
+  t.model <- model;
+  t.scaler <- scaler
+
+let train ~rng ~hooks ~trace ?(epochs = 10) () =
+  let rng = Rng.split rng in
+  let t =
+    {
+      rng;
+      epochs;
+      model = Mlp.create ~rng:(Rng.copy rng) ~layers:[ 2; 1 ] ~output:Gr_nn.Mlp.Linear ();
+      scaler = Scaler.fit [| [| 0.; 0. |] |];
+      enabled = true;
+      retrains = 0;
+      tick = 0;
+      table = Hashtbl.create 1024;
+    }
+  in
+  fit t trace;
+  ignore
+    (Gr_kernel.Hooks.subscribe hooks "cache:access" (fun args ->
+         match List.assoc_opt "key" args with
+         | None -> ()
+         | Some key ->
+           let key = int_of_float key in
+           t.tick <- t.tick + 1;
+           (match Hashtbl.find_opt t.table key with
+           | Some st ->
+             st.last_access <- t.tick;
+             st.count <- st.count + 1
+           | None -> Hashtbl.add t.table key { last_access = t.tick; count = 1 }))
+      : Gr_kernel.Hooks.subscription);
+  t
+
+let predicted_reuse_distance t key =
+  (Mlp.forward t.model (Scaler.transform t.scaler (features_of t key))).(0)
+
+let policy t =
+  {
+    Gr_kernel.Cache.policy_name = "learned-reuse";
+    choose_victim =
+      (fun ~candidates ->
+        if (not t.enabled) || Array.length candidates = 0 then candidates.(0)
+        else begin
+          let best = ref candidates.(0) and best_score = ref neg_infinity in
+          Array.iter
+            (fun key ->
+              let score = predicted_reuse_distance t key in
+              if score > !best_score then begin
+                best := key;
+                best_score := score
+              end)
+            candidates;
+          !best
+        end);
+  }
+
+let set_enabled t v = t.enabled <- v
+let enabled t = t.enabled
+
+let retrain t ~trace =
+  t.retrains <- t.retrains + 1;
+  fit t trace
+
+let retrain_count t = t.retrains

@@ -1,0 +1,58 @@
+open Gr_util
+open Gr_nn
+
+type t = {
+  model : Mlp.t;
+  mutable wobble : float; (* amplitude of the injected instability *)
+  mutable enabled : bool;
+}
+
+(* Ground truth the model imitates: back off as RTT and loss grow. *)
+let target ~rtt_ms ~loss =
+  let backoff = Float.min 1.8 (Float.max 0.2 (1.6 -. (rtt_ms /. 100.) -. (6. *. loss))) in
+  backoff /. 2. (* map into (0,1) for the sigmoid output *)
+
+let train ~rng ?(samples = 800) ?(epochs = 50) () =
+  let rng = Rng.split rng in
+  let data =
+    Array.init samples (fun _ ->
+        let rtt_ms = Rng.float rng 120. and loss = Rng.float rng 0.15 in
+        ([| rtt_ms /. 120.; loss /. 0.15 |], [| target ~rtt_ms ~loss |]))
+  in
+  let model = Mlp.create ~rng:(Rng.split rng) ~layers:[ 2; 10; 1 ] ~hidden:Gr_nn.Mlp.Tanh () in
+  ignore (Mlp.train model ~rng ~epochs ~batch_size:16 ~lr:0.15 data : float);
+  { model; wobble = 0.; enabled = true }
+
+let rate_multiplier t ~rtt_ms ~loss =
+  let rtt_n = rtt_ms /. 120. and loss_n = loss /. 0.15 in
+  let base = 2. *. (Mlp.forward t.model [| rtt_n; loss_n |]).(0) in
+  (* The wobble term models an unstable/overfit policy: a
+     high-frequency component whose output swings violently under
+     tiny measurement noise. Zero for the trained model. *)
+  let noisy = base +. (t.wobble *. sin (500. *. (rtt_n +. loss_n))) in
+  Float.max 0. noisy
+
+let sensitivity_probe t ~rng ~rtt_ms ~loss ?(epsilon = 0.01) () =
+  let base = rate_multiplier t ~rtt_ms ~loss in
+  let worst = ref 0. in
+  for _ = 1 to 6 do
+    let d_rtt = Rng.gaussian rng ~mu:0. ~sigma:(epsilon *. 120.) in
+    let d_loss = Rng.gaussian rng ~mu:0. ~sigma:(epsilon *. 0.15) in
+    let perturbed = rate_multiplier t ~rtt_ms:(rtt_ms +. d_rtt) ~loss:(loss +. d_loss) in
+    worst := Float.max !worst (Float.abs (perturbed -. base) /. epsilon)
+  done;
+  !worst
+
+let inject_sensitivity t ~scale = t.wobble <- Float.max 0. ((scale -. 1.) *. 0.015)
+let restore t = t.wobble <- 0.
+let set_enabled t v = t.enabled <- v
+let enabled t = t.enabled
+
+let controller t =
+  {
+    Gr_kernel.Net.controller_name = "learned-cc";
+    adjust =
+      (fun ~rtt_ms ~loss ->
+        if t.enabled then rate_multiplier t ~rtt_ms ~loss
+        else Gr_kernel.Net.aimd.adjust ~rtt_ms ~loss);
+  }

@@ -1,0 +1,46 @@
+open Gr_util
+
+let flip_blk_decisions ~rng ~p policy =
+  let rng = Rng.split rng in
+  {
+    Gr_kernel.Blk.policy_name = policy.Gr_kernel.Blk.policy_name ^ "+flip";
+    decide =
+      (fun features ->
+        let decision = policy.Gr_kernel.Blk.decide features in
+        if Rng.float rng 1.0 >= p then decision
+        else
+          match decision with
+          | Gr_kernel.Blk.Trust_primary -> Gr_kernel.Blk.Revoke_now
+          | Gr_kernel.Blk.Revoke_now | Gr_kernel.Blk.Hedge _ -> Gr_kernel.Blk.Trust_primary);
+  }
+
+let always_promote =
+  { Gr_kernel.Mm.policy_name = "always-promote"; promote = (fun _ -> true) }
+
+let never_promote =
+  { Gr_kernel.Mm.policy_name = "never-promote"; promote = (fun _ -> false) }
+
+let wild_slices ~rng ~max_ms =
+  let rng = Rng.split rng in
+  {
+    Gr_kernel.Sched.policy_name = "wild-slices";
+    slice =
+      (fun ~nr_runnable:_ ~task_weight:_ ~task_received_ms:_ ->
+        Gr_util.Time_ns.ms (1 + Rng.int rng (max 1 max_ms)));
+  }
+
+let mru_eviction =
+  {
+    Gr_kernel.Cache.policy_name = "mru";
+    choose_victim = (fun ~candidates -> candidates.(Array.length candidates - 1));
+  }
+
+let skewed_balancer ~rng ~hot_fraction =
+  let rng = Rng.split rng in
+  {
+    Gr_kernel.Sched.balancer_name = "skewed";
+    place =
+      (fun ~queue_lens ->
+        if Rng.float rng 1.0 < hot_fraction then 0
+        else Rng.int rng (Array.length queue_lens));
+  }

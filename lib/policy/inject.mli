@@ -1,0 +1,31 @@
+(** Fault injection combinators for policies.
+
+    Guardrails exist because learned policies misbehave; the test
+    suite and the Figure 1 matrix need misbehaviour on demand. These
+    wrappers degrade a working policy from the outside, so every
+    experiment can state precisely which failure it injects. *)
+
+val flip_blk_decisions :
+  rng:Gr_util.Rng.t -> p:float -> Gr_kernel.Blk.policy -> Gr_kernel.Blk.policy
+(** With probability [p] per I/O, replaces the policy's decision with
+    the opposite extreme (Trust_primary <-> Revoke_now; Hedge flips
+    to Trust_primary). Models random mispredictions. *)
+
+val always_promote : Gr_kernel.Mm.policy
+(** Degenerate placement policy: promotes every slow access —
+    thrashes the fast tier. *)
+
+val never_promote : Gr_kernel.Mm.policy
+
+val wild_slices : rng:Gr_util.Rng.t -> max_ms:int -> Gr_kernel.Sched.policy
+(** Slice policy drawing uniformly random slices up to [max_ms] —
+    starves under load. *)
+
+val mru_eviction : Gr_kernel.Cache.policy
+(** Evicts the most recently used key: pathological for zipfian
+    workloads, the quality floor below random. *)
+
+val skewed_balancer : rng:Gr_util.Rng.t -> hot_fraction:float -> Gr_kernel.Sched.balancer
+(** Places a [hot_fraction] of spawns on CPU 0 regardless of load
+    (the rest go to a random queue) — the wasted-cores bug class:
+    other CPUs idle while CPU 0's runqueue backs up. *)

@@ -1,0 +1,56 @@
+(** LinnOS-style learned I/O latency classifier.
+
+    A small MLP (paper: "a light neural network") predicts whether a
+    read issued to a device will be slow, from the device's queue
+    depths and its recent service latencies. The block layer consults
+    it through {!policy} and revokes predicted-slow I/Os to a replica.
+
+    Training is offline calibration: the model probes the devices'
+    latency processes {e as configured right now} and fits to that
+    regime. When a device's regime later shifts (aging, heavier GC),
+    the model is stale — precisely the failure Figure 2's guardrail
+    catches. {!retrain} recalibrates against the current regime and is
+    what the A3 RETRAIN action invokes.
+
+    The [enabled] flag implements the paper's Listing 2 action
+    [SAVE(ml_enabled, false)]: a disabled model never revokes, which
+    is behaviourally the never-revoke fallback without a slot swap. *)
+
+type t
+
+val train :
+  rng:Gr_util.Rng.t ->
+  devices:Gr_kernel.Ssd.t array ->
+  ?history:int ->
+  ?slow_threshold_us:float ->
+  ?samples_per_device:int ->
+  ?epochs:int ->
+  unit ->
+  t
+(** Calibrates against the devices' current profiles. [history] must
+    match the block layer's [feature_history] (default 4). *)
+
+val policy : t -> Gr_kernel.Blk.policy
+(** Revoke iff [enabled] and the model predicts slow. *)
+
+val predict_slow : t -> float array -> bool
+val predict_score : t -> float array -> float
+(** Raw sigmoid output in [0,1]. *)
+
+val set_enabled : t -> bool -> unit
+val enabled : t -> bool
+
+val retrain : t -> unit
+(** Offline recalibration against the devices' current profiles; the
+    model is swapped in atomically afterwards. *)
+
+val retrain_count : t -> int
+
+val holdout_accuracy : t -> float
+(** Accuracy on a freshly drawn holdout set from the current device
+    regime; used by tests and by the P4 quality probes. *)
+
+val inference_flops : t -> int
+val training_features : t -> float array array
+(** The calibration feature matrix (post-split, pre-normalisation) —
+    the reference distribution for the P1 drift guardrail. *)

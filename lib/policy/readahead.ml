@@ -1,0 +1,91 @@
+open Gr_util
+open Gr_nn
+
+type t = {
+  rng : Rng.t;
+  samples : int;
+  epochs : int;
+  mutable model : Mlp.t;
+  mutable enabled : bool;
+  mutable scale : float;
+  mutable retrains : int;
+}
+
+(* Synthetic training stream: sequential runs with geometric lengths
+   separated by random seeks. Each example is (delta, run-so-far,
+   occupancy) -> pages remaining in the run, the quantity an ideal
+   prefetcher would fetch. Targets are log-compressed. *)
+let dataset ~rng ~mean_run ~samples =
+  let data = ref [] in
+  let remaining = ref 0 and run = ref 0 in
+  for _ = 1 to samples do
+    if !remaining = 0 then begin
+      (* A seek starts a new run. *)
+      remaining := 1 + int_of_float (Rng.exponential rng ~rate:(1. /. mean_run));
+      run := 0;
+      let occupancy = Rng.float rng 1.0 in
+      data := ([| 37.; 0.; occupancy |], [| 0. |]) :: !data
+    end
+    else begin
+      incr run;
+      decr remaining;
+      let occupancy = Rng.float rng 1.0 in
+      data :=
+        ([| 1.; float_of_int !run; occupancy |], [| log1p (float_of_int !remaining) |]) :: !data
+    end
+  done;
+  Array.of_list !data
+
+let shape features = [| (if features.(0) = 1. then 1. else 0.); log1p features.(1); features.(2) |]
+
+let fit t ~mean_run =
+  let raw = dataset ~rng:t.rng ~mean_run ~samples:t.samples in
+  let data = Array.map (fun (x, y) -> (shape x, y)) raw in
+  let model =
+    Mlp.create ~rng:(Rng.split t.rng) ~layers:[ 3; 10; 1 ] ~hidden:Gr_nn.Mlp.Tanh
+      ~output:Gr_nn.Mlp.Linear ()
+  in
+  ignore (Mlp.train model ~rng:t.rng ~epochs:t.epochs ~batch_size:32 ~lr:0.05 data : float);
+  t.model <- model
+
+let train ~rng ?(mean_run = 24.) ?(samples = 4000) ?(epochs = 20) () =
+  let rng = Rng.split rng in
+  let t =
+    {
+      rng;
+      samples;
+      epochs;
+      model = Mlp.create ~rng:(Rng.copy rng) ~layers:[ 3; 1 ] ~output:Gr_nn.Mlp.Linear ();
+      enabled = true;
+      scale = 1.;
+      retrains = 0;
+    }
+  in
+  fit t ~mean_run;
+  t
+
+let predict_window t ~delta ~run ~occupancy =
+  let y = (Mlp.forward t.model (shape [| delta; run; occupancy |])).(0) in
+  let pages = expm1 (Float.max 0. y) in
+  int_of_float (Float.round (pages *. t.scale))
+
+let policy t =
+  let fallback = Gr_kernel.Fs.sequential_doubling () in
+  {
+    Gr_kernel.Fs.policy_name = "learned-readahead";
+    window =
+      (fun features ->
+        if not t.enabled then fallback.window features
+        else predict_window t ~delta:features.(0) ~run:features.(1) ~occupancy:features.(2));
+  }
+
+let set_enabled t v = t.enabled <- v
+let enabled t = t.enabled
+let inject_scale t scale = t.scale <- scale
+
+let retrain t ~mean_run =
+  t.retrains <- t.retrains + 1;
+  t.scale <- 1.;
+  fit t ~mean_run
+
+let retrain_count t = t.retrains

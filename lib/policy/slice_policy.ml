@@ -1,0 +1,87 @@
+open Gr_util
+open Gr_nn
+
+type t = {
+  rng : Rng.t;
+  samples : int;
+  epochs : int;
+  mutable model : Mlp.t;
+  mutable enabled : bool;
+  mutable retrains : int;
+  mutable sees_runqueue : bool;
+}
+
+let cfs_slice_ms ~nr_runnable = Float.max 1. (24. /. float_of_int (max 1 nr_runnable))
+
+(* Imitation dataset. The crucial (mis)design: the feature vector is
+   [nr_runnable or 1; weight; received], and an un-retrained model was
+   fitted with [sees_runqueue = false] — it never observed the
+   runqueue length, because during data collection the queue was
+   always short and the developer dropped the "uninformative" column.
+   The model therefore learns the *average* slice over the training
+   mix and cannot scale slices down under load. *)
+let dataset ~rng ~max_training_runnable ~samples ~sees_runqueue =
+  Array.init samples (fun _ ->
+      let nr = 1 + Rng.int rng max_training_runnable in
+      let weight = float_of_int (256 + Rng.int rng 2048) in
+      let received = Rng.float rng 100. in
+      let nr_feature = if sees_runqueue then float_of_int nr /. 8. else 1. in
+      ( [| nr_feature; weight /. 1024.; received /. 100. |],
+        [| cfs_slice_ms ~nr_runnable:nr /. 24. |] ))
+
+let fit t ~max_training_runnable =
+  let data =
+    dataset ~rng:t.rng ~max_training_runnable ~samples:t.samples
+      ~sees_runqueue:t.sees_runqueue
+  in
+  let model = Mlp.create ~rng:(Rng.split t.rng) ~layers:[ 3; 8; 1 ] ~hidden:Gr_nn.Mlp.Tanh () in
+  ignore (Mlp.train model ~rng:t.rng ~epochs:t.epochs ~batch_size:16 ~lr:0.2 data : float);
+  t.model <- model
+
+let train ~rng ?(max_training_runnable = 4) ?(samples = 800) ?(epochs = 40) () =
+  let rng = Rng.split rng in
+  let t =
+    {
+      rng;
+      samples;
+      epochs;
+      model = Mlp.create ~rng:(Rng.copy rng) ~layers:[ 3; 1 ] ();
+      enabled = true;
+      retrains = 0;
+      sees_runqueue = false;
+    }
+  in
+  fit t ~max_training_runnable;
+  t
+
+let predicted_slice_ms t ~nr_runnable ~weight ~received_ms =
+  let nr_feature = if t.sees_runqueue then float_of_int nr_runnable /. 8. else 1. in
+  let x = [| nr_feature; float_of_int weight /. 1024.; received_ms /. 100. |] in
+  24. *. (Mlp.forward t.model x).(0)
+
+let policy t =
+  {
+    Gr_kernel.Sched.policy_name = "learned-slice";
+    slice =
+      (fun ~nr_runnable ~task_weight ~task_received_ms ->
+        let ms =
+          if t.enabled then
+            predicted_slice_ms t ~nr_runnable ~weight:task_weight
+              ~received_ms:task_received_ms
+          else cfs_slice_ms ~nr_runnable
+        in
+        let ms = if Float.is_nan ms then 0. else ms in
+        int_of_float (ms *. 1e6));
+  }
+
+let set_enabled t v = t.enabled <- v
+let enabled t = t.enabled
+
+(* Retraining fixes the feature omission: the fresh dataset includes
+   the runqueue length, and coverage extends to the given size. *)
+let retrain t ~max_training_runnable =
+  t.retrains <- t.retrains + 1;
+  t.sees_runqueue <- true;
+  fit t ~max_training_runnable
+
+let retrain_count t = t.retrains

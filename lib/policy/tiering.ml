@@ -1,0 +1,115 @@
+open Gr_util
+open Gr_nn
+
+type t = {
+  rng : Rng.t;
+  reuse_horizon : int;
+  mean_gap_ms : float;
+  epochs : int;
+  mutable model : Mlp.t;
+  mutable scaler : Scaler.t;
+  mutable enabled : bool;
+  mutable retrains : int;
+  mutable features : float array array;
+}
+
+(* Builds (features, reused-soon) examples by replaying the trace and
+   tracking per-page access counts and last-access indices. The
+   occupancy feature is approximated by the fraction of distinct pages
+   seen so far, capped at 1 — offline we have no real fast tier. *)
+let dataset ~reuse_horizon ~mean_gap_ms trace =
+  let n = Array.length trace in
+  let last_seen = Hashtbl.create 256 and counts = Hashtbl.create 256 in
+  let next_use = Array.make n max_int in
+  let next_seen = Hashtbl.create 256 in
+  for i = n - 1 downto 0 do
+    (match Hashtbl.find_opt next_seen trace.(i) with
+    | Some j -> next_use.(i) <- j
+    | None -> ());
+    Hashtbl.replace next_seen trace.(i) i
+  done;
+  let distinct = ref 0 in
+  let samples = ref [] in
+  Array.iteri
+    (fun i page ->
+      let count =
+        match Hashtbl.find_opt counts page with
+        | Some c -> c + 1
+        | None ->
+          incr distinct;
+          1
+      in
+      Hashtbl.replace counts page count;
+      let gap_ms =
+        match Hashtbl.find_opt last_seen page with
+        | Some j -> float_of_int (i - j) *. mean_gap_ms
+        | None -> 1e9
+      in
+      Hashtbl.replace last_seen page i;
+      (* Offline proxy for fast-tier occupancy: saturates once the
+         distinct-page count passes a typical tier size, matching the
+         online signal (which is ~1 whenever the tier is warm). An
+         unsaturated proxy would leak trace position into training. *)
+      let occupancy = Float.min 1. (float_of_int !distinct /. 256.) in
+      let feature = [| float_of_int count; gap_ms; occupancy |] in
+      let label = if next_use.(i) - i <= reuse_horizon then 1. else 0. in
+      samples := (feature, [| label |]) :: !samples)
+    trace;
+  Array.of_list (List.rev !samples)
+
+(* Access counts and gaps span many orders of magnitude (a first
+   touch has an effectively infinite gap); log-compress them so the
+   scaler and the network see well-conditioned inputs. *)
+let shape features =
+  [| log1p features.(0); log1p features.(1); features.(2) |]
+
+let fit t trace =
+  let raw = dataset ~reuse_horizon:t.reuse_horizon ~mean_gap_ms:t.mean_gap_ms trace in
+  t.features <- Array.map fst raw;
+  let shaped = Array.map (fun (x, y) -> (shape x, y)) raw in
+  let scaler = Scaler.fit (Array.map fst shaped) in
+  let data = Array.map (fun (x, y) -> (Scaler.transform scaler x, y)) shaped in
+  let model = Mlp.create ~rng:(Rng.split t.rng) ~layers:[ 3; 12; 1 ] () in
+  ignore (Mlp.train model ~rng:t.rng ~epochs:t.epochs ~batch_size:32 ~lr:0.1 data : float);
+  t.model <- model;
+  t.scaler <- scaler
+
+let train ~rng ~trace ?(reuse_horizon = 64) ?(mean_gap_ms = 0.05) ?(epochs = 15) () =
+  let rng = Rng.split rng in
+  let t =
+    {
+      rng;
+      reuse_horizon;
+      mean_gap_ms;
+      epochs;
+      model = Mlp.create ~rng:(Rng.copy rng) ~layers:[ 3; 1 ] ();
+      scaler = Scaler.fit [| [| 0.; 0.; 0. |] |];
+      enabled = true;
+      retrains = 0;
+      features = [||];
+    }
+  in
+  fit t trace;
+  t
+
+let predict_promote t features =
+  (Mlp.forward t.model (Scaler.transform t.scaler (shape features))).(0) >= 0.5
+
+let policy t =
+  {
+    Gr_kernel.Mm.policy_name = "learned-tiering";
+    promote =
+      (fun features ->
+        if t.enabled then predict_promote t features
+        else Gr_kernel.Mm.promote_on_second_touch.promote features);
+  }
+
+let set_enabled t v = t.enabled <- v
+let enabled t = t.enabled
+
+let retrain t ~trace =
+  t.retrains <- t.retrains + 1;
+  fit t trace
+
+let retrain_count t = t.retrains
+let training_features t = t.features

@@ -1,0 +1,92 @@
+open Gr_util
+
+type input_feature = {
+  feature_key : string;
+  training_values : float array;
+  quantile : float;
+  slack : float;
+}
+
+let input ?(quantile = 0.5) ?(slack = 3.0) ~key training_values =
+  { feature_key = key; training_values; quantile; slack }
+
+type profile = {
+  policy : string;
+  inputs : input_feature list;
+  reward_key : string option;
+  baseline_key : string option;
+  quality_margin : float;
+  cost_key : string option;
+  cost_budget_ns : float;
+  window : Time_ns.t;
+  check_every : Time_ns.t;
+}
+
+let profile ~policy ?(inputs = []) ?reward_key ?baseline_key ?(quality_margin = 0.02) ?cost_key
+    ?(cost_budget_ns = 5000.) ?(window = Time_ns.sec 1) ?(check_every = Time_ns.ms 100) () =
+  {
+    policy;
+    inputs;
+    reward_key;
+    baseline_key;
+    quality_margin;
+    cost_key;
+    cost_budget_ns;
+    window;
+    check_every;
+  }
+
+let input_guardrail p feature =
+  let lo, hi =
+    Props.P1_in_distribution.envelope feature.training_values ~quantile:feature.quantile
+      ~slack:feature.slack ()
+  in
+  Props.P1_in_distribution.source
+    ~name:(Printf.sprintf "%s-input-%s" p.policy feature.feature_key)
+    ~feature_key:feature.feature_key ~lo ~hi ~quantile:feature.quantile ~window:p.window
+    ~check_every:p.check_every
+    ~actions:
+      [
+        Printf.sprintf {|REPORT("input %s drifted out of the training distribution", %s)|}
+          feature.feature_key feature.feature_key;
+        Printf.sprintf {|RETRAIN(%S)|} p.policy;
+      ]
+    ()
+
+let quality_guardrail p ~reward_key ~baseline_key =
+  Props.P4_decision_quality.source
+    ~name:(Printf.sprintf "%s-quality" p.policy)
+    ~policy_key:reward_key ~baseline_key ~margin:p.quality_margin ~window:p.window
+    ~check_every:p.check_every
+    ~actions:
+      [
+        Printf.sprintf {|REPORT("reward fell below the baseline", %s, %s)|} reward_key
+          baseline_key;
+        Printf.sprintf {|REPLACE(%S)|} p.policy;
+      ]
+    ()
+
+let overhead_guardrail p ~cost_key =
+  Props.P5_overhead.source
+    ~name:(Printf.sprintf "%s-overhead" p.policy)
+    ~cost_key ~budget_ns:p.cost_budget_ns ~window:p.window ~check_every:p.check_every
+    ~actions:
+      [
+        Printf.sprintf {|REPORT("inference cost over budget", %s)|} cost_key;
+        Printf.sprintf {|REPLACE(%S)|} p.policy;
+      ]
+    ()
+
+let pieces p =
+  List.map (fun f -> (Printf.sprintf "%s-input-%s" p.policy f.feature_key, input_guardrail p f)) p.inputs
+  @ (match (p.reward_key, p.baseline_key) with
+    | Some reward_key, Some baseline_key ->
+      [ (Printf.sprintf "%s-quality" p.policy, quality_guardrail p ~reward_key ~baseline_key) ]
+    | _ -> [])
+  @
+  match p.cost_key with
+  | Some cost_key -> [ (Printf.sprintf "%s-overhead" p.policy, overhead_guardrail p ~cost_key) ]
+  | None -> []
+
+let synthesize p = String.concat "\n" (List.map snd (pieces p))
+let synthesized_names p = List.map fst (pieces p)

@@ -1,0 +1,68 @@
+(** Automatic guardrail synthesis from a learned-policy profile.
+
+    §3.3: "In the interface, the conditions verified by properties
+    must be specified. For learned policies, many of these can be
+    determined automatically, e.g., the performance metric to track
+    can be extracted from the reward function."
+
+    A {!profile} is the metadata a learned policy carries anyway —
+    its monitored input features (with their training-set values),
+    its reward metric, a baseline to compare against, its
+    per-decision cost — and {!synthesize} turns it into a standard
+    guardrail set:
+
+    - one P1 in-distribution guardrail per input feature, with the
+      envelope computed from the training values, reporting and
+      retraining on drift;
+    - a P4 decision-quality guardrail comparing the reward metric to
+      the baseline's, replacing the policy when it loses;
+    - a P5 overhead guardrail bounding the per-decision cost,
+      replacing the policy when inference stops paying for itself.
+
+    The emitted source goes through the ordinary compile/verify
+    pipeline, so synthesized guardrails are exactly as trustworthy as
+    hand-written ones. *)
+
+type input_feature = {
+  feature_key : string;  (** store key the instrumentation saves *)
+  training_values : float array;  (** the feature's training sample *)
+  quantile : float;  (** which quantile to monitor (e.g. 0.5) *)
+  slack : float;  (** envelope widening factor *)
+}
+
+val input : ?quantile:float -> ?slack:float -> key:string -> float array -> input_feature
+(** [quantile] defaults to 0.5, [slack] to 3.0. *)
+
+type profile = {
+  policy : string;  (** name in the kernel's policy registry *)
+  inputs : input_feature list;
+  reward_key : string option;  (** quality metric, higher is better *)
+  baseline_key : string option;  (** shadow baseline's metric *)
+  quality_margin : float;
+  cost_key : string option;  (** per-decision cost samples (ns) *)
+  cost_budget_ns : float;
+  window : Gr_util.Time_ns.t;
+  check_every : Gr_util.Time_ns.t;
+}
+
+val profile :
+  policy:string ->
+  ?inputs:input_feature list ->
+  ?reward_key:string ->
+  ?baseline_key:string ->
+  ?quality_margin:float ->
+  ?cost_key:string ->
+  ?cost_budget_ns:float ->
+  ?window:Gr_util.Time_ns.t ->
+  ?check_every:Gr_util.Time_ns.t ->
+  unit ->
+  profile
+(** Defaults: margin 0.02, budget 5000ns, window 1s, check 100ms. *)
+
+val synthesize : profile -> string
+(** Guardrail source text; guardrail names are derived from the
+    policy name ([<policy>-input-<key>], [<policy>-quality],
+    [<policy>-overhead]). *)
+
+val synthesized_names : profile -> string list
+(** The guardrail names {!synthesize} will emit, in order. *)

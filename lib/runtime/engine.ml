@@ -1,0 +1,359 @@
+open Gr_util
+module Monitor = Gr_compiler.Monitor
+
+let src = Logs.Src.create "guardrails.engine" ~doc:"Guardrail runtime engine"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  cooldown : Time_ns.t;
+  retrain_delay : Time_ns.t;
+  retrain_min_interval : Time_ns.t;
+  oscillation_window : Time_ns.t;
+  oscillation_flips : int;
+  max_cascade_depth : int;
+  auto_damp : bool;
+}
+
+let default_config =
+  {
+    cooldown = Time_ns.zero;
+    retrain_delay = Time_ns.ms 50;
+    retrain_min_interval = Time_ns.sec 1;
+    oscillation_window = Time_ns.sec 10;
+    oscillation_flips = 6;
+    max_cascade_depth = 8;
+    auto_damp = false;
+  }
+
+type violation_record = {
+  monitor : string;
+  at : Time_ns.t;
+  message : string;
+  snapshot : (string * float) list;
+}
+
+type state = {
+  monitor : Monitor.t;
+  id : int;
+  mutable installed : bool;
+  mutable checks : int;
+  mutable violations : int;
+  mutable action_firings : int;
+  mutable retrains_requested : int;
+  mutable retrains_suppressed : int;
+  mutable overhead_ns : float;
+  mutable in_violation : bool;
+  mutable last_firing : Time_ns.t option;
+  flips : Time_ns.t Ring.t;
+  mutable oscillation_alerts : int;
+  mutable cascade_drops : int;
+  mutable cooldown : Time_ns.t;
+  mutable timer_handles : Gr_sim.Engine.handle list;
+  mutable hook_subs : Gr_kernel.Hooks.subscription list;
+}
+
+type handle = state
+
+type t = {
+  kernel : Gr_kernel.Kernel.t;
+  store : Feature_store.t;
+  config : config;
+  mutable monitors : state list;
+  mutable next_id : int;
+  on_change_index : (string, state list ref) Hashtbl.t;
+  mutable deprioritize : (cls:string -> weight:int -> unit) option;
+  mutable kill : (cls:string -> unit) option;
+  mutable last_retrain : (string, Time_ns.t) Hashtbl.t;
+  mutable violation_log : violation_record list; (* newest first *)
+  mutable cascade_depth : int;
+}
+
+let rec create ~kernel ~store ?(config = default_config) () =
+  let t =
+    {
+      kernel;
+      store;
+      config;
+      monitors = [];
+      next_id = 0;
+      on_change_index = Hashtbl.create 16;
+      deprioritize = None;
+      kill = None;
+      last_retrain = Hashtbl.create 8;
+      violation_log = [];
+      cascade_depth = 0;
+    }
+  in
+  (* One store subscription dispatches all ON_CHANGE triggers. *)
+  Feature_store.on_save store (fun key _value ->
+      match Hashtbl.find_opt t.on_change_index key with
+      | None -> ()
+      | Some states -> List.iter (fun st -> on_change_check t st) !states);
+  t
+
+and on_change_check t st = check t st
+
+and run_actions t st =
+  let now = Gr_kernel.Kernel.now t.kernel in
+  st.action_firings <- st.action_firings + 1;
+  st.last_firing <- Some now;
+  let reported = ref false in
+  List.iter
+    (fun action ->
+      match (action : Monitor.action) with
+      | Monitor.Report { message; keys } ->
+        reported := true;
+        let snapshot = List.map (fun k -> (k, Feature_store.load t.store k)) keys in
+        t.violation_log <-
+          { monitor = st.monitor.Monitor.name; at = now; message; snapshot }
+          :: t.violation_log;
+        Log.info (fun m ->
+            m "guardrail %s violated at %a: %s" st.monitor.Monitor.name Time_ns.pp now message)
+      | Monitor.Replace policy -> (
+        match Gr_kernel.Policy_slot.Registry.find t.kernel.registry policy with
+        | Some controls -> controls.replace ()
+        | None ->
+          Log.warn (fun m -> m "REPLACE: unknown policy %S (monitor %s)" policy st.monitor.name))
+      | Monitor.Restore policy -> (
+        match Gr_kernel.Policy_slot.Registry.find t.kernel.registry policy with
+        | Some controls -> controls.restore ()
+        | None ->
+          Log.warn (fun m -> m "RESTORE: unknown policy %S (monitor %s)" policy st.monitor.name))
+      | Monitor.Retrain policy -> (
+        match Gr_kernel.Policy_slot.Registry.find t.kernel.registry policy with
+        | None ->
+          Log.warn (fun m -> m "RETRAIN: unknown policy %S (monitor %s)" policy st.monitor.name)
+        | Some controls ->
+          let last = Hashtbl.find_opt t.last_retrain policy in
+          let allowed =
+            match last with
+            | None -> true
+            | Some at -> Time_ns.diff now at >= t.config.retrain_min_interval
+          in
+          if not allowed then st.retrains_suppressed <- st.retrains_suppressed + 1
+          else begin
+            Hashtbl.replace t.last_retrain policy now;
+            st.retrains_requested <- st.retrains_requested + 1;
+            (* Asynchronous offline retraining (§3.2). *)
+            ignore
+              (Gr_sim.Engine.schedule_after t.kernel.engine t.config.retrain_delay
+                 (fun _ -> controls.retrain ())
+                : Gr_sim.Engine.handle)
+          end)
+      | Monitor.Deprioritize { cls; weight } -> (
+        match t.deprioritize with
+        | Some handler -> handler ~cls ~weight
+        | None ->
+          Log.warn (fun m -> m "DEPRIORITIZE(%s): no handler wired (monitor %s)" cls st.monitor.name))
+      | Monitor.Kill cls -> (
+        match t.kill with
+        | Some handler -> handler ~cls
+        | None -> Log.warn (fun m -> m "KILL(%s): no handler wired (monitor %s)" cls st.monitor.name))
+      | Monitor.Save { key; value } ->
+        let result = Vm.run ~store:t.store ~slots:st.monitor.slots value in
+        st.overhead_ns <- st.overhead_ns +. result.est_cost_ns;
+        Feature_store.save t.store key result.value)
+    st.monitor.actions;
+  if not !reported then
+    t.violation_log <-
+      { monitor = st.monitor.Monitor.name; at = now; message = "<violation>"; snapshot = [] }
+      :: t.violation_log
+
+and record_flip t st =
+  let now = Gr_kernel.Kernel.now t.kernel in
+  Ring.push st.flips now;
+  let cutoff = Time_ns.diff now t.config.oscillation_window in
+  Ring.drop_while_oldest (fun at -> Time_ns.compare at cutoff < 0) st.flips;
+  if Ring.length st.flips >= t.config.oscillation_flips then begin
+    st.oscillation_alerts <- st.oscillation_alerts + 1;
+    Ring.clear st.flips;
+    if t.config.auto_damp then
+      st.cooldown <- Time_ns.max (Time_ns.ms 100) (2 * st.cooldown);
+    Log.warn (fun m ->
+        m "guardrail %s is oscillating (%d state flips within %a)%s" st.monitor.Monitor.name
+          t.config.oscillation_flips Time_ns.pp t.config.oscillation_window
+          (if t.config.auto_damp then
+             Format.asprintf "; action cooldown damped to %a" Time_ns.pp st.cooldown
+           else ""))
+  end
+
+and check t st =
+  if st.installed then begin
+    if t.cascade_depth >= t.config.max_cascade_depth then
+      st.cascade_drops <- st.cascade_drops + 1
+    else begin
+      t.cascade_depth <- t.cascade_depth + 1;
+      Fun.protect
+        ~finally:(fun () -> t.cascade_depth <- t.cascade_depth - 1)
+        (fun () ->
+          st.checks <- st.checks + 1;
+          let result = Vm.run ~store:t.store ~slots:st.monitor.slots st.monitor.rule in
+          st.overhead_ns <- st.overhead_ns +. result.est_cost_ns;
+          let healthy = Vm.truthy result.value in
+          if healthy then begin
+            if st.in_violation then begin
+              st.in_violation <- false;
+              record_flip t st
+            end
+          end
+          else begin
+            st.violations <- st.violations + 1;
+            if not st.in_violation then begin
+              st.in_violation <- true;
+              record_flip t st
+            end;
+            let now = Gr_kernel.Kernel.now t.kernel in
+            let cooled =
+              match st.last_firing with
+              | None -> true
+              | Some at -> Time_ns.diff now at >= st.cooldown
+            in
+            if cooled then run_actions t st
+          end)
+    end
+  end
+
+let arm_trigger t st (trigger : Monitor.trigger) =
+  match trigger with
+  | Monitor.Timer { start_ns; interval_ns; stop_ns } ->
+    let handle =
+      Gr_sim.Engine.every t.kernel.engine
+        ~start:(Time_ns.max start_ns (Gr_kernel.Kernel.now t.kernel))
+        ?stop:stop_ns ~interval:interval_ns
+        (fun _ -> check t st)
+    in
+    st.timer_handles <- handle :: st.timer_handles
+  | Monitor.Function hook ->
+    let sub = Gr_kernel.Hooks.subscribe t.kernel.hooks hook (fun _args -> check t st) in
+    st.hook_subs <- sub :: st.hook_subs
+  | Monitor.On_change key ->
+    let states =
+      match Hashtbl.find_opt t.on_change_index key with
+      | Some r -> r
+      | None ->
+        let r = ref [] in
+        Hashtbl.add t.on_change_index key r;
+        r
+    in
+    states := st :: !states
+
+let install t monitor =
+  match Gr_compiler.Verify.verify monitor with
+  | Error errs -> Error errs
+  | Ok _stats ->
+    let st =
+      {
+        monitor;
+        id = t.next_id;
+        installed = true;
+        checks = 0;
+        violations = 0;
+        action_firings = 0;
+        retrains_requested = 0;
+        retrains_suppressed = 0;
+        overhead_ns = 0.;
+        in_violation = false;
+        last_firing = None;
+        flips = Ring.create ~capacity:64;
+        oscillation_alerts = 0;
+        cascade_drops = 0;
+        cooldown = t.config.cooldown;
+        timer_handles = [];
+        hook_subs = [];
+      }
+    in
+    t.next_id <- t.next_id + 1;
+    t.monitors <- t.monitors @ [ st ];
+    List.iter (arm_trigger t st) monitor.triggers;
+    Ok st
+
+let uninstall t st =
+  if st.installed then begin
+    st.installed <- false;
+    List.iter Gr_sim.Engine.cancel st.timer_handles;
+    List.iter (Gr_kernel.Hooks.unsubscribe t.kernel.hooks) st.hook_subs;
+    Hashtbl.iter
+      (fun _ states -> states := List.filter (fun s -> s.id <> st.id) !states)
+      t.on_change_index
+  end
+
+let monitor_name st = st.monitor.Monitor.name
+let set_deprioritize_handler t handler = t.deprioritize <- Some handler
+let set_kill_handler t handler = t.kill <- Some handler
+
+let check_now t st =
+  let before = st.violations in
+  check t st;
+  st.violations = before
+
+module Stats = struct
+  type s = {
+    checks : int;
+    violations : int;
+    action_firings : int;
+    retrains_requested : int;
+    retrains_suppressed : int;
+    overhead_ns : float;
+    oscillation_alerts : int;
+    cascade_drops : int;
+    effective_cooldown : Time_ns.t;
+  }
+
+  let get _t (st : state) =
+    {
+      checks = st.checks;
+      violations = st.violations;
+      action_firings = st.action_firings;
+      retrains_requested = st.retrains_requested;
+      retrains_suppressed = st.retrains_suppressed;
+      overhead_ns = st.overhead_ns;
+      oscillation_alerts = st.oscillation_alerts;
+      cascade_drops = st.cascade_drops;
+      effective_cooldown = st.cooldown;
+    }
+
+  let total_overhead_ns t =
+    List.fold_left (fun acc (st : state) -> acc +. st.overhead_ns) 0. t.monitors
+
+  let total_checks t = List.fold_left (fun acc (st : state) -> acc + st.checks) 0 t.monitors
+end
+
+let violations t = List.rev t.violation_log
+
+let oscillating_monitors t =
+  List.filter_map
+    (fun st -> if st.oscillation_alerts > 0 then Some st.monitor.Monitor.name else None)
+    t.monitors
+
+let pp_report fmt t =
+  Format.fprintf fmt "%-28s %8s %10s %8s %9s %12s %s@\n" "monitor" "checks" "violations"
+    "firings" "retrains" "overhead" "state";
+  List.iter
+    (fun (st : state) ->
+      Format.fprintf fmt "%-28s %8d %10d %8d %9d %10.0fns %s@\n" st.monitor.Monitor.name
+        st.checks st.violations st.action_firings st.retrains_requested st.overhead_ns
+        (String.concat "+"
+           (List.filter
+              (fun s -> s <> "")
+              [
+                (if not st.installed then "uninstalled" else "");
+                (if st.in_violation then "VIOLATED" else "");
+                (if st.oscillation_alerts > 0 then "oscillating" else "");
+              ]
+           |> function [] -> [ "ok" ] | l -> l)))
+    t.monitors;
+  let recent = ref 0 in
+  List.iter
+    (fun v ->
+      if !recent < 5 then begin
+        incr recent;
+        Format.fprintf fmt "  %a %s: %s%s@\n" Time_ns.pp v.at v.monitor v.message
+          (match v.snapshot with
+          | [] -> ""
+          | kvs ->
+            " ["
+            ^ String.concat "; " (List.map (fun (k, x) -> Printf.sprintf "%s=%.4g" k x) kvs)
+            ^ "]")
+      end)
+    t.violation_log

@@ -1,0 +1,82 @@
+open Gr_util
+
+type entry = {
+  samples : (Time_ns.t * float) Ring.t;
+  mutable latest : float;
+}
+
+type t = {
+  clock : unit -> Time_ns.t;
+  capacity_per_key : int;
+  entries : (string, entry) Hashtbl.t;
+  mutable subscribers : (string -> float -> unit) list;
+  mutable saves : int;
+}
+
+let create ~clock ?(capacity_per_key = 4096) () =
+  if capacity_per_key <= 0 then invalid_arg "Feature_store.create: capacity must be positive";
+  { clock; capacity_per_key; entries = Hashtbl.create 64; subscribers = []; saves = 0 }
+
+let entry t key =
+  match Hashtbl.find_opt t.entries key with
+  | Some e -> e
+  | None ->
+    let e = { samples = Ring.create ~capacity:t.capacity_per_key; latest = 0. } in
+    Hashtbl.add t.entries key e;
+    e
+
+let save t key value =
+  let e = entry t key in
+  e.latest <- value;
+  Ring.push e.samples (t.clock (), value);
+  t.saves <- t.saves + 1;
+  List.iter (fun fn -> fn key value) t.subscribers
+
+let load t key = match Hashtbl.find_opt t.entries key with Some e -> e.latest | None -> 0.
+let mem t key = Hashtbl.mem t.entries key
+let keys t = List.sort String.compare (List.of_seq (Hashtbl.to_seq_keys t.entries))
+
+let window_values t ~key ~window_ns =
+  match Hashtbl.find_opt t.entries key with
+  | None -> []
+  | Some e ->
+    let now = t.clock () in
+    let cutoff = now - int_of_float window_ns in
+    Ring.fold
+      (fun acc (at, v) -> if at > cutoff then v :: acc else acc)
+      [] e.samples
+
+let window_samples t ~key ~window_ns =
+  (* window_values folds newest-first; reverse to oldest-first. *)
+  Array.of_list (List.rev (window_values t ~key ~window_ns))
+
+let samples_in_window t ~key ~window_ns = List.length (window_values t ~key ~window_ns)
+
+let aggregate t ~key ~fn ~window_ns ~param =
+  let values = window_values t ~key ~window_ns in
+  match (fn : Gr_dsl.Ast.agg) with
+  | Count -> float_of_int (List.length values)
+  | Sum -> List.fold_left ( +. ) 0. values
+  | Rate ->
+    let sum = List.fold_left ( +. ) 0. values in
+    sum /. (window_ns /. 1e9)
+  | Avg -> (
+    match values with
+    | [] -> 0.
+    | _ -> List.fold_left ( +. ) 0. values /. float_of_int (List.length values))
+  | Min -> ( match values with [] -> 0. | v :: rest -> List.fold_left Float.min v rest)
+  | Max -> ( match values with [] -> 0. | v :: rest -> List.fold_left Float.max v rest)
+  | Stddev -> Stats.stddev (Array.of_list values)
+  | Quantile -> (
+    match values with [] -> 0. | _ -> Stats.quantile (Array.of_list values) param)
+  | Delta -> (
+    (* window_values folds newest-first, so the head is the newest
+       sample and the last element the oldest in the window. *)
+    match values with
+    | [] -> 0.
+    | newest :: _ ->
+      let rec last = function [ x ] -> x | _ :: rest -> last rest | [] -> newest in
+      newest -. last values)
+
+let on_save t fn = t.subscribers <- t.subscribers @ [ fn ]
+let save_count t = t.saves

@@ -1,0 +1,51 @@
+(** The global feature store (§4.3).
+
+    Guardrails aggregate system-wide metrics "over time or across many
+    function invocations" without ad-hoc kernel data structures; the
+    store is the single state channel between kernel instrumentation,
+    learned-policy bookkeeping and monitors.
+
+    Each key holds its latest value plus a bounded ring of
+    timestamped samples (bounded memory is non-negotiable in-kernel;
+    the oldest samples are evicted first). Windowed aggregates are
+    computed over the samples whose timestamp falls within
+    [(now - window, now]]. *)
+
+type t
+
+val create : clock:(unit -> Gr_util.Time_ns.t) -> ?capacity_per_key:int -> unit -> t
+(** [capacity_per_key] defaults to 4096 samples. *)
+
+val save : t -> string -> float -> unit
+(** Appends a timestamped sample and updates the latest value.
+    Notifies {!on_save} subscribers after the write. *)
+
+val load : t -> string -> float
+(** Latest value; 0. for a key never saved (LOAD's semantics). *)
+
+val mem : t -> string -> bool
+val keys : t -> string list
+
+val aggregate :
+  t -> key:string -> fn:Gr_dsl.Ast.agg -> window_ns:float -> param:float -> float
+(** Windowed aggregate. Empty windows yield 0 (for AVG, SUM, COUNT,
+    RATE, MIN, MAX, STDDEV) and 0 for QUANTILE, so rules are total.
+    RATE is the sample {e sum} divided by the window in seconds —
+    saving 0/1 event markers gives events per second. DELTA is the
+    newest sample minus the oldest in the window (a trend signal). *)
+
+val window_samples : t -> key:string -> window_ns:float -> float array
+(** The raw samples inside the window, oldest first. For
+    instrumentation that needs more than the built-in aggregates
+    (e.g. a two-sample KS statistic against a training set). *)
+
+val samples_in_window : t -> key:string -> window_ns:float -> int
+(** How many samples an aggregate over this window would scan; the
+    VM's dynamic cost accounting uses this. *)
+
+val on_save : t -> (string -> float -> unit) -> unit
+(** Global subscription used by the runtime's ON_CHANGE dispatch and
+    by policies that watch control keys (e.g. [ml_enabled]). *)
+
+val save_count : t -> int
+(** Total saves since creation. *)

@@ -1,0 +1,59 @@
+module Ir = Gr_compiler.Ir
+
+type result = {
+  value : float;
+  insts_executed : int;
+  samples_scanned : int;
+  est_cost_ns : float;
+}
+
+let truthy v = v <> 0.
+let of_bool b = if b then 1. else 0.
+
+let sample_scan_cost_ns = 0.5
+
+let run ~store ~slots (p : Ir.program) =
+  let regs = Array.make (max 1 p.n_regs) 0. in
+  let samples = ref 0 in
+  let cost = ref 0. in
+  Array.iter
+    (fun inst ->
+      cost := !cost +. Gr_compiler.Verify.est_inst_cost_ns inst;
+      match inst with
+      | Ir.Const { dst; value } -> regs.(dst) <- value
+      | Ir.Load { dst; slot } -> regs.(dst) <- Feature_store.load store slots.(slot)
+      | Ir.Agg { dst; fn; slot; window_ns; param } ->
+        let key = slots.(slot) in
+        let scanned = Feature_store.samples_in_window store ~key ~window_ns in
+        samples := !samples + scanned;
+        cost := !cost +. (float_of_int scanned *. sample_scan_cost_ns);
+        regs.(dst) <- Feature_store.aggregate store ~key ~fn ~window_ns ~param
+      | Ir.Unop { dst; op; src } ->
+        regs.(dst) <-
+          (match op with
+          | Gr_dsl.Ast.Neg -> -.regs.(src)
+          | Gr_dsl.Ast.Abs -> Float.abs regs.(src)
+          | Gr_dsl.Ast.Not -> of_bool (not (truthy regs.(src))))
+      | Ir.Binop { dst; op; lhs; rhs } ->
+        let a = regs.(lhs) and b = regs.(rhs) in
+        regs.(dst) <-
+          (match op with
+          | Gr_dsl.Ast.Add -> a +. b
+          | Gr_dsl.Ast.Sub -> a -. b
+          | Gr_dsl.Ast.Mul -> a *. b
+          | Gr_dsl.Ast.Div -> if b = 0. then 0. else a /. b
+          | Gr_dsl.Ast.Lt -> of_bool (a < b)
+          | Gr_dsl.Ast.Le -> of_bool (a <= b)
+          | Gr_dsl.Ast.Gt -> of_bool (a > b)
+          | Gr_dsl.Ast.Ge -> of_bool (a >= b)
+          | Gr_dsl.Ast.Eq -> of_bool (a = b)
+          | Gr_dsl.Ast.Ne -> of_bool (a <> b)
+          | Gr_dsl.Ast.And -> of_bool (truthy a && truthy b)
+          | Gr_dsl.Ast.Or -> of_bool (truthy a || truthy b)))
+    p.insts;
+  {
+    value = regs.(p.result);
+    insts_executed = Array.length p.insts;
+    samples_scanned = !samples;
+    est_cost_ns = !cost;
+  }

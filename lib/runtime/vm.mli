@@ -1,0 +1,24 @@
+(** Interpreter for verified monitor programs.
+
+    Arithmetic is total: division by zero yields 0 (the same choice
+    eBPF makes), so a verified program cannot trap. Booleans are
+    encoded as 0/1; any non-zero value is truthy for [&&]/[||]/[!].
+
+    Each run reports the dynamic cost in estimated nanoseconds —
+    instruction costs from {!Gr_compiler.Verify.est_inst_cost_ns}
+    plus a per-sample surcharge for window scans — which the engine
+    accumulates as monitor overhead (the currency of the P5 property
+    and the overhead ablation). *)
+
+type result = {
+  value : float;
+  insts_executed : int;
+  samples_scanned : int;
+  est_cost_ns : float;
+}
+
+val run : store:Feature_store.t -> slots:string array -> Gr_compiler.Ir.program -> result
+(** Precondition: the program passed {!Gr_compiler.Verify.verify}
+    against these slots. *)
+
+val truthy : float -> bool

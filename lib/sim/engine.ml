@@ -1,0 +1,99 @@
+open Gr_util
+
+type t = {
+  mutable clock : Time_ns.t;
+  mutable seq : int;
+  mutable fired : int;
+  mutable cancelled : int;
+  queue : event Heap.t;
+}
+
+and event = {
+  time : Time_ns.t;
+  order : int;
+  run : t -> unit;
+  mutable live : bool;
+}
+
+type handle = { mutable target : event }
+
+let compare_event a b =
+  match Time_ns.compare a.time b.time with 0 -> Int.compare a.order b.order | c -> c
+
+let create () =
+  {
+    clock = Time_ns.zero;
+    seq = 0;
+    fired = 0;
+    cancelled = 0;
+    queue = Heap.create ~cmp:compare_event;
+  }
+
+let now t = t.clock
+
+let enqueue t time run =
+  if Time_ns.compare time t.clock < 0 then
+    invalid_arg "Engine.schedule_at: time is in the past";
+  let ev = { time; order = t.seq; run; live = true } in
+  t.seq <- t.seq + 1;
+  Heap.add t.queue ev;
+  ev
+
+let schedule_at t time fn = { target = enqueue t time fn }
+let schedule_after t delay fn = schedule_at t (Time_ns.add t.clock delay) fn
+
+let every t ?start ?stop ~interval fn =
+  if interval <= 0 then invalid_arg "Engine.every: interval must be positive";
+  let first =
+    match start with
+    | Some s -> Time_ns.max s t.clock
+    | None -> Time_ns.add t.clock interval
+  in
+  let allowed time = match stop with None -> true | Some s -> Time_ns.compare time s < 0 in
+  let rec tick handle time engine =
+    fn engine;
+    let next = Time_ns.add time interval in
+    if allowed next then handle.target <- enqueue engine next (tick handle next)
+  in
+  if allowed first then begin
+    let rec handle = { target = ev }
+    and ev = { time = first; order = t.seq; run = (fun e -> tick handle first e); live = true } in
+    t.seq <- t.seq + 1;
+    Heap.add t.queue ev;
+    handle
+  end
+  else { target = { time = first; order = -1; run = (fun _ -> ()); live = false } }
+
+let cancel handle = handle.target.live <- false
+
+let rec step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+    if not ev.live then begin
+      t.cancelled <- t.cancelled + 1;
+      step t
+    end
+    else begin
+      t.clock <- ev.time;
+      t.fired <- t.fired + 1;
+      ev.run t;
+      true
+    end
+
+let run_until t limit =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.queue with
+    | Some ev when Time_ns.compare ev.time limit <= 0 -> ignore (step t : bool)
+    | Some _ | None -> continue := false
+  done;
+  if Time_ns.compare t.clock limit < 0 then t.clock <- limit
+
+let run t = while step t do () done
+
+let pending t =
+  (* Heap may contain cancelled tombstones; count live ones. *)
+  List.length (List.filter (fun ev -> ev.live) (Heap.to_sorted_list t.queue))
+
+let events_fired t = t.fired

@@ -1,0 +1,60 @@
+(** Discrete-event simulation engine.
+
+    The simulated kernel, its devices, the workload generators and the
+    guardrail TIMER triggers all advance on a single virtual clock
+    owned by this engine. Events fire in timestamp order; ties are
+    broken by scheduling order (FIFO), which keeps runs deterministic.
+
+    Callbacks receive the engine so they can schedule follow-up events;
+    an exception escaping a callback aborts the run (simulated kernels
+    should not swallow bugs). *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> Gr_util.Time_ns.t
+(** Current virtual time. Starts at [Time_ns.zero]. *)
+
+type handle
+(** A scheduled (possibly periodic) event that can be cancelled. *)
+
+val schedule_at : t -> Gr_util.Time_ns.t -> (t -> unit) -> handle
+(** [schedule_at t time fn] fires [fn] when the clock reaches [time].
+    Scheduling in the past raises [Invalid_argument]. *)
+
+val schedule_after : t -> Gr_util.Time_ns.t -> (t -> unit) -> handle
+(** [schedule_after t delay fn] fires [fn] at [now t + delay]. *)
+
+val every :
+  t ->
+  ?start:Gr_util.Time_ns.t ->
+  ?stop:Gr_util.Time_ns.t ->
+  interval:Gr_util.Time_ns.t ->
+  (t -> unit) ->
+  handle
+(** Periodic event: first firing at [start] (default: [now + interval]),
+    then every [interval], never at or after [stop] if given. This is
+    the substrate for the guardrail TIMER trigger. Requires
+    [interval > 0]. *)
+
+val cancel : handle -> unit
+(** Idempotent; a cancelled event never fires again. *)
+
+val step : t -> bool
+(** Runs the single earliest pending event; [false] if none remain. *)
+
+val run_until : t -> Gr_util.Time_ns.t -> unit
+(** Runs events with timestamp [<= limit], then advances the clock to
+    [limit]. *)
+
+val run : t -> unit
+(** Runs until the queue is empty. Periodic events without [stop] make
+    this diverge; prefer [run_until] in experiments. *)
+
+val pending : t -> int
+(** Number of queued (non-cancelled) events. *)
+
+val events_fired : t -> int
+(** Total callbacks executed since creation; used by overhead
+    accounting tests. *)

@@ -1,0 +1,25 @@
+(** Binary min-heap.
+
+    Backbone of the discrete-event queue: O(log n) insert and
+    extract-min over (timestamp, event) pairs. Parameterised by an
+    explicit comparison so callers control the ordering (and can build
+    a max-heap by flipping it). *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Removes and returns the smallest element. *)
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> 'a list
+(** Non-destructive; ascending order. O(n log n). *)

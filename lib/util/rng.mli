@@ -1,0 +1,65 @@
+(** Deterministic pseudo-random number generation.
+
+    Every stochastic component in the simulator (device latency models,
+    workload generators, neural-network initialisation) draws from an
+    explicit [Rng.t] so that experiments are reproducible bit-for-bit
+    from a seed. The generator is splitmix64, which is fast, has a
+    one-word state, and supports cheap splitting into independent
+    streams. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Generators created from
+    the same seed produce identical streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the generator state; the copy evolves
+    independently afterwards. *)
+
+val split : t -> t
+(** [split t] derives a new independent generator from [t], advancing
+    [t]. Use one split stream per subsystem so that adding draws in one
+    subsystem does not perturb another. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Normal deviate via Box-Muller. *)
+
+val exponential : t -> rate:float -> float
+(** Exponential deviate with the given rate (mean [1/rate]).
+    Requires [rate > 0.]. *)
+
+val pareto : t -> scale:float -> shape:float -> float
+(** Pareto deviate: heavy-tailed latencies. Requires [shape > 0.]. *)
+
+val lognormal : t -> mu:float -> sigma:float -> float
+(** Log-normal deviate, [exp (gaussian mu sigma)]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val choice : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+module Zipf : sig
+  type rng := t
+
+  type t
+  (** Sampler for a Zipf(s) distribution over [{0, .., n-1}], used for
+      skewed address/page popularity. Construction is O(n); sampling is
+      O(log n) by inverse-CDF binary search. *)
+
+  val create : n:int -> s:float -> t
+  val sample : t -> rng -> int
+end

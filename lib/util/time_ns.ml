@@ -1,0 +1,23 @@
+type t = int
+
+let zero = 0
+let ns n = n
+let us n = n * 1_000
+let ms n = n * 1_000_000
+let sec n = n * 1_000_000_000
+let of_float_sec s = int_of_float (Float.round (s *. 1e9))
+let to_float_sec t = float_of_int t /. 1e9
+let to_float_us t = float_of_int t /. 1e3
+let to_float_ms t = float_of_int t /. 1e6
+let add = ( + )
+let diff = ( - )
+let compare = Int.compare
+let min = Stdlib.min
+let max = Stdlib.max
+
+let pp fmt t =
+  let a = abs t in
+  if a >= 1_000_000_000 then Format.fprintf fmt "%.3gs" (to_float_sec t)
+  else if a >= 1_000_000 then Format.fprintf fmt "%.3gms" (to_float_ms t)
+  else if a >= 1_000 then Format.fprintf fmt "%.3gus" (to_float_us t)
+  else Format.fprintf fmt "%dns" t

@@ -1,0 +1,40 @@
+(** Simulated time in integer nanoseconds.
+
+    All clocks, timers, latencies and windows in the simulator and the
+    guardrail runtime are expressed in this type. Using a plain [int]
+    gives 63 bits of range (about 292 years of nanoseconds), which is
+    ample for any simulated run, while keeping arithmetic unboxed. *)
+
+type t = int
+(** A point in time, or a span, in nanoseconds since simulation start. *)
+
+val zero : t
+
+val ns : int -> t
+(** [ns n] is [n] nanoseconds. *)
+
+val us : int -> t
+(** [us n] is [n] microseconds. *)
+
+val ms : int -> t
+(** [ms n] is [n] milliseconds. *)
+
+val sec : int -> t
+(** [sec n] is [n] seconds. *)
+
+val of_float_sec : float -> t
+(** [of_float_sec s] converts a duration in seconds (e.g. parsed from a
+    guardrail spec) to nanoseconds, rounding to nearest. *)
+
+val to_float_sec : t -> float
+val to_float_us : t -> float
+val to_float_ms : t -> float
+
+val add : t -> t -> t
+val diff : t -> t -> t
+val compare : t -> t -> int
+val min : t -> t -> t
+val max : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-prints with an adaptive unit, e.g. ["1.5ms"], ["20us"]. *)

@@ -1,0 +1,63 @@
+open Gr_util
+
+type state = Calm | Burst
+
+type kind =
+  | Poisson of float
+  | Uniform of float
+  | Mmpp of {
+      calm_rate : float;
+      burst_rate : float;
+      mean_calm : Time_ns.t;
+      mean_burst : Time_ns.t;
+      mutable state : state;
+      mutable remaining : Time_ns.t; (* time left in current state *)
+    }
+
+type t = kind
+
+let check_rate r = if r <= 0. then invalid_arg "Arrival: rate must be positive"
+
+let poisson ~rate_per_sec =
+  check_rate rate_per_sec;
+  Poisson rate_per_sec
+
+let uniform ~rate_per_sec =
+  check_rate rate_per_sec;
+  Uniform rate_per_sec
+
+let mmpp ~calm_rate ~burst_rate ~mean_calm ~mean_burst =
+  check_rate calm_rate;
+  check_rate burst_rate;
+  Mmpp { calm_rate; burst_rate; mean_calm; mean_burst; state = Calm; remaining = mean_calm }
+
+let exp_ns rng ~rate_per_sec = Time_ns.of_float_sec (Rng.exponential rng ~rate:rate_per_sec)
+
+let next_interarrival t rng =
+  let gap =
+    match t with
+    | Poisson rate -> exp_ns rng ~rate_per_sec:rate
+    | Uniform rate -> Time_ns.of_float_sec (1. /. rate)
+    | Mmpp m ->
+      (* Switch states when the sojourn expires; sojourns are
+         exponential around the configured means. *)
+      if m.remaining <= 0 then begin
+        (match m.state with
+        | Calm ->
+          m.state <- Burst;
+          m.remaining <-
+            Time_ns.of_float_sec
+              (Rng.exponential rng ~rate:(1. /. Time_ns.to_float_sec m.mean_burst))
+        | Burst ->
+          m.state <- Calm;
+          m.remaining <-
+            Time_ns.of_float_sec
+              (Rng.exponential rng ~rate:(1. /. Time_ns.to_float_sec m.mean_calm)));
+        ()
+      end;
+      let rate = match m.state with Calm -> m.calm_rate | Burst -> m.burst_rate in
+      let gap = exp_ns rng ~rate_per_sec:rate in
+      m.remaining <- Time_ns.diff m.remaining gap;
+      gap
+  in
+  Time_ns.max 1 gap

@@ -1,0 +1,26 @@
+(** Request arrival processes.
+
+    Learned OS policies fail in interesting ways only under dynamic
+    load, so the workload generators support Poisson arrivals, a
+    two-state Markov-modulated Poisson process (calm/bursty), and
+    fixed-rate arrivals for calibration. *)
+
+type t
+
+val poisson : rate_per_sec:float -> t
+
+val uniform : rate_per_sec:float -> t
+(** Deterministic interarrival [1/rate]. *)
+
+val mmpp :
+  calm_rate:float ->
+  burst_rate:float ->
+  mean_calm:Gr_util.Time_ns.t ->
+  mean_burst:Gr_util.Time_ns.t ->
+  t
+(** Two-state MMPP: exponentially distributed sojourn in each state,
+    Poisson arrivals at the state's rate. *)
+
+val next_interarrival : t -> Gr_util.Rng.t -> Gr_util.Time_ns.t
+(** Draws the gap to the next arrival (at least 1ns, so the simulation
+    always advances). *)

@@ -1,0 +1,70 @@
+open Gr_util
+
+type sample = {
+  at : Time_ns.t;
+  latency_us : float;
+  false_submit : bool;
+  false_revoke : bool;
+  redirected : bool;
+}
+
+type t = {
+  engine : Gr_sim.Engine.t;
+  rng : Rng.t;
+  blk : Gr_kernel.Blk.t;
+  arrival : Arrival.t;
+  zipf : Rng.Zipf.t;
+  until : Time_ns.t option;
+  mutable submitted : int;
+  mutable samples_rev : sample list;
+}
+
+let record t (res : Gr_kernel.Blk.io_result) =
+  let sample =
+    {
+      at = Time_ns.add res.submitted_at res.latency;
+      latency_us = Time_ns.to_float_us res.latency;
+      false_submit =
+        (match res.decision with
+        | Gr_kernel.Blk.Trust_primary -> res.primary_was_slow
+        | Gr_kernel.Blk.Hedge _ | Gr_kernel.Blk.Revoke_now -> false);
+      false_revoke =
+        (match res.decision with
+        | Gr_kernel.Blk.Revoke_now -> not res.primary_was_slow
+        | Gr_kernel.Blk.Hedge _ | Gr_kernel.Blk.Trust_primary -> false);
+      redirected = res.redirected;
+    }
+  in
+  t.samples_rev <- sample :: t.samples_rev
+
+let rec pump t engine =
+  let now = Gr_sim.Engine.now engine in
+  let stopped = match t.until with Some u -> Time_ns.compare now u >= 0 | None -> false in
+  if not stopped then begin
+    let primary = Rng.Zipf.sample t.zipf t.rng in
+    t.submitted <- t.submitted + 1;
+    Gr_kernel.Blk.submit_read t.blk ~primary ~on_complete:(record t);
+    let gap = Arrival.next_interarrival t.arrival t.rng in
+    ignore (Gr_sim.Engine.schedule_after engine gap (pump t) : Gr_sim.Engine.handle)
+  end
+
+let start ~engine ~rng ~blk ~arrival ~n_devices ?(zipf_s = 0.9) ?until () =
+  let t =
+    {
+      engine;
+      rng = Rng.split rng;
+      blk;
+      arrival;
+      zipf = Rng.Zipf.create ~n:n_devices ~s:zipf_s;
+      until;
+      submitted = 0;
+      samples_rev = [];
+    }
+  in
+  ignore (Gr_sim.Engine.schedule_after engine 0 (pump t) : Gr_sim.Engine.handle);
+  t
+
+let samples t =
+  List.sort (fun a b -> Time_ns.compare a.at b.at) (List.rev t.samples_rev)
+
+let submitted t = t.submitted

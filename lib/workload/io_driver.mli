@@ -1,0 +1,34 @@
+(** Drives a read workload against the block layer.
+
+    Submits reads according to an arrival process, spreading primaries
+    over the devices with a Zipf popularity skew, and records every
+    completion (timestamped latency plus misprediction flags) for
+    post-processing into Figure 2 style series. *)
+
+type sample = {
+  at : Gr_util.Time_ns.t;  (** completion time *)
+  latency_us : float;
+  false_submit : bool;
+  false_revoke : bool;
+  redirected : bool;
+}
+
+type t
+
+val start :
+  engine:Gr_sim.Engine.t ->
+  rng:Gr_util.Rng.t ->
+  blk:Gr_kernel.Blk.t ->
+  arrival:Arrival.t ->
+  n_devices:int ->
+  ?zipf_s:float ->
+  ?until:Gr_util.Time_ns.t ->
+  unit ->
+  t
+(** Begins submitting immediately; stops issuing new I/Os at [until]
+    if given (in-flight ones still complete). *)
+
+val samples : t -> sample list
+(** Chronological by completion time. *)
+
+val submitted : t -> int

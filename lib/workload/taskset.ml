@@ -1,0 +1,39 @@
+open Gr_util
+
+type spec = { cls : string; weight : int; demand : Time_ns.t; arrival : Arrival.t }
+
+let interactive ~rate_per_sec =
+  {
+    cls = "interactive";
+    weight = 1024;
+    demand = Time_ns.ms 8;
+    arrival = Arrival.poisson ~rate_per_sec;
+  }
+
+let batch ~rate_per_sec =
+  {
+    cls = "batch";
+    weight = 1024;
+    demand = Time_ns.sec 2;
+    arrival = Arrival.poisson ~rate_per_sec;
+  }
+
+let run ~engine ~rng ~sched ~specs ~until =
+  List.iteri
+    (fun i spec ->
+      let rng = Rng.split rng in
+      let counter = ref 0 in
+      let rec spawn_next e =
+        if Time_ns.compare (Gr_sim.Engine.now e) until < 0 then begin
+          incr counter;
+          let name = Printf.sprintf "%s-%d-%d" spec.cls i !counter in
+          ignore
+            (Gr_kernel.Sched.spawn sched ~name ~cls:spec.cls ~weight:spec.weight
+               ~demand:spec.demand ()
+              : Gr_kernel.Sched.task);
+          let gap = Arrival.next_interarrival spec.arrival rng in
+          ignore (Gr_sim.Engine.schedule_after e gap spawn_next : Gr_sim.Engine.handle)
+        end
+      in
+      ignore (Gr_sim.Engine.schedule_after engine 0 spawn_next : Gr_sim.Engine.handle))
+    specs

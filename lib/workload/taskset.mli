@@ -1,0 +1,30 @@
+(** Task-set generators for the scheduler.
+
+    Spawns a mix of scheduling classes over time: many short
+    interactive tasks (latency-sensitive, the starvation victims in
+    the P6 experiment) and a few long batch tasks (the class a
+    misbehaving learned slice policy favours, and the DEPRIORITIZE
+    target). *)
+
+type spec = {
+  cls : string;
+  weight : int;
+  demand : Gr_util.Time_ns.t;
+  arrival : Arrival.t;  (** spawn process for this class *)
+}
+
+val interactive : rate_per_sec:float -> spec
+(** class ["interactive"], 8ms demand, Poisson arrivals. *)
+
+val batch : rate_per_sec:float -> spec
+(** class ["batch"], 2s demand, Poisson arrivals. *)
+
+val run :
+  engine:Gr_sim.Engine.t ->
+  rng:Gr_util.Rng.t ->
+  sched:Gr_kernel.Sched.t ->
+  specs:spec list ->
+  until:Gr_util.Time_ns.t ->
+  unit
+(** Installs spawner events for every spec; stops spawning at
+    [until]. *)

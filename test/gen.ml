@@ -1,0 +1,152 @@
+(* QCheck generators for random guardrail ASTs, shared by the DSL
+   round-trip tests and the compiler equivalence tests. *)
+
+open Gr_dsl.Ast
+
+let pos = { line = 1; col = 1 }
+
+let key_gen = QCheck2.Gen.oneofl [ "lat"; "rate"; "depth"; "err"; "load_avg" ]
+
+let small_float =
+  (* Closed set of well-behaved literals: round-trips through the
+     printer exactly and avoids NaN/overflow noise in equivalence
+     checks. *)
+  QCheck2.Gen.oneofl [ 0.; 1.; 2.; 0.5; 10.; 100.; 0.05; 3.25; 42. ]
+
+let agg_gen = QCheck2.Gen.oneofl [ Avg; Rate; Count; Sum; Min; Max; Stddev; Quantile; Delta ]
+
+let agg_leaf =
+  let open QCheck2.Gen in
+  map3
+    (fun fn key window ->
+      let param = if fn = Quantile then Some (at pos (Number 0.9)) else None in
+      at pos (Agg { fn; key; window = at pos (Number window); param }))
+    agg_gen key_gen
+    (oneofl [ 1e6; 1e9; 5e8 ])
+
+let num_leaf =
+  let open QCheck2.Gen in
+  oneof
+    [
+      map (fun f -> at pos (Number f)) small_float;
+      map (fun k -> at pos (Load k)) key_gen;
+      agg_leaf;
+    ]
+
+let num_gen depth =
+  let open QCheck2.Gen in
+  fix
+    (fun self n ->
+      if n = 0 then num_leaf
+      else
+        oneof
+          [
+            num_leaf;
+            map (fun e -> at pos (Unop (Neg, e))) (self (n - 1));
+            map (fun e -> at pos (Unop (Abs, e))) (self (n - 1));
+            map3
+              (fun op l r -> at pos (Binop (op, l, r)))
+              (oneofl [ Add; Sub; Mul; Div ])
+              (self (n - 1))
+              (self (n - 1));
+          ])
+    depth
+
+let bool_leaf =
+  let open QCheck2.Gen in
+  oneof
+    [
+      map (fun b -> at pos (Bool b)) bool;
+      map3
+        (fun op l r -> at pos (Binop (op, l, r)))
+        (oneofl [ Lt; Le; Gt; Ge; Eq; Ne ])
+        (num_gen 2) (num_gen 2);
+    ]
+
+let bool_gen depth =
+  let open QCheck2.Gen in
+  fix
+    (fun self n ->
+      if n = 0 then bool_leaf
+      else
+        oneof
+          [
+            bool_leaf;
+            map (fun e -> at pos (Unop (Not, e))) (self (n - 1));
+            map3
+              (fun op l r -> at pos (Binop (op, l, r)))
+              (oneofl [ And; Or ])
+              (self (n - 1))
+              (self (n - 1));
+          ])
+    depth
+
+let expr_gen = bool_gen 3
+
+(* Strip positions so structural equality compares shape only. *)
+let rec strip (e : expr located) : expr located =
+  let node =
+    match e.node with
+    | Number _ | Bool _ | Load _ -> e.node
+    | Unop (op, sub) -> Unop (op, strip sub)
+    | Binop (op, l, r) -> Binop (op, strip l, strip r)
+    | Agg { fn; key; window; param } ->
+      Agg { fn; key; window = strip window; param = Option.map strip param }
+  in
+  at pos node
+
+let trigger_gen =
+  QCheck2.Gen.oneof
+    [
+      QCheck2.Gen.map
+        (fun interval ->
+          at pos
+            (Timer
+               { start = at pos (Number 0.); interval = at pos (Number interval); stop = None }))
+        (QCheck2.Gen.oneofl [ 1e6; 1e9 ]);
+      QCheck2.Gen.map (fun h -> at pos (Function h)) (QCheck2.Gen.oneofl [ "hook:a"; "hook:b" ]);
+      QCheck2.Gen.map (fun k -> at pos (On_change k)) key_gen;
+    ]
+
+let action_gen =
+  QCheck2.Gen.oneof
+    [
+      QCheck2.Gen.map (fun k -> at pos (Report { message = "violated"; keys = [ k ] })) key_gen;
+      QCheck2.Gen.return (at pos (Replace "policy"));
+      QCheck2.Gen.return (at pos (Retrain "policy"));
+      QCheck2.Gen.map (fun k -> at pos (Save { key = k; value = at pos (Number 0.) })) key_gen;
+      QCheck2.Gen.return (at pos (Deprioritize { cls = "batch"; weight = at pos (Number 64.) }));
+    ]
+
+let guardrail_gen =
+  let open QCheck2.Gen in
+  map3
+    (fun triggers rules actions -> { name = "generated"; triggers; rules; actions })
+    (list_size (int_range 1 3) trigger_gen)
+    (list_size (int_range 1 3) expr_gen)
+    (list_size (int_range 1 3) action_gen)
+
+let strip_guardrail g =
+  {
+    g with
+    triggers =
+      List.map
+        (fun (t : trigger located) ->
+          at pos
+            (match t.node with
+            | Timer { start; interval; stop } ->
+              Timer
+                { start = strip start; interval = strip interval; stop = Option.map strip stop }
+            | other -> other))
+        g.triggers;
+    rules = List.map strip g.rules;
+    actions =
+      List.map
+        (fun (a : action located) ->
+          at pos
+            (match a.node with
+            | Save { key; value } -> Save { key; value = strip value }
+            | Deprioritize { cls; weight } -> Deprioritize { cls; weight = strip weight }
+            | other -> other))
+        g.actions;
+  }

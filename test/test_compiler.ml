@@ -1,0 +1,402 @@
+(* Tests for gr_compiler: lowering, optimisation, verification,
+   dependency analysis — plus a three-way semantics equivalence
+   property (reference AST interpreter vs compiled VM, unoptimised vs
+   optimised). *)
+
+open Gr_dsl
+module Ir = Gr_compiler.Ir
+module Lower = Gr_compiler.Lower
+module Opt = Gr_compiler.Opt
+module Monitor = Gr_compiler.Monitor
+module Verify = Gr_compiler.Verify
+module Deps = Gr_compiler.Deps
+module Compile = Gr_compiler.Compile
+module Store = Gr_runtime.Feature_store
+module Vm = Gr_runtime.Vm
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let parse_expr_ok src =
+  match Parser.parse_expr src with
+  | Ok e -> e
+  | Error (pos, msg) -> Alcotest.failf "parse error %d:%d: %s" pos.line pos.col msg
+
+let compile_expr_ok ?(optimize = true) src =
+  let table = Hashtbl.create 8 in
+  let p = Lower.expr ~slots:table (parse_expr_ok src) in
+  let p = if optimize then Opt.optimize p else p in
+  let slots = Array.make (Hashtbl.length table) "" in
+  Hashtbl.iter (fun k s -> slots.(s) <- k) table;
+  (p, slots)
+
+(* A store with a controllable clock, pre-populated with samples for
+   the generator's key universe. *)
+let make_store () =
+  let clock = ref 0 in
+  let store = Store.create ~clock:(fun () -> !clock) () in
+  let rng = Gr_util.Rng.create 99 in
+  List.iter
+    (fun key ->
+      for i = 1 to 30 do
+        clock := i * 50_000_000 (* spread samples over 1.5s *);
+        Store.save store key (Gr_util.Rng.float rng 100.)
+      done)
+    [ "lat"; "rate"; "depth"; "err"; "load_avg" ];
+  clock := 1_500_000_000;
+  store
+
+(* Reference interpreter: the semantics the compiled pipeline must
+   agree with. Booleans are 0/1, x/0 = 0. *)
+let rec ref_eval store (e : Ast.expr Ast.located) =
+  let of_bool b = if b then 1. else 0. in
+  let truthy v = v <> 0. in
+  match e.node with
+  | Ast.Number f -> f
+  | Ast.Bool b -> of_bool b
+  | Ast.Load key -> Store.load store key
+  | Ast.Unop (Ast.Neg, sub) -> -.ref_eval store sub
+  | Ast.Unop (Ast.Abs, sub) -> Float.abs (ref_eval store sub)
+  | Ast.Unop (Ast.Not, sub) -> of_bool (not (truthy (ref_eval store sub)))
+  | Ast.Binop (op, l, r) -> (
+    let a = ref_eval store l and b = ref_eval store r in
+    match op with
+    | Ast.Add -> a +. b
+    | Ast.Sub -> a -. b
+    | Ast.Mul -> a *. b
+    | Ast.Div -> if b = 0. then 0. else a /. b
+    | Ast.Lt -> of_bool (a < b)
+    | Ast.Le -> of_bool (a <= b)
+    | Ast.Gt -> of_bool (a > b)
+    | Ast.Ge -> of_bool (a >= b)
+    | Ast.Eq -> of_bool (a = b)
+    | Ast.Ne -> of_bool (a <> b)
+    | Ast.And -> of_bool (truthy a && truthy b)
+    | Ast.Or -> of_bool (truthy a || truthy b))
+  | Ast.Agg { fn; key; window; param } ->
+    let window_ns = ref_eval store window in
+    let param = match param with Some q -> ref_eval store q | None -> 0. in
+    Store.aggregate store ~key ~fn ~window_ns ~param
+
+(* ---------- Lowering ---------- *)
+
+let test_lower_shape () =
+  let p, slots = compile_expr_ok ~optimize:false "LOAD(a) + 1 < AVG(b, 1s)" in
+  check_int "slots" 2 (Array.length slots);
+  check_bool "single assignment in order" true
+    (Array.to_list p.insts |> List.mapi (fun i inst -> Ir.dst inst = i) |> List.for_all Fun.id);
+  check_int "result is last reg" (Array.length p.insts - 1) p.result
+
+let test_lower_shares_slots () =
+  let p, slots = compile_expr_ok ~optimize:false "LOAD(x) + LOAD(x) < LOAD(y)" in
+  check_int "two distinct keys" 2 (Array.length slots);
+  check_int "reads two slots" 2 (List.length (Ir.read_slots p))
+
+let test_lower_rules_conjoined () =
+  let monitors =
+    Compile.source_exn
+      {|guardrail g { trigger: { TIMER(0, 1s) } rule: { LOAD(a) < 1; LOAD(b) < 2 } action: { REPORT("m") } }|}
+  in
+  match monitors with
+  | [ m ] ->
+    let store = make_store () in
+    Store.save store "a" 0.5;
+    Store.save store "b" 5.;
+    let r = Vm.run ~store ~slots:m.Monitor.slots m.Monitor.rule in
+    check_float "conjunction false when one rule fails" 0. r.value;
+    Store.save store "b" 1.;
+    let r2 = Vm.run ~store ~slots:m.Monitor.slots m.Monitor.rule in
+    check_float "conjunction true when all hold" 1. r2.value
+  | _ -> Alcotest.fail "expected one monitor"
+
+(* ---------- Optimisation ---------- *)
+
+let test_cse_dedupes_aggregations () =
+  let unopt, _ = compile_expr_ok ~optimize:false "AVG(lat, 1s) > 10 && AVG(lat, 1s) < 100" in
+  let opt, _ = compile_expr_ok ~optimize:true "AVG(lat, 1s) > 10 && AVG(lat, 1s) < 100" in
+  let count_aggs p =
+    Array.to_list p.Ir.insts
+    |> List.filter (function Ir.Agg _ -> true | _ -> false)
+    |> List.length
+  in
+  check_int "two scans before CSE" 2 (count_aggs unopt);
+  check_int "one scan after CSE" 1 (count_aggs opt)
+
+let test_dce_removes_dead_code () =
+  (* const_fold turns (x * 0 + 1 > 0) into true only if it can fold;
+     build dead code via CSE instead: duplicate loads collapse and
+     DCE drops the orphan. *)
+  let unopt, _ = compile_expr_ok ~optimize:false "LOAD(a) + LOAD(a) > 0" in
+  let opt, _ = compile_expr_ok ~optimize:true "LOAD(a) + LOAD(a) > 0" in
+  check_bool "optimised is shorter" true
+    (Array.length opt.Ir.insts < Array.length unopt.Ir.insts)
+
+let test_optimized_passes_verifier () =
+  let p, slots = compile_expr_ok "AVG(lat, 1s) > 10 && AVG(lat, 1s) < 100" in
+  let m =
+    {
+      Monitor.name = "m";
+      slots;
+      triggers = [ Monitor.Timer { start_ns = 0; interval_ns = 1000; stop_ns = None } ];
+      rule = p;
+      actions = [ Monitor.Report { message = "x"; keys = [] } ];
+    }
+  in
+  match Verify.verify m with
+  | Ok stats -> check_bool "cost positive" true (stats.est_cost_ns > 0.)
+  | Error errs -> Alcotest.failf "verifier rejected: %s" (String.concat "; " errs)
+
+let equivalence_property =
+  QCheck2.Test.make ~name:"reference = VM(lowered) = VM(optimised)" ~count:500 Gen.expr_gen
+    (fun e ->
+      let store = make_store () in
+      let table = Hashtbl.create 8 in
+      let p = Lower.expr ~slots:table e in
+      let slots = Array.make (Hashtbl.length table) "" in
+      Hashtbl.iter (fun k s -> slots.(s) <- k) table;
+      let expected = ref_eval store e in
+      let got = (Vm.run ~store ~slots p).value in
+      let got_opt = (Vm.run ~store ~slots (Opt.optimize p)).value in
+      let eq a b =
+        (Float.is_nan a && Float.is_nan b) || Float.abs (a -. b) <= 1e-9 *. Float.max 1. (Float.abs a)
+      in
+      eq expected got && eq expected got_opt)
+
+let optimize_idempotent_property =
+  QCheck2.Test.make ~name:"optimize is idempotent" ~count:300 Gen.expr_gen (fun e ->
+      let table = Hashtbl.create 8 in
+      let p = Opt.optimize (Lower.expr ~slots:table e) in
+      Opt.optimize p = p)
+
+(* ---------- Verifier ---------- *)
+
+let verified_monitor rule_src =
+  List.hd
+    (Compile.source_exn
+       (Printf.sprintf
+          {|guardrail g { trigger: { TIMER(0, 1s) } rule: { %s } action: { REPORT("m") } }|}
+          rule_src))
+
+let test_verifier_accepts_good () =
+  match Verify.verify (verified_monitor "LOAD(a) < 5") with
+  | Ok stats ->
+    check_int "slots" 1 stats.n_slots;
+    check_int "actions" 1 stats.n_actions
+  | Error errs -> Alcotest.failf "rejected: %s" (String.concat "; " errs)
+
+let test_verifier_rejects_bad_register_use () =
+  let m = verified_monitor "LOAD(a) < 5" in
+  let broken =
+    {
+      m with
+      Monitor.rule =
+        {
+          Ir.insts =
+            [| Ir.Load { dst = 0; slot = 0 }; Ir.Binop { dst = 1; op = Ast.Lt; lhs = 0; rhs = 5 } |];
+          result = 1;
+          n_regs = 2;
+        };
+    }
+  in
+  check_bool "use-before-def rejected" true (Result.is_error (Verify.verify broken))
+
+let test_verifier_rejects_bad_slot () =
+  let m = verified_monitor "LOAD(a) < 5" in
+  let broken =
+    {
+      m with
+      Monitor.rule =
+        {
+          Ir.insts = [| Ir.Load { dst = 0; slot = 99 } |];
+          result = 0;
+          n_regs = 1;
+        };
+    }
+  in
+  check_bool "slot out of table rejected" true (Result.is_error (Verify.verify broken))
+
+let test_verifier_rejects_oversize () =
+  let limits = { Verify.default_limits with max_insts = 4 } in
+  let m = verified_monitor "LOAD(a) + LOAD(b) + LOAD(c) + LOAD(d) < 5" in
+  check_bool "length limit enforced" true (Result.is_error (Verify.verify ~limits m));
+  check_bool "default limits accept" true (Result.is_ok (Verify.verify m))
+
+let test_verifier_rejects_huge_window () =
+  (* Bypass the compile driver (which would reject already) and lower
+     directly, so the verifier itself is exercised. *)
+  let spec =
+    Parser.parse_exn
+      {|guardrail g { trigger: { TIMER(0, 1s) } rule: { AVG(lat, 3600s) < 5 } action: { REPORT("m") } }|}
+  in
+  let m = List.hd (Gr_compiler.Lower.spec spec) in
+  check_bool "window limit enforced" true (Result.is_error (Verify.verify m))
+
+let test_verifier_rejects_empty_triggers_or_actions () =
+  let m = verified_monitor "LOAD(a) < 5" in
+  check_bool "no triggers" true (Result.is_error (Verify.verify { m with Monitor.triggers = [] }));
+  check_bool "no actions" true (Result.is_error (Verify.verify { m with Monitor.actions = [] }))
+
+let test_verifier_checks_actions () =
+  let m = verified_monitor "LOAD(a) < 5" in
+  let with_action a = { m with Monitor.actions = [ a ] } in
+  check_bool "empty policy name" true
+    (Result.is_error (Verify.verify (with_action (Monitor.Replace ""))));
+  check_bool "weight below 1" true
+    (Result.is_error
+       (Verify.verify (with_action (Monitor.Deprioritize { cls = "c"; weight = 0 }))));
+  check_bool "empty report" true
+    (Result.is_error (Verify.verify (with_action (Monitor.Report { message = ""; keys = [] }))))
+
+let test_verifier_checks_save_programs () =
+  let m = verified_monitor "LOAD(a) < 5" in
+  let bad_save =
+    Monitor.Save
+      { key = "k"; value = { Ir.insts = [| Ir.Load { dst = 0; slot = 42 } |]; result = 0; n_regs = 1 } }
+  in
+  check_bool "SAVE program verified recursively" true
+    (Result.is_error (Verify.verify { m with Monitor.actions = [ bad_save ] }))
+
+(* ---------- Compile driver ---------- *)
+
+let test_compile_source_errors () =
+  (match Compile.source "guardrail {" with
+  | Error (Compile.Parse_error _) -> ()
+  | _ -> Alcotest.fail "expected parse error");
+  (match Compile.source (Printf.sprintf
+      {|guardrail g { trigger: { TIMER(0, 1s) } rule: { LOAD(a) + 1 } action: { REPORT("m") } }|})
+  with
+  | Error (Compile.Type_errors _) -> ()
+  | _ -> Alcotest.fail "expected type errors");
+  match Compile.source
+      {|guardrail g { trigger: { TIMER(0, 1s) } rule: { AVG(x, 3600s) < 1 } action: { REPORT("m") } }|}
+  with
+  | Error (Compile.Verify_errors _) -> ()
+  | _ -> Alcotest.fail "expected verifier rejection"
+
+let test_compile_multiple_guardrails () =
+  let src =
+    {|
+guardrail one { trigger: { TIMER(0, 1s) } rule: { LOAD(a) < 1 } action: { REPORT("a") } }
+guardrail two { trigger: { FUNCTION("h") } rule: { LOAD(b) < 1 } action: { REPLACE("p") } }
+|}
+  in
+  check_int "two monitors" 2 (List.length (Compile.source_exn src))
+
+(* ---------- Deps ---------- *)
+
+let compile_pair () =
+  Compile.source_exn
+    {|
+guardrail writer {
+  trigger: { TIMER(0, 1s) }
+  rule: { LOAD(a) < 1 }
+  action: { SAVE(shared, 1) }
+}
+guardrail reader {
+  trigger: { TIMER(0, 1s) }
+  rule: { LOAD(shared) < 1 }
+  action: { REPORT("r") }
+}
+|}
+
+let test_deps_edges () =
+  let monitors = compile_pair () in
+  let edges = Deps.interference monitors in
+  check_int "one edge" 1 (List.length edges);
+  let e = List.hd edges in
+  Alcotest.(check string) "writer" "writer" e.Deps.writer;
+  Alcotest.(check string) "reader" "reader" e.Deps.reader;
+  Alcotest.(check string) "key" "shared" e.Deps.key;
+  check_bool "no cycle" true (Deps.cycles monitors = [])
+
+let test_deps_cycle_detected () =
+  let monitors =
+    Compile.source_exn
+      {|
+guardrail a {
+  trigger: { TIMER(0, 1s) }
+  rule: { LOAD(kb) < 1 }
+  action: { SAVE(ka, 1) }
+}
+guardrail b {
+  trigger: { TIMER(0, 1s) }
+  rule: { LOAD(ka) < 1 }
+  action: { SAVE(kb, 1) }
+}
+|}
+  in
+  match Deps.cycles monitors with
+  | [ cycle ] -> Alcotest.(check (list string)) "a<->b cycle" [ "a"; "b" ] cycle
+  | cycles -> Alcotest.failf "expected one cycle, got %d" (List.length cycles)
+
+let test_deps_self_loop () =
+  let monitors =
+    Compile.source_exn
+      {|
+guardrail self {
+  trigger: { TIMER(0, 1s) }
+  rule: { LOAD(k) < 1 }
+  action: { SAVE(k, 1) }
+}
+|}
+  in
+  match Deps.cycles monitors with
+  | [ [ "self" ] ] -> ()
+  | _ -> Alcotest.fail "self-loop not detected"
+
+let test_auto_triggers () =
+  let monitors = compile_pair () in
+  let reader = List.nth monitors 1 in
+  match Deps.auto_triggers reader with
+  | [ Monitor.On_change "shared" ] -> ()
+  | _ -> Alcotest.fail "expected ON_CHANGE(shared)"
+
+let test_monitor_reads_writes () =
+  let monitors = compile_pair () in
+  let writer = List.hd monitors in
+  Alcotest.(check (list string)) "reads" [ "a" ] (Monitor.reads writer);
+  Alcotest.(check (list string)) "writes" [ "shared" ] (Monitor.writes writer)
+
+let suite =
+  [
+    ( "compiler.lower",
+      [
+        Alcotest.test_case "single-assignment shape" `Quick test_lower_shape;
+        Alcotest.test_case "slot sharing" `Quick test_lower_shares_slots;
+        Alcotest.test_case "rules conjoined" `Quick test_lower_rules_conjoined;
+      ] );
+    ( "compiler.opt",
+      [
+        Alcotest.test_case "CSE dedupes window scans" `Quick test_cse_dedupes_aggregations;
+        Alcotest.test_case "DCE shrinks programs" `Quick test_dce_removes_dead_code;
+        Alcotest.test_case "optimised passes verifier" `Quick test_optimized_passes_verifier;
+        QCheck_alcotest.to_alcotest equivalence_property;
+        QCheck_alcotest.to_alcotest optimize_idempotent_property;
+      ] );
+    ( "compiler.verify",
+      [
+        Alcotest.test_case "accepts good monitors" `Quick test_verifier_accepts_good;
+        Alcotest.test_case "rejects use-before-def" `Quick test_verifier_rejects_bad_register_use;
+        Alcotest.test_case "rejects bad slots" `Quick test_verifier_rejects_bad_slot;
+        Alcotest.test_case "rejects oversize programs" `Quick test_verifier_rejects_oversize;
+        Alcotest.test_case "rejects huge windows" `Quick test_verifier_rejects_huge_window;
+        Alcotest.test_case "rejects empty trigger/action lists" `Quick
+          test_verifier_rejects_empty_triggers_or_actions;
+        Alcotest.test_case "checks action arguments" `Quick test_verifier_checks_actions;
+        Alcotest.test_case "checks SAVE programs" `Quick test_verifier_checks_save_programs;
+      ] );
+    ( "compiler.driver",
+      [
+        Alcotest.test_case "error classification" `Quick test_compile_source_errors;
+        Alcotest.test_case "multiple guardrails" `Quick test_compile_multiple_guardrails;
+      ] );
+    ( "compiler.deps",
+      [
+        Alcotest.test_case "interference edges" `Quick test_deps_edges;
+        Alcotest.test_case "cycle detection" `Quick test_deps_cycle_detected;
+        Alcotest.test_case "self-loop" `Quick test_deps_self_loop;
+        Alcotest.test_case "auto triggers" `Quick test_auto_triggers;
+        Alcotest.test_case "reads/writes" `Quick test_monitor_reads_writes;
+      ] );
+  ]

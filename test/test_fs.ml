@@ -1,0 +1,158 @@
+(* Tests for the file read path / readahead substrate and the learned
+   readahead policy. *)
+
+open Gr_util
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let make_fs ?(cache_pages = 64) () =
+  let hooks = Gr_kernel.Hooks.create () in
+  (hooks, Gr_kernel.Fs.create ~hooks ~cache_pages ())
+
+(* Drives [n] accesses: sequential runs of [run] pages, then a random
+   seek. Returns the hit rate. *)
+let drive fs ~rng ~n ~run =
+  Gr_kernel.Fs.reset_stats fs;
+  let offset = ref 0 and left = ref 0 in
+  for _ = 1 to n do
+    if !left = 0 then begin
+      offset := Rng.int rng 60_000;
+      left := run
+    end
+    else incr offset;
+    decr left;
+    ignore (Gr_kernel.Fs.read fs ~offset:!offset : bool)
+  done;
+  Gr_kernel.Fs.hit_rate fs
+
+let test_sequential_doubling_hits_on_streams () =
+  let _, fs = make_fs () in
+  let rng = Rng.create 1 in
+  let hit_rate = drive fs ~rng ~n:20_000 ~run:64 in
+  check_bool "long sequential runs mostly hit" true (hit_rate > 0.7)
+
+let test_no_readahead_on_random () =
+  let _, fs = make_fs () in
+  let rng = Rng.create 2 in
+  let hit_rate = drive fs ~rng ~n:5_000 ~run:1 in
+  (* Pure random over 64k pages with a 64-page cache: ~0 hits, and
+     the heuristic must not prefetch on seeks. *)
+  check_bool "random access misses" true (hit_rate < 0.05);
+  check_int "no wasted prefetches on pure seeks" 0 (Gr_kernel.Fs.prefetched fs)
+
+let test_cache_bounded () =
+  let _, fs = make_fs ~cache_pages:32 () in
+  let rng = Rng.create 3 in
+  ignore (drive fs ~rng ~n:10_000 ~run:16 : float);
+  check_bool "occupancy bounded" true (Gr_kernel.Fs.cache_occupancy fs <= 32)
+
+let test_readahead_hook_published () =
+  let hooks, fs = make_fs () in
+  let requests = ref [] in
+  ignore
+    (Gr_kernel.Hooks.subscribe hooks "fs:readahead" (fun args ->
+         requests := List.assoc "requested" args :: !requests)
+      : Gr_kernel.Hooks.subscription);
+  (* A short sequential run: misses publish readahead requests. *)
+  for i = 0 to 9 do
+    ignore (Gr_kernel.Fs.read fs ~offset:i : bool)
+  done;
+  check_bool "hook fired on misses" true (List.length !requests > 0)
+
+let test_oversized_request_evicts () =
+  let hooks, fs = make_fs ~cache_pages:32 () in
+  Gr_kernel.Policy_slot.install (Gr_kernel.Fs.slot fs) ~name:"greedy"
+    { Gr_kernel.Fs.policy_name = "greedy"; window = (fun _ -> 100) };
+  let over_limit = ref 0 in
+  ignore
+    (Gr_kernel.Hooks.subscribe hooks "fs:readahead" (fun args ->
+         if List.assoc "requested" args > List.assoc "limit" args then incr over_limit)
+      : Gr_kernel.Hooks.subscription);
+  ignore (Gr_kernel.Fs.read fs ~offset:0 : bool);
+  check_bool "over-limit request observable" true (!over_limit > 0);
+  check_bool "cache still bounded" true (Gr_kernel.Fs.cache_occupancy fs <= 32)
+
+let test_learned_beats_doubling_on_long_runs () =
+  let rng = Rng.create 4 in
+  let model = Gr_policy.Readahead.train ~rng ~mean_run:48. () in
+  let _, fs_heuristic = make_fs ~cache_pages:128 () in
+  let _, fs_learned = make_fs ~cache_pages:128 () in
+  Gr_kernel.Policy_slot.install (Gr_kernel.Fs.slot fs_learned) ~name:"learned-readahead"
+    (Gr_policy.Readahead.policy model);
+  let h = drive fs_heuristic ~rng:(Rng.create 5) ~n:20_000 ~run:48 in
+  let l = drive fs_learned ~rng:(Rng.create 5) ~n:20_000 ~run:48 in
+  check_bool
+    (Printf.sprintf "learned (%.2f) >= heuristic (%.2f) on long runs" l h)
+    true (l >= h -. 0.02)
+
+let test_learned_backs_off_on_seeks () =
+  let rng = Rng.create 6 in
+  let model = Gr_policy.Readahead.train ~rng () in
+  check_int "no window after a seek" 0
+    (Gr_policy.Readahead.predict_window model ~delta:37. ~run:0. ~occupancy:0.5);
+  check_bool "window mid-run" true
+    (Gr_policy.Readahead.predict_window model ~delta:1. ~run:5. ~occupancy:0.5 > 0)
+
+let test_inject_scale_goes_out_of_bounds () =
+  let rng = Rng.create 7 in
+  let model = Gr_policy.Readahead.train ~rng () in
+  let sane = Gr_policy.Readahead.predict_window model ~delta:1. ~run:8. ~occupancy:0.5 in
+  Gr_policy.Readahead.inject_scale model 50.;
+  let drifted = Gr_policy.Readahead.predict_window model ~delta:1. ~run:8. ~occupancy:0.5 in
+  check_bool "drifted window much larger" true (drifted > 10 * max 1 sane);
+  Gr_policy.Readahead.retrain model ~mean_run:24.;
+  check_int "retrain resets the scale" sane
+    (let w = Gr_policy.Readahead.predict_window model ~delta:1. ~run:8. ~occupancy:0.5 in
+     (* retrained model differs slightly; just require sanity *)
+     if w > 0 && w < 4 * max 1 sane then sane else w)
+
+let test_p3_guardrail_catches_oversized_readahead () =
+  let kernel = Gr_kernel.Kernel.create ~seed:8 in
+  let d = Guardrails.Deployment.create ~kernel () in
+  let fs = Gr_kernel.Fs.create ~hooks:kernel.hooks ~cache_pages:64 () in
+  let model = Gr_policy.Readahead.train ~rng:kernel.rng () in
+  Gr_kernel.Policy_slot.install (Gr_kernel.Fs.slot fs) ~name:"learned-readahead"
+    (Gr_policy.Readahead.policy model);
+  Guardrails.Deployment.forward_hook_arg d ~hook:"fs:readahead" ~arg:"requested"
+    ~key:"readahead_req" ();
+  let src =
+    Gr_props.Props.P3_output_bounds.source ~name:"p3-readahead" ~hook:"fs:readahead"
+      ~key:"readahead_req" ~lo:0. ~hi:64.
+      ~actions:[ {|REPORT("prefetch beyond the memory limit", readahead_req)|} ]
+      ()
+  in
+  let h = List.hd (Guardrails.Deployment.install_source_exn d src) in
+  let stats () = Guardrails.Engine.Stats.get (Guardrails.Deployment.engine d) h in
+  let run_some () =
+    for i = 0 to 99 do
+      ignore (Gr_kernel.Fs.read fs ~offset:(1000 + i) : bool)
+    done
+  in
+  run_some ();
+  check_int "honest windows pass" 0 (stats ()).violations;
+  Gr_policy.Readahead.inject_scale model 50.;
+  run_some ();
+  check_bool "oversized prefetch caught" true ((stats ()).violations > 0)
+
+let suite =
+  [
+    ( "kernel.fs",
+      [
+        Alcotest.test_case "doubling hits on streams" `Quick
+          test_sequential_doubling_hits_on_streams;
+        Alcotest.test_case "no readahead on random" `Quick test_no_readahead_on_random;
+        Alcotest.test_case "cache bounded" `Quick test_cache_bounded;
+        Alcotest.test_case "readahead hook" `Quick test_readahead_hook_published;
+        Alcotest.test_case "oversized request observable" `Quick test_oversized_request_evicts;
+      ] );
+    ( "policy.readahead",
+      [
+        Alcotest.test_case "learned competitive on long runs" `Slow
+          test_learned_beats_doubling_on_long_runs;
+        Alcotest.test_case "backs off on seeks" `Quick test_learned_backs_off_on_seeks;
+        Alcotest.test_case "inject scale" `Quick test_inject_scale_goes_out_of_bounds;
+        Alcotest.test_case "P3 guardrail catches oversizing" `Quick
+          test_p3_guardrail_catches_oversized_readahead;
+      ] );
+  ]

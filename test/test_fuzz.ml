@@ -1,0 +1,57 @@
+(* Fuzz-style robustness tests: the compiler front end must never
+   raise anything except its declared error type, no matter the
+   input. *)
+
+let parser_total_on_garbage =
+  QCheck2.Test.make ~name:"parser returns Ok/Error on arbitrary bytes, never raises" ~count:1000
+    QCheck2.Gen.(string_size ~gen:(char_range '\000' '\255') (int_range 0 200))
+    (fun s ->
+      match Gr_dsl.Parser.parse s with Ok _ | Error _ -> true)
+
+let printable_gen =
+  (* Biased toward token-shaped fragments so the parser gets past the
+     lexer often enough to exercise deeper paths. *)
+  QCheck2.Gen.(
+    map (String.concat " ")
+      (list_size (int_range 0 40)
+         (oneofl
+            [
+              "guardrail"; "trigger"; "rule"; "action"; "{"; "}"; "("; ")"; ","; ";"; ":";
+              "TIMER"; "FUNCTION"; "ON_CHANGE"; "LOAD"; "SAVE"; "REPORT"; "REPLACE"; "RETRAIN";
+              "AVG"; "QUANTILE"; "&&"; "||"; "!"; "<="; "=="; "+"; "-"; "*"; "/"; "0"; "1e9";
+              "50ms"; "true"; "false"; "x"; "y"; "\"s\""; "low-false-submit";
+            ])))
+
+let parser_total_on_token_soup =
+  QCheck2.Test.make ~name:"parser total on token soup" ~count:1000 printable_gen (fun s ->
+      match Gr_dsl.Parser.parse s with Ok _ | Error _ -> true)
+
+let compile_total_on_token_soup =
+  QCheck2.Test.make ~name:"full compile pipeline total on token soup" ~count:500 printable_gen
+    (fun s ->
+      match Gr_compiler.Compile.source s with Ok _ | Error _ -> true)
+
+let compiled_monitors_always_verify =
+  (* Everything the pipeline accepts must satisfy the verifier — the
+     compiler cannot emit monitors the loader would reject. *)
+  QCheck2.Test.make ~name:"pipeline output always passes the verifier" ~count:300
+    Gen.guardrail_gen
+    (fun g ->
+      let src = Gr_dsl.Pretty.spec_to_string [ g ] in
+      match Gr_compiler.Compile.source src with
+      | Error _ -> true (* rejected inputs are fine *)
+      | Ok monitors ->
+        List.for_all
+          (fun m -> Result.is_ok (Gr_compiler.Verify.verify m))
+          monitors)
+
+let suite =
+  [
+    ( "fuzz",
+      [
+        QCheck_alcotest.to_alcotest parser_total_on_garbage;
+        QCheck_alcotest.to_alcotest parser_total_on_token_soup;
+        QCheck_alcotest.to_alcotest compile_total_on_token_soup;
+        QCheck_alcotest.to_alcotest compiled_monitors_always_verify;
+      ] );
+  ]

@@ -1,0 +1,152 @@
+(* Property-based invariants on the kernel substrates: whatever the
+   policies do (including adversarial ones), the substrates' safety
+   properties must hold. *)
+
+open Gr_util
+
+(* Cache: size never exceeds capacity, hits+misses = accesses, and a
+   just-accessed key is always present. *)
+let cache_invariants =
+  QCheck2.Test.make ~name:"cache invariants under random access/policy" ~count:100
+    QCheck2.Gen.(triple (int_range 1 32) (list_size (int_range 1 300) (int_range 0 64)) bool)
+    (fun (capacity, keys, use_mru) ->
+      let hooks = Gr_kernel.Hooks.create () in
+      let cache = Gr_kernel.Cache.create ~hooks ~capacity in
+      if use_mru then
+        Gr_kernel.Policy_slot.install (Gr_kernel.Cache.slot cache) ~name:"mru"
+          Gr_policy.Inject.mru_eviction;
+      List.for_all
+        (fun key ->
+          ignore (Gr_kernel.Cache.access cache ~key : bool);
+          Gr_kernel.Cache.size cache <= capacity && Gr_kernel.Cache.contains cache ~key)
+        keys
+      && Gr_kernel.Cache.hits cache <= Gr_kernel.Cache.accesses cache)
+
+(* Fs: occupancy bounded even under an adversarial readahead policy
+   asking for absurd windows. *)
+let fs_invariants =
+  QCheck2.Test.make ~name:"fs cache bounded under adversarial readahead" ~count:50
+    QCheck2.Gen.(triple (int_range 1 64) (list_size (int_range 1 200) (int_range 0 1000))
+                   (int_range 0 100_000))
+    (fun (cache_pages, offsets, window) ->
+      let hooks = Gr_kernel.Hooks.create () in
+      let fs = Gr_kernel.Fs.create ~hooks ~cache_pages () in
+      Gr_kernel.Policy_slot.install (Gr_kernel.Fs.slot fs) ~name:"adversarial"
+        { Gr_kernel.Fs.policy_name = "adversarial"; window = (fun _ -> window) };
+      List.for_all
+        (fun offset ->
+          ignore (Gr_kernel.Fs.read fs ~offset : bool);
+          Gr_kernel.Fs.cache_occupancy fs <= cache_pages)
+        offsets)
+
+(* Mm: fast-tier occupancy bounded; hit fraction in [0,1]. *)
+let mm_invariants =
+  QCheck2.Test.make ~name:"mm fast tier bounded under always-promote" ~count:50
+    QCheck2.Gen.(pair (int_range 1 32) (list_size (int_range 1 300) (int_range 0 100)))
+    (fun (fast_capacity, pages) ->
+      let engine = Gr_sim.Engine.create () in
+      let hooks = Gr_kernel.Hooks.create () in
+      let mm = Gr_kernel.Mm.create ~engine ~hooks ~fast_capacity () in
+      Gr_kernel.Policy_slot.install (Gr_kernel.Mm.slot mm) ~name:"always"
+        Gr_policy.Inject.always_promote;
+      List.for_all
+        (fun page ->
+          ignore (Gr_kernel.Mm.access mm ~page : int);
+          Gr_kernel.Mm.fast_occupancy mm <= fast_capacity)
+        pages
+      &&
+      let f = Gr_kernel.Mm.hit_fraction mm in
+      f >= 0. && f <= 1.)
+
+(* Sched: CPU conservation — total service received never exceeds
+   elapsed wall-clock time; nothing runs after being killed. *)
+let sched_conservation =
+  QCheck2.Test.make ~name:"scheduler conserves CPU time" ~count:50
+    QCheck2.Gen.(list_size (int_range 1 10) (pair (int_range 1 2000) (int_range 64 2048)))
+    (fun tasks ->
+      let engine = Gr_sim.Engine.create () in
+      let hooks = Gr_kernel.Hooks.create () in
+      let sched = Gr_kernel.Sched.create ~engine ~hooks () in
+      List.iteri
+        (fun i (demand_ms, weight) ->
+          ignore
+            (Gr_kernel.Sched.spawn sched ~name:(string_of_int i) ~weight
+               ~demand:(Time_ns.ms demand_ms) ()
+              : Gr_kernel.Sched.task))
+        tasks;
+      let horizon = Time_ns.sec 1 in
+      Gr_sim.Engine.run_until engine horizon;
+      let received =
+        List.fold_left
+          (fun acc (t : Gr_kernel.Sched.task) -> acc + t.received)
+          0 (Gr_kernel.Sched.tasks sched)
+      in
+      (* Tolerance of one slice for the task in flight at the horizon. *)
+      received <= horizon + Time_ns.ms 24
+      && List.for_all
+           (fun (t : Gr_kernel.Sched.task) -> t.received <= t.demand)
+           (Gr_kernel.Sched.tasks sched))
+
+(* Blk: counter consistency under a random policy mix. *)
+let blk_counters =
+  QCheck2.Test.make ~name:"blk counters consistent under random decisions" ~count:30
+    QCheck2.Gen.(pair (int_range 0 2) (int_range 50 300))
+    (fun (mode, n) ->
+      let engine = Gr_sim.Engine.create () in
+      let hooks = Gr_kernel.Hooks.create () in
+      let rng = Rng.create (mode + n) in
+      let devices =
+        Array.init 2 (fun i ->
+            Gr_kernel.Ssd.create ~rng ~profile:Gr_kernel.Ssd.aged_profile ~id:i)
+      in
+      let blk = Gr_kernel.Blk.create ~engine ~hooks ~devices () in
+      let policy_rng = Rng.split rng in
+      Gr_kernel.Policy_slot.install (Gr_kernel.Blk.slot blk) ~name:"random"
+        {
+          Gr_kernel.Blk.policy_name = "random";
+          decide =
+            (fun _ ->
+              match Rng.int policy_rng 3 with
+              | 0 -> Gr_kernel.Blk.Hedge (Time_ns.us 300)
+              | 1 -> Gr_kernel.Blk.Trust_primary
+              | _ -> Gr_kernel.Blk.Revoke_now);
+        };
+      for i = 0 to n - 1 do
+        Gr_kernel.Blk.submit_read blk ~primary:i ~on_complete:(fun _ -> ())
+      done;
+      Gr_sim.Engine.run engine;
+      Gr_kernel.Blk.ios_completed blk = n
+      && Gr_kernel.Blk.false_submits blk + Gr_kernel.Blk.false_revokes blk <= n
+      && Gr_kernel.Blk.redirects blk <= n
+      && Gr_kernel.Blk.hedge_fires blk <= Gr_kernel.Blk.redirects blk)
+
+(* Store: LOAD always returns the most recent SAVE. *)
+let store_last_write_wins =
+  QCheck2.Test.make ~name:"store LOAD returns last SAVE" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 50) (pair (oneofl [ "a"; "b"; "c" ]) (float_bound_inclusive 100.)))
+    (fun writes ->
+      let clock = ref 0 in
+      let store = Gr_runtime.Feature_store.create ~clock:(fun () -> !clock) () in
+      let last = Hashtbl.create 4 in
+      List.for_all
+        (fun (k, v) ->
+          incr clock;
+          Gr_runtime.Feature_store.save store k v;
+          Hashtbl.replace last k v;
+          Hashtbl.fold
+            (fun k v acc -> acc && Gr_runtime.Feature_store.load store k = v)
+            last true)
+        writes)
+
+let suite =
+  [
+    ( "invariants",
+      [
+        QCheck_alcotest.to_alcotest cache_invariants;
+        QCheck_alcotest.to_alcotest fs_invariants;
+        QCheck_alcotest.to_alcotest mm_invariants;
+        QCheck_alcotest.to_alcotest sched_conservation;
+        QCheck_alcotest.to_alcotest blk_counters;
+        QCheck_alcotest.to_alcotest store_last_write_wins;
+      ] );
+  ]

@@ -1,0 +1,158 @@
+(* Tests for gr_nn: the MLP and the feature scaler. *)
+
+open Gr_util
+open Gr_nn
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_shapes () =
+  let rng = Rng.create 1 in
+  let net = Mlp.create ~rng ~layers:[ 3; 5; 2 ] () in
+  check_int "input dim" 3 (Mlp.input_dim net);
+  check_int "output dim" 2 (Mlp.output_dim net);
+  let out = Mlp.forward net [| 0.1; 0.2; 0.3 |] in
+  check_int "output length" 2 (Array.length out)
+
+let test_bad_shapes_rejected () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "one layer"
+    (Invalid_argument "Mlp.create: need at least input and output sizes") (fun () ->
+      ignore (Mlp.create ~rng ~layers:[ 3 ] () : Mlp.t));
+  let net = Mlp.create ~rng ~layers:[ 3; 1 ] () in
+  Alcotest.check_raises "wrong input size" (Invalid_argument "Mlp.forward: input dimension mismatch")
+    (fun () -> ignore (Mlp.forward net [| 1. |] : float array))
+
+let test_deterministic_init () =
+  let a = Mlp.create ~rng:(Rng.create 5) ~layers:[ 4; 8; 1 ] () in
+  let b = Mlp.create ~rng:(Rng.create 5) ~layers:[ 4; 8; 1 ] () in
+  let x = [| 0.5; -0.25; 1.0; 2.0 |] in
+  check_float "same seed, same net" (Mlp.forward a x).(0) (Mlp.forward b x).(0)
+
+let test_sigmoid_range () =
+  let rng = Rng.create 2 in
+  let net = Mlp.create ~rng ~layers:[ 2; 4; 1 ] () in
+  for _ = 1 to 100 do
+    let x = [| Rng.gaussian rng ~mu:0. ~sigma:5.; Rng.gaussian rng ~mu:0. ~sigma:5. |] in
+    let y = (Mlp.forward net x).(0) in
+    check_bool "sigmoid output in (0,1)" true (y > 0. && y < 1.)
+  done
+
+let test_learns_xor () =
+  let rng = Rng.create 3 in
+  let net = Mlp.create ~rng ~layers:[ 2; 8; 1 ] ~hidden:Mlp.Tanh () in
+  let data =
+    [|
+      ([| 0.; 0. |], [| 0. |]);
+      ([| 0.; 1. |], [| 1. |]);
+      ([| 1.; 0. |], [| 1. |]);
+      ([| 1.; 1. |], [| 0. |]);
+    |]
+  in
+  let loss = Mlp.train net ~rng ~epochs:2000 ~batch_size:4 ~lr:0.5 data in
+  check_bool "XOR loss small" true (loss < 0.05);
+  Array.iter
+    (fun (x, y) ->
+      check_int (Printf.sprintf "xor(%g,%g)" x.(0) x.(1)) (int_of_float y.(0))
+        (Mlp.predict_class net x))
+    data
+
+let test_learns_linear_regression () =
+  let rng = Rng.create 4 in
+  let net = Mlp.create ~rng ~layers:[ 1; 6; 1 ] ~output:Mlp.Linear () in
+  let data = Array.init 200 (fun i ->
+      let x = float_of_int i /. 100. -. 1. in
+      ([| x |], [| (2. *. x) +. 0.5 |]))
+  in
+  ignore (Mlp.train net ~rng ~epochs:300 ~batch_size:16 ~lr:0.05 data : float);
+  let y = (Mlp.forward net [| 0.3 |]).(0) in
+  check_bool "fits 2x+0.5 at 0.3" true (Float.abs (y -. 1.1) < 0.1)
+
+let test_training_reduces_loss () =
+  let rng = Rng.create 6 in
+  let net = Mlp.create ~rng ~layers:[ 2; 6; 1 ] () in
+  let data =
+    Array.init 100 (fun _ ->
+        let a = Rng.float rng 1. and b = Rng.float rng 1. in
+        ([| a; b |], [| (if a > b then 1. else 0.) |]))
+  in
+  let first = Mlp.train net ~rng ~epochs:1 ~batch_size:16 ~lr:0.2 data in
+  let last = Mlp.train net ~rng ~epochs:50 ~batch_size:16 ~lr:0.2 data in
+  check_bool "loss decreased" true (last < first)
+
+let test_forward_count_and_flops () =
+  let rng = Rng.create 7 in
+  let net = Mlp.create ~rng ~layers:[ 4; 8; 2 ] () in
+  check_int "flops" ((8 * 5) + (2 * 9)) (Mlp.flops_per_forward net);
+  ignore (Mlp.forward net [| 0.; 0.; 0.; 0. |] : float array);
+  ignore (Mlp.forward net [| 0.; 0.; 0.; 0. |] : float array);
+  check_int "forward count" 2 (Mlp.forward_count net)
+
+let test_copy_independent () =
+  let rng = Rng.create 8 in
+  let net = Mlp.create ~rng ~layers:[ 1; 4; 1 ] () in
+  let snapshot = Mlp.copy net in
+  let x = [| 0.7 |] in
+  let before = (Mlp.forward net x).(0) in
+  ignore
+    (Mlp.train net ~rng ~epochs:50 ~batch_size:4 ~lr:0.5 [| ([| 0.7 |], [| 0.1 |]) |] : float);
+  check_float "copy unchanged by training" before (Mlp.forward snapshot x).(0);
+  check_bool "original changed" true ((Mlp.forward net x).(0) <> before)
+
+let test_scale_first_layer () =
+  let rng = Rng.create 9 in
+  let net = Mlp.create ~rng ~layers:[ 1; 4; 1 ] ~hidden:Mlp.Tanh ~output:Mlp.Linear () in
+  let slope net =
+    let eps = 1e-3 in
+    ((Mlp.forward net [| eps |]).(0) -. (Mlp.forward net [| 0. |]).(0)) /. eps
+  in
+  let base = Float.abs (slope net) in
+  Mlp.scale_first_layer net 4.;
+  check_bool "local sensitivity amplified" true (Float.abs (slope net) > 1.5 *. base)
+
+let test_scaler_zscores () =
+  let rows = [| [| 1.; 10. |]; [| 2.; 20. |]; [| 3.; 30. |] |] in
+  let s = Scaler.fit rows in
+  check_int "dim" 2 (Scaler.dim s);
+  check_float "mean col0" 2. (Scaler.mean s 0);
+  let z = Scaler.transform s [| 2.; 20. |] in
+  check_float "centered" 0. z.(0);
+  check_float "centered col1" 0. z.(1);
+  let z2 = Scaler.transform s [| 3.; 30. |] in
+  check_bool "unit-ish scale" true (Float.abs (z2.(0) -. (1. /. Scaler.stddev s 0)) < 1e-9 || z2.(0) > 0.)
+
+let test_scaler_constant_column () =
+  let rows = [| [| 5.; 1. |]; [| 5.; 2. |] |] in
+  let s = Scaler.fit rows in
+  let z = Scaler.transform s [| 5.; 1.5 |] in
+  check_float "zero-variance column passes through" 5. z.(0)
+
+let test_scaler_envelope () =
+  let rows = Array.init 101 (fun i -> [| float_of_int i |]) in
+  let s = Scaler.fit rows in
+  let env = Scaler.envelope s ~quantiles:[| 0.; 0.5; 1.0 |] 0 in
+  Alcotest.(check (array (float 1e-6))) "envelope quantiles" [| 0.; 50.; 100. |] env
+
+let suite =
+  [
+    ( "nn.mlp",
+      [
+        Alcotest.test_case "shapes" `Quick test_shapes;
+        Alcotest.test_case "bad shapes rejected" `Quick test_bad_shapes_rejected;
+        Alcotest.test_case "deterministic init" `Quick test_deterministic_init;
+        Alcotest.test_case "sigmoid output range" `Quick test_sigmoid_range;
+        Alcotest.test_case "learns XOR" `Slow test_learns_xor;
+        Alcotest.test_case "learns linear regression" `Quick test_learns_linear_regression;
+        Alcotest.test_case "training reduces loss" `Quick test_training_reduces_loss;
+        Alcotest.test_case "forward count and flops" `Quick test_forward_count_and_flops;
+        Alcotest.test_case "copy is independent" `Quick test_copy_independent;
+        Alcotest.test_case "scale_first_layer amplifies sensitivity" `Quick test_scale_first_layer;
+      ] );
+    ( "nn.scaler",
+      [
+        Alcotest.test_case "z-scores" `Quick test_scaler_zscores;
+        Alcotest.test_case "constant column" `Quick test_scaler_constant_column;
+        Alcotest.test_case "envelope" `Quick test_scaler_envelope;
+      ] );
+  ]

@@ -1,0 +1,332 @@
+(* Tests for gr_policy: each learned policy must (a) genuinely learn
+   its task, and (b) exhibit the documented failure mode on demand. *)
+
+open Gr_util
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---------- Linnos ---------- *)
+
+let make_devices ?(n = 2) ?(seed = 21) profile =
+  let rng = Rng.create seed in
+  (rng, Array.init n (fun i -> Gr_kernel.Ssd.create ~rng ~profile ~id:i))
+
+let test_linnos_learns_young_regime () =
+  let rng, devices = make_devices Gr_kernel.Ssd.young_profile in
+  let m = Gr_policy.Linnos.train ~rng ~devices () in
+  check_bool "holdout accuracy above 90%" true (Gr_policy.Linnos.holdout_accuracy m > 0.9)
+
+let test_linnos_policy_decisions () =
+  let rng, devices = make_devices Gr_kernel.Ssd.young_profile in
+  let m = Gr_policy.Linnos.train ~rng ~devices () in
+  let policy = Gr_policy.Linnos.policy m in
+  (* Calm history, empty queues: must trust the primary. *)
+  let calm = [| 0.; 0.; 90.; 95.; 92.; 88. |] in
+  check_bool "calm -> trust" true (policy.decide calm = Gr_kernel.Blk.Trust_primary);
+  (* GC-storm history: must revoke. *)
+  let storm = [| 10.; 0.; 900.; 1100.; 1000.; 950. |] in
+  check_bool "storm -> revoke" true (policy.decide storm = Gr_kernel.Blk.Revoke_now)
+
+let test_linnos_disabled_hedges () =
+  let rng, devices = make_devices Gr_kernel.Ssd.young_profile in
+  let m = Gr_policy.Linnos.train ~rng ~devices () in
+  Gr_policy.Linnos.set_enabled m false;
+  let policy = Gr_policy.Linnos.policy m in
+  (match policy.decide [| 0.; 0.; 900.; 1100.; 1000.; 950. |] with
+  | Gr_kernel.Blk.Hedge _ -> ()
+  | _ -> Alcotest.fail "disabled model must hedge");
+  check_bool "flag readable" false (Gr_policy.Linnos.enabled m)
+
+let test_linnos_retrain_adapts () =
+  let rng, devices = make_devices Gr_kernel.Ssd.young_profile in
+  let m = Gr_policy.Linnos.train ~rng ~devices () in
+  Array.iter (fun dev -> Gr_kernel.Ssd.set_profile dev Gr_kernel.Ssd.aged_profile) devices;
+  let stale = Gr_policy.Linnos.holdout_accuracy m in
+  Gr_policy.Linnos.retrain m;
+  check_int "retrain counted" 1 (Gr_policy.Linnos.retrain_count m);
+  let fresh = Gr_policy.Linnos.holdout_accuracy m in
+  check_bool "retrained at least as good as stale" true (fresh >= stale -. 0.05);
+  check_bool "fresh model accurate on new regime" true (fresh > 0.85)
+
+let test_linnos_training_features_exposed () =
+  let rng, devices = make_devices Gr_kernel.Ssd.young_profile in
+  let m = Gr_policy.Linnos.train ~rng ~devices () in
+  let feats = Gr_policy.Linnos.training_features m in
+  check_bool "non-empty" true (Array.length feats > 100);
+  check_int "feature dim" 6 (Array.length feats.(0));
+  check_bool "inference flops positive" true (Gr_policy.Linnos.inference_flops m > 0)
+
+(* ---------- Tiering ---------- *)
+
+let test_tiering_beats_random_guess () =
+  let rng = Rng.create 31 in
+  let gen = Gr_workload.Mem_trace.zipfian ~rng ~n_pages:1024 () in
+  let trace = Array.init 20_000 (fun _ -> Gr_workload.Mem_trace.next gen) in
+  let m = Gr_policy.Tiering.train ~rng ~trace () in
+  (* Hot page (high count, short gap): promote. First touch of a
+     cold page: don't. *)
+  check_bool "hot page promoted" true (Gr_policy.Tiering.predict_promote m [| 100.; 0.3; 1. |]);
+  check_bool "cold page not promoted" false
+    (Gr_policy.Tiering.predict_promote m [| 1.; 1e9; 1. |])
+
+let test_tiering_disabled_falls_back () =
+  let rng = Rng.create 32 in
+  let gen = Gr_workload.Mem_trace.zipfian ~rng ~n_pages:256 () in
+  let trace = Array.init 5_000 (fun _ -> Gr_workload.Mem_trace.next gen) in
+  let m = Gr_policy.Tiering.train ~rng ~trace () in
+  Gr_policy.Tiering.set_enabled m false;
+  let policy = Gr_policy.Tiering.policy m in
+  (* Second-touch fallback promotes on access_count >= 2. *)
+  check_bool "fallback second touch" true (policy.promote [| 2.; 5.; 0.1 |]);
+  check_bool "fallback first touch" false (policy.promote [| 1.; 1e9; 0.1 |])
+
+(* ---------- Cache policy ---------- *)
+
+let run_cache_workload ~policy ~trace ~hooks =
+  let cache = Gr_kernel.Cache.create ~hooks ~capacity:64 in
+  (match policy with
+  | Some p ->
+    Gr_kernel.Policy_slot.install (Gr_kernel.Cache.slot cache)
+      ~name:p.Gr_kernel.Cache.policy_name p
+  | None -> ());
+  Array.iter (fun key -> ignore (Gr_kernel.Cache.access cache ~key : bool)) trace;
+  Gr_kernel.Cache.hit_rate cache
+
+let test_cache_learned_beats_random_on_zipf () =
+  let rng = Rng.create 41 in
+  let hooks = Gr_kernel.Hooks.create () in
+  let gen = Gr_workload.Mem_trace.zipfian ~rng ~n_pages:1024 ~s:1.2 () in
+  let train_trace = Array.init 20_000 (fun _ -> Gr_workload.Mem_trace.next gen) in
+  let live_trace = Array.init 20_000 (fun _ -> Gr_workload.Mem_trace.next gen) in
+  let m = Gr_policy.Cache_policy.train ~rng ~hooks ~trace:train_trace () in
+  let learned = run_cache_workload ~policy:(Some (Gr_policy.Cache_policy.policy m)) ~trace:live_trace ~hooks in
+  let random =
+    run_cache_workload
+      ~policy:(Some (Gr_kernel.Cache.random (Rng.create 42)))
+      ~trace:live_trace ~hooks:(Gr_kernel.Hooks.create ())
+  in
+  check_bool "learned beats random on training distribution" true (learned > random)
+
+let test_cache_learned_disabled_is_lru () =
+  let rng = Rng.create 43 in
+  let hooks = Gr_kernel.Hooks.create () in
+  let m = Gr_policy.Cache_policy.train ~rng ~hooks ~trace:(Array.init 100 (fun i -> i mod 10)) () in
+  Gr_policy.Cache_policy.set_enabled m false;
+  let p = Gr_policy.Cache_policy.policy m in
+  check_int "disabled picks LRU candidate" 7 (p.choose_victim ~candidates:[| 7; 8; 9 |])
+
+(* ---------- Slice policy ---------- *)
+
+let test_slice_matches_cfs_in_training_range () =
+  let rng = Rng.create 51 in
+  let m = Gr_policy.Slice_policy.train ~rng () in
+  let predicted = Gr_policy.Slice_policy.predicted_slice_ms m ~nr_runnable:2 ~weight:1024 ~received_ms:10. in
+  (* CFS gives 12ms at nr=2; the blind model learns the training
+     average, so it must be in a plausible single-digit-to-24ms band. *)
+  check_bool "plausible slice" true (predicted > 4. && predicted < 24.)
+
+let test_slice_blind_to_runqueue_until_retrained () =
+  let rng = Rng.create 52 in
+  let m = Gr_policy.Slice_policy.train ~rng () in
+  let at nr = Gr_policy.Slice_policy.predicted_slice_ms m ~nr_runnable:nr ~weight:1024 ~received_ms:10. in
+  check_bool "same slice at nr=2 and nr=32 (feature omitted)" true
+    (Float.abs (at 2 -. at 32) < 0.01);
+  Gr_policy.Slice_policy.retrain m ~max_training_runnable:64;
+  check_int "retrain counted" 1 (Gr_policy.Slice_policy.retrain_count m);
+  check_bool "slices shrink with load after retrain" true (at 32 < at 2 /. 4.)
+
+let test_slice_disabled_is_cfs () =
+  let rng = Rng.create 53 in
+  let m = Gr_policy.Slice_policy.train ~rng () in
+  Gr_policy.Slice_policy.set_enabled m false;
+  let p = Gr_policy.Slice_policy.policy m in
+  let slice = p.slice ~nr_runnable:24 ~task_weight:1024 ~task_received_ms:0. in
+  check_int "cfs 1ms floor at nr=24" (Time_ns.ms 1) slice
+
+(* ---------- Balancer ---------- *)
+
+let test_balancer_imitates_least_loaded () =
+  let rng = Rng.create 55 in
+  let m = Gr_policy.Balancer_policy.train ~rng ~cpus:4 () in
+  check_int "picks the empty queue" 2 (Gr_policy.Balancer_policy.place m ~queue_lens:[| 5; 3; 0; 4 |]);
+  check_int "picks the shortest" 1 (Gr_policy.Balancer_policy.place m ~queue_lens:[| 9; 1; 6; 7 |])
+
+let test_balancer_affinity_misplaces_and_retrain_fixes () =
+  let rng = Rng.create 56 in
+  let m = Gr_policy.Balancer_policy.train ~rng ~cpus:4 () in
+  Gr_policy.Balancer_policy.inject_affinity m ~strength:2.0;
+  check_int "stale prior funnels to cpu0 despite load" 0
+    (Gr_policy.Balancer_policy.place m ~queue_lens:[| 6; 0; 0; 0 |]);
+  Gr_policy.Balancer_policy.retrain m;
+  check_int "retrain clears the prior" 1
+    (Gr_policy.Balancer_policy.place m ~queue_lens:[| 6; 0; 5; 5 |]);
+  check_int "retrain counted" 1 (Gr_policy.Balancer_policy.retrain_count m)
+
+let test_balancer_disabled_is_least_loaded () =
+  let rng = Rng.create 57 in
+  let m = Gr_policy.Balancer_policy.train ~rng ~cpus:4 () in
+  Gr_policy.Balancer_policy.inject_affinity m ~strength:5.0;
+  Gr_policy.Balancer_policy.set_enabled m false;
+  let b = Gr_policy.Balancer_policy.balancer m in
+  check_int "fallback ignores the prior" 2 (b.place ~queue_lens:[| 4; 3; 1; 3 |])
+
+(* ---------- Quota advisor ---------- *)
+
+let test_quota_honest_within_bounds () =
+  let rng = Rng.create 61 in
+  let a = Gr_policy.Quota_advisor.train ~rng ~capacity:200 () in
+  for i = 0 to 10 do
+    let miss_rate = float_of_int i /. 10. in
+    let q = Gr_policy.Quota_advisor.propose a ~miss_rate ~occupancy:0.5 in
+    check_bool "within capacity" true (q >= 0 && q <= 210)
+  done;
+  let low = Gr_policy.Quota_advisor.propose a ~miss_rate:0.05 ~occupancy:0.1 in
+  let high = Gr_policy.Quota_advisor.propose a ~miss_rate:0.95 ~occupancy:0.9 in
+  check_bool "monotone-ish in miss rate" true (high > low)
+
+let test_quota_drift_goes_out_of_bounds () =
+  let rng = Rng.create 62 in
+  let a = Gr_policy.Quota_advisor.train ~rng ~capacity:200 () in
+  Gr_policy.Quota_advisor.inject_drift a ~scale:4.;
+  check_bool "drift recorded" true (Gr_policy.Quota_advisor.drift a = 4.);
+  let q = Gr_policy.Quota_advisor.propose a ~miss_rate:0.9 ~occupancy:0.9 in
+  check_bool "proposal exceeds capacity" true (q > 200)
+
+(* ---------- CC controller ---------- *)
+
+let test_cc_sane_and_robust () =
+  let rng = Rng.create 71 in
+  let c = Gr_policy.Cc_controller.train ~rng () in
+  let fast = Gr_policy.Cc_controller.rate_multiplier c ~rtt_ms:10. ~loss:0.001 in
+  let congested = Gr_policy.Cc_controller.rate_multiplier c ~rtt_ms:110. ~loss:0.12 in
+  check_bool "backs off under congestion" true (congested < fast);
+  let sens = Gr_policy.Cc_controller.sensitivity_probe c ~rng ~rtt_ms:40. ~loss:0.02 () in
+  check_bool "trained model robust" true (sens < 10.)
+
+let test_cc_injection_and_restore () =
+  let rng = Rng.create 72 in
+  let c = Gr_policy.Cc_controller.train ~rng () in
+  Gr_policy.Cc_controller.inject_sensitivity c ~scale:100.;
+  let sens = Gr_policy.Cc_controller.sensitivity_probe c ~rng ~rtt_ms:40. ~loss:0.02 () in
+  check_bool "injected model fragile" true (sens > 10.);
+  Gr_policy.Cc_controller.restore c;
+  let healed = Gr_policy.Cc_controller.sensitivity_probe c ~rng ~rtt_ms:40. ~loss:0.02 () in
+  check_bool "restore heals" true (healed < 10.)
+
+(* ---------- Inject ---------- *)
+
+let test_inject_flip () =
+  let rng = Rng.create 81 in
+  let base = { Gr_kernel.Blk.policy_name = "b"; decide = (fun _ -> Gr_kernel.Blk.Trust_primary) } in
+  let flipped = Gr_policy.Inject.flip_blk_decisions ~rng ~p:1.0 base in
+  check_bool "always flipped" true (flipped.decide [||] = Gr_kernel.Blk.Revoke_now);
+  let never = Gr_policy.Inject.flip_blk_decisions ~rng ~p:0.0 base in
+  check_bool "never flipped" true (never.decide [||] = Gr_kernel.Blk.Trust_primary)
+
+(* ---------- Workload generators ---------- *)
+
+let test_arrival_rates () =
+  let rng = Rng.create 91 in
+  let mean_gap arrival =
+    let total = ref 0 in
+    for _ = 1 to 5_000 do
+      total := !total + Gr_workload.Arrival.next_interarrival arrival rng
+    done;
+    float_of_int !total /. 5_000.
+  in
+  let poisson = mean_gap (Gr_workload.Arrival.poisson ~rate_per_sec:1000.) in
+  check_bool "poisson mean gap ~1ms" true (Float.abs (poisson -. 1e6) /. 1e6 < 0.1);
+  let uniform = mean_gap (Gr_workload.Arrival.uniform ~rate_per_sec:1000.) in
+  check_bool "uniform exact" true (Float.abs (uniform -. 1e6) < 1.);
+  let mmpp =
+    mean_gap
+      (Gr_workload.Arrival.mmpp ~calm_rate:100. ~burst_rate:10_000. ~mean_calm:(Time_ns.ms 100)
+         ~mean_burst:(Time_ns.ms 10))
+  in
+  check_bool "mmpp between regimes" true (mmpp > 1e5 /. 1e3 && mmpp < 1e7)
+
+let test_mem_trace_shapes () =
+  let rng = Rng.create 92 in
+  let z = Gr_workload.Mem_trace.zipfian ~rng ~n_pages:100 () in
+  for _ = 1 to 1000 do
+    let p = Gr_workload.Mem_trace.next z in
+    check_bool "in range" true (p >= 0 && p < 100)
+  done;
+  let s = Gr_workload.Mem_trace.scan ~n_pages:3 in
+  (* Sequence explicitly: list-literal evaluation order is unspecified. *)
+  let a = Gr_workload.Mem_trace.next s in
+  let b = Gr_workload.Mem_trace.next s in
+  let c = Gr_workload.Mem_trace.next s in
+  let d = Gr_workload.Mem_trace.next s in
+  Alcotest.(check (list int)) "scan cycles" [ 0; 1; 2; 0 ] [ a; b; c; d ]
+
+let test_mem_trace_hot_shift () =
+  let rng = Rng.create 93 in
+  let z = Gr_workload.Mem_trace.zipfian ~rng ~n_pages:1000 ~s:1.5 () in
+  let most_common n =
+    let counts = Hashtbl.create 64 in
+    for _ = 1 to n do
+      let p = Gr_workload.Mem_trace.next z in
+      Hashtbl.replace counts p (1 + Option.value ~default:0 (Hashtbl.find_opt counts p))
+    done;
+    fst (Hashtbl.fold (fun k v (bk, bv) -> if v > bv then (k, v) else (bk, bv)) counts (-1, 0))
+  in
+  let before = most_common 5000 in
+  Gr_workload.Mem_trace.shift_hot_set z ~offset:500;
+  let after = most_common 5000 in
+  check_int "hot page moved by offset" ((before + 500) mod 1000) after
+
+let suite =
+  [
+    ( "policy.linnos",
+      [
+        Alcotest.test_case "learns young regime" `Slow test_linnos_learns_young_regime;
+        Alcotest.test_case "policy decisions" `Slow test_linnos_policy_decisions;
+        Alcotest.test_case "disabled hedges" `Slow test_linnos_disabled_hedges;
+        Alcotest.test_case "retrain adapts" `Slow test_linnos_retrain_adapts;
+        Alcotest.test_case "training features exposed" `Slow test_linnos_training_features_exposed;
+      ] );
+    ( "policy.tiering",
+      [
+        Alcotest.test_case "sensible promotions" `Slow test_tiering_beats_random_guess;
+        Alcotest.test_case "disabled falls back" `Slow test_tiering_disabled_falls_back;
+      ] );
+    ( "policy.cache",
+      [
+        Alcotest.test_case "learned beats random on zipf" `Slow
+          test_cache_learned_beats_random_on_zipf;
+        Alcotest.test_case "disabled is LRU" `Quick test_cache_learned_disabled_is_lru;
+      ] );
+    ( "policy.slice",
+      [
+        Alcotest.test_case "imitates CFS in range" `Quick test_slice_matches_cfs_in_training_range;
+        Alcotest.test_case "blind to runqueue until retrained" `Quick
+          test_slice_blind_to_runqueue_until_retrained;
+        Alcotest.test_case "disabled is CFS" `Quick test_slice_disabled_is_cfs;
+      ] );
+    ( "policy.balancer",
+      [
+        Alcotest.test_case "imitates least-loaded" `Quick test_balancer_imitates_least_loaded;
+        Alcotest.test_case "affinity misplaces; retrain fixes" `Quick
+          test_balancer_affinity_misplaces_and_retrain_fixes;
+        Alcotest.test_case "disabled is least-loaded" `Quick test_balancer_disabled_is_least_loaded;
+      ] );
+    ( "policy.quota",
+      [
+        Alcotest.test_case "honest within bounds" `Quick test_quota_honest_within_bounds;
+        Alcotest.test_case "drift out of bounds" `Quick test_quota_drift_goes_out_of_bounds;
+      ] );
+    ( "policy.cc",
+      [
+        Alcotest.test_case "sane and robust" `Quick test_cc_sane_and_robust;
+        Alcotest.test_case "injection and restore" `Quick test_cc_injection_and_restore;
+      ] );
+    ("policy.inject", [ Alcotest.test_case "flip decisions" `Quick test_inject_flip ]);
+    ( "workload",
+      [
+        Alcotest.test_case "arrival rates" `Quick test_arrival_rates;
+        Alcotest.test_case "mem trace shapes" `Quick test_mem_trace_shapes;
+        Alcotest.test_case "hot set shift" `Quick test_mem_trace_hot_shift;
+      ] );
+  ]

@@ -1,0 +1,361 @@
+(* Tests for gr_props: every property generator must produce source
+   that compiles and verifies, and must detect the misbehaviour it
+   exists for (and stay quiet when things are healthy). *)
+
+open Gr_util
+module Props = Gr_props.Props
+module Engine = Gr_runtime.Engine
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let compiles src =
+  match Guardrails.Compile.source src with
+  | Ok monitors -> monitors
+  | Error e ->
+    Alcotest.failf "property source rejected: %s" (Format.asprintf "%a" Guardrails.Compile.pp_error e)
+
+let test_all_sources_compile () =
+  let window = Time_ns.sec 1 and check_every = Time_ns.ms 100 in
+  let actions = [ {|REPORT("violated")|} ] in
+  let sources =
+    [
+      Props.P1_in_distribution.source ~name:"p1" ~feature_key:"f" ~lo:0. ~hi:10. ~window
+        ~check_every ~actions ();
+      Props.P2_robustness.source ~name:"p2" ~sensitivity_key:"s" ~bound:5. ~window ~check_every
+        ~actions ();
+      Props.P3_output_bounds.source ~name:"p3" ~hook:"mm:quota" ~key:"q" ~lo:0. ~hi:100.
+        ~actions ();
+      Props.P4_decision_quality.source ~name:"p4" ~policy_key:"hit" ~baseline_key:"shadow"
+        ~margin:0.05 ~window ~check_every ~actions ();
+      Props.P5_overhead.source ~name:"p5" ~cost_key:"cost" ~budget_ns:1000. ~window ~check_every
+        ~actions ();
+      Props.P6_fairness.source ~name:"p6" ~max_wait_ms:100. ~min_jain:0.5 ~check_every ~actions ();
+    ]
+  in
+  List.iter (fun src -> check_int "one monitor" 1 (List.length (compiles src))) sources
+
+let test_p1_envelope () =
+  let values = Array.init 101 (fun i -> float_of_int i) in
+  let lo, hi = Props.P1_in_distribution.envelope values () in
+  check_bool "median inside" true (lo < 50. && 50. < hi);
+  check_bool "tail outside" true (hi < 100.)
+
+let make_deployment () =
+  let kernel = Gr_kernel.Kernel.create ~seed:2 in
+  (kernel, Guardrails.Deployment.create ~kernel ())
+
+let run_prop_against ~src ~feed kernel d =
+  let handles = Guardrails.Deployment.install_source_exn d src in
+  feed ();
+  Gr_kernel.Kernel.run_until kernel (Time_ns.add (Gr_kernel.Kernel.now kernel) (Time_ns.sec 2));
+  Engine.Stats.get (Guardrails.Deployment.engine d) (List.hd handles)
+
+let test_p1_detects_drift_and_accepts_normal () =
+  let in_dist =
+    let kernel, d = make_deployment () in
+    ignore
+      (Gr_sim.Engine.every kernel.engine ~interval:(Time_ns.ms 10) (fun _ ->
+           Guardrails.Deployment.save d "f" 5.)
+        : Gr_sim.Engine.handle);
+    run_prop_against
+      ~src:
+        (Props.P1_in_distribution.source ~name:"p1" ~feature_key:"f" ~lo:0. ~hi:10.
+           ~window:(Time_ns.ms 500) ~check_every:(Time_ns.ms 100)
+           ~actions:[ {|REPORT("drift")|} ] ())
+      ~feed:(fun () -> ())
+      kernel d
+  in
+  check_int "no violation in distribution" 0 in_dist.violations;
+  let drifted =
+    let kernel, d = make_deployment () in
+    ignore
+      (Gr_sim.Engine.every kernel.engine ~interval:(Time_ns.ms 10) (fun _ ->
+           Guardrails.Deployment.save d "f" 50.)
+        : Gr_sim.Engine.handle);
+    run_prop_against
+      ~src:
+        (Props.P1_in_distribution.source ~name:"p1" ~feature_key:"f" ~lo:0. ~hi:10.
+           ~window:(Time_ns.ms 500) ~check_every:(Time_ns.ms 100)
+           ~actions:[ {|REPORT("drift")|} ] ())
+      ~feed:(fun () -> ())
+      kernel d
+  in
+  check_bool "drift detected" true (drifted.violations > 0)
+
+let test_p1_ks_drift () =
+  let kernel, d = make_deployment () in
+  let rng = Rng.create 77 in
+  let training = Array.init 1000 (fun _ -> Rng.gaussian rng ~mu:100. ~sigma:10.) in
+  Props.P1_in_distribution.instrument_ks d ~feature_key:"f" ~training
+    ~window:(Time_ns.ms 500) ~every:(Time_ns.ms 100) ~out:"f_ks";
+  let src =
+    Props.P1_in_distribution.source_ks ~name:"p1-ks" ~ks_key:"f_ks" ~bound:0.3
+      ~check_every:(Time_ns.ms 100)
+      ~actions:[ {|REPORT("distribution shifted", f_ks)|} ]
+      ()
+  in
+  let handles = Guardrails.Deployment.install_source_exn d src in
+  let h = List.hd handles in
+  let mean = ref 100. in
+  ignore
+    (Gr_sim.Engine.every kernel.engine ~interval:(Time_ns.ms 5) (fun _ ->
+         Guardrails.Deployment.save d "f" (Rng.gaussian rng ~mu:!mean ~sigma:10.))
+      : Gr_sim.Engine.handle);
+  Gr_kernel.Kernel.run_until kernel (Time_ns.sec 1);
+  check_int "same distribution, no violations" 0
+    (Engine.Stats.get (Guardrails.Deployment.engine d) h).violations;
+  (* A modest mean shift (~1.5 sigma) that an extreme-quantile
+     envelope could miss moves the whole CDF, so KS sees it. *)
+  mean := 115.;
+  Gr_kernel.Kernel.run_until kernel (Time_ns.sec 2);
+  check_bool "KS detects the shifted distribution" true
+    ((Engine.Stats.get (Guardrails.Deployment.engine d) h).violations > 0)
+
+let test_p1_empty_window_is_healthy () =
+  let kernel, d = make_deployment () in
+  let stats =
+    run_prop_against
+      ~src:
+        (Props.P1_in_distribution.source ~name:"p1" ~feature_key:"f" ~lo:0. ~hi:10.
+           ~window:(Time_ns.ms 500) ~check_every:(Time_ns.ms 100)
+           ~actions:[ {|REPORT("drift")|} ] ())
+      ~feed:(fun () -> ())
+      kernel d
+  in
+  check_int "no inputs, no drift" 0 stats.violations
+
+let test_p2_detects_sensitivity () =
+  let kernel, d = make_deployment () in
+  let controller = Gr_policy.Cc_controller.train ~rng:kernel.rng () in
+  Props.P2_robustness.instrument_cc d controller ~rng:kernel.rng ~key:"cc_sens"
+    ~every:(Time_ns.ms 50);
+  let src =
+    Props.P2_robustness.source ~name:"p2" ~sensitivity_key:"cc_sens" ~bound:10.
+      ~window:(Time_ns.ms 500) ~check_every:(Time_ns.ms 100)
+      ~actions:[ {|REPORT("sensitive")|} ] ()
+  in
+  let handles = Guardrails.Deployment.install_source_exn d src in
+  Gr_kernel.Kernel.run_until kernel (Time_ns.sec 1);
+  let healthy = (Engine.Stats.get (Guardrails.Deployment.engine d) (List.hd handles)).violations in
+  check_int "trained controller is robust" 0 healthy;
+  Gr_policy.Cc_controller.inject_sensitivity controller ~scale:100.;
+  Gr_kernel.Kernel.run_until kernel (Time_ns.sec 3);
+  let after = (Engine.Stats.get (Guardrails.Deployment.engine d) (List.hd handles)).violations in
+  check_bool "injected sensitivity detected" true (after > 0)
+
+let test_p3_catches_out_of_bounds_quota () =
+  let kernel, d = make_deployment () in
+  let mm = Guardrails.Mm.create ~engine:kernel.engine ~hooks:kernel.hooks ~fast_capacity:100 () in
+  Guardrails.Deployment.forward_hook_arg d ~hook:"mm:quota" ~arg:"requested" ~key:"quota_req" ();
+  let src =
+    Props.P3_output_bounds.source ~name:"p3" ~hook:"mm:quota" ~key:"quota_req" ~lo:0. ~hi:100.
+      ~actions:[ {|REPORT("illegal quota", quota_req)|} ] ()
+  in
+  let handles = Guardrails.Deployment.install_source_exn d src in
+  let advisor = Gr_policy.Quota_advisor.train ~rng:kernel.rng ~capacity:100 () in
+  let propose () =
+    let q = Gr_policy.Quota_advisor.propose advisor ~miss_rate:0.5 ~occupancy:0.5 in
+    ignore (Guardrails.Mm.advise_quota mm ~requested:q : [ `Applied of int | `Rejected ])
+  in
+  propose ();
+  let stats () = Engine.Stats.get (Guardrails.Deployment.engine d) (List.hd handles) in
+  check_int "honest proposal passes" 0 (stats ()).violations;
+  Gr_policy.Quota_advisor.inject_drift advisor ~scale:5.;
+  propose ();
+  check_bool "out-of-bounds proposal caught" true ((stats ()).violations > 0)
+
+let test_p4_shadow_comparison () =
+  let kernel, d = make_deployment () in
+  let cache = Guardrails.Cache.create ~hooks:kernel.hooks ~capacity:32 in
+  Guardrails.Deployment.forward_hook_arg d ~hook:"cache:access" ~arg:"hit" ~key:"hit" ();
+  Props.P4_decision_quality.shadow_cache d ~capacity:32 ~baseline:Guardrails.Cache.lru
+    ~hit_key:"shadow";
+  (* Give the live cache a pathological MRU policy: it must fall
+     below the LRU shadow on a zipfian stream. *)
+  Guardrails.Policy_slot.install (Guardrails.Cache.slot cache) ~name:"mru"
+    Gr_policy.Inject.mru_eviction;
+  let src =
+    Props.P4_decision_quality.source ~name:"p4" ~policy_key:"hit" ~baseline_key:"shadow"
+      ~margin:0.02 ~window:(Time_ns.ms 500) ~check_every:(Time_ns.ms 100)
+      ~actions:[ {|REPORT("below baseline")|} ] ()
+  in
+  let handles = Guardrails.Deployment.install_source_exn d src in
+  let zipf = Rng.Zipf.create ~n:512 ~s:1.1 in
+  ignore
+    (Gr_sim.Engine.every kernel.engine ~interval:(Time_ns.us 100) (fun _ ->
+         ignore (Guardrails.Cache.access cache ~key:(Rng.Zipf.sample zipf kernel.rng) : bool))
+      : Gr_sim.Engine.handle);
+  Gr_kernel.Kernel.run_until kernel (Time_ns.sec 2);
+  let stats = Engine.Stats.get (Guardrails.Deployment.engine d) (List.hd handles) in
+  check_bool "MRU flagged against LRU shadow" true (stats.violations > 0)
+
+let test_p4_shadow_readahead () =
+  let kernel, d = make_deployment () in
+  let fs = Gr_kernel.Fs.create ~hooks:kernel.hooks ~cache_pages:64 () in
+  (* Live policy: no readahead at all — must lose to the doubling
+     heuristic shadow on sequential runs. *)
+  Gr_kernel.Policy_slot.install (Gr_kernel.Fs.slot fs) ~name:"none"
+    { Gr_kernel.Fs.policy_name = "none"; window = (fun _ -> 0) };
+  Guardrails.Deployment.forward_hook_arg d ~hook:"fs:read" ~arg:"hit" ~key:"fs_hit" ();
+  Props.P4_decision_quality.shadow_readahead d ~cache_pages:64
+    ~baseline:(Gr_kernel.Fs.sequential_doubling ()) ~hit_key:"fs_shadow_hit";
+  let src =
+    Props.P4_decision_quality.source ~name:"p4-readahead" ~policy_key:"fs_hit"
+      ~baseline_key:"fs_shadow_hit" ~margin:0.05 ~window:(Time_ns.ms 400)
+      ~check_every:(Time_ns.ms 100)
+      ~actions:[ {|REPORT("readahead losing to heuristic")|} ] ()
+  in
+  let handles = Guardrails.Deployment.install_source_exn d src in
+  (* Sequential reader. *)
+  let offset = ref 0 in
+  ignore
+    (Gr_sim.Engine.every kernel.engine ~interval:(Time_ns.us 100) (fun _ ->
+         incr offset;
+         ignore (Gr_kernel.Fs.read fs ~offset:!offset : bool))
+      : Gr_sim.Engine.handle);
+  Gr_kernel.Kernel.run_until kernel (Time_ns.sec 2);
+  let stats = Engine.Stats.get (Guardrails.Deployment.engine d) (List.hd handles) in
+  check_bool "no-readahead flagged against heuristic shadow" true (stats.violations > 0)
+
+let test_p5_overhead_budget () =
+  let kernel, d = make_deployment () in
+  let src =
+    Props.P5_overhead.source ~name:"p5" ~cost_key:"inference_ns" ~budget_ns:1000.
+      ~window:(Time_ns.ms 500) ~check_every:(Time_ns.ms 100)
+      ~actions:[ {|REPORT("over budget")|} ] ()
+  in
+  let handles = Guardrails.Deployment.install_source_exn d src in
+  let cheap = { Gr_kernel.Blk.policy_name = "p"; decide = (fun _ -> Gr_kernel.Blk.Trust_primary) } in
+  let wrapped = Props.P5_overhead.wrap_blk_policy d ~key:"inference_ns" ~cost_ns:500. cheap in
+  for _ = 1 to 10 do
+    ignore (wrapped.Gr_kernel.Blk.decide [||] : Gr_kernel.Blk.decision)
+  done;
+  Gr_kernel.Kernel.run_until kernel (Time_ns.ms 300);
+  let ok = (Engine.Stats.get (Guardrails.Deployment.engine d) (List.hd handles)).violations in
+  check_int "within budget" 0 ok;
+  let costly = Props.P5_overhead.wrap_blk_policy d ~key:"inference_ns" ~cost_ns:5000. cheap in
+  for _ = 1 to 10 do
+    ignore (costly.Gr_kernel.Blk.decide [||] : Gr_kernel.Blk.decision)
+  done;
+  Gr_kernel.Kernel.run_until kernel (Time_ns.ms 600);
+  let over = (Engine.Stats.get (Guardrails.Deployment.engine d) (List.hd handles)).violations in
+  check_bool "over budget detected" true (over > 0)
+
+let test_p6_detects_starvation () =
+  let kernel, d = make_deployment () in
+  let sched = Gr_kernel.Sched.create ~engine:kernel.engine ~hooks:kernel.hooks () in
+  Guardrails.Deployment.wire_scheduler d sched;
+  Guardrails.Policy_slot.install (Gr_kernel.Sched.slot sched) ~name:"wild"
+    (Gr_policy.Inject.wild_slices ~rng:kernel.rng ~max_ms:400);
+  for i = 1 to 8 do
+    ignore
+      (Gr_kernel.Sched.spawn sched ~name:(string_of_int i) ~demand:(Time_ns.sec 5) ()
+        : Gr_kernel.Sched.task)
+  done;
+  let src =
+    Props.P6_fairness.source ~name:"p6" ~max_wait_ms:100. ~min_jain:0.1
+      ~check_every:(Time_ns.ms 50)
+      ~actions:[ {|REPORT("starvation", sched_max_wait_ms)|} ] ()
+  in
+  let handles = Guardrails.Deployment.install_source_exn d src in
+  Gr_kernel.Kernel.run_until kernel (Time_ns.sec 2);
+  let stats = Engine.Stats.get (Guardrails.Deployment.engine d) (List.hd handles) in
+  check_bool "starvation detected under wild slices" true (stats.violations > 0)
+
+(* ---------- Synthesis ---------- *)
+
+let test_synthesis_emits_expected_set () =
+  let rng = Rng.create 70 in
+  let training = Array.init 500 (fun _ -> Rng.gaussian rng ~mu:100. ~sigma:10.) in
+  let p =
+    Gr_props.Synthesis.profile ~policy:"linnos"
+      ~inputs:[ Gr_props.Synthesis.input ~key:"io_latency_us" training ]
+      ~reward_key:"io_fast" ~baseline_key:"shadow_fast" ~cost_key:"inference_ns" ()
+  in
+  Alcotest.(check (list string)) "names"
+    [ "linnos-input-io_latency_us"; "linnos-quality"; "linnos-overhead" ]
+    (Gr_props.Synthesis.synthesized_names p);
+  let monitors = compiles (Gr_props.Synthesis.synthesize p) in
+  check_int "three monitors" 3 (List.length monitors);
+  (* Every synthesized monitor references the policy for its
+     corrective action. *)
+  List.iter
+    (fun m ->
+      let refs_policy =
+        List.exists
+          (function
+            | Guardrails.Monitor.Retrain "linnos" | Guardrails.Monitor.Replace "linnos" -> true
+            | _ -> false)
+          m.Guardrails.Monitor.actions
+      in
+      check_bool "action targets the policy" true refs_policy)
+    monitors
+
+let test_synthesis_partial_profiles () =
+  let p = Gr_props.Synthesis.profile ~policy:"p" () in
+  check_int "empty profile synthesizes nothing" 0
+    (List.length (Gr_props.Synthesis.synthesized_names p));
+  let p = Gr_props.Synthesis.profile ~policy:"p" ~cost_key:"c" () in
+  check_int "cost only" 1 (List.length (compiles (Gr_props.Synthesis.synthesize p)));
+  (* Reward without a baseline cannot produce a quality rail. *)
+  let p = Gr_props.Synthesis.profile ~policy:"p" ~reward_key:"r" () in
+  check_int "reward alone produces nothing" 0
+    (List.length (Gr_props.Synthesis.synthesized_names p))
+
+let test_synthesis_drift_detection_end_to_end () =
+  let kernel, d = make_deployment () in
+  let rng = Rng.create 71 in
+  let training = Array.init 500 (fun _ -> Rng.gaussian rng ~mu:100. ~sigma:10.) in
+  let retrains = ref 0 in
+  Gr_kernel.Kernel.register_policy kernel ~name:"pol"
+    ~replace:(fun () -> ())
+    ~restore:(fun () -> ())
+    ~retrain:(fun () -> incr retrains)
+    ();
+  let p =
+    Gr_props.Synthesis.profile ~policy:"pol"
+      ~inputs:[ Gr_props.Synthesis.input ~key:"f" training ]
+      ~window:(Time_ns.ms 300) ~check_every:(Time_ns.ms 100) ()
+  in
+  let handles = Guardrails.Deployment.install_source_exn d (Gr_props.Synthesis.synthesize p) in
+  (* In-distribution, then drifted. *)
+  let mean = ref 100. in
+  ignore
+    (Gr_sim.Engine.every kernel.engine ~interval:(Time_ns.ms 10) (fun _ ->
+         Guardrails.Deployment.save d "f" (Rng.gaussian rng ~mu:!mean ~sigma:10.))
+      : Gr_sim.Engine.handle);
+  Gr_kernel.Kernel.run_until kernel (Time_ns.sec 1);
+  let stats = Engine.Stats.get (Guardrails.Deployment.engine d) (List.hd handles) in
+  check_int "quiet in distribution" 0 stats.violations;
+  mean := 400.;
+  Gr_kernel.Kernel.run_until kernel (Time_ns.sec 2);
+  let stats = Engine.Stats.get (Guardrails.Deployment.engine d) (List.hd handles) in
+  check_bool "drift detected" true (stats.violations > 0);
+  Gr_kernel.Kernel.run_until kernel (Time_ns.sec 3);
+  check_bool "retrain action dispatched" true (!retrains >= 1)
+
+let suite =
+  [
+    ( "props.synthesis",
+      [
+        Alcotest.test_case "emits the expected set" `Quick test_synthesis_emits_expected_set;
+        Alcotest.test_case "partial profiles" `Quick test_synthesis_partial_profiles;
+        Alcotest.test_case "drift detection end to end" `Quick
+          test_synthesis_drift_detection_end_to_end;
+      ] );
+    ( "props",
+      [
+        Alcotest.test_case "all sources compile" `Quick test_all_sources_compile;
+        Alcotest.test_case "P1 envelope" `Quick test_p1_envelope;
+        Alcotest.test_case "P1 drift detection" `Quick test_p1_detects_drift_and_accepts_normal;
+        Alcotest.test_case "P1 empty window healthy" `Quick test_p1_empty_window_is_healthy;
+        Alcotest.test_case "P1 KS drift" `Quick test_p1_ks_drift;
+        Alcotest.test_case "P2 sensitivity" `Slow test_p2_detects_sensitivity;
+        Alcotest.test_case "P3 quota bounds" `Quick test_p3_catches_out_of_bounds_quota;
+        Alcotest.test_case "P4 shadow comparison" `Slow test_p4_shadow_comparison;
+        Alcotest.test_case "P4 shadow readahead" `Quick test_p4_shadow_readahead;
+        Alcotest.test_case "P5 overhead budget" `Quick test_p5_overhead_budget;
+        Alcotest.test_case "P6 starvation" `Quick test_p6_detects_starvation;
+      ] );
+  ]

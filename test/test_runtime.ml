@@ -1,0 +1,499 @@
+(* Tests for gr_runtime: feature store, VM, and the monitor engine. *)
+
+open Gr_util
+module Store = Gr_runtime.Feature_store
+module Vm = Gr_runtime.Vm
+module Engine = Gr_runtime.Engine
+module Compile = Gr_compiler.Compile
+module Monitor = Gr_compiler.Monitor
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---------- Feature store ---------- *)
+
+let make_store () =
+  let clock = ref 0 in
+  let store = Store.create ~clock:(fun () -> !clock) () in
+  (clock, store)
+
+let test_store_load_default () =
+  let _, store = make_store () in
+  check_float "missing key loads 0" 0. (Store.load store "nope");
+  check_bool "not mem" false (Store.mem store "nope")
+
+let test_store_latest_value () =
+  let clock, store = make_store () in
+  Store.save store "k" 1.;
+  clock := 10;
+  Store.save store "k" 2.;
+  check_float "latest wins" 2. (Store.load store "k");
+  check_int "save count" 2 (Store.save_count store)
+
+let test_store_window_expiry () =
+  let clock, store = make_store () in
+  clock := 0;
+  Store.save store "k" 10.;
+  clock := 1_000_000_000;
+  Store.save store "k" 20.;
+  clock := 1_500_000_000;
+  (* Window of 1s: only the sample at t=1s is inside (t=0 is out). *)
+  check_float "avg over window" 20.
+    (Store.aggregate store ~key:"k" ~fn:Gr_dsl.Ast.Avg ~window_ns:1e9 ~param:0.);
+  check_float "count over window" 1.
+    (Store.aggregate store ~key:"k" ~fn:Gr_dsl.Ast.Count ~window_ns:1e9 ~param:0.);
+  check_float "wide window sees both" 15.
+    (Store.aggregate store ~key:"k" ~fn:Gr_dsl.Ast.Avg ~window_ns:2e9 ~param:0.)
+
+let test_store_aggregates () =
+  let clock, store = make_store () in
+  List.iteri
+    (fun i v ->
+      clock := (i + 1) * 1000;
+      Store.save store "k" v)
+    [ 4.; 1.; 3.; 2. ];
+  let agg fn param = Store.aggregate store ~key:"k" ~fn ~window_ns:1e9 ~param in
+  check_float "sum" 10. (agg Gr_dsl.Ast.Sum 0.);
+  check_float "min" 1. (agg Gr_dsl.Ast.Min 0.);
+  check_float "max" 4. (agg Gr_dsl.Ast.Max 0.);
+  check_float "count" 4. (agg Gr_dsl.Ast.Count 0.);
+  check_float "rate = sum/window_sec" 10. (agg Gr_dsl.Ast.Rate 0.);
+  check_float "median" 2.5 (agg Gr_dsl.Ast.Quantile 0.5);
+  check_bool "stddev" true (Float.abs (agg Gr_dsl.Ast.Stddev 0. -. Stats.stddev [| 4.; 1.; 3.; 2. |]) < 1e-9)
+
+let test_store_empty_window_zero () =
+  let _, store = make_store () in
+  List.iter
+    (fun fn ->
+      check_float "empty aggregate is 0" 0.
+        (Store.aggregate store ~key:"nope" ~fn ~window_ns:1e9 ~param:0.5))
+    [ Gr_dsl.Ast.Avg; Sum; Count; Rate; Min; Max; Stddev; Quantile; Delta ]
+
+let test_store_capacity_bounded () =
+  let clock = ref 0 in
+  let store = Store.create ~clock:(fun () -> !clock) ~capacity_per_key:8 () in
+  for i = 1 to 100 do
+    clock := i;
+    Store.save store "k" (float_of_int i)
+  done;
+  check_float "only last 8 retained" 8.
+    (Store.aggregate store ~key:"k" ~fn:Gr_dsl.Ast.Count ~window_ns:1e9 ~param:0.)
+
+let test_store_on_save () =
+  let _, store = make_store () in
+  let seen = ref [] in
+  Store.on_save store (fun k v -> seen := (k, v) :: !seen);
+  Store.save store "a" 1.;
+  Store.save store "b" 2.;
+  Alcotest.(check (list (pair string (float 0.)))) "notified in order" [ ("a", 1.); ("b", 2.) ]
+    (List.rev !seen)
+
+(* Aggregates must agree with a naive recomputation over the retained
+   samples. *)
+let store_aggregate_property =
+  QCheck2.Test.make ~name:"store aggregates match naive reference" ~count:300
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 40) (pair (int_range 0 2_000_000_000) (float_bound_inclusive 100.)))
+        (oneofl [ Gr_dsl.Ast.Avg; Sum; Count; Min; Max; Stddev; Delta ]))
+    (fun (samples, fn) ->
+      let samples = List.sort (fun (a, _) (b, _) -> compare a b) samples in
+      let clock = ref 0 in
+      let store = Store.create ~clock:(fun () -> !clock) () in
+      List.iter
+        (fun (t, v) ->
+          clock := t;
+          Store.save store "k" v)
+        samples;
+      clock := 2_000_000_000;
+      let window_ns = 1e9 in
+      let inside =
+        List.filter_map
+          (fun (t, v) -> if float_of_int (2_000_000_000 - t) < window_ns then Some v else None)
+          samples
+        |> Array.of_list
+      in
+      let expected =
+        match fn with
+        | Gr_dsl.Ast.Avg -> if Array.length inside = 0 then 0. else Stats.mean inside
+        | Sum -> Array.fold_left ( +. ) 0. inside
+        | Count -> float_of_int (Array.length inside)
+        | Min -> if Array.length inside = 0 then 0. else Array.fold_left Float.min inside.(0) inside
+        | Max -> if Array.length inside = 0 then 0. else Array.fold_left Float.max inside.(0) inside
+        | Stddev -> Stats.stddev inside
+        | Delta -> (
+          match Array.length inside with
+          | 0 -> 0.
+          | n -> inside.(n - 1) -. inside.(0))
+        | Rate | Quantile -> 0.
+      in
+      let got = Store.aggregate store ~key:"k" ~fn ~window_ns ~param:0. in
+      Float.abs (got -. expected) < 1e-6)
+
+(* ---------- VM ---------- *)
+
+let compile_rule src =
+  let m =
+    List.hd
+      (Compile.source_exn
+         (Printf.sprintf
+            {|guardrail g { trigger: { TIMER(0, 1s) } rule: { %s } action: { REPORT("m") } }|}
+            src))
+  in
+  (m.Monitor.rule, m.Monitor.slots)
+
+let test_vm_division_by_zero () =
+  let _, store = make_store () in
+  let rule, slots = compile_rule "LOAD(a) / LOAD(b) == 0" in
+  Store.save store "a" 5.;
+  Store.save store "b" 0.;
+  check_float "x/0 = 0, rule holds" 1. (Vm.run ~store ~slots rule).value
+
+let test_vm_cost_accounting () =
+  let clock, store = make_store () in
+  let rule, slots = compile_rule "AVG(lat, 1s) < 100" in
+  for i = 1 to 10 do
+    clock := i * 1000;
+    Store.save store "lat" 1.
+  done;
+  let r = Vm.run ~store ~slots rule in
+  check_int "scanned all samples" 10 r.samples_scanned;
+  check_bool "cost grows with samples" true (r.est_cost_ns > 40.);
+  check_int "executed every instruction" (Array.length rule.Gr_compiler.Ir.insts) r.insts_executed
+
+(* ---------- Engine ---------- *)
+
+let make_deployment ?config () =
+  let kernel = Gr_kernel.Kernel.create ~seed:1 in
+  let d = Guardrails.Deployment.create ~kernel ?config () in
+  (kernel, d)
+
+let simple_rail ?(name = "g") ?(trigger = "TIMER(0, 10ms)") ?(rule = "LOAD(healthy) == 1")
+    ?(actions = [ {|REPORT("violated", healthy)|} ]) () =
+  Printf.sprintf "guardrail %s { trigger: { %s } rule: { %s } action: { %s } }" name trigger rule
+    (String.concat "; " actions)
+
+let test_engine_timer_checks () =
+  let kernel, d = make_deployment () in
+  Guardrails.Deployment.save d "healthy" 1.;
+  let handles = Guardrails.Deployment.install_source_exn d (simple_rail ()) in
+  let h = List.hd handles in
+  Gr_kernel.Kernel.run_until kernel (Time_ns.ms 105);
+  let stats = Engine.Stats.get (Guardrails.Deployment.engine d) h in
+  (* TIMER(0, 10ms): fires at 0, 10, ..., 100 -> 11 checks. *)
+  check_int "11 checks in 105ms" 11 stats.checks;
+  check_int "no violations" 0 stats.violations;
+  check_bool "overhead accounted" true (stats.overhead_ns > 0.)
+
+let test_engine_violation_and_report () =
+  let kernel, d = make_deployment () in
+  Guardrails.Deployment.save d "healthy" 0.;
+  let handles = Guardrails.Deployment.install_source_exn d (simple_rail ()) in
+  Gr_kernel.Kernel.run_until kernel (Time_ns.ms 25);
+  let stats = Engine.Stats.get (Guardrails.Deployment.engine d) (List.hd handles) in
+  (* checks at 0, 10, 20ms. *)
+  check_int "violations" 3 stats.violations;
+  let viols = Engine.violations (Guardrails.Deployment.engine d) in
+  check_int "reported three times" 3 (List.length viols);
+  let v = List.hd viols in
+  Alcotest.(check string) "message" "violated" v.Engine.message;
+  Alcotest.(check (list (pair string (float 0.)))) "snapshot" [ ("healthy", 0.) ] v.Engine.snapshot
+
+let test_engine_function_trigger () =
+  let kernel, d = make_deployment () in
+  Guardrails.Deployment.save d "healthy" 1.;
+  let handles =
+    Guardrails.Deployment.install_source_exn d (simple_rail ~trigger:{|FUNCTION("my:hook")|} ())
+  in
+  Gr_kernel.Hooks.fire kernel.hooks "my:hook" [];
+  Gr_kernel.Hooks.fire kernel.hooks "my:hook" [];
+  Gr_kernel.Hooks.fire kernel.hooks "other" [];
+  let stats = Engine.Stats.get (Guardrails.Deployment.engine d) (List.hd handles) in
+  check_int "checked per hook firing" 2 stats.checks
+
+let test_engine_on_change_trigger () =
+  let _, d = make_deployment () in
+  Guardrails.Deployment.save d "healthy" 1.;
+  let handles =
+    Guardrails.Deployment.install_source_exn d
+      (simple_rail ~trigger:"ON_CHANGE(watched)" ~rule:"LOAD(watched) < 10" ())
+  in
+  Guardrails.Deployment.save d "watched" 1.;
+  Guardrails.Deployment.save d "watched" 2.;
+  Guardrails.Deployment.save d "unrelated" 99.;
+  let stats = Engine.Stats.get (Guardrails.Deployment.engine d) (List.hd handles) in
+  check_int "checked per save of watched key" 2 stats.checks;
+  check_int "no violations" 0 stats.violations
+
+let test_engine_save_action_and_control_key () =
+  let kernel, d = make_deployment () in
+  let flipped = ref [] in
+  Guardrails.Deployment.bind_control_key d ~key:"ml_enabled" (fun v -> flipped := v :: !flipped);
+  Guardrails.Deployment.save d "healthy" 0.;
+  ignore
+    (Guardrails.Deployment.install_source_exn d
+       (simple_rail ~actions:[ "SAVE(ml_enabled, false)" ] ())
+      : Engine.handle list);
+  Gr_kernel.Kernel.run_until kernel (Time_ns.ms 15);
+  check_bool "control key flipped to 0" true (List.mem 0. !flipped);
+  check_float "stored" 0. (Guardrails.Store.load (Guardrails.Deployment.store d) "ml_enabled")
+
+let test_engine_replace_restore_retrain () =
+  let kernel, d = make_deployment () in
+  let replaced = ref 0 and restored = ref 0 and retrained = ref 0 in
+  Gr_kernel.Kernel.register_policy kernel ~name:"p"
+    ~replace:(fun () -> incr replaced)
+    ~restore:(fun () -> incr restored)
+    ~retrain:(fun () -> incr retrained)
+    ();
+  Guardrails.Deployment.save d "healthy" 0.;
+  ignore
+    (Guardrails.Deployment.install_source_exn d
+       (simple_rail ~trigger:"TIMER(0, 10ms, 15ms)" ~actions:[ {|REPLACE("p")|}; {|RETRAIN("p")|} ] ())
+      : Engine.handle list);
+  Gr_kernel.Kernel.run_until kernel (Time_ns.ms 30);
+  (* TIMER(0, 10ms, 15ms): fires at 0 and 10ms. *)
+  check_int "replaced twice" 2 !replaced;
+  (* Retrain is async: runs retrain_delay (50ms) after the firing. *)
+  check_int "retrain not yet" 0 !retrained;
+  Gr_kernel.Kernel.run_until kernel (Time_ns.ms 100);
+  (* The second RETRAIN (at 10ms) is rate limited away. *)
+  check_int "retrained once after delay" 1 !retrained
+
+let test_engine_retrain_rate_limited () =
+  let config =
+    { Engine.default_config with retrain_delay = Time_ns.ms 1; retrain_min_interval = Time_ns.sec 1 }
+  in
+  let kernel, d = make_deployment ~config () in
+  let retrained = ref 0 in
+  Gr_kernel.Kernel.register_policy kernel ~name:"p"
+    ~replace:(fun () -> ())
+    ~restore:(fun () -> ())
+    ~retrain:(fun () -> incr retrained)
+    ();
+  Guardrails.Deployment.save d "healthy" 0.;
+  let handles =
+    Guardrails.Deployment.install_source_exn d (simple_rail ~actions:[ {|RETRAIN("p")|} ] ())
+  in
+  Gr_kernel.Kernel.run_until kernel (Time_ns.ms 500);
+  let stats = Engine.Stats.get (Guardrails.Deployment.engine d) (List.hd handles) in
+  check_int "one retrain despite ~50 violations" 1 !retrained;
+  check_bool "suppressions counted" true (stats.retrains_suppressed > 40)
+
+let test_engine_cooldown () =
+  let config = { Engine.default_config with cooldown = Time_ns.ms 100 } in
+  let kernel, d = make_deployment ~config () in
+  Guardrails.Deployment.save d "healthy" 0.;
+  let handles = Guardrails.Deployment.install_source_exn d (simple_rail ()) in
+  Gr_kernel.Kernel.run_until kernel (Time_ns.ms 205);
+  let stats = Engine.Stats.get (Guardrails.Deployment.engine d) (List.hd handles) in
+  check_int "21 checks" 21 stats.checks;
+  check_int "21 violations" 21 stats.violations;
+  (* firings at 0, 100, 200ms; the violations in between are cooled. *)
+  check_int "cooldown limits firings" 3 stats.action_firings
+
+let test_engine_deprioritize_kill_handlers () =
+  let kernel, d = make_deployment () in
+  let sched = Gr_kernel.Sched.create ~engine:kernel.engine ~hooks:kernel.hooks () in
+  Guardrails.Deployment.wire_scheduler d sched;
+  let batch = Gr_kernel.Sched.spawn sched ~name:"b" ~cls:"batch" ~demand:(Time_ns.sec 10) () in
+  Guardrails.Deployment.save d "healthy" 0.;
+  ignore
+    (Guardrails.Deployment.install_source_exn d
+       (simple_rail ~trigger:"TIMER(0, 10ms, 15ms)"
+          ~actions:[ {|DEPRIORITIZE("batch", 64)|} ] ())
+      : Engine.handle list);
+  Gr_kernel.Kernel.run_until kernel (Time_ns.ms 20);
+  check_int "weight changed via action" 64 batch.weight
+
+let test_engine_uninstall () =
+  let kernel, d = make_deployment () in
+  Guardrails.Deployment.save d "healthy" 0.;
+  let handles = Guardrails.Deployment.install_source_exn d (simple_rail ()) in
+  let h = List.hd handles in
+  Gr_kernel.Kernel.run_until kernel (Time_ns.ms 25);
+  Engine.uninstall (Guardrails.Deployment.engine d) h;
+  let before = (Engine.Stats.get (Guardrails.Deployment.engine d) h).checks in
+  Gr_kernel.Kernel.run_until kernel (Time_ns.ms 100);
+  check_int "no checks after uninstall" before
+    (Engine.Stats.get (Guardrails.Deployment.engine d) h).checks
+
+let test_engine_cascade_bounded () =
+  (* Two ON_CHANGE monitors that keep writing each other's keys: the
+     cascade-depth bound must stop the recursion. *)
+  let src =
+    {|
+guardrail ping {
+  trigger: { ON_CHANGE(pong_key) }
+  rule: { LOAD(pong_key) < 0 }
+  action: { SAVE(ping_key, LOAD(ping_key) + 1) }
+}
+guardrail pong {
+  trigger: { ON_CHANGE(ping_key) }
+  rule: { LOAD(ping_key) < 0 }
+  action: { SAVE(pong_key, LOAD(pong_key) + 1) }
+}
+|}
+  in
+  let _, d = make_deployment () in
+  let handles = Guardrails.Deployment.install_source_exn d src in
+  (* Detected statically, too: each monitor also reads the key it
+     writes (inside the SAVE value program), so there are two
+     self-loops plus the ping<->pong cycle. *)
+  check_int "feedback cycles reported" 3 (List.length (Guardrails.Deployment.feedback_cycles d));
+  Guardrails.Deployment.save d "ping_key" 1.;
+  let stats h = Engine.Stats.get (Guardrails.Deployment.engine d) h in
+  let total_drops =
+    List.fold_left (fun acc h -> acc + (stats h).cascade_drops) 0 handles
+  in
+  check_bool "cascade stopped by depth bound" true (total_drops > 0)
+
+let test_engine_oscillation_detector () =
+  let config =
+    { Engine.default_config with oscillation_window = Time_ns.sec 10; oscillation_flips = 4 }
+  in
+  let kernel, d = make_deployment ~config () in
+  Guardrails.Deployment.save d "healthy" 1.;
+  ignore (Guardrails.Deployment.install_source_exn d (simple_rail ()) : Engine.handle list);
+  (* Flip health every 15ms so the monitor keeps changing state. *)
+  ignore
+    (Gr_sim.Engine.every kernel.engine ~interval:(Time_ns.ms 15) (fun _ ->
+         let current = Guardrails.Store.load (Guardrails.Deployment.store d) "healthy" in
+         Guardrails.Deployment.save d "healthy" (1. -. current))
+      : Gr_sim.Engine.handle);
+  Gr_kernel.Kernel.run_until kernel (Time_ns.ms 500);
+  Alcotest.(check (list string)) "oscillation flagged" [ "g" ]
+    (Engine.oscillating_monitors (Guardrails.Deployment.engine d))
+
+let test_engine_multiple_triggers_one_monitor () =
+  let kernel, d = make_deployment () in
+  Guardrails.Deployment.save d "healthy" 1.;
+  let handles =
+    Guardrails.Deployment.install_source_exn d
+      (simple_rail ~trigger:{|TIMER(0, 10ms, 35ms) FUNCTION("my:hook") ON_CHANGE(watched)|} ())
+  in
+  let h = List.hd handles in
+  Gr_kernel.Kernel.run_until kernel (Time_ns.ms 50);
+  (* Timer fires at 0,10,20,30 = 4 checks. *)
+  check_int "timer checks" 4 (Engine.Stats.get (Guardrails.Deployment.engine d) h).checks;
+  Gr_kernel.Hooks.fire kernel.hooks "my:hook" [];
+  Guardrails.Deployment.save d "watched" 1.;
+  check_int "hook and store checks add up" 6
+    (Engine.Stats.get (Guardrails.Deployment.engine d) h).checks
+
+let test_engine_save_program_reads_store () =
+  let kernel, d = make_deployment () in
+  Guardrails.Deployment.save d "healthy" 0.;
+  Guardrails.Deployment.save d "base" 20.;
+  ignore
+    (Guardrails.Deployment.install_source_exn d
+       (simple_rail ~trigger:"TIMER(0, 10ms, 15ms)"
+          ~actions:[ "SAVE(derived, LOAD(base) * 2 + 1)" ] ())
+      : Engine.handle list);
+  Gr_kernel.Kernel.run_until kernel (Time_ns.ms 20);
+  Alcotest.(check (float 1e-9)) "computed from store" 41.
+    (Guardrails.Store.load (Guardrails.Deployment.store d) "derived")
+
+let test_engine_report_snapshot_order () =
+  let kernel, d = make_deployment () in
+  Guardrails.Deployment.save d "healthy" 0.;
+  Guardrails.Deployment.save d "k1" 1.;
+  Guardrails.Deployment.save d "k2" 2.;
+  ignore
+    (Guardrails.Deployment.install_source_exn d
+       (simple_rail ~trigger:"TIMER(0, 10ms, 15ms)"
+          ~actions:[ {|REPORT("multi", k2, k1, healthy)|} ] ())
+      : Engine.handle list);
+  Gr_kernel.Kernel.run_until kernel (Time_ns.ms 20);
+  match Engine.violations (Guardrails.Deployment.engine d) with
+  | v :: _ ->
+    Alcotest.(check (list (pair string (float 0.))))
+      "snapshot preserves key order" [ ("k2", 2.); ("k1", 1.); ("healthy", 0.) ]
+      v.Engine.snapshot
+  | [] -> Alcotest.fail "no violation recorded"
+
+let test_engine_auto_damp () =
+  let config =
+    {
+      Engine.default_config with
+      oscillation_window = Time_ns.sec 10;
+      oscillation_flips = 4;
+      auto_damp = true;
+    }
+  in
+  let kernel, d = make_deployment ~config () in
+  Guardrails.Deployment.save d "healthy" 1.;
+  let handles = Guardrails.Deployment.install_source_exn d (simple_rail ()) in
+  ignore
+    (Gr_sim.Engine.every kernel.engine ~interval:(Time_ns.ms 15) (fun _ ->
+         let current = Guardrails.Store.load (Guardrails.Deployment.store d) "healthy" in
+         Guardrails.Deployment.save d "healthy" (1. -. current))
+      : Gr_sim.Engine.handle);
+  Gr_kernel.Kernel.run_until kernel (Time_ns.sec 2);
+  let stats = Engine.Stats.get (Guardrails.Deployment.engine d) (List.hd handles) in
+  check_bool "cooldown grew from zero" true (stats.effective_cooldown >= Time_ns.ms 100);
+  check_bool "alerts recorded" true (stats.oscillation_alerts >= 1);
+  (* Damping must slow action firings well below the violation count. *)
+  check_bool "firings damped" true (stats.action_firings * 2 < stats.violations)
+
+let test_engine_check_now () =
+  let _, d = make_deployment () in
+  Guardrails.Deployment.save d "healthy" 1.;
+  let handles = Guardrails.Deployment.install_source_exn d (simple_rail ()) in
+  let h = List.hd handles in
+  check_bool "healthy" true (Engine.check_now (Guardrails.Deployment.engine d) h);
+  Guardrails.Deployment.save d "healthy" 0.;
+  check_bool "violated" false (Engine.check_now (Guardrails.Deployment.engine d) h)
+
+let test_engine_rejects_unverifiable () =
+  let _, d = make_deployment () in
+  match
+    Guardrails.Deployment.install_source d
+      (simple_rail ~rule:"AVG(k, 3600s) < 1" ())
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected install to fail verification"
+
+let suite =
+  [
+    ( "runtime.store",
+      [
+        Alcotest.test_case "load default" `Quick test_store_load_default;
+        Alcotest.test_case "latest value" `Quick test_store_latest_value;
+        Alcotest.test_case "window expiry" `Quick test_store_window_expiry;
+        Alcotest.test_case "aggregates" `Quick test_store_aggregates;
+        Alcotest.test_case "empty window is 0" `Quick test_store_empty_window_zero;
+        Alcotest.test_case "bounded capacity" `Quick test_store_capacity_bounded;
+        Alcotest.test_case "on_save" `Quick test_store_on_save;
+        QCheck_alcotest.to_alcotest store_aggregate_property;
+      ] );
+    ( "runtime.vm",
+      [
+        Alcotest.test_case "division by zero" `Quick test_vm_division_by_zero;
+        Alcotest.test_case "cost accounting" `Quick test_vm_cost_accounting;
+      ] );
+    ( "runtime.engine",
+      [
+        Alcotest.test_case "timer checks" `Quick test_engine_timer_checks;
+        Alcotest.test_case "violation and report" `Quick test_engine_violation_and_report;
+        Alcotest.test_case "function trigger" `Quick test_engine_function_trigger;
+        Alcotest.test_case "on-change trigger" `Quick test_engine_on_change_trigger;
+        Alcotest.test_case "save action + control key" `Quick
+          test_engine_save_action_and_control_key;
+        Alcotest.test_case "replace/restore/retrain" `Quick test_engine_replace_restore_retrain;
+        Alcotest.test_case "retrain rate limit" `Quick test_engine_retrain_rate_limited;
+        Alcotest.test_case "cooldown" `Quick test_engine_cooldown;
+        Alcotest.test_case "deprioritize handler" `Quick test_engine_deprioritize_kill_handlers;
+        Alcotest.test_case "uninstall" `Quick test_engine_uninstall;
+        Alcotest.test_case "cascade bounded" `Quick test_engine_cascade_bounded;
+        Alcotest.test_case "oscillation detector" `Quick test_engine_oscillation_detector;
+        Alcotest.test_case "auto-damp" `Quick test_engine_auto_damp;
+        Alcotest.test_case "multiple triggers, one monitor" `Quick
+          test_engine_multiple_triggers_one_monitor;
+        Alcotest.test_case "SAVE program reads store" `Quick test_engine_save_program_reads_store;
+        Alcotest.test_case "report snapshot order" `Quick test_engine_report_snapshot_order;
+        Alcotest.test_case "check_now" `Quick test_engine_check_now;
+        Alcotest.test_case "rejects unverifiable" `Quick test_engine_rejects_unverifiable;
+      ] );
+  ]

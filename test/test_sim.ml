@@ -1,0 +1,136 @@
+(* Tests for gr_sim: the discrete-event engine. *)
+
+open Gr_util
+module Engine = Gr_sim.Engine
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_fires_in_time_order () =
+  let e = Engine.create () in
+  let order = ref [] in
+  ignore (Engine.schedule_at e (Time_ns.ms 30) (fun _ -> order := 30 :: !order) : Engine.handle);
+  ignore (Engine.schedule_at e (Time_ns.ms 10) (fun _ -> order := 10 :: !order) : Engine.handle);
+  ignore (Engine.schedule_at e (Time_ns.ms 20) (fun _ -> order := 20 :: !order) : Engine.handle);
+  Engine.run e;
+  Alcotest.(check (list int)) "time order" [ 10; 20; 30 ] (List.rev !order)
+
+let test_fifo_tie_break () =
+  let e = Engine.create () in
+  let order = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.schedule_at e (Time_ns.ms 5) (fun _ -> order := i :: !order) : Engine.handle)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "FIFO at equal time" [ 1; 2; 3; 4; 5 ] (List.rev !order)
+
+let test_clock_advances () =
+  let e = Engine.create () in
+  let seen = ref Time_ns.zero in
+  ignore (Engine.schedule_at e (Time_ns.ms 7) (fun e -> seen := Engine.now e) : Engine.handle);
+  Engine.run e;
+  check_int "clock at event time" (Time_ns.ms 7) !seen;
+  check_int "clock stays" (Time_ns.ms 7) (Engine.now e)
+
+let test_schedule_in_past_rejected () =
+  let e = Engine.create () in
+  ignore (Engine.schedule_at e (Time_ns.ms 5) (fun _ -> ()) : Engine.handle);
+  Engine.run e;
+  Alcotest.check_raises "past scheduling"
+    (Invalid_argument "Engine.schedule_at: time is in the past") (fun () ->
+      ignore (Engine.schedule_at e (Time_ns.ms 1) (fun _ -> ()) : Engine.handle))
+
+let test_schedule_after () =
+  let e = Engine.create () in
+  let at = ref Time_ns.zero in
+  ignore
+    (Engine.schedule_at e (Time_ns.ms 10) (fun e ->
+         ignore (Engine.schedule_after e (Time_ns.ms 5) (fun e -> at := Engine.now e) : Engine.handle))
+      : Engine.handle);
+  Engine.run e;
+  check_int "relative delay" (Time_ns.ms 15) !at
+
+let test_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule_at e (Time_ns.ms 10) (fun _ -> fired := true) in
+  Engine.cancel h;
+  Engine.cancel h (* idempotent *);
+  Engine.run e;
+  check_bool "cancelled event never fires" false !fired
+
+let test_run_until_stops_and_advances () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  ignore (Engine.every e ~interval:(Time_ns.ms 10) (fun _ -> incr count) : Engine.handle);
+  Engine.run_until e (Time_ns.ms 35);
+  check_int "three periodic firings" 3 !count;
+  check_int "clock advanced to limit" (Time_ns.ms 35) (Engine.now e);
+  Engine.run_until e (Time_ns.ms 40);
+  check_int "resumes correctly" 4 !count
+
+let test_every_start_stop () =
+  let e = Engine.create () in
+  let times = ref [] in
+  ignore
+    (Engine.every e ~start:(Time_ns.ms 5) ~stop:(Time_ns.ms 26) ~interval:(Time_ns.ms 10)
+       (fun e -> times := Engine.now e :: !times)
+      : Engine.handle);
+  Engine.run e;
+  Alcotest.(check (list int)) "start/stop respected"
+    [ Time_ns.ms 5; Time_ns.ms 15; Time_ns.ms 25 ]
+    (List.rev !times)
+
+let test_every_cancel_mid_stream () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let h = Engine.every e ~interval:(Time_ns.ms 10) (fun _ -> incr count) in
+  ignore (Engine.schedule_at e (Time_ns.ms 25) (fun _ -> Engine.cancel h) : Engine.handle);
+  Engine.run_until e (Time_ns.ms 100);
+  check_int "stopped after cancel" 2 !count
+
+let test_every_invalid_interval () =
+  let e = Engine.create () in
+  Alcotest.check_raises "non-positive interval"
+    (Invalid_argument "Engine.every: interval must be positive") (fun () ->
+      ignore (Engine.every e ~interval:0 (fun _ -> ()) : Engine.handle))
+
+let test_events_fired_counter () =
+  let e = Engine.create () in
+  for i = 1 to 4 do
+    ignore (Engine.schedule_at e (Time_ns.ms i) (fun _ -> ()) : Engine.handle)
+  done;
+  Engine.run e;
+  check_int "fired count" 4 (Engine.events_fired e)
+
+let test_nested_scheduling_cascade () =
+  let e = Engine.create () in
+  let depth = ref 0 in
+  let rec go n engine =
+    depth := n;
+    if n < 10 then
+      ignore (Engine.schedule_after engine (Time_ns.us 1) (go (n + 1)) : Engine.handle)
+  in
+  ignore (Engine.schedule_at e 0 (go 1) : Engine.handle);
+  Engine.run e;
+  check_int "cascade completes" 10 !depth;
+  check_int "time accumulated" (Time_ns.us 9) (Engine.now e)
+
+let suite =
+  [
+    ( "sim.engine",
+      [
+        Alcotest.test_case "fires in time order" `Quick test_fires_in_time_order;
+        Alcotest.test_case "FIFO tie-break" `Quick test_fifo_tie_break;
+        Alcotest.test_case "clock advances" `Quick test_clock_advances;
+        Alcotest.test_case "past scheduling rejected" `Quick test_schedule_in_past_rejected;
+        Alcotest.test_case "schedule_after" `Quick test_schedule_after;
+        Alcotest.test_case "cancel" `Quick test_cancel;
+        Alcotest.test_case "run_until" `Quick test_run_until_stops_and_advances;
+        Alcotest.test_case "every with start/stop" `Quick test_every_start_stop;
+        Alcotest.test_case "cancel periodic mid-stream" `Quick test_every_cancel_mid_stream;
+        Alcotest.test_case "invalid interval" `Quick test_every_invalid_interval;
+        Alcotest.test_case "events_fired counter" `Quick test_events_fired_counter;
+        Alcotest.test_case "nested scheduling cascade" `Quick test_nested_scheduling_cascade;
+      ] );
+  ]

@@ -1,0 +1,359 @@
+(* Tests for gr_util: PRNG, ring buffer, heap, statistics. *)
+
+open Gr_util
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---------- Rng ---------- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_different_seeds () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.int64 a <> Rng.int64 b then differs := true
+  done;
+  check_bool "streams differ" true !differs
+
+let test_rng_split_independent () =
+  let parent = Rng.create 7 in
+  let child = Rng.split parent in
+  (* Drawing from the child must not influence the parent's stream
+     relative to a parent that splits but never uses the child. *)
+  let parent2 = Rng.create 7 in
+  let _child2 = Rng.split parent2 in
+  for _ = 1 to 5 do
+    ignore (Rng.int64 child : int64)
+  done;
+  Alcotest.(check int64) "parent unaffected by child draws" (Rng.int64 parent2) (Rng.int64 parent)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    check_bool "in [0,17)" true (v >= 0 && v < 17)
+  done
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 4 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 2.5 in
+    check_bool "in [0,2.5)" true (v >= 0. && v < 2.5)
+  done
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 5 in
+  let n = 20_000 in
+  let w = Stats.Welford.create () in
+  for _ = 1 to n do
+    Stats.Welford.add w (Rng.gaussian rng ~mu:3. ~sigma:2.)
+  done;
+  check_bool "mean near 3" true (Float.abs (Stats.Welford.mean w -. 3.) < 0.1);
+  check_bool "stddev near 2" true (Float.abs (Stats.Welford.stddev w -. 2.) < 0.1)
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 6 in
+  let n = 20_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng ~rate:4.
+  done;
+  check_bool "mean near 1/4" true (Float.abs ((!sum /. float_of_int n) -. 0.25) < 0.02)
+
+let test_zipf_skew () =
+  let rng = Rng.create 8 in
+  let zipf = Rng.Zipf.create ~n:100 ~s:1.2 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 50_000 do
+    let i = Rng.Zipf.sample zipf rng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  check_bool "rank 0 most popular" true (counts.(0) > counts.(10));
+  check_bool "rank 10 beats rank 90" true (counts.(10) > counts.(90));
+  check_int "all mass accounted" 50_000 (Array.fold_left ( + ) 0 counts)
+
+let test_shuffle_permutation () =
+  let rng = Rng.create 9 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+(* ---------- Time_ns ---------- *)
+
+let test_time_constructors () =
+  check_int "us" 5_000 (Gr_util.Time_ns.us 5);
+  check_int "ms" 5_000_000 (Gr_util.Time_ns.ms 5);
+  check_int "sec" 5_000_000_000 (Gr_util.Time_ns.sec 5);
+  check_int "of_float_sec rounds" 1_500_000_000 (Gr_util.Time_ns.of_float_sec 1.5);
+  check_float "to_float_ms" 1.5 (Gr_util.Time_ns.to_float_ms 1_500_000)
+
+let test_time_pp_units () =
+  let pp t = Format.asprintf "%a" Gr_util.Time_ns.pp t in
+  Alcotest.(check string) "ns" "250ns" (pp 250);
+  Alcotest.(check string) "us" "20us" (pp (Gr_util.Time_ns.us 20));
+  Alcotest.(check string) "ms" "1.5ms" (pp (Gr_util.Time_ns.ms 1 + Gr_util.Time_ns.us 500));
+  Alcotest.(check string) "s" "2s" (pp (Gr_util.Time_ns.sec 2))
+
+(* ---------- Ring ---------- *)
+
+let test_ring_basic () =
+  let r = Ring.create ~capacity:3 in
+  check_bool "empty" true (Ring.is_empty r);
+  Ring.push r 1;
+  Ring.push r 2;
+  check_int "length" 2 (Ring.length r);
+  Alcotest.(check (list int)) "contents" [ 1; 2 ] (Ring.to_list r);
+  Alcotest.(check (option int)) "oldest" (Some 1) (Ring.oldest r);
+  Alcotest.(check (option int)) "newest" (Some 2) (Ring.newest r)
+
+let test_ring_eviction () =
+  let r = Ring.create ~capacity:3 in
+  List.iter (Ring.push r) [ 1; 2; 3; 4; 5 ];
+  check_int "capped" 3 (Ring.length r);
+  Alcotest.(check (list int)) "keeps newest" [ 3; 4; 5 ] (Ring.to_list r)
+
+let test_ring_get_out_of_range () =
+  let r = Ring.create ~capacity:2 in
+  Ring.push r 1;
+  Alcotest.check_raises "get out of range" (Invalid_argument "Ring.get: index out of range")
+    (fun () -> ignore (Ring.get r 1 : int))
+
+let test_ring_drop_while () =
+  let r = Ring.create ~capacity:8 in
+  List.iter (Ring.push r) [ 1; 2; 3; 4; 5 ];
+  Ring.drop_while_oldest (fun x -> x < 3) r;
+  Alcotest.(check (list int)) "dropped prefix" [ 3; 4; 5 ] (Ring.to_list r);
+  Ring.drop_while_oldest (fun _ -> true) r;
+  check_bool "can drop all" true (Ring.is_empty r)
+
+let test_ring_clear () =
+  let r = Ring.create ~capacity:4 in
+  List.iter (Ring.push r) [ 1; 2; 3 ];
+  Ring.clear r;
+  check_bool "cleared" true (Ring.is_empty r);
+  Ring.push r 9;
+  Alcotest.(check (list int)) "usable after clear" [ 9 ] (Ring.to_list r)
+
+let test_ring_wraparound_order () =
+  let r = Ring.create ~capacity:4 in
+  for i = 1 to 10 do
+    Ring.push r i
+  done;
+  Alcotest.(check (list int)) "chronological after wrap" [ 7; 8; 9; 10 ] (Ring.to_list r);
+  check_int "get newest" 10 (Ring.get r 3)
+
+let test_ring_invalid_capacity () =
+  Alcotest.check_raises "zero capacity" (Invalid_argument "Ring.create: capacity must be positive")
+    (fun () -> ignore (Ring.create ~capacity:0 : int Ring.t))
+
+(* ---------- Heap ---------- *)
+
+let test_heap_sorts () =
+  let h = Heap.create ~cmp:Int.compare in
+  List.iter (Heap.add h) [ 5; 3; 8; 1; 9; 2; 7 ];
+  let rec drain acc = match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
+  Alcotest.(check (list int)) "ascending" [ 1; 2; 3; 5; 7; 8; 9 ] (drain [])
+
+let test_heap_peek () =
+  let h = Heap.create ~cmp:Int.compare in
+  Alcotest.(check (option int)) "empty peek" None (Heap.peek h);
+  Heap.add h 4;
+  Heap.add h 2;
+  Alcotest.(check (option int)) "peek min" (Some 2) (Heap.peek h);
+  check_int "peek does not remove" 2 (Heap.length h)
+
+let test_heap_duplicates () =
+  let h = Heap.create ~cmp:Int.compare in
+  List.iter (Heap.add h) [ 3; 3; 1; 1; 2 ];
+  Alcotest.(check (list int)) "duplicates preserved" [ 1; 1; 2; 3; 3 ] (Heap.to_sorted_list h);
+  check_int "non-destructive" 5 (Heap.length h)
+
+let heap_property =
+  QCheck2.Test.make ~name:"heap pops in sorted order" ~count:200
+    QCheck2.Gen.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:Int.compare in
+      List.iter (Heap.add h) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort Int.compare xs)
+
+let ring_property =
+  QCheck2.Test.make ~name:"ring keeps the most recent [capacity] elements" ~count:200
+    QCheck2.Gen.(pair (int_range 1 20) (list int))
+    (fun (cap, xs) ->
+      let r = Ring.create ~capacity:cap in
+      List.iter (Ring.push r) xs;
+      let n = List.length xs in
+      let expected = List.filteri (fun i _ -> i >= n - cap) xs in
+      Ring.to_list r = expected)
+
+(* ---------- Stats ---------- *)
+
+let test_welford_matches_batch () =
+  let xs = [| 1.0; 2.5; 3.5; 4.0; 10.0; -3.0 |] in
+  let w = Stats.Welford.create () in
+  Array.iter (Stats.Welford.add w) xs;
+  check_float "mean" (Stats.mean xs) (Stats.Welford.mean w);
+  check_bool "variance" true (Float.abs (Stats.variance xs -. Stats.Welford.variance w) < 1e-9);
+  check_float "min" (-3.0) (Stats.Welford.min w);
+  check_float "max" 10.0 (Stats.Welford.max w)
+
+let test_welford_merge () =
+  let xs = Array.init 50 (fun i -> float_of_int i *. 0.7) in
+  let ys = Array.init 30 (fun i -> 100. -. float_of_int i) in
+  let a = Stats.Welford.create () and b = Stats.Welford.create () in
+  Array.iter (Stats.Welford.add a) xs;
+  Array.iter (Stats.Welford.add b) ys;
+  let merged = Stats.Welford.merge a b in
+  let all = Array.append xs ys in
+  check_bool "merged mean" true (Float.abs (Stats.mean all -. Stats.Welford.mean merged) < 1e-9);
+  check_bool "merged var" true
+    (Float.abs (Stats.variance all -. Stats.Welford.variance merged) < 1e-6)
+
+let test_ewma () =
+  let e = Stats.Ewma.create ~alpha:0.5 in
+  check_bool "uninitialized" false (Stats.Ewma.initialized e);
+  Stats.Ewma.add e 10.;
+  check_float "first sample" 10. (Stats.Ewma.value e);
+  Stats.Ewma.add e 0.;
+  check_float "decays" 5. (Stats.Ewma.value e)
+
+let test_p2_median () =
+  let rng = Rng.create 11 in
+  let p2 = Stats.P2.create ~q:0.5 in
+  let values = Array.init 5000 (fun _ -> Rng.gaussian rng ~mu:50. ~sigma:10.) in
+  Array.iter (Stats.P2.add p2) values;
+  let exact = Stats.quantile values 0.5 in
+  check_bool "P2 close to exact median" true (Float.abs (Stats.P2.quantile p2 -. exact) < 1.0)
+
+let test_p2_p99 () =
+  let rng = Rng.create 12 in
+  let p2 = Stats.P2.create ~q:0.99 in
+  let values = Array.init 10_000 (fun _ -> Rng.exponential rng ~rate:0.1) in
+  Array.iter (Stats.P2.add p2) values;
+  let exact = Stats.quantile values 0.99 in
+  check_bool "P2 p99 within 15%" true (Float.abs (Stats.P2.quantile p2 -. exact) /. exact < 0.15)
+
+let test_p2_small_n_exact () =
+  let p2 = Stats.P2.create ~q:0.5 in
+  List.iter (Stats.P2.add p2) [ 3.; 1.; 2. ];
+  check_float "exact median below 5 samples" 2. (Stats.P2.quantile p2)
+
+let test_histogram_quantile () =
+  let h = Stats.Histogram.create ~lo:0. ~hi:100. ~bins:100 in
+  for i = 0 to 999 do
+    Stats.Histogram.add h (float_of_int (i mod 100))
+  done;
+  check_bool "median near 50" true (Float.abs (Stats.Histogram.quantile h 0.5 -. 50.) < 2.);
+  check_int "count" 1000 (Stats.Histogram.count h)
+
+let test_histogram_clamps () =
+  let h = Stats.Histogram.create ~lo:0. ~hi:10. ~bins:10 in
+  Stats.Histogram.add h (-5.);
+  Stats.Histogram.add h 50.;
+  let counts = Stats.Histogram.bin_counts h in
+  check_int "low clamp" 1 counts.(0);
+  check_int "high clamp" 1 counts.(9)
+
+let test_quantile_interpolation () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  check_float "q0" 1. (Stats.quantile xs 0.);
+  check_float "q1" 4. (Stats.quantile xs 1.);
+  check_float "median interpolates" 2.5 (Stats.quantile xs 0.5)
+
+let test_ks_distance () =
+  let a = Array.init 500 (fun i -> float_of_int i) in
+  check_float "identical samples" 0. (Stats.ks_distance a a);
+  let b = Array.map (fun x -> x +. 1000.) a in
+  check_float "disjoint samples" 1. (Stats.ks_distance a b);
+  check_float "empty sample" 0. (Stats.ks_distance a [||])
+
+let test_jain_index () =
+  check_float "perfectly fair" 1. (Stats.jain_index [| 5.; 5.; 5.; 5. |]);
+  check_float "one hog of four" 0.25 (Stats.jain_index [| 1.; 0.; 0.; 0. |]);
+  check_float "empty is fair" 1. (Stats.jain_index [||])
+
+let test_moving_average () =
+  let out = Stats.moving_average ~window:2 [| 1.; 3.; 5.; 7. |] in
+  Alcotest.(check (array (float 1e-9))) "trailing MA" [| 1.; 2.; 4.; 6. |] out
+
+let quantile_property =
+  QCheck2.Test.make ~name:"quantile is monotone in q" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 50) (float_bound_inclusive 1000.))
+    (fun xs ->
+      let arr = Array.of_list xs in
+      Stats.quantile arr 0.25 <= Stats.quantile arr 0.75)
+
+let jain_property =
+  QCheck2.Test.make ~name:"jain index lies in (0, 1]" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 30) (float_bound_inclusive 100.))
+    (fun xs ->
+      let j = Stats.jain_index (Array.of_list xs) in
+      j > 0. && j <= 1. +. 1e-9)
+
+let suite =
+  [
+    ( "util.rng",
+      [
+        Alcotest.test_case "determinism" `Quick test_rng_determinism;
+        Alcotest.test_case "different seeds differ" `Quick test_rng_different_seeds;
+        Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+        Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+        Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+        Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+        Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+        Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
+      ] );
+    ( "util.time",
+      [
+        Alcotest.test_case "constructors" `Quick test_time_constructors;
+        Alcotest.test_case "adaptive pretty-printing" `Quick test_time_pp_units;
+      ] );
+    ( "util.ring",
+      [
+        Alcotest.test_case "basic push/read" `Quick test_ring_basic;
+        Alcotest.test_case "eviction at capacity" `Quick test_ring_eviction;
+        Alcotest.test_case "out-of-range get" `Quick test_ring_get_out_of_range;
+        Alcotest.test_case "drop_while_oldest" `Quick test_ring_drop_while;
+        Alcotest.test_case "clear" `Quick test_ring_clear;
+        Alcotest.test_case "wraparound order" `Quick test_ring_wraparound_order;
+        Alcotest.test_case "invalid capacity" `Quick test_ring_invalid_capacity;
+        QCheck_alcotest.to_alcotest ring_property;
+      ] );
+    ( "util.heap",
+      [
+        Alcotest.test_case "sorts" `Quick test_heap_sorts;
+        Alcotest.test_case "peek" `Quick test_heap_peek;
+        Alcotest.test_case "duplicates" `Quick test_heap_duplicates;
+        QCheck_alcotest.to_alcotest heap_property;
+      ] );
+    ( "util.stats",
+      [
+        Alcotest.test_case "welford matches batch" `Quick test_welford_matches_batch;
+        Alcotest.test_case "welford merge" `Quick test_welford_merge;
+        Alcotest.test_case "ewma" `Quick test_ewma;
+        Alcotest.test_case "p2 median" `Quick test_p2_median;
+        Alcotest.test_case "p2 p99" `Quick test_p2_p99;
+        Alcotest.test_case "p2 exact below 5" `Quick test_p2_small_n_exact;
+        Alcotest.test_case "histogram quantile" `Quick test_histogram_quantile;
+        Alcotest.test_case "histogram clamps" `Quick test_histogram_clamps;
+        Alcotest.test_case "quantile interpolation" `Quick test_quantile_interpolation;
+        Alcotest.test_case "ks distance" `Quick test_ks_distance;
+        Alcotest.test_case "jain index" `Quick test_jain_index;
+        Alcotest.test_case "moving average" `Quick test_moving_average;
+        QCheck_alcotest.to_alcotest quantile_property;
+        QCheck_alcotest.to_alcotest jain_property;
+      ] );
+  ]
