@@ -1,0 +1,24 @@
+.PHONY: all build test fmt fmt-check bench ci
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Reformat dune files in place.
+fmt:
+	dune build @fmt --auto-promote
+
+# Fail on unformatted dune files or lint findings in OCaml sources.
+fmt-check:
+	dune build @fmt @fmt-check
+
+bench:
+	dune exec bench/main.exe
+
+ci: fmt-check
+	dune build
+	dune runtest

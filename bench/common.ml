@@ -41,7 +41,7 @@ let run_until = Time_ns.sec 9
 (* [rate_window]/[rate_every] control the false_submit_rate derivation
    the Listing 2 guardrail consumes. *)
 let make_fig2_rig ?(seed = 7) ?(rate_window = Time_ns.sec 2) ?(rate_every = Time_ns.ms 100)
-    ?(with_model = true) () =
+    ?(with_model = true) ?(tracing = false) ?trace_capacity () =
   let kernel = Gr_kernel.Kernel.create ~seed in
   let devices =
     Array.init n_devices (fun i ->
@@ -52,7 +52,7 @@ let make_fig2_rig ?(seed = 7) ?(rate_window = Time_ns.sec 2) ?(rate_every = Time
   if with_model then
     Gr_kernel.Policy_slot.install (Gr_kernel.Blk.slot blk) ~name:"linnos"
       (Gr_policy.Linnos.policy model);
-  let deployment = Guardrails.Deployment.create ~kernel () in
+  let deployment = Guardrails.Deployment.create ~kernel ~tracing ?trace_capacity () in
   Guardrails.Deployment.forward_hook_arg deployment ~hook:"blk:io_complete" ~arg:"false_submit" ();
   Guardrails.Deployment.derive_window_avg deployment ~src:"false_submit" ~dst:"false_submit_rate"
     ~window:rate_window ~every:rate_every;
@@ -114,3 +114,19 @@ let section title =
   hr ();
   Printf.printf "## %s\n" title;
   hr ()
+
+(* ---------- machine-readable output (--json) ---------- *)
+
+module Json = Guardrails.Json
+
+(* Per-monitor telemetry of a deployment, as the gr_trace registry
+   renders it: check counts, latency quantiles, cumulative VM cost. *)
+let monitors_json deployment =
+  match Guardrails.Metrics.to_json (Guardrails.Deployment.metrics deployment) with
+  | Json.Obj [ ("monitors", monitors) ] -> monitors
+  | other -> other
+
+let json_num x : Json.t = if Float.is_finite x then Num x else Null
+let json_int i : Json.t = Num (float_of_int i)
+
+let print_json (j : Json.t) = print_endline (Json.to_string j)

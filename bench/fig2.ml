@@ -8,8 +8,10 @@
 
 open Gr_util
 
-let run_arm ~with_guardrail =
-  let rig = Common.make_fig2_rig () in
+let run_arm ~with_guardrail ?(tracing = false) () =
+  (* The traced arm needs headroom for ~9 simulated seconds of sim
+     dispatch + hook + check events; 2^20 slots keeps drops at zero. *)
+  let rig = Common.make_fig2_rig ~tracing ~trace_capacity:(1 lsl 20) () in
   if with_guardrail then
     ignore
       (Guardrails.Deployment.install_source_exn rig.deployment Common.listing2_source
@@ -49,55 +51,142 @@ let run_quality_arm () =
   Gr_kernel.Kernel.run_until rig.kernel Common.run_until;
   rig
 
-let run () =
-  Common.section "Figure 2 — I/O latency moving average, LinnOS vs LinnOS w/ guardrails";
-  let rig_plain, samples_plain = run_arm ~with_guardrail:false in
-  let rig_guard, samples_guard = run_arm ~with_guardrail:true in
+let trace_file = "fig2_trace.json"
+
+let phases = [ ("healthy", Time_ns.zero, Common.aging_at);
+               ("stale_model", Common.aging_at, Time_ns.sec 3);
+               ("post_mitigation", Time_ns.sec 4, Time_ns.sec 8) ]
+
+let json_output ~trigger_at ~quality_at ~(rig_plain : Common.fig2_rig)
+    ~(rig_guard : Common.fig2_rig) ~rig_quality ~series_plain ~series_guard ~samples_plain
+    ~samples_guard ~trace_events ~trace_dropped : Common.Json.t =
+  let open Common.Json in
+  let time_opt = function Some at -> Common.json_int at | None -> Null in
+  Obj
+    [
+      ("experiment", Str "fig2");
+      ("aging_at_ns", Common.json_int Common.aging_at);
+      ("trigger_at_ns", time_opt trigger_at);
+      ( "model_enabled_end",
+        Obj
+          [
+            ("plain", Bool (Gr_policy.Linnos.enabled rig_plain.Common.model));
+            ("guarded", Bool (Gr_policy.Linnos.enabled rig_guard.Common.model));
+          ] );
+      ( "false_submits",
+        Obj
+          [
+            ("plain", Common.json_int (Gr_kernel.Blk.false_submits rig_plain.Common.blk));
+            ("guarded", Common.json_int (Gr_kernel.Blk.false_submits rig_guard.Common.blk));
+          ] );
+      ( "series",
+        Arr
+          (List.map2
+             (fun (t, plain) (_, guard) ->
+               Obj
+                 [
+                   ("t_s", Common.json_num t);
+                   ("plain_us", Common.json_num plain);
+                   ("guarded_us", Common.json_num guard);
+                 ])
+             series_plain series_guard) );
+      ( "phases",
+        Arr
+          (List.map
+             (fun (name, lo, hi) ->
+               Obj
+                 [
+                   ("name", Str name);
+                   ("lo_ns", Common.json_int lo);
+                   ("hi_ns", Common.json_int hi);
+                   ("plain_us", Common.json_num (Common.mean_latency_between ~lo ~hi samples_plain));
+                   ( "guarded_us",
+                     Common.json_num (Common.mean_latency_between ~lo ~hi samples_guard) );
+                 ])
+             phases) );
+      ( "quality_arm",
+        Obj
+          [
+            ("trigger_at_ns", time_opt quality_at);
+            ("model_enabled_end", Bool (Gr_policy.Linnos.enabled rig_quality.Common.model));
+          ] );
+      ("monitors", Common.monitors_json rig_guard.Common.deployment);
+      ( "trace",
+        Obj
+          [
+            ("file", Str trace_file);
+            ("events", Common.json_int trace_events);
+            ("dropped", Common.json_int trace_dropped);
+          ] );
+    ]
+
+let run ~json =
+  if not json then
+    Common.section "Figure 2 — I/O latency moving average, LinnOS vs LinnOS w/ guardrails";
+  let rig_plain, samples_plain = run_arm ~with_guardrail:false () in
+  (* In --json mode the guarded arm runs traced and is exported as a
+     Chrome trace_event file: the sim timeline shows the TIMER checks
+     and the firing REPORT/SAVE at the violation. *)
+  let rig_guard, samples_guard = run_arm ~with_guardrail:true ~tracing:json () in
   let trigger_at = Common.first_violation rig_guard.deployment in
-  (match trigger_at with
-  | Some at ->
-    Format.printf "false-submit guardrail triggered at %a (aging was at %a)@." Time_ns.pp at
-      Time_ns.pp Common.aging_at
-  | None -> print_endline "guardrail never triggered (unexpected)");
-  Printf.printf "model enabled at end: plain=%b guarded=%b\n"
-    (Gr_policy.Linnos.enabled rig_plain.model)
-    (Gr_policy.Linnos.enabled rig_guard.model);
-  print_endline "";
-  print_endline "   t(s)   LinnOS(us)   LinnOS+guardrail(us)";
   let bucket = Time_ns.ms 250 in
   let series_plain = Common.latency_series ~bucket samples_plain in
   let series_guard = Common.latency_series ~bucket samples_guard in
-  List.iter2
-    (fun (t, plain) (_, guard) ->
-      let marker =
-        match trigger_at with
-        | Some at
-          when t >= Time_ns.to_float_sec at && t -. Time_ns.to_float_sec at < 0.25 ->
-          "  <- guardrail triggered, mitigation applied"
-        | _ -> ""
-      in
-      Printf.printf "  %5.2f   %8.1f     %8.1f%s\n" t plain guard marker)
-    series_plain series_guard;
-  print_endline "";
-  let phase name lo hi =
-    Printf.printf "  %-28s  LinnOS %7.1fus   LinnOS+guardrail %7.1fus\n" name
-      (Common.mean_latency_between ~lo ~hi samples_plain)
-      (Common.mean_latency_between ~lo ~hi samples_guard)
-  in
-  phase "healthy regime (0-2s)" Time_ns.zero Common.aging_at;
-  phase "stale model (2-3s)" Common.aging_at (Time_ns.sec 3);
-  phase "post-mitigation (4-8s)" (Time_ns.sec 4) (Time_ns.sec 8);
-  Printf.printf "\n  false submits: plain=%d guarded=%d\n"
-    (Gr_kernel.Blk.false_submits rig_plain.blk)
-    (Gr_kernel.Blk.false_submits rig_guard.blk);
-  (* Same property, P4 formulation: compare served latency to the
-     per-I/O hedge counterfactual instead of the false-submit rate. *)
   let rig_quality = run_quality_arm () in
-  (match Common.first_violation rig_quality.deployment with
-  | Some at ->
-    Format.printf
-      "\n  P4 formulation (AVG latency vs hedge counterfactual): triggered at %a, model \
-       enabled=%b@."
-      Time_ns.pp at
-      (Gr_policy.Linnos.enabled rig_quality.model)
-  | None -> print_endline "\n  P4 formulation never triggered (unexpected)")
+  let quality_at = Common.first_violation rig_quality.deployment in
+  if json then begin
+    Guardrails.Deployment.write_chrome_trace rig_guard.deployment ~path:trace_file;
+    (* The Chrome file merges both channels, so count both. *)
+    let tr = Guardrails.Deployment.tracer rig_guard.deployment in
+    let events = Guardrails.Trace.events tr and reports = Guardrails.Trace.reports tr in
+    Common.print_json
+      (json_output ~trigger_at ~quality_at ~rig_plain ~rig_guard ~rig_quality ~series_plain
+         ~series_guard ~samples_plain ~samples_guard
+         ~trace_events:
+           (Guardrails.Trace_sink.length events + Guardrails.Trace_sink.length reports)
+         ~trace_dropped:
+           (Guardrails.Trace_sink.dropped events + Guardrails.Trace_sink.dropped reports))
+  end
+  else begin
+    (match trigger_at with
+    | Some at ->
+      Format.printf "false-submit guardrail triggered at %a (aging was at %a)@." Time_ns.pp at
+        Time_ns.pp Common.aging_at
+    | None -> print_endline "guardrail never triggered (unexpected)");
+    Printf.printf "model enabled at end: plain=%b guarded=%b\n"
+      (Gr_policy.Linnos.enabled rig_plain.model)
+      (Gr_policy.Linnos.enabled rig_guard.model);
+    print_endline "";
+    print_endline "   t(s)   LinnOS(us)   LinnOS+guardrail(us)";
+    List.iter2
+      (fun (t, plain) (_, guard) ->
+        let marker =
+          match trigger_at with
+          | Some at
+            when t >= Time_ns.to_float_sec at && t -. Time_ns.to_float_sec at < 0.25 ->
+            "  <- guardrail triggered, mitigation applied"
+          | _ -> ""
+        in
+        Printf.printf "  %5.2f   %8.1f     %8.1f%s\n" t plain guard marker)
+      series_plain series_guard;
+    print_endline "";
+    List.iter
+      (fun (name, lo, hi) ->
+        Printf.printf "  %-28s  LinnOS %7.1fus   LinnOS+guardrail %7.1fus\n" name
+          (Common.mean_latency_between ~lo ~hi samples_plain)
+          (Common.mean_latency_between ~lo ~hi samples_guard))
+      phases;
+    Printf.printf "\n  false submits: plain=%d guarded=%d\n"
+      (Gr_kernel.Blk.false_submits rig_plain.blk)
+      (Gr_kernel.Blk.false_submits rig_guard.blk);
+    (* Same property, P4 formulation: compare served latency to the
+       per-I/O hedge counterfactual instead of the false-submit rate. *)
+    match quality_at with
+    | Some at ->
+      Format.printf
+        "\n  P4 formulation (AVG latency vs hedge counterfactual): triggered at %a, model \
+         enabled=%b@."
+        Time_ns.pp at
+        (Gr_policy.Linnos.enabled rig_quality.model)
+    | None -> print_endline "\n  P4 formulation never triggered (unexpected)"
+  end

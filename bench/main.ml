@@ -14,31 +14,40 @@
      oscillation  Ablation C: guardrail feedback loops
      incremental  Ablation D: incremental deployment
      compile-stats Ablation E: compiler statistics over specs/
-     scale        Ablation F: monitor-count scalability *)
+     scale        Ablation F: monitor-count scalability
 
-let experiments =
+   With --json, experiments that support it (fig2, overhead, scale)
+   print one machine-readable JSON document to stdout instead of the
+   human tables, with per-monitor telemetry sourced from gr_trace —
+   the BENCH_*.json perf-trajectory format. fig2 --json additionally
+   writes fig2_trace.json, a Chrome trace_event file of the guarded
+   arm. *)
+
+let experiments : (string * (json:bool -> unit)) list =
   [
     ("fig2", Fig2.run);
-    ("fig1-props", Fig1_props.run);
-    ("fig1-actions", Fig1_actions.run);
-    ("listing2", Listing2.run);
+    ("fig1-props", fun ~json:_ -> Fig1_props.run ());
+    ("fig1-actions", fun ~json:_ -> Fig1_actions.run ());
+    ("listing2", fun ~json:_ -> Listing2.run ());
     ("overhead", Overhead.run);
-    ("deps", Deps_ablation.run);
-    ("oscillation", Oscillation.run);
-    ("incremental", Incremental.run);
-    ("compile-stats", Compile_stats.run);
+    ("deps", fun ~json:_ -> Deps_ablation.run ());
+    ("oscillation", fun ~json:_ -> Oscillation.run ());
+    ("incremental", fun ~json:_ -> Incremental.run ());
+    ("compile-stats", fun ~json:_ -> Compile_stats.run ());
     ("scale", Scale.run);
   ]
 
 let () =
-  let requested = List.tl (Array.to_list Sys.argv) in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let json = List.mem "--json" args in
+  let requested = List.filter (fun a -> a <> "--json") args in
   match requested with
-  | [] -> List.iter (fun (_, run) -> run ()) experiments
+  | [] -> List.iter (fun (_, run) -> run ~json) experiments
   | names ->
     List.iter
       (fun name ->
         match List.assoc_opt name experiments with
-        | Some run -> run ()
+        | Some run -> run ~json
         | None ->
           Printf.eprintf "unknown experiment %S; known: %s\n" name
             (String.concat ", " (List.map fst experiments));

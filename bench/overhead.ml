@@ -75,6 +75,9 @@ let store_tests =
       (Staged.stage (fun () -> ignore (Gr_runtime.Feature_store.load store "a" : float)));
   ]
 
+(* Runs the Bechamel suite and returns [(name, ns_per_run option)]
+   rows, sorted by name, so the caller can render them as a table or
+   as JSON. *)
 let run_bechamel tests =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
@@ -83,40 +86,104 @@ let run_bechamel tests =
   let raw = Benchmark.all cfg instances grouped in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
-  List.iter
-    (fun (name, ols) ->
-      match Analyze.OLS.estimates ols with
-      | Some [ ns ] -> Printf.printf "  %-28s %10.1f ns/run\n" name ns
-      | _ -> Printf.printf "  %-28s (no estimate)\n" name)
-    (List.sort compare rows)
+  List.sort compare rows
+  |> List.map (fun (name, ols) ->
+         match Analyze.OLS.estimates ols with
+         | Some [ ns ] -> (name, Some ns)
+         | _ -> (name, None))
 
-let run () =
-  Common.section "Ablation A — monitor overhead";
-  print_endline "VM and feature-store microbenchmarks (host clock):";
-  run_bechamel (vm_tests @ store_tests);
-  print_endline "";
-  print_endline "TIMER interval sweep on the Figure 2 scenario:";
-  Printf.printf "  %-10s %-18s %-10s %-16s\n" "interval" "detection delay" "checks"
-    "est. check cost";
-  List.iter
-    (fun interval_ns ->
-      let rig = Common.make_fig2_rig ~seed:7 () in
-      let src =
-        Printf.sprintf
-          {|guardrail sweep { trigger: { TIMER(0, %d) } rule: { LOAD(false_submit_rate) <= 0.05 } action: { REPORT("over"); SAVE(ml_enabled, false) } }|}
-          interval_ns
-      in
-      let handles = Guardrails.Deployment.install_source_exn rig.deployment src in
-      Gr_kernel.Kernel.run_until rig.kernel Common.run_until;
-      let stats =
-        Guardrails.Engine.Stats.get (Guardrails.Deployment.engine rig.deployment) (List.hd handles)
-      in
-      let detection =
-        match Common.first_violation rig.deployment with
-        | Some at -> Format.asprintf "%a" Time_ns.pp (Time_ns.diff at Common.aging_at)
-        | None -> "never"
-      in
-      Printf.printf "  %-10s %-18s %-10d %12.0f ns\n"
-        (Format.asprintf "%a" Time_ns.pp interval_ns)
-        detection stats.checks stats.overhead_ns)
-    [ Time_ns.ms 10; Time_ns.ms 100; Time_ns.sec 1; Time_ns.sec 5 ]
+type sweep_row = {
+  interval_ns : Time_ns.t;
+  detection_delay : Time_ns.t option;
+  checks : int;
+  overhead_ns : float;
+  monitors : Common.Json.t;  (** per-monitor gr_trace telemetry *)
+}
+
+let sweep_intervals = [ Time_ns.ms 10; Time_ns.ms 100; Time_ns.sec 1; Time_ns.sec 5 ]
+
+let run_sweep_row interval_ns =
+  let rig = Common.make_fig2_rig ~seed:7 () in
+  let src =
+    Printf.sprintf
+      {|guardrail sweep { trigger: { TIMER(0, %d) } rule: { LOAD(false_submit_rate) <= 0.05 } action: { REPORT("over"); SAVE(ml_enabled, false) } }|}
+      interval_ns
+  in
+  let handles = Guardrails.Deployment.install_source_exn rig.deployment src in
+  Gr_kernel.Kernel.run_until rig.kernel Common.run_until;
+  let stats =
+    Guardrails.Engine.Stats.get (Guardrails.Deployment.engine rig.deployment) (List.hd handles)
+  in
+  let detection_delay =
+    Option.map
+      (fun at -> Time_ns.diff at Common.aging_at)
+      (Common.first_violation rig.deployment)
+  in
+  {
+    interval_ns;
+    detection_delay;
+    checks = stats.checks;
+    overhead_ns = stats.overhead_ns;
+    monitors = Common.monitors_json rig.deployment;
+  }
+
+let json_output micro sweep : Common.Json.t =
+  let open Common.Json in
+  Obj
+    [
+      ("experiment", Str "overhead");
+      ( "microbench",
+        Arr
+          (List.map
+             (fun (name, ns) ->
+               Obj
+                 [
+                   ("name", Str name);
+                   ("ns_per_run", match ns with Some v -> Common.json_num v | None -> Null);
+                 ])
+             micro) );
+      ( "interval_sweep",
+        Arr
+          (List.map
+             (fun r ->
+               Obj
+                 [
+                   ("interval_ns", Common.json_int r.interval_ns);
+                   ( "detection_delay_ns",
+                     match r.detection_delay with Some d -> Common.json_int d | None -> Null );
+                   ("checks", Common.json_int r.checks);
+                   ("est_check_cost_ns", Common.json_num r.overhead_ns);
+                   ("monitors", r.monitors);
+                 ])
+             sweep) );
+    ]
+
+let run ~json =
+  if not json then Common.section "Ablation A — monitor overhead";
+  let micro = run_bechamel (vm_tests @ store_tests) in
+  let sweep = List.map run_sweep_row sweep_intervals in
+  if json then Common.print_json (json_output micro sweep)
+  else begin
+    print_endline "VM and feature-store microbenchmarks (host clock):";
+    List.iter
+      (fun (name, ns) ->
+        match ns with
+        | Some ns -> Printf.printf "  %-28s %10.1f ns/run\n" name ns
+        | None -> Printf.printf "  %-28s (no estimate)\n" name)
+      micro;
+    print_endline "";
+    print_endline "TIMER interval sweep on the Figure 2 scenario:";
+    Printf.printf "  %-10s %-18s %-10s %-16s\n" "interval" "detection delay" "checks"
+      "est. check cost";
+    List.iter
+      (fun r ->
+        let detection =
+          match r.detection_delay with
+          | Some d -> Format.asprintf "%a" Time_ns.pp d
+          | None -> "never"
+        in
+        Printf.printf "  %-10s %-18s %-10d %12.0f ns\n"
+          (Format.asprintf "%a" Time_ns.pp r.interval_ns)
+          detection r.checks r.overhead_ns)
+      sweep
+  end

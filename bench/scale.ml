@@ -32,14 +32,43 @@ let run_with ~monitors =
   let engine = Guardrails.Deployment.engine rig.deployment in
   ( Guardrails.Engine.Stats.total_checks engine,
     Guardrails.Engine.Stats.total_overhead_ns engine,
-    wall )
+    wall,
+    Common.monitors_json rig.deployment )
 
-let run () =
-  Common.section "Ablation F — monitor-count scalability";
-  Printf.printf "  %-10s %-12s %-18s %s\n" "monitors" "checks" "est. check work" "host s/sim s";
-  List.iter
-    (fun n ->
-      let checks, overhead, wall = run_with ~monitors:n in
-      Printf.printf "  %-10d %-12d %12.0f ns    %8.3f\n" n checks overhead
-        (wall /. Time_ns.to_float_sec Common.run_until))
-    [ 1; 10; 50; 200 ]
+let monitor_counts = [ 1; 10; 50; 200 ]
+
+let run ~json =
+  if not json then begin
+    Common.section "Ablation F — monitor-count scalability";
+    Printf.printf "  %-10s %-12s %-18s %s\n" "monitors" "checks" "est. check work" "host s/sim s"
+  end;
+  let rows =
+    List.map
+      (fun n ->
+        let checks, overhead, wall, monitors = run_with ~monitors:n in
+        let per_sim_s = wall /. Time_ns.to_float_sec Common.run_until in
+        if not json then
+          Printf.printf "  %-10d %-12d %12.0f ns    %8.3f\n" n checks overhead per_sim_s;
+        (n, checks, overhead, per_sim_s, monitors))
+      monitor_counts
+  in
+  if json then
+    let open Common.Json in
+    Common.print_json
+      (Obj
+         [
+           ("experiment", Str "scale");
+           ( "rows",
+             Arr
+               (List.map
+                  (fun (n, checks, overhead, per_sim_s, monitors) ->
+                    Obj
+                      [
+                        ("monitors", Common.json_int n);
+                        ("checks", Common.json_int checks);
+                        ("est_check_work_ns", Common.json_num overhead);
+                        ("host_sec_per_sim_sec", Common.json_num per_sim_s);
+                        ("monitor_metrics", monitors);
+                      ])
+                  rows) );
+         ])

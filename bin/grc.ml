@@ -4,7 +4,10 @@
      grc check   FILE     parse and typecheck
      grc compile FILE     full pipeline; print disassembly + verifier stats
      grc deps    FILE     interference edges and feedback-loop cycles
-     grc fmt     FILE     parse and pretty-print canonical form *)
+     grc fmt     FILE     parse and pretty-print canonical form
+     grc run     FILE     install against an idle simulated kernel and run;
+                          report per-monitor telemetry, optionally export a
+                          Chrome trace_event file *)
 
 open Cmdliner
 
@@ -138,6 +141,49 @@ let fmt_cmd =
   in
   Cmd.v (Cmd.info "fmt" ~doc:"Pretty-print the canonical form") Term.(const run $ file_arg)
 
+let run_cmd =
+  let run path until seed trace_out =
+    let src = read_file path in
+    let kernel = Guardrails.Kernel.create ~seed in
+    let d =
+      Guardrails.Deployment.create ~kernel ~tracing:(Option.is_some trace_out) ()
+    in
+    match Guardrails.Deployment.install_source d src with
+    | Error e ->
+      Format.eprintf "%s: %a@." path Guardrails.Deployment.pp_error e;
+      1
+    | Ok handles ->
+      Format.printf "%s: installed %d monitor(s), running %gs of idle simulated kernel@." path
+        (List.length handles) until;
+      Guardrails.Kernel.run_until kernel (Guardrails.Util.Time_ns.of_float_sec until);
+      Format.printf "%a@." Guardrails.Engine.pp_report (Guardrails.Deployment.engine d);
+      Format.printf "%a" Guardrails.Trace_export.pp_summary (Guardrails.Deployment.tracer d);
+      (match trace_out with
+      | Some out ->
+        Guardrails.Deployment.write_chrome_trace d ~path:out;
+        Format.printf "Chrome trace written to %s (open at chrome://tracing)@." out
+      | None -> ());
+      0
+  in
+  let until =
+    Arg.(
+      value & opt float 5.
+      & info [ "until" ] ~docv:"SECONDS" ~doc:"Simulated seconds to run (default 5).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Kernel PRNG seed.") in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"OUT.json" ~doc:"Write a Chrome trace_event file.")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Install monitors against an idle simulated kernel, drive their TIMER triggers, and \
+          report per-monitor telemetry")
+    Term.(const run $ file_arg $ until $ seed $ trace_out)
+
 let () =
   let info = Cmd.info "grc" ~version:"1.0.0" ~doc:"Guardrail compiler for learned OS policies" in
-  exit (Cmd.eval' (Cmd.group info [ check_cmd; compile_cmd; deps_cmd; cgen_cmd; fmt_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ check_cmd; compile_cmd; deps_cmd; cgen_cmd; fmt_cmd; run_cmd ]))

@@ -48,8 +48,10 @@ let () =
 
   (* 3. Deploy guardrails: pump the false_submit markers published by
         the block layer into the feature store, derive the windowed
-        rate, and let the model watch its ml_enabled control key. *)
-  let d = Guardrails.Deployment.create ~kernel () in
+        rate, and let the model watch its ml_enabled control key.
+        [~tracing:true] also records every sim dispatch, hook firing,
+        rule check and action into a bounded ring buffer. *)
+  let d = Guardrails.Deployment.create ~kernel ~tracing:true () in
   Guardrails.Deployment.forward_hook_arg d ~hook:"blk:io_complete" ~arg:"false_submit" ();
   Guardrails.Deployment.derive_window_avg d ~src:"false_submit" ~dst:"false_submit_rate"
     ~window:(Time_ns.sec 2) ~every:(Time_ns.ms 100);
@@ -95,4 +97,11 @@ let () =
     Stats.mean (Array.of_list xs)
   in
   Printf.printf "mean I/O latency: %.0fus (young) -> %.0fus (stale model) -> %.0fus (guardrailed)\n"
-    (mean 0 2) (mean 2 3) (mean 4 6)
+    (mean 0 2) (mean 2 3) (mean 4 6);
+
+  (* 6. Observability: per-monitor telemetry and a Chrome trace of the
+        whole run — open it at chrome://tracing or ui.perfetto.dev to
+        see the TIMER checks and the firing SAVE on the sim timeline. *)
+  Format.printf "%a" Guardrails.Metrics.pp (Guardrails.Deployment.metrics d);
+  Guardrails.Deployment.write_chrome_trace d ~path:"quickstart_trace.json";
+  print_endline "trace written to quickstart_trace.json (open at chrome://tracing)"

@@ -4,21 +4,35 @@ type t = {
   kernel : Gr_kernel.Kernel.t;
   store : Gr_runtime.Feature_store.t;
   engine : Gr_runtime.Engine.t;
+  tracer : Gr_trace.Tracer.t;
   mutable monitors : (Gr_runtime.Engine.handle * Gr_compiler.Monitor.t) list;
 }
 
-let create ~kernel ?config ?(store_capacity = 4096) () =
+let create ~kernel ?config ?(store_capacity = 4096) ?(tracing = false)
+    ?(trace_capacity = 65536) () =
+  let tracer =
+    Gr_trace.Tracer.create
+      ~clock:(fun () -> Gr_kernel.Kernel.now kernel)
+      ~capacity:trace_capacity ~enabled:tracing ()
+  in
   let store =
     Gr_runtime.Feature_store.create
       ~clock:(fun () -> Gr_kernel.Kernel.now kernel)
       ~capacity_per_key:store_capacity ()
   in
-  let engine = Gr_runtime.Engine.create ~kernel ~store ?config () in
-  { kernel; store; engine; monitors = [] }
+  Gr_runtime.Feature_store.set_tracer store tracer;
+  Gr_sim.Engine.set_tracer kernel.engine tracer;
+  Gr_kernel.Hooks.set_tracer kernel.hooks tracer;
+  let engine = Gr_runtime.Engine.create ~kernel ~store ?config ~tracer () in
+  { kernel; store; engine; tracer; monitors = [] }
 
 let kernel t = t.kernel
 let store t = t.store
 let engine t = t.engine
+let tracer t = t.tracer
+let metrics t = Gr_trace.Tracer.metrics t.tracer
+let set_tracing t on = Gr_trace.Tracer.set_enabled t.tracer on
+let write_chrome_trace t ~path = Gr_trace.Export.write_chrome ~path t.tracer
 
 type error =
   | Compile of Gr_compiler.Compile.error

@@ -26,12 +26,34 @@ val create :
   kernel:Gr_kernel.Kernel.t ->
   ?config:Gr_runtime.Engine.config ->
   ?store_capacity:int ->
+  ?tracing:bool ->
+  ?trace_capacity:int ->
   unit ->
   t
+(** [tracing] (default [false]) turns the deployment's trace-event
+    channel on: sim-event dispatch, hook entry/exit, rule checks,
+    action firings and store traffic all land in a bounded
+    ring-buffer sink of [trace_capacity] events (default 65536).
+    Metrics and the REPORT channel run regardless. The tracer is
+    attached to the kernel's hook table and sim engine, so a kernel
+    shared across deployments reports into the most recent one. *)
 
 val kernel : t -> Gr_kernel.Kernel.t
 val store : t -> Gr_runtime.Feature_store.t
 val engine : t -> Gr_runtime.Engine.t
+
+val tracer : t -> Gr_trace.Tracer.t
+val metrics : t -> Gr_trace.Metrics.t
+(** Per-monitor telemetry (check counts, latency quantiles,
+    cumulative VM cost). *)
+
+val set_tracing : t -> bool -> unit
+(** Enable/disable trace-event emission mid-run. *)
+
+val write_chrome_trace : t -> path:string -> unit
+(** Export everything traced so far (events + reports) as a Chrome
+    [trace_event] JSON file; open at [chrome://tracing] or
+    {{:https://ui.perfetto.dev}Perfetto}. *)
 
 type error =
   | Compile of Gr_compiler.Compile.error

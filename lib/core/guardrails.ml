@@ -40,6 +40,14 @@ module Store = Gr_runtime.Feature_store
 module Vm = Gr_runtime.Vm
 module Engine = Gr_runtime.Engine
 
+(* Observability *)
+module Trace = Gr_trace.Tracer
+module Trace_event = Gr_trace.Event
+module Trace_sink = Gr_trace.Sink
+module Trace_export = Gr_trace.Export
+module Metrics = Gr_trace.Metrics
+module Json = Gr_trace.Json
+
 (* Substrate *)
 module Util = Gr_util
 module Sim = Gr_sim.Engine

@@ -4,11 +4,17 @@ type listener = { id : int; fn : args -> unit }
 
 type point = { mutable listeners : listener list; mutable fired : int }
 
-type t = { points : (string, point) Hashtbl.t; mutable next_id : int }
+type t = {
+  points : (string, point) Hashtbl.t;
+  mutable next_id : int;
+  mutable tracer : Gr_trace.Tracer.t option;
+}
 
 type subscription = { hook : string; listener_id : int }
 
-let create () = { points = Hashtbl.create 64; next_id = 0 }
+let create () = { points = Hashtbl.create 64; next_id = 0; tracer = None }
+
+let set_tracer t tracer = t.tracer <- Some tracer
 
 let point t name =
   match Hashtbl.find_opt t.points name with
@@ -35,7 +41,17 @@ let unsubscribe t sub =
 let fire t name args =
   let p = point t name in
   p.fired <- p.fired + 1;
-  List.iter (fun l -> l.fn args) p.listeners
+  match t.tracer with
+  | Some tr when Gr_trace.Tracer.enabled tr && p.listeners <> [] ->
+    (* Entry/exit span around listener dispatch: this is the FUNCTION
+       trigger's kprobe-style entry and exit on the sim timeline.
+       Unsubscribed hook firings stay untraced — they are the kernel's
+       ambient call traffic, not guardrail activity. *)
+    Gr_trace.Tracer.with_span tr ~cat:"hook"
+      ~args:(List.map (fun (k, v) -> (k, Gr_trace.Event.Float v)) args)
+      name
+      (fun () -> List.iter (fun l -> l.fn args) p.listeners)
+  | _ -> List.iter (fun l -> l.fn args) p.listeners
 
 let fire_count t name =
   match Hashtbl.find_opt t.points name with None -> 0 | Some p -> p.fired

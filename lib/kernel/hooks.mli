@@ -21,6 +21,12 @@ type args = (string * float) list
 
 val create : unit -> t
 
+val set_tracer : t -> Gr_trace.Tracer.t -> unit
+(** Attach a tracer: every firing of a hook {e with listeners} emits
+    an entry/exit span (category ["hook"]) carrying the hook's
+    arguments — the FUNCTION trigger's entry/exit on the simulated
+    timeline. Firings of unsubscribed hooks are not traced. *)
+
 type subscription
 
 val subscribe : t -> string -> (args -> unit) -> subscription

@@ -1,5 +1,8 @@
 open Gr_util
 module Monitor = Gr_compiler.Monitor
+module Tracer = Gr_trace.Tracer
+module Event = Gr_trace.Event
+module Metrics = Gr_trace.Metrics
 
 let src = Logs.Src.create "guardrails.engine" ~doc:"Guardrail runtime engine"
 
@@ -59,29 +62,37 @@ type t = {
   kernel : Gr_kernel.Kernel.t;
   store : Feature_store.t;
   config : config;
+  tracer : Tracer.t;
   mutable monitors : state list;
   mutable next_id : int;
   on_change_index : (string, state list ref) Hashtbl.t;
   mutable deprioritize : (cls:string -> weight:int -> unit) option;
   mutable kill : (cls:string -> unit) option;
   mutable last_retrain : (string, Time_ns.t) Hashtbl.t;
-  mutable violation_log : violation_record list; (* newest first *)
   mutable cascade_depth : int;
 }
 
-let rec create ~kernel ~store ?(config = default_config) () =
+let rec create ~kernel ~store ?(config = default_config) ?tracer () =
+  let tracer =
+    match tracer with
+    | Some tr -> tr
+    | None ->
+      (* Private tracer: trace events stay off, but the metrics
+         registry and the REPORT channel always run. *)
+      Tracer.create ~clock:(fun () -> Gr_kernel.Kernel.now kernel) ()
+  in
   let t =
     {
       kernel;
       store;
       config;
+      tracer;
       monitors = [];
       next_id = 0;
       on_change_index = Hashtbl.create 16;
       deprioritize = None;
       kill = None;
       last_retrain = Hashtbl.create 8;
-      violation_log = [];
       cascade_depth = 0;
     }
   in
@@ -89,15 +100,41 @@ let rec create ~kernel ~store ?(config = default_config) () =
   Feature_store.on_save store (fun key _value ->
       match Hashtbl.find_opt t.on_change_index key with
       | None -> ()
-      | Some states -> List.iter (fun st -> on_change_check t st) !states);
+      | Some states ->
+        List.iter (fun st -> on_change_check t ~via:("on_change:" ^ key) st) !states);
   t
 
-and on_change_check t st = check t st
+and on_change_check t ~via st = check t ~via st
+
+(* The REPORT action's structured event: the paper's eBPF-ringbuf
+   stream to userspace. Always emitted (the violation log is a view
+   over the report sink); carries the monitor id, the violated rule's
+   disassembly, the message and the named store snapshot. *)
+and report t st ~message ~snapshot =
+  let rule_text =
+    Format.asprintf "%a" (Gr_compiler.Ir.pp_program ~slots:st.monitor.Monitor.slots)
+      st.monitor.Monitor.rule
+  in
+  Tracer.report t.tracer st.monitor.Monitor.name
+    ~args:
+      ([
+         ("message", Event.Str message);
+         ("monitor_id", Event.Int st.id);
+         ("rule", Event.Str rule_text);
+       ]
+      @ List.map (fun (k, v) -> ("key:" ^ k, Event.Float v)) snapshot)
+
+and action_instant t st name args =
+  if Tracer.enabled t.tracer then
+    Tracer.instant t.tracer ~cat:"action"
+      ~args:(("monitor", Event.Str st.monitor.Monitor.name) :: args)
+      name
 
 and run_actions t st =
   let now = Gr_kernel.Kernel.now t.kernel in
   st.action_firings <- st.action_firings + 1;
   st.last_firing <- Some now;
+  Metrics.record_fire (Metrics.monitor (Tracer.metrics t.tracer) st.monitor.Monitor.name);
   let reported = ref false in
   List.iter
     (fun action ->
@@ -105,17 +142,17 @@ and run_actions t st =
       | Monitor.Report { message; keys } ->
         reported := true;
         let snapshot = List.map (fun k -> (k, Feature_store.load t.store k)) keys in
-        t.violation_log <-
-          { monitor = st.monitor.Monitor.name; at = now; message; snapshot }
-          :: t.violation_log;
+        report t st ~message ~snapshot;
         Log.info (fun m ->
             m "guardrail %s violated at %a: %s" st.monitor.Monitor.name Time_ns.pp now message)
       | Monitor.Replace policy -> (
+        action_instant t st "REPLACE" [ ("policy", Event.Str policy) ];
         match Gr_kernel.Policy_slot.Registry.find t.kernel.registry policy with
         | Some controls -> controls.replace ()
         | None ->
           Log.warn (fun m -> m "REPLACE: unknown policy %S (monitor %s)" policy st.monitor.name))
       | Monitor.Restore policy -> (
+        action_instant t st "RESTORE" [ ("policy", Event.Str policy) ];
         match Gr_kernel.Policy_slot.Registry.find t.kernel.registry policy with
         | Some controls -> controls.restore ()
         | None ->
@@ -131,34 +168,45 @@ and run_actions t st =
             | None -> true
             | Some at -> Time_ns.diff now at >= t.config.retrain_min_interval
           in
-          if not allowed then st.retrains_suppressed <- st.retrains_suppressed + 1
+          if not allowed then begin
+            st.retrains_suppressed <- st.retrains_suppressed + 1;
+            action_instant t st "RETRAIN.suppressed" [ ("policy", Event.Str policy) ]
+          end
           else begin
             Hashtbl.replace t.last_retrain policy now;
             st.retrains_requested <- st.retrains_requested + 1;
+            action_instant t st "RETRAIN.scheduled" [ ("policy", Event.Str policy) ];
             (* Asynchronous offline retraining (§3.2). *)
             ignore
               (Gr_sim.Engine.schedule_after t.kernel.engine t.config.retrain_delay
-                 (fun _ -> controls.retrain ())
+                 (fun _ ->
+                   action_instant t st "RETRAIN.run" [ ("policy", Event.Str policy) ];
+                   controls.retrain ())
                 : Gr_sim.Engine.handle)
           end)
       | Monitor.Deprioritize { cls; weight } -> (
+        action_instant t st "DEPRIORITIZE"
+          [ ("cls", Event.Str cls); ("weight", Event.Int weight) ];
         match t.deprioritize with
         | Some handler -> handler ~cls ~weight
         | None ->
           Log.warn (fun m -> m "DEPRIORITIZE(%s): no handler wired (monitor %s)" cls st.monitor.name))
       | Monitor.Kill cls -> (
+        action_instant t st "KILL" [ ("cls", Event.Str cls) ];
         match t.kill with
         | Some handler -> handler ~cls
         | None -> Log.warn (fun m -> m "KILL(%s): no handler wired (monitor %s)" cls st.monitor.name))
       | Monitor.Save { key; value } ->
         let result = Vm.run ~store:t.store ~slots:st.monitor.slots value in
         st.overhead_ns <- st.overhead_ns +. result.est_cost_ns;
+        Metrics.record_action_cost
+          (Metrics.monitor (Tracer.metrics t.tracer) st.monitor.Monitor.name)
+          ~cost_ns:result.est_cost_ns;
+        action_instant t st "SAVE"
+          [ ("key", Event.Str key); ("value", Event.Float result.value) ];
         Feature_store.save t.store key result.value)
     st.monitor.actions;
-  if not !reported then
-    t.violation_log <-
-      { monitor = st.monitor.Monitor.name; at = now; message = "<violation>"; snapshot = [] }
-      :: t.violation_log
+  if not !reported then report t st ~message:"<violation>" ~snapshot:[]
 
 and record_flip t st =
   let now = Gr_kernel.Kernel.now t.kernel in
@@ -170,6 +218,16 @@ and record_flip t st =
     Ring.clear st.flips;
     if t.config.auto_damp then
       st.cooldown <- Time_ns.max (Time_ns.ms 100) (2 * st.cooldown);
+    if Tracer.enabled t.tracer then
+      Tracer.instant t.tracer ~cat:"oscillation"
+        ~args:
+          [
+            ("monitor", Event.Str st.monitor.Monitor.name);
+            ("flips", Event.Int t.config.oscillation_flips);
+            ("damped", Event.Bool t.config.auto_damp);
+            ("cooldown_ns", Event.Int st.cooldown);
+          ]
+        "oscillation.alert";
     Log.warn (fun m ->
         m "guardrail %s is oscillating (%d state flips within %a)%s" st.monitor.Monitor.name
           t.config.oscillation_flips Time_ns.pp t.config.oscillation_window
@@ -178,7 +236,7 @@ and record_flip t st =
            else ""))
   end
 
-and check t st =
+and check ?(via = "manual") t st =
   if st.installed then begin
     if t.cascade_depth >= t.config.max_cascade_depth then
       st.cascade_drops <- st.cascade_drops + 1
@@ -191,6 +249,24 @@ and check t st =
           let result = Vm.run ~store:t.store ~slots:st.monitor.slots st.monitor.rule in
           st.overhead_ns <- st.overhead_ns +. result.est_cost_ns;
           let healthy = Vm.truthy result.value in
+          Metrics.record_check
+            (Metrics.monitor (Tracer.metrics t.tracer) st.monitor.Monitor.name)
+            ~cost_ns:result.est_cost_ns ~insts:result.insts_executed
+            ~samples:result.samples_scanned ~violated:(not healthy);
+          (* The check as a Complete span whose duration is the VM's
+             dynamic cost estimate — per-monitor overhead on the
+             timeline. *)
+          if Tracer.enabled t.tracer then
+            Tracer.complete t.tracer ~cat:"check" ~dur_ns:result.est_cost_ns
+              ~args:
+                [
+                  ("monitor_id", Event.Int st.id);
+                  ("trigger", Event.Str via);
+                  ("insts", Event.Int result.insts_executed);
+                  ("samples_scanned", Event.Int result.samples_scanned);
+                  ("violated", Event.Bool (not healthy));
+                ]
+              st.monitor.Monitor.name;
           if healthy then begin
             if st.in_violation then begin
               st.in_violation <- false;
@@ -221,11 +297,14 @@ let arm_trigger t st (trigger : Monitor.trigger) =
       Gr_sim.Engine.every t.kernel.engine
         ~start:(Time_ns.max start_ns (Gr_kernel.Kernel.now t.kernel))
         ?stop:stop_ns ~interval:interval_ns
-        (fun _ -> check t st)
+        (fun _ -> check ~via:"timer" t st)
     in
     st.timer_handles <- handle :: st.timer_handles
   | Monitor.Function hook ->
-    let sub = Gr_kernel.Hooks.subscribe t.kernel.hooks hook (fun _args -> check t st) in
+    let sub =
+      Gr_kernel.Hooks.subscribe t.kernel.hooks hook (fun _args ->
+          check ~via:("function:" ^ hook) t st)
+    in
     st.hook_subs <- sub :: st.hook_subs
   | Monitor.On_change key ->
     let states =
@@ -266,6 +345,14 @@ let install t monitor =
     t.next_id <- t.next_id + 1;
     t.monitors <- t.monitors @ [ st ];
     List.iter (arm_trigger t st) monitor.triggers;
+    if Tracer.enabled t.tracer then
+      Tracer.instant t.tracer ~cat:"runtime"
+        ~args:
+          [
+            ("monitor", Event.Str monitor.Monitor.name);
+            ("triggers", Event.Int (List.length monitor.triggers));
+          ]
+        "monitor.install";
     Ok st
 
 let uninstall t st =
@@ -281,10 +368,12 @@ let uninstall t st =
 let monitor_name st = st.monitor.Monitor.name
 let set_deprioritize_handler t handler = t.deprioritize <- Some handler
 let set_kill_handler t handler = t.kill <- Some handler
+let tracer t = t.tracer
+let metrics t = Tracer.metrics t.tracer
 
 let check_now t st =
   let before = st.violations in
-  check t st;
+  check ~via:"manual" t st;
   st.violations = before
 
 module Stats = struct
@@ -319,7 +408,23 @@ module Stats = struct
   let total_checks t = List.fold_left (fun acc (st : state) -> acc + st.checks) 0 t.monitors
 end
 
-let violations t = List.rev t.violation_log
+(* The violation log is a view over the report sink: each REPORT trace
+   event maps back to the record shape callers have always seen. *)
+let violation_of_report (ev : Event.t) : violation_record =
+  let message = ref "<violation>" in
+  let snapshot = ref [] in
+  List.iter
+    (fun (k, (a : Event.arg)) ->
+      match a with
+      | Event.Str s when String.equal k "message" -> message := s
+      | Event.Float v when String.length k > 4 && String.sub k 0 4 = "key:" ->
+        snapshot := (String.sub k 4 (String.length k - 4), v) :: !snapshot
+      | _ -> ())
+    ev.args;
+  { monitor = ev.name; at = ev.ts; message = !message; snapshot = List.rev !snapshot }
+
+let violations t =
+  List.map violation_of_report (Gr_trace.Sink.to_list (Tracer.reports t.tracer))
 
 let oscillating_monitors t =
   List.filter_map
@@ -356,4 +461,8 @@ let pp_report fmt t =
             ^ String.concat "; " (List.map (fun (k, x) -> Printf.sprintf "%s=%.4g" k x) kvs)
             ^ "]")
       end)
-    t.violation_log
+    (List.rev (violations t));
+  let reports = Tracer.reports t.tracer in
+  if Gr_trace.Sink.dropped reports > 0 then
+    Format.fprintf fmt "  (%d report(s) dropped by the bounded sink)@\n"
+      (Gr_trace.Sink.dropped reports)

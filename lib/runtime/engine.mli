@@ -44,7 +44,21 @@ val default_config : config
 type t
 
 val create :
-  kernel:Gr_kernel.Kernel.t -> store:Feature_store.t -> ?config:config -> unit -> t
+  kernel:Gr_kernel.Kernel.t ->
+  store:Feature_store.t ->
+  ?config:config ->
+  ?tracer:Gr_trace.Tracer.t ->
+  unit ->
+  t
+(** Without [?tracer], the engine creates a private one (trace events
+    disabled). Either way the per-monitor metrics registry records
+    every check and the REPORT channel — the bounded ring-buffer sink
+    behind {!violations} — is always live. *)
+
+val tracer : t -> Gr_trace.Tracer.t
+val metrics : t -> Gr_trace.Metrics.t
+(** Per-monitor telemetry: check/violation/firing counts and the
+    check-latency distribution. *)
 
 type handle
 
@@ -94,7 +108,10 @@ type violation_record = {
 }
 
 val violations : t -> violation_record list
-(** Chronological log (REPORT actions and implicit records). *)
+(** Chronological log (REPORT actions and implicit records). A view
+    over the tracer's report sink: REPORTs are structured trace
+    events on a bounded ring buffer (oldest-first, newest dropped and
+    counted on overflow — the eBPF-ringbuf discipline). *)
 
 val oscillating_monitors : t -> string list
 (** Monitors whose flip rate exceeded the threshold at least once. *)

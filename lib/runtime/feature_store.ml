@@ -11,11 +11,25 @@ type t = {
   entries : (string, entry) Hashtbl.t;
   mutable subscribers : (string -> float -> unit) list;
   mutable saves : int;
+  mutable loads : int;
+  mutable tracer : Gr_trace.Tracer.t option;
 }
 
 let create ~clock ?(capacity_per_key = 4096) () =
   if capacity_per_key <= 0 then invalid_arg "Feature_store.create: capacity must be positive";
-  { clock; capacity_per_key; entries = Hashtbl.create 64; subscribers = []; saves = 0 }
+  {
+    clock;
+    capacity_per_key;
+    entries = Hashtbl.create 64;
+    subscribers = [];
+    saves = 0;
+    loads = 0;
+    tracer = None;
+  }
+
+let set_tracer t tracer = t.tracer <- Some tracer
+
+let tracing t = match t.tracer with Some tr -> Gr_trace.Tracer.enabled tr | None -> false
 
 let entry t key =
   match Hashtbl.find_opt t.entries key with
@@ -30,9 +44,17 @@ let save t key value =
   e.latest <- value;
   Ring.push e.samples (t.clock (), value);
   t.saves <- t.saves + 1;
+  (* Counter events let Chrome/Perfetto plot each key as a time
+     series; emitted before subscribers so the SAVE sample precedes
+     any ON_CHANGE check it wakes. *)
+  if tracing t then
+    Gr_trace.Tracer.counter (Option.get t.tracer) ~cat:"store" ("store:" ^ key)
+      [ ("value", value) ];
   List.iter (fun fn -> fn key value) t.subscribers
 
-let load t key = match Hashtbl.find_opt t.entries key with Some e -> e.latest | None -> 0.
+let load t key =
+  t.loads <- t.loads + 1;
+  match Hashtbl.find_opt t.entries key with Some e -> e.latest | None -> 0.
 let mem t key = Hashtbl.mem t.entries key
 let keys t = List.sort String.compare (List.of_seq (Hashtbl.to_seq_keys t.entries))
 
@@ -52,8 +74,28 @@ let window_samples t ~key ~window_ns =
 
 let samples_in_window t ~key ~window_ns = List.length (window_values t ~key ~window_ns)
 
+let agg_name : Gr_dsl.Ast.agg -> string = function
+  | Count -> "COUNT"
+  | Sum -> "SUM"
+  | Rate -> "RATE"
+  | Avg -> "AVG"
+  | Min -> "MIN"
+  | Max -> "MAX"
+  | Stddev -> "STDDEV"
+  | Quantile -> "QUANTILE"
+  | Delta -> "DELTA"
+
 let aggregate t ~key ~fn ~window_ns ~param =
   let values = window_values t ~key ~window_ns in
+  if tracing t then
+    Gr_trace.Tracer.instant (Option.get t.tracer) ~cat:"store"
+      ~args:
+        [
+          ("key", Gr_trace.Event.Str key);
+          ("window_ns", Gr_trace.Event.Float window_ns);
+          ("samples", Gr_trace.Event.Int (List.length values));
+        ]
+      ("agg:" ^ agg_name fn);
   match (fn : Gr_dsl.Ast.agg) with
   | Count -> float_of_int (List.length values)
   | Sum -> List.fold_left ( +. ) 0. values
@@ -80,3 +122,4 @@ let aggregate t ~key ~fn ~window_ns ~param =
 
 let on_save t fn = t.subscribers <- t.subscribers @ [ fn ]
 let save_count t = t.saves
+let load_count t = t.loads

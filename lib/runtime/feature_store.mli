@@ -16,6 +16,16 @@ type t
 val create : clock:(unit -> Gr_util.Time_ns.t) -> ?capacity_per_key:int -> unit -> t
 (** [capacity_per_key] defaults to 4096 samples. *)
 
+val set_tracer : t -> Gr_trace.Tracer.t -> unit
+(** Attach a tracer. When tracing is enabled, every SAVE emits a
+    counter event (["store:<key>"], so Chrome plots each key as a
+    time series) and every windowed aggregate an instant event
+    carrying the scan size. Individual LOADs are counted
+    ({!load_count}) but not traced per-call — they are the hottest
+    operation in the system and per-load events would be all volume,
+    no signal; the per-check trace events already carry the VM's
+    dynamic cost. *)
+
 val save : t -> string -> float -> unit
 (** Appends a timestamped sample and updates the latest value.
     Notifies {!on_save} subscribers after the write. *)
@@ -49,3 +59,6 @@ val on_save : t -> (string -> float -> unit) -> unit
 
 val save_count : t -> int
 (** Total saves since creation. *)
+
+val load_count : t -> int
+(** Total loads since creation. *)

@@ -6,6 +6,7 @@ type t = {
   mutable fired : int;
   mutable cancelled : int;
   queue : event Heap.t;
+  mutable tracer : Gr_trace.Tracer.t option;
 }
 
 and event = {
@@ -27,7 +28,10 @@ let create () =
     fired = 0;
     cancelled = 0;
     queue = Heap.create ~cmp:compare_event;
+    tracer = None;
   }
+
+let set_tracer t tracer = t.tracer <- Some tracer
 
 let now t = t.clock
 
@@ -77,6 +81,11 @@ let rec step t =
     else begin
       t.clock <- ev.time;
       t.fired <- t.fired + 1;
+      (match t.tracer with
+      | Some tr when Gr_trace.Tracer.enabled tr ->
+        Gr_trace.Tracer.instant tr ~cat:"sim" ~args:[ ("seq", Gr_trace.Event.Int ev.order) ]
+          "dispatch"
+      | _ -> ());
       ev.run t;
       true
     end

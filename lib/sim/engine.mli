@@ -13,6 +13,10 @@ type t
 
 val create : unit -> t
 
+val set_tracer : t -> Gr_trace.Tracer.t -> unit
+(** Attach a tracer: each dispatched event emits an instant trace
+    event (category ["sim"]) when tracing is enabled. *)
+
 val now : t -> Gr_util.Time_ns.t
 (** Current virtual time. Starts at [Time_ns.zero]. *)
 

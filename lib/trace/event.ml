@@ -1,0 +1,59 @@
+open Gr_util
+
+type phase = Begin | End | Complete | Instant | Counter
+
+type arg = Float of float | Int of int | Str of string | Bool of bool
+
+type t = {
+  ts : Time_ns.t;
+  dur_ns : float;
+  cat : string;
+  name : string;
+  ph : phase;
+  args : (string * arg) list;
+}
+
+let make ~ts ?(dur_ns = 0.) ?(args = []) ~cat ~ph name =
+  { ts; dur_ns; cat; name; ph; args }
+
+let phase_to_string = function
+  | Begin -> "B"
+  | End -> "E"
+  | Complete -> "X"
+  | Instant -> "i"
+  | Counter -> "C"
+
+let phase_of_string = function
+  | "B" -> Some Begin
+  | "E" -> Some End
+  | "X" -> Some Complete
+  | "i" | "I" -> Some Instant
+  | "C" -> Some Counter
+  | _ -> None
+
+(* Ints and floats both serialize as JSON numbers, so equality treats
+   them as numerically equivalent — Float 2. round-trips as Int 2. *)
+let arg_equal a b =
+  match (a, b) with
+  | (Float _ | Int _), (Float _ | Int _) ->
+    let num = function Float x -> x | Int i -> float_of_int i | _ -> assert false in
+    num a = num b
+  | Str x, Str y -> String.equal x y
+  | Bool x, Bool y -> x = y
+  | _ -> false
+
+let equal a b =
+  a.ts = b.ts && a.dur_ns = b.dur_ns && String.equal a.cat b.cat
+  && String.equal a.name b.name && a.ph = b.ph
+  && List.equal (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && arg_equal v1 v2) a.args b.args
+
+let pp_arg fmt = function
+  | Float x -> Format.fprintf fmt "%.6g" x
+  | Int i -> Format.pp_print_int fmt i
+  | Str s -> Format.pp_print_string fmt s
+  | Bool b -> Format.pp_print_bool fmt b
+
+let pp fmt t =
+  Format.fprintf fmt "[%a] %-6s %s %s" Time_ns.pp t.ts t.cat (phase_to_string t.ph) t.name;
+  if t.ph = Complete then Format.fprintf fmt " (dur %.0fns)" t.dur_ns;
+  List.iter (fun (k, v) -> Format.fprintf fmt " %s=%a" k pp_arg v) t.args

@@ -1,0 +1,50 @@
+(** Structured trace events.
+
+    The schema mirrors the Chrome [trace_event] format so exports are
+    a direct mapping: spans ([Begin]/[End] pairs or self-contained
+    [Complete] slices with a duration), [Instant] markers and
+    [Counter] samples, each carrying a category, a name and typed
+    arguments. Timestamps are {e simulated} time ({!Gr_util.Time_ns}),
+    which is what makes traces bit-for-bit reproducible under a fixed
+    seed.
+
+    [Complete] events carry [dur_ns], the span's duration. In this
+    reproduction rule checks take zero simulated time — their cost is
+    an estimate charged to an overhead account — so check spans use
+    the {e estimated} cost as the duration, making per-monitor
+    overhead visible on the timeline. *)
+
+type phase =
+  | Begin  (** span entry (Chrome ["B"]) *)
+  | End  (** span exit (Chrome ["E"]) *)
+  | Complete  (** self-contained span with [dur_ns] (Chrome ["X"]) *)
+  | Instant  (** point event (Chrome ["i"]) *)
+  | Counter  (** sampled series (Chrome ["C"]) *)
+
+type arg = Float of float | Int of int | Str of string | Bool of bool
+
+type t = {
+  ts : Gr_util.Time_ns.t;  (** simulated timestamp *)
+  dur_ns : float;  (** [Complete] duration; 0. for other phases *)
+  cat : string;  (** category: ["sim"], ["hook"], ["check"], ["action"], ["store"], ["report"], ... *)
+  name : string;
+  ph : phase;
+  args : (string * arg) list;
+}
+
+val make :
+  ts:Gr_util.Time_ns.t ->
+  ?dur_ns:float ->
+  ?args:(string * arg) list ->
+  cat:string ->
+  ph:phase ->
+  string ->
+  t
+
+val phase_to_string : phase -> string
+(** The Chrome [ph] letter. *)
+
+val phase_of_string : string -> phase option
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+(** One-line human rendering, e.g. [[1.5s] check X linnos (dur 42ns) violated=true]. *)

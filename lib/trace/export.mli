@@ -1,0 +1,34 @@
+(** Exporters: Chrome [trace_event] JSON, human-readable dumps, and a
+    metrics summary — plus the inverse mapping used by round-trip
+    tests.
+
+    The Chrome format is the JSON array flavour documented in the
+    [trace_event] spec: [{"traceEvents": [...], "displayTimeUnit":
+    "ns"}], one object per event with [ph] one of B/E/X/i/C,
+    timestamps in microseconds. Open the file at [chrome://tracing]
+    or {{:https://ui.perfetto.dev}Perfetto}. *)
+
+val chrome_of_events : Event.t list -> Json.t
+
+val chrome : Tracer.t -> Json.t
+(** Merges the tracer's event and report sinks, sorted by timestamp
+    (stable: same-timestamp events keep event-sink-before-report
+    order). *)
+
+val chrome_string : Tracer.t -> string
+
+val write_chrome : path:string -> Tracer.t -> unit
+(** Writes {!chrome_string} plus a trailing newline. *)
+
+val events_of_chrome : Json.t -> (Event.t list, string) result
+(** Inverse of {!chrome_of_events}: recovers the event list from a
+    Chrome trace document ([pid]/[tid] are ignored). *)
+
+val events_of_chrome_string : string -> (Event.t list, string) result
+
+val pp_events : Format.formatter -> Event.t list -> unit
+(** Human-readable dump, one event per line. *)
+
+val pp_summary : Format.formatter -> Tracer.t -> unit
+(** Sink accounting (buffered/emitted/dropped for both channels)
+    followed by the per-monitor metrics table. *)

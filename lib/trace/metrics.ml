@@ -1,0 +1,113 @@
+open Gr_util
+
+type monitor = {
+  name : string;
+  mutable checks : int;
+  mutable violations : int;
+  mutable fires : int;
+  mutable vm_cost_ns : float;
+  mutable vm_insts : int;
+  mutable samples_scanned : int;
+  latency : Stats.Welford.t;
+  latency_p50 : Stats.P2.t;
+  latency_p90 : Stats.P2.t;
+  latency_p99 : Stats.P2.t;
+  latency_hist : Stats.Histogram.t;
+}
+
+type t = { table : (string, monitor) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 16 }
+
+(* Log-scale histogram over check costs: 0.1ns .. 10ms. *)
+let hist_lo = -1.
+let hist_hi = 7.
+let hist_bins = 64
+
+let monitor t name =
+  match Hashtbl.find_opt t.table name with
+  | Some m -> m
+  | None ->
+    let m =
+      {
+        name;
+        checks = 0;
+        violations = 0;
+        fires = 0;
+        vm_cost_ns = 0.;
+        vm_insts = 0;
+        samples_scanned = 0;
+        latency = Stats.Welford.create ();
+        latency_p50 = Stats.P2.create ~q:0.5;
+        latency_p90 = Stats.P2.create ~q:0.9;
+        latency_p99 = Stats.P2.create ~q:0.99;
+        latency_hist = Stats.Histogram.create ~lo:hist_lo ~hi:hist_hi ~bins:hist_bins;
+      }
+    in
+    Hashtbl.add t.table name m;
+    m
+
+let find t name = Hashtbl.find_opt t.table name
+
+let monitors t =
+  Hashtbl.fold (fun _ m acc -> m :: acc) t.table []
+  |> List.sort (fun a b -> String.compare a.name b.name)
+
+let record_check m ~cost_ns ~insts ~samples ~violated =
+  m.checks <- m.checks + 1;
+  if violated then m.violations <- m.violations + 1;
+  m.vm_cost_ns <- m.vm_cost_ns +. cost_ns;
+  m.vm_insts <- m.vm_insts + insts;
+  m.samples_scanned <- m.samples_scanned + samples;
+  Stats.Welford.add m.latency cost_ns;
+  Stats.P2.add m.latency_p50 cost_ns;
+  Stats.P2.add m.latency_p90 cost_ns;
+  Stats.P2.add m.latency_p99 cost_ns;
+  (* Guard log10 against zero-cost checks (empty rules). *)
+  Stats.Histogram.add m.latency_hist (Float.log10 (Float.max cost_ns 0.1))
+
+let record_fire m = m.fires <- m.fires + 1
+let record_action_cost m ~cost_ns = m.vm_cost_ns <- m.vm_cost_ns +. cost_ns
+
+let latency_quantile m q =
+  if m.checks = 0 then nan
+  else if q = 0.5 then Stats.P2.quantile m.latency_p50
+  else if q = 0.9 then Stats.P2.quantile m.latency_p90
+  else if q = 0.99 then Stats.P2.quantile m.latency_p99
+  else Float.pow 10. (Stats.Histogram.quantile m.latency_hist q)
+
+let num x : Json.t = if Float.is_finite x then Num x else Null
+
+let monitor_to_json m : Json.t =
+  Json.Obj
+    [
+      ("name", Str m.name);
+      ("checks", Num (float_of_int m.checks));
+      ("violations", Num (float_of_int m.violations));
+      ("fires", Num (float_of_int m.fires));
+      ("vm_cost_ns", num m.vm_cost_ns);
+      ("vm_insts", Num (float_of_int m.vm_insts));
+      ("samples_scanned", Num (float_of_int m.samples_scanned));
+      ( "latency_ns",
+        Obj
+          [
+            ("mean", num (Stats.Welford.mean m.latency));
+            ("min", if m.checks = 0 then Null else num (Stats.Welford.min m.latency));
+            ("max", if m.checks = 0 then Null else num (Stats.Welford.max m.latency));
+            ("p50", num (latency_quantile m 0.5));
+            ("p90", num (latency_quantile m 0.9));
+            ("p99", num (latency_quantile m 0.99));
+          ] );
+    ]
+
+let to_json t : Json.t = Obj [ ("monitors", Arr (List.map monitor_to_json (monitors t))) ]
+
+let pp fmt t =
+  Format.fprintf fmt "%-28s %8s %10s %7s %12s %10s %10s %10s@\n" "monitor" "checks"
+    "violations" "fires" "vm cost" "p50" "p90" "p99";
+  List.iter
+    (fun m ->
+      Format.fprintf fmt "%-28s %8d %10d %7d %10.0fns %8.1fns %8.1fns %8.1fns@\n" m.name
+        m.checks m.violations m.fires m.vm_cost_ns (latency_quantile m 0.5)
+        (latency_quantile m 0.9) (latency_quantile m 0.99))
+    (monitors t)

@@ -1,0 +1,59 @@
+(** Per-monitor telemetry registry.
+
+    One record per installed monitor, updated on every rule check and
+    action firing by the runtime engine: check/violation/firing
+    counts, cumulative estimated VM cost, instruction and
+    sample-scan totals, and a check-latency distribution tracked three
+    ways on {!Gr_util.Stats} primitives — a Welford summary
+    (mean/min/max), streaming P² estimators for p50/p90/p99, and a
+    log-scale histogram for arbitrary quantiles. All state is O(1) per
+    monitor, matching the in-kernel-budget constraint (§4.1): nothing
+    here stores per-check samples.
+
+    This registry is what replaces the engine's aggregate
+    [overhead_ns] as the source for per-monitor overhead attribution
+    in the benchmarks. *)
+
+type monitor = {
+  name : string;
+  mutable checks : int;
+  mutable violations : int;
+  mutable fires : int;  (** action firings *)
+  mutable vm_cost_ns : float;  (** cumulative estimated VM cost *)
+  mutable vm_insts : int;
+  mutable samples_scanned : int;
+  latency : Gr_util.Stats.Welford.t;  (** per-check estimated cost (ns) *)
+  latency_p50 : Gr_util.Stats.P2.t;
+  latency_p90 : Gr_util.Stats.P2.t;
+  latency_p99 : Gr_util.Stats.P2.t;
+  latency_hist : Gr_util.Stats.Histogram.t;  (** over log10(cost ns) *)
+}
+
+type t
+
+val create : unit -> t
+
+val monitor : t -> string -> monitor
+(** Find-or-create by monitor name. *)
+
+val find : t -> string -> monitor option
+val monitors : t -> monitor list
+(** Sorted by name. *)
+
+val record_check : monitor -> cost_ns:float -> insts:int -> samples:int -> violated:bool -> unit
+val record_fire : monitor -> unit
+val record_action_cost : monitor -> cost_ns:float -> unit
+(** Extra VM cost outside the rule itself (SAVE value programs). *)
+
+val latency_quantile : monitor -> float -> float
+(** p50/p90/p99 come from the exact-ish P² estimators; other
+    quantiles interpolate the log-scale histogram. [nan] before the
+    first check. *)
+
+val to_json : t -> Json.t
+(** [{"monitors":[{name, checks, violations, fires, vm_cost_ns, ...,
+    latency_ns:{mean,min,max,p50,p90,p99}}]}]. Field order is fixed,
+    so the output is deterministic. *)
+
+val pp : Format.formatter -> t -> unit
+(** Summary table, one row per monitor. *)

@@ -1,0 +1,53 @@
+type overflow = Drop_newest | Overwrite_oldest
+
+type t = {
+  buf : Event.t option array;
+  overflow : overflow;
+  mutable head : int; (* index of oldest buffered event *)
+  mutable len : int;
+  mutable emitted : int;
+  mutable dropped : int;
+}
+
+let create ?(capacity = 65536) ?(overflow = Drop_newest) () =
+  if capacity <= 0 then invalid_arg "Sink.create: capacity must be positive";
+  { buf = Array.make capacity None; overflow; head = 0; len = 0; emitted = 0; dropped = 0 }
+
+let capacity t = Array.length t.buf
+let overflow t = t.overflow
+let length t = t.len
+let emitted t = t.emitted
+let dropped t = t.dropped
+let is_full t = t.len = capacity t
+
+let emit t ev =
+  t.emitted <- t.emitted + 1;
+  let cap = capacity t in
+  if t.len < cap then begin
+    t.buf.((t.head + t.len) mod cap) <- Some ev;
+    t.len <- t.len + 1
+  end
+  else begin
+    match t.overflow with
+    | Drop_newest -> t.dropped <- t.dropped + 1
+    | Overwrite_oldest ->
+      t.buf.(t.head) <- Some ev;
+      t.head <- (t.head + 1) mod cap;
+      t.dropped <- t.dropped + 1
+  end
+
+let iter f t =
+  let cap = capacity t in
+  for i = 0 to t.len - 1 do
+    match t.buf.((t.head + i) mod cap) with Some ev -> f ev | None -> assert false
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun ev -> acc := ev :: !acc) t;
+  List.rev !acc
+
+let clear t =
+  Array.fill t.buf 0 (capacity t) None;
+  t.head <- 0;
+  t.len <- 0

@@ -1,0 +1,48 @@
+type t = {
+  clock : unit -> Gr_util.Time_ns.t;
+  events : Sink.t;
+  reports : Sink.t;
+  metrics : Metrics.t;
+  mutable enabled : bool;
+}
+
+let create ~clock ?(capacity = 65536) ?(report_capacity = 16384) ?overflow ?(enabled = false)
+    () =
+  {
+    clock;
+    events = Sink.create ~capacity ?overflow ();
+    reports = Sink.create ~capacity:report_capacity ?overflow ();
+    metrics = Metrics.create ();
+    enabled;
+  }
+
+let enabled t = t.enabled
+let set_enabled t on = t.enabled <- on
+let clock t = t.clock
+let events t = t.events
+let reports t = t.reports
+let metrics t = t.metrics
+
+let emit t ?dur_ns ?args ~cat ~ph name =
+  if t.enabled then Sink.emit t.events (Event.make ~ts:(t.clock ()) ?dur_ns ?args ~cat ~ph name)
+
+let instant t ~cat ?args name = emit t ?args ~cat ~ph:Event.Instant name
+
+let counter t ~cat name series =
+  emit t
+    ~args:(List.map (fun (k, v) -> (k, Event.Float v)) series)
+    ~cat ~ph:Event.Counter name
+
+let complete t ~cat ~dur_ns ?args name = emit t ~dur_ns ?args ~cat ~ph:Event.Complete name
+let span_begin t ~cat ?args name = emit t ?args ~cat ~ph:Event.Begin name
+let span_end t ~cat name = emit t ~cat ~ph:Event.End name
+
+let with_span t ~cat ?args name f =
+  if not t.enabled then f ()
+  else begin
+    span_begin t ~cat ?args name;
+    Fun.protect ~finally:(fun () -> span_end t ~cat name) f
+  end
+
+let report t ?args name =
+  Sink.emit t.reports (Event.make ~ts:(t.clock ()) ?args ~cat:"report" ~ph:Event.Instant name)

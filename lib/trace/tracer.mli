@@ -1,0 +1,59 @@
+(** The tracer: the single handle instrumented subsystems emit into.
+
+    A tracer owns two sinks and a metrics registry:
+
+    - [events] — the debug/profiling channel (sim dispatch, hook
+      entry/exit, rule checks, store traffic). Emission is gated on
+      {!enabled} and costs one branch when disabled, so always-on
+      instrumentation sites are free in untraced runs.
+    - [reports] — the data-plane channel carrying the REPORT action's
+      structured violation events (the paper's eBPF-ringbuf stream to
+      userspace). This channel is {e always} on: REPORTs are product
+      behavior, not debugging, and the runtime's violation log is a
+      view over it. It is still bounded with drop accounting.
+    - [metrics] — the per-monitor registry ({!Metrics}), also always
+      on (O(1) per check).
+
+    Timestamps come from the [clock] the tracer was created with —
+    in every deployment that is the simulated kernel clock, which is
+    why traces are deterministic under a fixed seed. *)
+
+type t
+
+val create :
+  clock:(unit -> Gr_util.Time_ns.t) ->
+  ?capacity:int ->
+  ?report_capacity:int ->
+  ?overflow:Sink.overflow ->
+  ?enabled:bool ->
+  unit ->
+  t
+(** [capacity] (default 65536) sizes the event sink,
+    [report_capacity] (default 16384) the report sink. [enabled]
+    defaults to [false]: metrics and reports flow, trace events do
+    not. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val clock : t -> unit -> Gr_util.Time_ns.t
+val events : t -> Sink.t
+val reports : t -> Sink.t
+val metrics : t -> Metrics.t
+
+(* Emitters; all no-ops when disabled except [report]. *)
+
+val instant : t -> cat:string -> ?args:(string * Event.arg) list -> string -> unit
+val counter : t -> cat:string -> string -> (string * float) list -> unit
+val complete :
+  t -> cat:string -> dur_ns:float -> ?args:(string * Event.arg) list -> string -> unit
+
+val span_begin : t -> cat:string -> ?args:(string * Event.arg) list -> string -> unit
+val span_end : t -> cat:string -> string -> unit
+
+val with_span : t -> cat:string -> ?args:(string * Event.arg) list -> string -> (unit -> 'a) -> 'a
+(** Emits the [End] even if the body raises. *)
+
+val report : t -> ?args:(string * Event.arg) list -> string -> unit
+(** Emits an [Instant] of category ["report"] into the report sink,
+    bypassing {!enabled}. *)

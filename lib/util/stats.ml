@@ -104,7 +104,11 @@ module P2 = struct
     h.(i) +. (d *. (h.(j) -. h.(i)) /. (p.(j) -. p.(i)))
 
   let add t x =
-    if t.n < 5 then begin
+    (* A NaN sample satisfies no cell comparison: the marker search
+       below would run off the end of [heights], and during warm-up it
+       would poison the sorted marker array. Skip it. *)
+    if Float.is_nan x then ()
+    else if t.n < 5 then begin
       t.heights.(t.n) <- x;
       t.n <- t.n + 1;
       if t.n = 5 then Array.sort Float.compare t.heights
@@ -190,8 +194,13 @@ module Histogram = struct
     Stdlib.max 0 (Stdlib.min (bins t - 1) b)
 
   let add t x =
-    t.counts.(bin_of t x) <- t.counts.(bin_of t x) + 1;
-    t.total <- t.total + 1
+    (* NaN fails every bound comparison and would clamp to bin 0,
+       silently skewing low quantiles. Skip it. *)
+    if Float.is_nan x then ()
+    else begin
+      t.counts.(bin_of t x) <- t.counts.(bin_of t x) + 1;
+      t.total <- t.total + 1
+    end
 
   let count t = t.total
   let bin_counts t = Array.copy t.counts

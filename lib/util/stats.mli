@@ -62,6 +62,8 @@ module P2 : sig
   (** Requires [0. < q < 1.]. *)
 
   val add : t -> float -> unit
+  (** NaN samples are ignored. *)
+
   val quantile : t -> float
   (** Current estimate; exact while fewer than five samples. [nan]
       when empty. *)
@@ -76,7 +78,10 @@ module Histogram : sig
   type t
 
   val create : lo:float -> hi:float -> bins:int -> t
+
   val add : t -> float -> unit
+  (** NaN samples are ignored. *)
+
   val count : t -> int
   val bin_counts : t -> int array
   val bin_center : t -> int -> float

@@ -1,0 +1,251 @@
+(* Tests for gr_trace: ring-buffer sinks, tracer gating, exporter
+   round-trips, trace determinism, and the REPORT channel the runtime
+   violation log is a view over. *)
+
+open Gr_util
+module Event = Gr_trace.Event
+module Sink = Gr_trace.Sink
+module Tracer = Gr_trace.Tracer
+module Metrics = Gr_trace.Metrics
+module Export = Gr_trace.Export
+module Json = Gr_trace.Json
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let ev ?(ts = 0) ?dur_ns ?args ?(cat = "test") ?(ph = Event.Instant) name =
+  Event.make ~ts ?dur_ns ?args ~cat ~ph name
+
+(* ---------- Sink ---------- *)
+
+let test_sink_drop_newest () =
+  let s = Sink.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Sink.emit s (ev ~ts:i (Printf.sprintf "e%d" i))
+  done;
+  check_int "bounded at capacity" 4 (Sink.length s);
+  check_int "all emits counted" 10 (Sink.emitted s);
+  check_int "overflow counted as drops" 6 (Sink.dropped s);
+  check_bool "full" true (Sink.is_full s);
+  (* eBPF-ringbuf discipline: when full the incoming event is the one
+     rejected, so the earliest events survive. *)
+  Alcotest.(check (list string))
+    "oldest events kept, oldest first" [ "e1"; "e2"; "e3"; "e4" ]
+    (List.map (fun (e : Event.t) -> e.name) (Sink.to_list s))
+
+let test_sink_overwrite_oldest () =
+  let s = Sink.create ~capacity:4 ~overflow:Sink.Overwrite_oldest () in
+  for i = 1 to 10 do
+    Sink.emit s (ev ~ts:i (Printf.sprintf "e%d" i))
+  done;
+  check_int "bounded at capacity" 4 (Sink.length s);
+  check_int "evictions counted as drops" 6 (Sink.dropped s);
+  Alcotest.(check (list string))
+    "most recent window kept" [ "e7"; "e8"; "e9"; "e10" ]
+    (List.map (fun (e : Event.t) -> e.name) (Sink.to_list s))
+
+let test_sink_clear_keeps_accounting () =
+  let s = Sink.create ~capacity:2 () in
+  for i = 1 to 5 do
+    Sink.emit s (ev ~ts:i "e")
+  done;
+  Sink.clear s;
+  check_int "empty after clear" 0 (Sink.length s);
+  check_int "emitted preserved" 5 (Sink.emitted s);
+  check_int "dropped preserved" 3 (Sink.dropped s);
+  Sink.emit s (ev ~ts:6 "f");
+  check_int "usable after clear" 1 (Sink.length s)
+
+(* ---------- Tracer gating ---------- *)
+
+let test_tracer_gating () =
+  let tr = Tracer.create ~clock:(fun () -> 0) () in
+  Tracer.instant tr ~cat:"test" "dropped-while-disabled";
+  check_int "disabled tracer emits nothing" 0 (Sink.emitted (Tracer.events tr));
+  Tracer.report tr "violation";
+  check_int "reports bypass the gate" 1 (Sink.length (Tracer.reports tr));
+  Tracer.set_enabled tr true;
+  Tracer.instant tr ~cat:"test" "recorded";
+  Tracer.with_span tr ~cat:"test" "span" (fun () -> ());
+  check_int "enabled tracer records (instant + B + E)" 3 (Sink.length (Tracer.events tr))
+
+(* ---------- Exporter round-trip ---------- *)
+
+(* Durations are chosen integral-in-microseconds so the ns -> us -> ns
+   conversion is exact and Event.equal can require bit-equality. *)
+let roundtrip_events =
+  [
+    ev ~ts:0 ~cat:"sim" "dispatch";
+    ev ~ts:1_500 ~cat:"hook" ~ph:Event.Begin ~args:[ ("latency_us", Event.Float 12.5) ] "io";
+    ev ~ts:2_500 ~cat:"hook" ~ph:Event.End "io";
+    ev ~ts:1_000_000 ~cat:"check" ~ph:Event.Complete ~dur_ns:42_000.
+      ~args:
+        [
+          ("monitor_id", Event.Int 3);
+          ("violated", Event.Bool true);
+          ("trigger", Event.Str "timer");
+        ]
+      "low-false-submit";
+    ev ~ts:2_000_000 ~cat:"store" ~ph:Event.Counter ~args:[ ("value", Event.Float 0.25) ]
+      "store:x";
+    ev ~ts:3_000_000 ~cat:"report"
+      ~args:[ ("message", Event.Str "rate exceeded 5% \"quoted\"\n\xe2\x86\x92") ]
+      "m";
+  ]
+
+let test_export_roundtrip () =
+  let s = Json.to_string (Export.chrome_of_events roundtrip_events) in
+  match Export.events_of_chrome_string s with
+  | Error e -> Alcotest.failf "round-trip parse failed: %s" e
+  | Ok parsed ->
+    check_int "same count" (List.length roundtrip_events) (List.length parsed);
+    List.iter2
+      (fun a b ->
+        check_bool (Format.asprintf "event round-trips: %a" Event.pp a) true (Event.equal a b))
+      roundtrip_events parsed
+
+let test_export_chrome_shape () =
+  let j = Export.chrome_of_events roundtrip_events in
+  let evs = Option.value ~default:Json.Null (Json.member "traceEvents" j) in
+  check_int "one object per event" (List.length roundtrip_events)
+    (List.length (Json.to_list evs));
+  let first = List.hd (Json.to_list evs) in
+  check_string "ph letter" "i"
+    (Option.value ~default:"?" (Option.bind (Json.member "ph" first) Json.string_value));
+  (* ts is microseconds in the Chrome format. *)
+  let check_ev = List.nth (Json.to_list evs) 3 in
+  check_int "ts in us" 1000
+    (Option.value ~default:0 (Option.bind (Json.member "ts" check_ev) Json.int_value));
+  check_int "dur in us" 42
+    (Option.value ~default:0 (Option.bind (Json.member "dur" check_ev) Json.int_value))
+
+(* ---------- Json ---------- *)
+
+let test_json_parser () =
+  let rt s = Json.to_string (Json.parse_exn s) in
+  check_string "object" {|{"a":1,"b":[true,null,"x"]}|} (rt {|{"a":1,"b":[true,null,"x"]}|});
+  check_string "whitespace tolerated" {|{"a":1}|} (rt {| { "a" : 1 } |});
+  check_string "escapes" {|"a\"b\\c\nd"|} (rt {|"a\"b\\c\nd"|});
+  check_string "unicode escape to UTF-8" "\"\xe2\x86\x92\"" (rt {|"→"|});
+  check_string "surrogate pair" "\"\xf0\x9f\x98\x80\"" (rt {|"😀"|});
+  check_bool "floats" true (Json.equal (Json.parse_exn "2.5e1") (Json.Num 25.));
+  check_bool "negative" true (Json.equal (Json.parse_exn "-3") (Json.Num (-3.)));
+  check_bool "trailing garbage rejected" true (Result.is_error (Json.parse "1 2"));
+  check_bool "bad token rejected" true (Result.is_error (Json.parse "{a:1}"));
+  check_bool "unterminated rejected" true (Result.is_error (Json.parse {|{"a":|}));
+  check_bool "non-finite prints as null" true
+    (String.equal "[null,null]" (Json.to_string (Json.Arr [ Num nan; Num infinity ])))
+
+(* ---------- Metrics ---------- *)
+
+let test_metrics_registry () =
+  let m = Metrics.create () in
+  let mon = Metrics.monitor m "g" in
+  check_bool "same record on re-lookup" true (mon == Metrics.monitor m "g");
+  check_bool "no checks -> nan quantile" true (Float.is_nan (Metrics.latency_quantile mon 0.5));
+  for i = 1 to 100 do
+    Metrics.record_check mon ~cost_ns:(float_of_int i) ~insts:3 ~samples:2
+      ~violated:(i mod 10 = 0)
+  done;
+  Metrics.record_fire mon;
+  check_int "checks" 100 mon.Metrics.checks;
+  check_int "violations" 10 mon.Metrics.violations;
+  check_int "fires" 1 mon.Metrics.fires;
+  check_int "insts accumulate" 300 mon.Metrics.vm_insts;
+  check_bool "p50 in range" true
+    (let p = Metrics.latency_quantile mon 0.5 in
+     p > 30. && p < 70.);
+  check_bool "p99 above p50" true
+    (Metrics.latency_quantile mon 0.99 > Metrics.latency_quantile mon 0.5);
+  match Metrics.to_json m with
+  | Json.Obj [ ("monitors", Json.Arr [ row ]) ] ->
+    check_int "json checks" 100
+      (Option.value ~default:0 (Option.bind (Json.member "checks" row) Json.int_value))
+  | _ -> Alcotest.fail "unexpected to_json shape"
+
+(* ---------- End-to-end: traced deployment ---------- *)
+
+let guardrail_src =
+  {|guardrail trace-test { trigger: { TIMER(0, 100ms) } rule: { LOAD(x) <= 0.5 } action: { REPORT("x exceeded", x); SAVE(y, 1) } }|}
+
+(* A tiny deterministic scenario: x starts safe, is driven over the
+   threshold at t=450ms, and a 100ms TIMER monitor reports it. *)
+let run_traced ?(seed = 5) () =
+  let kernel = Guardrails.Kernel.create ~seed in
+  let d = Guardrails.Deployment.create ~kernel ~tracing:true () in
+  Guardrails.Deployment.save d "x" 0.;
+  ignore
+    (Guardrails.Deployment.install_source_exn d guardrail_src : Guardrails.Engine.handle list);
+  ignore
+    (Gr_sim.Engine.schedule_at kernel.engine (Time_ns.ms 450) (fun _ ->
+         Guardrails.Deployment.save d "x" 0.9)
+      : Gr_sim.Engine.handle);
+  Guardrails.Kernel.run_until kernel (Time_ns.sec 1);
+  d
+
+let test_trace_determinism () =
+  let a = Guardrails.Trace_export.chrome_string (Guardrails.Deployment.tracer (run_traced ()))
+  and b = Guardrails.Trace_export.chrome_string (Guardrails.Deployment.tracer (run_traced ())) in
+  check_bool "same seed, bit-identical trace" true (String.equal a b);
+  check_bool "trace is non-trivial" true (String.length a > 500)
+
+let test_deployment_trace_parses () =
+  let d = run_traced () in
+  let tr = Guardrails.Deployment.tracer d in
+  match Guardrails.Trace_export.events_of_chrome_string (Guardrails.Trace_export.chrome_string tr) with
+  | Error e -> Alcotest.failf "chrome parse failed: %s" e
+  | Ok evs ->
+    check_int "every buffered event exported"
+      (Sink.length (Tracer.events tr) + Sink.length (Tracer.reports tr))
+      (List.length evs);
+    check_bool "contains TIMER check spans" true
+      (List.exists
+         (fun (e : Event.t) -> e.cat = "check" && e.ph = Event.Complete)
+         evs);
+    check_bool "contains the SAVE action" true
+      (List.exists (fun (e : Event.t) -> e.cat = "action" && e.name = "SAVE") evs)
+
+let test_violations_are_report_view () =
+  let d = run_traced () in
+  let reports = Sink.to_list (Tracer.reports (Guardrails.Deployment.tracer d)) in
+  let violations = Guardrails.Engine.violations (Guardrails.Deployment.engine d) in
+  check_bool "monitor reported" true (List.length violations >= 1);
+  check_int "one record per report event" (List.length reports) (List.length violations);
+  let v = List.hd violations in
+  check_string "message" "x exceeded" v.Guardrails.Engine.message;
+  check_string "monitor name" "trace-test" v.Guardrails.Engine.monitor;
+  check_bool "snapshot carries the named key" true
+    (match List.assoc_opt "x" v.Guardrails.Engine.snapshot with
+    | Some x -> x > 0.5
+    | None -> false);
+  check_bool "fires at the first check after the step" true
+    (v.Guardrails.Engine.at = Time_ns.ms 500)
+
+let suite =
+  [
+    ( "trace.sink",
+      [
+        Alcotest.test_case "drop_newest overflow" `Quick test_sink_drop_newest;
+        Alcotest.test_case "overwrite_oldest overflow" `Quick test_sink_overwrite_oldest;
+        Alcotest.test_case "clear keeps accounting" `Quick test_sink_clear_keeps_accounting;
+      ] );
+    ( "trace.tracer",
+      [
+        Alcotest.test_case "gating" `Quick test_tracer_gating;
+        Alcotest.test_case "deterministic under fixed seed" `Quick test_trace_determinism;
+      ] );
+    ( "trace.export",
+      [
+        Alcotest.test_case "chrome round-trip" `Quick test_export_roundtrip;
+        Alcotest.test_case "chrome shape" `Quick test_export_chrome_shape;
+        Alcotest.test_case "deployment trace parses back" `Quick test_deployment_trace_parses;
+      ] );
+    ("trace.json", [ Alcotest.test_case "parser" `Quick test_json_parser ]);
+    ("trace.metrics", [ Alcotest.test_case "registry" `Quick test_metrics_registry ]);
+    ( "trace.report",
+      [
+        Alcotest.test_case "violation log is a report view" `Quick
+          test_violations_are_report_view;
+      ] );
+  ]
