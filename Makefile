@@ -1,4 +1,4 @@
-.PHONY: all build test fmt fmt-check bench ci
+.PHONY: all build test fmt fmt-check bench bench-smoke ci
 
 all: build
 
@@ -19,6 +19,12 @@ fmt-check:
 bench:
 	dune exec bench/main.exe
 
+# Tiny-N benchmark pass: exercises the aggregation micro-bench and the
+# monitor-count sweep end to end in seconds, machine-readable output.
+bench-smoke:
+	dune exec bench/main.exe -- agg scale --json --smoke
+
 ci: fmt-check
 	dune build
 	dune runtest
+	$(MAKE) bench-smoke

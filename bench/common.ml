@@ -108,6 +108,10 @@ let first_violation deployment =
   | [] -> None
   | v :: _ -> Some v.Guardrails.Engine.at
 
+(* --smoke shrinks iteration counts / sweep sizes so [make bench-smoke]
+   finishes in seconds. Set by main.ml before dispatching experiments. *)
+let smoke = ref false
+
 let hr () = print_endline (String.make 78 '-')
 
 let section title =

@@ -15,13 +15,15 @@
      incremental  Ablation D: incremental deployment
      compile-stats Ablation E: compiler statistics over specs/
      scale        Ablation F: monitor-count scalability
+     agg          Ablation G: naive vs incremental window aggregation
 
-   With --json, experiments that support it (fig2, overhead, scale)
-   print one machine-readable JSON document to stdout instead of the
-   human tables, with per-monitor telemetry sourced from gr_trace —
+   With --json, experiments that support it (fig2, overhead, scale,
+   agg) print one machine-readable JSON document to stdout instead of
+   the human tables, with per-monitor telemetry sourced from gr_trace —
    the BENCH_*.json perf-trajectory format. fig2 --json additionally
    writes fig2_trace.json, a Chrome trace_event file of the guarded
-   arm. *)
+   arm. --smoke shrinks sweep sizes so the suite finishes in seconds
+   (the [make bench-smoke] CI mode). *)
 
 let experiments : (string * (json:bool -> unit)) list =
   [
@@ -35,12 +37,14 @@ let experiments : (string * (json:bool -> unit)) list =
     ("incremental", fun ~json:_ -> Incremental.run ());
     ("compile-stats", fun ~json:_ -> Compile_stats.run ());
     ("scale", Scale.run);
+    ("agg", Agg.run);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let json = List.mem "--json" args in
-  let requested = List.filter (fun a -> a <> "--json") args in
+  Common.smoke := List.mem "--smoke" args;
+  let requested = List.filter (fun a -> a <> "--json" && a <> "--smoke") args in
   match requested with
   | [] -> List.iter (fun (_, run) -> run ~json) experiments
   | names ->

@@ -35,7 +35,7 @@ let run_with ~monitors =
     wall,
     Common.monitors_json rig.deployment )
 
-let monitor_counts = [ 1; 10; 50; 200 ]
+let monitor_counts () = if !Common.smoke then [ 1; 10 ] else [ 1; 10; 50; 200; 1000 ]
 
 let run ~json =
   if not json then begin
@@ -50,7 +50,7 @@ let run ~json =
         if not json then
           Printf.printf "  %-10d %-12d %12.0f ns    %8.3f\n" n checks overhead per_sim_s;
         (n, checks, overhead, per_sim_s, monitors))
-      monitor_counts
+      (monitor_counts ())
   in
   if json then
     let open Common.Json in

@@ -44,3 +44,25 @@ let cycles monitors =
   List.sort_uniq compare !found
 
 let auto_triggers m = List.map (fun key -> Monitor.On_change key) (Monitor.reads m)
+
+type agg_demand = {
+  key : string;
+  fn : Gr_dsl.Ast.agg;
+  window_ns : float;
+  param : float;
+}
+
+let aggregates (m : Monitor.t) =
+  let of_program (p : Ir.program) =
+    Array.to_list p.insts
+    |> List.filter_map (function
+         | Ir.Agg { fn; slot; window_ns; param; _ } ->
+           Some { key = m.Monitor.slots.(slot); fn; window_ns; param }
+         | Ir.Const _ | Ir.Load _ | Ir.Unop _ | Ir.Binop _ -> None)
+  in
+  let save_aggs =
+    List.concat_map
+      (function Monitor.Save { value; _ } -> of_program value | _ -> [])
+      m.Monitor.actions
+  in
+  List.sort_uniq compare (of_program m.Monitor.rule @ save_aggs)

@@ -32,3 +32,17 @@ val cycles : Monitor.t list -> string list list
 val auto_triggers : Monitor.t -> Monitor.trigger list
 (** ON_CHANGE triggers covering the monitor's full read set — the
     dependency-tracking alternative to its TIMER triggers. *)
+
+type agg_demand = {
+  key : string;  (** feature-store key (resolved through the slot table) *)
+  fn : Gr_dsl.Ast.agg;
+  window_ns : float;
+  param : float;
+}
+
+val aggregates : Monitor.t -> agg_demand list
+(** Every distinct windowed aggregate the monitor's rule and SAVE
+    value programs can ask the feature store for, with slots resolved
+    to key names — exactly the demands the runtime registers for
+    incremental (streaming) aggregation at install time. Sorted,
+    unique per monitor. *)

@@ -5,7 +5,8 @@ type t = {
   store : Gr_runtime.Feature_store.t;
   engine : Gr_runtime.Engine.t;
   tracer : Gr_trace.Tracer.t;
-  mutable monitors : (Gr_runtime.Engine.handle * Gr_compiler.Monitor.t) list;
+  (* Newest first; O(1) install. Accessors present install order. *)
+  mutable monitors_rev : (Gr_runtime.Engine.handle * Gr_compiler.Monitor.t) list;
 }
 
 let create ~kernel ?config ?(store_capacity = 4096) ?(tracing = false)
@@ -24,7 +25,7 @@ let create ~kernel ?config ?(store_capacity = 4096) ?(tracing = false)
   Gr_sim.Engine.set_tracer kernel.engine tracer;
   Gr_kernel.Hooks.set_tracer kernel.hooks tracer;
   let engine = Gr_runtime.Engine.create ~kernel ~store ?config ~tracer () in
-  { kernel; store; engine; tracer; monitors = [] }
+  { kernel; store; engine; tracer; monitors_rev = [] }
 
 let kernel t = t.kernel
 let store t = t.store
@@ -47,13 +48,13 @@ let pp_error fmt = function
 let install_monitor t monitor =
   match Gr_runtime.Engine.install t.engine monitor with
   | Ok handle ->
-    t.monitors <- t.monitors @ [ (handle, monitor) ];
+    t.monitors_rev <- (handle, monitor) :: t.monitors_rev;
     Ok handle
   | Error errs -> Error (Install (monitor.Gr_compiler.Monitor.name, errs))
 
 let uninstall t handle =
   Gr_runtime.Engine.uninstall t.engine handle;
-  t.monitors <- List.filter (fun (h, _) -> h != handle) t.monitors
+  t.monitors_rev <- List.filter (fun (h, _) -> h != handle) t.monitors_rev
 
 let install_source t src =
   match Gr_compiler.Compile.source src with
@@ -76,7 +77,7 @@ let install_source_exn t src =
   | Ok handles -> handles
   | Error e -> failwith (Format.asprintf "%a" pp_error e)
 
-let installed_monitors t = List.map snd t.monitors
+let installed_monitors t = List.rev_map snd t.monitors_rev
 let feedback_cycles t = Gr_compiler.Deps.cycles (installed_monitors t)
 
 let save t key value = Gr_runtime.Feature_store.save t.store key value
@@ -91,6 +92,10 @@ let forward_hook_arg t ~hook ~arg ?key () =
       : Gr_kernel.Hooks.subscription)
 
 let derive_window_avg t ~src ~dst ~window ~every =
+  (* The derivation asks for this exact aggregate forever; register it
+     so every periodic read is a streaming O(1) hit, not a scan. *)
+  Gr_runtime.Feature_store.register_demand t.store ~key:src ~fn:Gr_dsl.Ast.Avg
+    ~window_ns:(float_of_int window) ~param:0.;
   ignore
     (Gr_sim.Engine.every t.kernel.engine ~interval:every (fun _ ->
          let avg =

@@ -39,6 +39,12 @@ type violation_record = {
 type state = {
   monitor : Monitor.t;
   id : int;
+  rule_cost_ns : float;  (** static VM cost of the rule, summed once *)
+  actions_costed : (Monitor.action * float) list;
+      (** each action paired with its SAVE value program's static VM
+          cost (0 for non-SAVE actions), precomputed at install *)
+  demands : Gr_compiler.Deps.agg_demand list;
+      (** aggregate demands registered with the store on install *)
   mutable installed : bool;
   mutable checks : int;
   mutable violations : int;
@@ -63,7 +69,7 @@ type t = {
   store : Feature_store.t;
   config : config;
   tracer : Tracer.t;
-  mutable monitors : state list;
+  monitors : state Vec.t;
   mutable next_id : int;
   on_change_index : (string, state list ref) Hashtbl.t;
   mutable deprioritize : (cls:string -> weight:int -> unit) option;
@@ -87,7 +93,7 @@ let rec create ~kernel ~store ?(config = default_config) ?tracer () =
       store;
       config;
       tracer;
-      monitors = [];
+      monitors = Vec.create ();
       next_id = 0;
       on_change_index = Hashtbl.create 16;
       deprioritize = None;
@@ -137,7 +143,7 @@ and run_actions t st =
   Metrics.record_fire (Metrics.monitor (Tracer.metrics t.tracer) st.monitor.Monitor.name);
   let reported = ref false in
   List.iter
-    (fun action ->
+    (fun (action, action_cost_ns) ->
       match (action : Monitor.action) with
       | Monitor.Report { message; keys } ->
         reported := true;
@@ -197,7 +203,9 @@ and run_actions t st =
         | Some handler -> handler ~cls
         | None -> Log.warn (fun m -> m "KILL(%s): no handler wired (monitor %s)" cls st.monitor.name))
       | Monitor.Save { key; value } ->
-        let result = Vm.run ~store:t.store ~slots:st.monitor.slots value in
+        let result =
+          Vm.run ~static_cost_ns:action_cost_ns ~store:t.store ~slots:st.monitor.slots value
+        in
         st.overhead_ns <- st.overhead_ns +. result.est_cost_ns;
         Metrics.record_action_cost
           (Metrics.monitor (Tracer.metrics t.tracer) st.monitor.Monitor.name)
@@ -205,7 +213,7 @@ and run_actions t st =
         action_instant t st "SAVE"
           [ ("key", Event.Str key); ("value", Event.Float result.value) ];
         Feature_store.save t.store key result.value)
-    st.monitor.actions;
+    st.actions_costed;
   if not !reported then report t st ~message:"<violation>" ~snapshot:[]
 
 and record_flip t st =
@@ -246,7 +254,10 @@ and check ?(via = "manual") t st =
         ~finally:(fun () -> t.cascade_depth <- t.cascade_depth - 1)
         (fun () ->
           st.checks <- st.checks + 1;
-          let result = Vm.run ~store:t.store ~slots:st.monitor.slots st.monitor.rule in
+          let result =
+            Vm.run ~static_cost_ns:st.rule_cost_ns ~store:t.store ~slots:st.monitor.slots
+              st.monitor.rule
+          in
           st.overhead_ns <- st.overhead_ns +. result.est_cost_ns;
           let healthy = Vm.truthy result.value in
           Metrics.record_check
@@ -321,10 +332,20 @@ let install t monitor =
   match Gr_compiler.Verify.verify monitor with
   | Error errs -> Error errs
   | Ok _stats ->
+    let demands = Gr_compiler.Deps.aggregates monitor in
     let st =
       {
         monitor;
         id = t.next_id;
+        rule_cost_ns = Vm.static_cost_ns monitor.Monitor.rule;
+        actions_costed =
+          List.map
+            (fun (action : Monitor.action) ->
+              match action with
+              | Monitor.Save { value; _ } -> (action, Vm.static_cost_ns value)
+              | _ -> (action, 0.))
+            monitor.Monitor.actions;
+        demands;
         installed = true;
         checks = 0;
         violations = 0;
@@ -343,7 +364,15 @@ let install t monitor =
       }
     in
     t.next_id <- t.next_id + 1;
-    t.monitors <- t.monitors @ [ st ];
+    Vec.push t.monitors st;
+    (* Registering the monitor's aggregate shapes switches them to the
+       store's streaming path; refcounting inside the store lets
+       monitors share demands. *)
+    List.iter
+      (fun (d : Gr_compiler.Deps.agg_demand) ->
+        Feature_store.register_demand t.store ~key:d.key ~fn:d.fn ~window_ns:d.window_ns
+          ~param:d.param)
+      demands;
     List.iter (arm_trigger t st) monitor.triggers;
     if Tracer.enabled t.tracer then
       Tracer.instant t.tracer ~cat:"runtime"
@@ -360,6 +389,13 @@ let uninstall t st =
     st.installed <- false;
     List.iter Gr_sim.Engine.cancel st.timer_handles;
     List.iter (Gr_kernel.Hooks.unsubscribe t.kernel.hooks) st.hook_subs;
+    (* Release this monitor's demand references; shapes shared with
+       still-installed monitors keep streaming. *)
+    List.iter
+      (fun (d : Gr_compiler.Deps.agg_demand) ->
+        Feature_store.release_demand t.store ~key:d.key ~fn:d.fn ~window_ns:d.window_ns
+          ~param:d.param)
+      st.demands;
     Hashtbl.iter
       (fun _ states -> states := List.filter (fun s -> s.id <> st.id) !states)
       t.on_change_index
@@ -403,9 +439,9 @@ module Stats = struct
     }
 
   let total_overhead_ns t =
-    List.fold_left (fun acc (st : state) -> acc +. st.overhead_ns) 0. t.monitors
+    Vec.fold (fun acc (st : state) -> acc +. st.overhead_ns) 0. t.monitors
 
-  let total_checks t = List.fold_left (fun acc (st : state) -> acc + st.checks) 0 t.monitors
+  let total_checks t = Vec.fold (fun acc (st : state) -> acc + st.checks) 0 t.monitors
 end
 
 (* The violation log is a view over the report sink: each REPORT trace
@@ -427,14 +463,15 @@ let violations t =
   List.map violation_of_report (Gr_trace.Sink.to_list (Tracer.reports t.tracer))
 
 let oscillating_monitors t =
-  List.filter_map
-    (fun st -> if st.oscillation_alerts > 0 then Some st.monitor.Monitor.name else None)
-    t.monitors
+  Vec.fold
+    (fun acc st -> if st.oscillation_alerts > 0 then st.monitor.Monitor.name :: acc else acc)
+    [] t.monitors
+  |> List.rev
 
 let pp_report fmt t =
   Format.fprintf fmt "%-28s %8s %10s %8s %9s %12s %s@\n" "monitor" "checks" "violations"
     "firings" "retrains" "overhead" "state";
-  List.iter
+  Vec.iter
     (fun (st : state) ->
       Format.fprintf fmt "%-28s %8d %10d %8d %9d %10.0fns %s@\n" st.monitor.Monitor.name
         st.checks st.violations st.action_firings st.retrains_requested st.overhead_ns

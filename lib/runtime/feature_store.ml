@@ -1,17 +1,54 @@
 open Gr_util
 
+(* A demand is one (fn, window, param) aggregate registered against a
+   key, kept incrementally so checks don't re-scan the ring.
+
+   Samples are numbered by [seq], the entry's total push count; the
+   demand tracks [oldest_seq], the first sample still inside its
+   window. Samples leave a demand exactly once, either
+
+   - lazily against the clock on read ([expire]), walking the ring
+     from [oldest_seq] while timestamps fall at or before the cutoff,
+     or
+   - eagerly on capacity eviction ([save]), when the ring is about to
+     overwrite its oldest slot — the only moment the evicted value is
+     still readable.
+
+   Running count/sum/sum-of-squares serve COUNT/SUM/RATE/AVG/STDDEV;
+   MIN/MAX keep a monotonic deque of (seq, value); DELTA reads the
+   ring directly at [oldest_seq]; QUANTILE gathers the in-window
+   suffix located by binary search and ranks it. *)
+type demand = {
+  fn : Gr_dsl.Ast.agg;
+  window_ns : float;
+  param : float;
+  mutable refs : int;
+  mutable oldest_seq : int;
+  mutable count : int;
+  mutable sum : float;
+  mutable sumsq : float;
+  extrema : (int * float) Deque.t option; (* Min/Max only *)
+}
+
 type entry = {
   samples : (Time_ns.t * float) Ring.t;
   mutable latest : float;
+  mutable pushes : int; (* total saves ever; the next sample's seq *)
+  mutable demands : demand list; (* few per key; linear lookup *)
 }
 
 type t = {
   clock : unit -> Time_ns.t;
   capacity_per_key : int;
   entries : (string, entry) Hashtbl.t;
-  mutable subscribers : (string -> float -> unit) list;
+  subscribers : (string -> float -> unit) Vec.t;
   mutable saves : int;
   mutable loads : int;
+  mutable agg_hits : int;
+  mutable agg_misses : int;
+  mutable expired : int;
+  mutable n_demands : int;
+  mutable force_naive : bool;
   mutable tracer : Gr_trace.Tracer.t option;
 }
 
@@ -21,9 +58,14 @@ let create ~clock ?(capacity_per_key = 4096) () =
     clock;
     capacity_per_key;
     entries = Hashtbl.create 64;
-    subscribers = [];
+    subscribers = Vec.create ();
     saves = 0;
     loads = 0;
+    agg_hits = 0;
+    agg_misses = 0;
+    expired = 0;
+    n_demands = 0;
+    force_naive = false;
     tracer = None;
   }
 
@@ -35,14 +77,90 @@ let entry t key =
   match Hashtbl.find_opt t.entries key with
   | Some e -> e
   | None ->
-    let e = { samples = Ring.create ~capacity:t.capacity_per_key; latest = 0. } in
+    let e =
+      { samples = Ring.create ~capacity:t.capacity_per_key; latest = 0.; pushes = 0; demands = [] }
+    in
     Hashtbl.add t.entries key e;
     e
+
+(* ---------- streaming demand maintenance ---------- *)
+
+let retire t d v =
+  d.count <- d.count - 1;
+  if d.count = 0 then begin
+    (* Resetting on empty kills floating-point drift: each non-empty
+       stretch of the window accumulates its own error, none carries
+       over. *)
+    d.sum <- 0.;
+    d.sumsq <- 0.
+  end
+  else begin
+    d.sum <- d.sum -. v;
+    d.sumsq <- d.sumsq -. (v *. v)
+  end;
+  t.expired <- t.expired + 1
+
+let admit d seq v =
+  d.count <- d.count + 1;
+  d.sum <- d.sum +. v;
+  d.sumsq <- d.sumsq +. (v *. v);
+  match d.extrema with
+  | None -> ()
+  | Some dq ->
+    (match d.fn with
+    | Min -> Deque.drop_back_while (fun (_, back) -> back >= v) dq
+    | Max -> Deque.drop_back_while (fun (_, back) -> back <= v) dq
+    | _ -> ());
+    Deque.push_back dq (seq, v)
+
+(* Advance [oldest_seq] past samples whose timestamp left the window;
+   returns how many were retired (the check's amortized scan cost). *)
+let expire t e d ~now =
+  let cutoff = now - int_of_float d.window_ns in
+  let base = e.pushes - Ring.length e.samples in
+  let expired = ref 0 in
+  let continue = ref true in
+  while !continue && d.oldest_seq < e.pushes do
+    let at, v = Ring.get e.samples (d.oldest_seq - base) in
+    if at <= cutoff then begin
+      retire t d v;
+      d.oldest_seq <- d.oldest_seq + 1;
+      incr expired
+    end
+    else continue := false
+  done;
+  (match d.extrema with
+  | Some dq -> Deque.drop_front_while (fun (seq, _) -> seq < d.oldest_seq) dq
+  | None -> ());
+  !expired
+
+(* The ring is about to overwrite its oldest slot: any demand still
+   counting that sample must give it up now, while the value is
+   readable. *)
+let evict_oldest t e =
+  match Ring.oldest e.samples with
+  | None -> ()
+  | Some (_, v) ->
+    let evict_seq = e.pushes - Ring.length e.samples in
+    List.iter
+      (fun d ->
+        if d.oldest_seq <= evict_seq then begin
+          retire t d v;
+          d.oldest_seq <- evict_seq + 1;
+          match d.extrema with
+          | Some dq -> Deque.drop_front_while (fun (seq, _) -> seq <= evict_seq) dq
+          | None -> ()
+        end)
+      e.demands
 
 let save t key value =
   let e = entry t key in
   e.latest <- value;
+  if Ring.length e.samples = Ring.capacity e.samples then evict_oldest t e;
   Ring.push e.samples (t.clock (), value);
+  let seq = e.pushes in
+  e.pushes <- e.pushes + 1;
+  List.iter (fun d -> admit d seq value) e.demands;
   t.saves <- t.saves + 1;
   (* Counter events let Chrome/Perfetto plot each key as a time
      series; emitted before subscribers so the SAVE sample precedes
@@ -50,7 +168,7 @@ let save t key value =
   if tracing t then
     Gr_trace.Tracer.counter (Option.get t.tracer) ~cat:"store" ("store:" ^ key)
       [ ("value", value) ];
-  List.iter (fun fn -> fn key value) t.subscribers
+  Vec.iter (fun fn -> fn key value) t.subscribers
 
 let load t key =
   t.loads <- t.loads + 1;
@@ -58,6 +176,64 @@ let load t key =
 let mem t key = Hashtbl.mem t.entries key
 let keys t = List.sort String.compare (List.of_seq (Hashtbl.to_seq_keys t.entries))
 
+(* ---------- demand registration ---------- *)
+
+let find_demand e ~fn ~window_ns ~param =
+  List.find_opt
+    (fun d -> d.fn = fn && d.window_ns = window_ns && d.param = param)
+    e.demands
+
+let register_demand t ~key ~fn ~window_ns ~param =
+  let e = entry t key in
+  match find_demand e ~fn ~window_ns ~param with
+  | Some d -> d.refs <- d.refs + 1
+  | None ->
+    let d =
+      {
+        fn;
+        window_ns;
+        param;
+        refs = 1;
+        oldest_seq = e.pushes - Ring.length e.samples;
+        count = 0;
+        sum = 0.;
+        sumsq = 0.;
+        extrema =
+          (match fn with Min | Max -> Some (Deque.create ()) | _ -> None);
+      }
+    in
+    (* Replay retained samples so a demand registered mid-run agrees
+       with the scan from its first read; anything already outside the
+       window is trimmed by the next expiry. *)
+    let seq = ref d.oldest_seq in
+    Ring.iter
+      (fun (_, v) ->
+        admit d !seq v;
+        incr seq)
+      e.samples;
+    e.demands <- d :: e.demands;
+    t.n_demands <- t.n_demands + 1
+
+let release_demand t ~key ~fn ~window_ns ~param =
+  match Hashtbl.find_opt t.entries key with
+  | None -> ()
+  | Some e -> (
+    match find_demand e ~fn ~window_ns ~param with
+    | None -> ()
+    | Some d ->
+      d.refs <- d.refs - 1;
+      if d.refs <= 0 then begin
+        e.demands <- List.filter (fun d' -> d' != d) e.demands;
+        t.n_demands <- t.n_demands - 1
+      end)
+
+let demand_count t = t.n_demands
+let set_force_naive t flag = t.force_naive <- flag
+
+(* ---------- windowed reads ---------- *)
+
+(* Newest-first in-window values: the naive scan, kept verbatim as the
+   oracle the incremental path is property-tested against. *)
 let window_values t ~key ~window_ns =
   match Hashtbl.find_opt t.entries key with
   | None -> []
@@ -68,11 +244,23 @@ let window_values t ~key ~window_ns =
       (fun acc (at, v) -> if at > cutoff then v :: acc else acc)
       [] e.samples
 
-let window_samples t ~key ~window_ns =
-  (* window_values folds newest-first; reverse to oldest-first. *)
-  Array.of_list (List.rev (window_values t ~key ~window_ns))
+(* First ring index inside the window, found by binary search over the
+   time-ordered samples — O(log n) instead of a full fold. *)
+let first_inside e ~now ~window_ns =
+  let cutoff = now - int_of_float window_ns in
+  Ring.bsearch_first (fun (at, _) -> at > cutoff) e.samples
 
-let samples_in_window t ~key ~window_ns = List.length (window_values t ~key ~window_ns)
+let window_samples t ~key ~window_ns =
+  match Hashtbl.find_opt t.entries key with
+  | None -> [||]
+  | Some e ->
+    let i0 = first_inside e ~now:(t.clock ()) ~window_ns in
+    Array.init (Ring.length e.samples - i0) (fun i -> snd (Ring.get e.samples (i0 + i)))
+
+let samples_in_window t ~key ~window_ns =
+  match Hashtbl.find_opt t.entries key with
+  | None -> 0
+  | Some e -> Ring.length e.samples - first_inside e ~now:(t.clock ()) ~window_ns
 
 let agg_name : Gr_dsl.Ast.agg -> string = function
   | Count -> "COUNT"
@@ -85,41 +273,112 @@ let agg_name : Gr_dsl.Ast.agg -> string = function
   | Quantile -> "QUANTILE"
   | Delta -> "DELTA"
 
-let aggregate t ~key ~fn ~window_ns ~param =
+type agg_result = { value : float; scanned : int; incremental : bool }
+
+let naive_aggregate t ~key ~fn ~window_ns ~param =
   let values = window_values t ~key ~window_ns in
+  let value =
+    match (fn : Gr_dsl.Ast.agg) with
+    | Count -> float_of_int (List.length values)
+    | Sum -> List.fold_left ( +. ) 0. values
+    | Rate ->
+      let sum = List.fold_left ( +. ) 0. values in
+      sum /. (window_ns /. 1e9)
+    | Avg -> (
+      match values with
+      | [] -> 0.
+      | _ -> List.fold_left ( +. ) 0. values /. float_of_int (List.length values))
+    | Min -> ( match values with [] -> 0. | v :: rest -> List.fold_left Float.min v rest)
+    | Max -> ( match values with [] -> 0. | v :: rest -> List.fold_left Float.max v rest)
+    | Stddev -> Stats.stddev (Array.of_list values)
+    | Quantile -> (
+      match values with [] -> 0. | _ -> Stats.quantile (Array.of_list values) param)
+    | Delta -> (
+      (* window_values folds newest-first, so the head is the newest
+         sample and the last element the oldest in the window. *)
+      match values with
+      | [] -> 0.
+      | newest :: _ ->
+        let rec last = function [ x ] -> x | _ :: rest -> last rest | [] -> newest in
+        newest -. last values)
+  in
+  { value; scanned = List.length values; incremental = false }
+
+let demand_aggregate t e d ~window_ns ~param =
+  let now = t.clock () in
+  let expired = expire t e d ~now in
+  let base = e.pushes - Ring.length e.samples in
+  let value, extra_scan =
+    match d.fn with
+    | Count -> (float_of_int d.count, 0)
+    | Sum -> (d.sum, 0)
+    | Rate -> (d.sum /. (window_ns /. 1e9), 0)
+    | Avg -> ((if d.count = 0 then 0. else d.sum /. float_of_int d.count), 0)
+    | Min | Max -> (
+      match d.extrema with
+      | Some dq -> (( match Deque.front dq with None -> 0. | Some (_, v) -> v), 0)
+      | None -> (0., 0))
+    | Stddev ->
+      if d.count < 2 then (0., 0)
+      else begin
+        let n = float_of_int d.count in
+        let mean = d.sum /. n in
+        (sqrt (Float.max 0. ((d.sumsq /. n) -. (mean *. mean))), 0)
+      end
+    | Delta ->
+      if d.oldest_seq >= e.pushes then (0., 0)
+      else begin
+        let _, oldest = Ring.get e.samples (d.oldest_seq - base) in
+        let _, newest = Ring.get e.samples (Ring.length e.samples - 1) in
+        (newest -. oldest, 0)
+      end
+    | Quantile ->
+      (* No O(1) summary ranks arbitrary quantiles exactly; instead
+         of folding the whole ring, binary-search the cutoff and rank
+         only the in-window suffix. *)
+      let i0 = first_inside e ~now ~window_ns:d.window_ns in
+      let n = Ring.length e.samples - i0 in
+      if n = 0 then (0., 0)
+      else begin
+        let xs = Array.init n (fun i -> snd (Ring.get e.samples (i0 + i))) in
+        (Stats.quantile xs param, n)
+      end
+  in
+  { value; scanned = expired + extra_scan; incremental = true }
+
+let aggregate_result t ~key ~fn ~window_ns ~param =
+  let r =
+    match Hashtbl.find_opt t.entries key with
+    | Some e when not t.force_naive -> (
+      match find_demand e ~fn ~window_ns ~param with
+      | Some d ->
+        t.agg_hits <- t.agg_hits + 1;
+        demand_aggregate t e d ~window_ns ~param
+      | None ->
+        t.agg_misses <- t.agg_misses + 1;
+        naive_aggregate t ~key ~fn ~window_ns ~param)
+    | _ ->
+      t.agg_misses <- t.agg_misses + 1;
+      naive_aggregate t ~key ~fn ~window_ns ~param
+  in
   if tracing t then
     Gr_trace.Tracer.instant (Option.get t.tracer) ~cat:"store"
       ~args:
         [
           ("key", Gr_trace.Event.Str key);
           ("window_ns", Gr_trace.Event.Float window_ns);
-          ("samples", Gr_trace.Event.Int (List.length values));
+          ("samples", Gr_trace.Event.Int r.scanned);
+          ("incremental", Gr_trace.Event.Bool r.incremental);
         ]
       ("agg:" ^ agg_name fn);
-  match (fn : Gr_dsl.Ast.agg) with
-  | Count -> float_of_int (List.length values)
-  | Sum -> List.fold_left ( +. ) 0. values
-  | Rate ->
-    let sum = List.fold_left ( +. ) 0. values in
-    sum /. (window_ns /. 1e9)
-  | Avg -> (
-    match values with
-    | [] -> 0.
-    | _ -> List.fold_left ( +. ) 0. values /. float_of_int (List.length values))
-  | Min -> ( match values with [] -> 0. | v :: rest -> List.fold_left Float.min v rest)
-  | Max -> ( match values with [] -> 0. | v :: rest -> List.fold_left Float.max v rest)
-  | Stddev -> Stats.stddev (Array.of_list values)
-  | Quantile -> (
-    match values with [] -> 0. | _ -> Stats.quantile (Array.of_list values) param)
-  | Delta -> (
-    (* window_values folds newest-first, so the head is the newest
-       sample and the last element the oldest in the window. *)
-    match values with
-    | [] -> 0.
-    | newest :: _ ->
-      let rec last = function [ x ] -> x | _ :: rest -> last rest | [] -> newest in
-      newest -. last values)
+  r
 
-let on_save t fn = t.subscribers <- t.subscribers @ [ fn ]
+let aggregate t ~key ~fn ~window_ns ~param =
+  (aggregate_result t ~key ~fn ~window_ns ~param).value
+
+let on_save t fn = Vec.push t.subscribers fn
 let save_count t = t.saves
 let load_count t = t.loads
+let agg_hit_count t = t.agg_hits
+let agg_miss_count t = t.agg_misses
+let expired_count t = t.expired

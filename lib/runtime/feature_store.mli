@@ -9,7 +9,21 @@
     timestamped samples (bounded memory is non-negotiable in-kernel;
     the oldest samples are evicted first). Windowed aggregates are
     computed over the samples whose timestamp falls within
-    [(now - window, now]]. *)
+    [(now - window, now]].
+
+    {b Incremental aggregation.} Monitors run at nanosecond budgets,
+    so re-scanning a window on every check is not affordable. At
+    install time the runtime registers each aggregate it will ask for
+    as a {e demand} ({!register_demand}); the store then maintains
+    streaming per-demand state — running count/sum/sum-of-squares for
+    COUNT/SUM/RATE/AVG/STDDEV, a monotonic deque for MIN/MAX, window
+    head/tail tracking for DELTA — updated O(1) amortized on every
+    {!save} and expired lazily against the clock on read. QUANTILE
+    has no exact O(1) summary and instead binary-searches the
+    time-ordered ring for the window cutoff, ranking only the
+    in-window suffix. Aggregates without a registered demand fall
+    back to the naive full scan, which is also kept as the oracle
+    path for equivalence testing ({!set_force_naive}). *)
 
 type t
 
@@ -20,15 +34,16 @@ val set_tracer : t -> Gr_trace.Tracer.t -> unit
 (** Attach a tracer. When tracing is enabled, every SAVE emits a
     counter event (["store:<key>"], so Chrome plots each key as a
     time series) and every windowed aggregate an instant event
-    carrying the scan size. Individual LOADs are counted
-    ({!load_count}) but not traced per-call — they are the hottest
-    operation in the system and per-load events would be all volume,
-    no signal; the per-check trace events already carry the VM's
-    dynamic cost. *)
+    carrying the scan size and whether the incremental path served
+    it. Individual LOADs are counted ({!load_count}) but not traced
+    per-call — they are the hottest operation in the system and
+    per-load events would be all volume, no signal; the per-check
+    trace events already carry the VM's dynamic cost. *)
 
 val save : t -> string -> float -> unit
-(** Appends a timestamped sample and updates the latest value.
-    Notifies {!on_save} subscribers after the write. *)
+(** Appends a timestamped sample, updates the latest value and every
+    registered demand on the key. Notifies {!on_save} subscribers
+    after the write. *)
 
 val load : t -> string -> float
 (** Latest value; 0. for a key never saved (LOAD's semantics). *)
@@ -36,13 +51,55 @@ val load : t -> string -> float
 val mem : t -> string -> bool
 val keys : t -> string list
 
-val aggregate :
-  t -> key:string -> fn:Gr_dsl.Ast.agg -> window_ns:float -> param:float -> float
-(** Windowed aggregate. Empty windows yield 0 (for AVG, SUM, COUNT,
-    RATE, MIN, MAX, STDDEV) and 0 for QUANTILE, so rules are total.
+(** {1 Aggregate demands} *)
+
+val register_demand :
+  t -> key:string -> fn:Gr_dsl.Ast.agg -> window_ns:float -> param:float -> unit
+(** Declare that [aggregate] will be asked for this exact
+    [(key, fn, window_ns, param)] shape, switching it to the
+    streaming path. Demands are refcounted: registering the same
+    shape twice (two monitors sharing a rule term) takes one slot,
+    and the demand survives until released as many times. A demand
+    registered mid-run replays the key's retained samples, so its
+    first read already agrees with the scan. *)
+
+val release_demand :
+  t -> key:string -> fn:Gr_dsl.Ast.agg -> window_ns:float -> param:float -> unit
+(** Drops one reference; the streaming state is freed when the count
+    reaches zero. Releasing an unregistered demand is a no-op. *)
+
+val demand_count : t -> int
+(** Distinct demands currently registered (not counting refs). *)
+
+val set_force_naive : t -> bool -> unit
+(** When set, every aggregate takes the naive full-scan path even if
+    a demand is registered — the oracle mode the equivalence property
+    test runs both sides of. Default false. *)
+
+(** {1 Windowed reads} *)
+
+type agg_result = {
+  value : float;
+  scanned : int;
+      (** samples touched by this call: the full window population on
+          the naive path; on the incremental path only the samples
+          expired now (amortized O(1)) plus, for QUANTILE, the
+          in-window suffix it ranked *)
+  incremental : bool;  (** whether a registered demand served it *)
+}
+
+val aggregate_result :
+  t -> key:string -> fn:Gr_dsl.Ast.agg -> window_ns:float -> param:float -> agg_result
+(** Windowed aggregate with cost accounting — the VM's entry point.
+    Empty windows yield 0 for every function, so rules are total.
     RATE is the sample {e sum} divided by the window in seconds —
     saving 0/1 event markers gives events per second. DELTA is the
     newest sample minus the oldest in the window (a trend signal). *)
+
+val aggregate :
+  t -> key:string -> fn:Gr_dsl.Ast.agg -> window_ns:float -> param:float -> float
+(** [aggregate t ~key ~fn ~window_ns ~param =
+    (aggregate_result t ...).value]. *)
 
 val window_samples : t -> key:string -> window_ns:float -> float array
 (** The raw samples inside the window, oldest first. For
@@ -50,15 +107,29 @@ val window_samples : t -> key:string -> window_ns:float -> float array
     (e.g. a two-sample KS statistic against a training set). *)
 
 val samples_in_window : t -> key:string -> window_ns:float -> int
-(** How many samples an aggregate over this window would scan; the
-    VM's dynamic cost accounting uses this. *)
+(** How many samples a naive aggregate over this window would scan;
+    O(log window) by binary search. *)
 
 val on_save : t -> (string -> float -> unit) -> unit
 (** Global subscription used by the runtime's ON_CHANGE dispatch and
-    by policies that watch control keys (e.g. [ml_enabled]). *)
+    by policies that watch control keys (e.g. [ml_enabled]).
+    Registration is O(1); subscribers are notified in registration
+    order. *)
 
 val save_count : t -> int
 (** Total saves since creation. *)
 
 val load_count : t -> int
 (** Total loads since creation. *)
+
+val agg_hit_count : t -> int
+(** Aggregate reads served by a registered demand. *)
+
+val agg_miss_count : t -> int
+(** Aggregate reads that fell back to the naive scan (no demand
+    registered, or {!set_force_naive}). *)
+
+val expired_count : t -> int
+(** Samples retired from demand windows so far, by lazy expiry or
+    capacity eviction — the amortized cost the streaming path pays
+    instead of re-scanning. *)

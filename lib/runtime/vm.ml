@@ -12,22 +12,32 @@ let of_bool b = if b then 1. else 0.
 
 let sample_scan_cost_ns = 0.5
 
-let run ~store ~slots (p : Ir.program) =
+let static_cost_ns (p : Ir.program) =
+  Array.fold_left (fun acc i -> acc +. Gr_compiler.Verify.est_inst_cost_ns i) 0. p.insts
+
+let run ?static_cost_ns:precomputed ~store ~slots (p : Ir.program) =
   let regs = Array.make (max 1 p.n_regs) 0. in
   let samples = ref 0 in
-  let cost = ref 0. in
+  (* The per-instruction cost model is a pure function of the program;
+     callers that run the same program repeatedly pass the sum
+     computed once at install time instead of re-summing per check. *)
+  let cost =
+    ref (match precomputed with Some c -> c | None -> static_cost_ns p)
+  in
   Array.iter
     (fun inst ->
-      cost := !cost +. Gr_compiler.Verify.est_inst_cost_ns inst;
       match inst with
       | Ir.Const { dst; value } -> regs.(dst) <- value
       | Ir.Load { dst; slot } -> regs.(dst) <- Feature_store.load store slots.(slot)
       | Ir.Agg { dst; fn; slot; window_ns; param } ->
         let key = slots.(slot) in
-        let scanned = Feature_store.samples_in_window store ~key ~window_ns in
-        samples := !samples + scanned;
-        cost := !cost +. (float_of_int scanned *. sample_scan_cost_ns);
-        regs.(dst) <- Feature_store.aggregate store ~key ~fn ~window_ns ~param
+        let r = Feature_store.aggregate_result store ~key ~fn ~window_ns ~param in
+        (* Naive scans charge the whole window population; a
+           registered-demand hit charges only the samples it expired
+           now (plus QUANTILE's ranked suffix) — O(1) amortized. *)
+        samples := !samples + r.scanned;
+        cost := !cost +. (float_of_int r.scanned *. sample_scan_cost_ns);
+        regs.(dst) <- r.value
       | Ir.Unop { dst; op; src } ->
         regs.(dst) <-
           (match op with

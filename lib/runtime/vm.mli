@@ -6,9 +6,12 @@
 
     Each run reports the dynamic cost in estimated nanoseconds —
     instruction costs from {!Gr_compiler.Verify.est_inst_cost_ns}
-    plus a per-sample surcharge for window scans — which the engine
+    plus a per-sample surcharge for window work — which the engine
     accumulates as monitor overhead (the currency of the P5 property
-    and the overhead ablation). *)
+    and the overhead ablation). Aggregates go through
+    {!Feature_store.aggregate_result}: a registered demand is charged
+    only the samples it expired on this check (O(1) amortized), a
+    naive fallback the whole window population. *)
 
 type result = {
   value : float;
@@ -17,8 +20,21 @@ type result = {
   est_cost_ns : float;
 }
 
-val run : store:Feature_store.t -> slots:string array -> Gr_compiler.Ir.program -> result
+val static_cost_ns : Gr_compiler.Ir.program -> float
+(** Sum of the per-instruction cost model over the program — fixed at
+    compile time. Callers that execute a program repeatedly compute
+    this once and pass it to {!run} so the hot path only adds the
+    dynamic (sample-scan) part. *)
+
+val run :
+  ?static_cost_ns:float ->
+  store:Feature_store.t ->
+  slots:string array ->
+  Gr_compiler.Ir.program ->
+  result
 (** Precondition: the program passed {!Gr_compiler.Verify.verify}
-    against these slots. *)
+    against these slots, and [?static_cost_ns], when given, is
+    {!static_cost_ns} of this very program (computed per run
+    otherwise). *)
 
 val truthy : float -> bool

@@ -1,0 +1,85 @@
+type 'a t = {
+  mutable data : 'a option array;
+  mutable head : int; (* index of front element *)
+  mutable len : int;
+}
+
+let create ?(capacity = 8) () =
+  if capacity <= 0 then invalid_arg "Deque.create: capacity must be positive";
+  { data = Array.make capacity None; head = 0; len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let clear t =
+  Array.fill t.data 0 (Array.length t.data) None;
+  t.head <- 0;
+  t.len <- 0
+
+let grow t =
+  let cap = Array.length t.data in
+  let data = Array.make (2 * cap) None in
+  for i = 0 to t.len - 1 do
+    data.(i) <- t.data.((t.head + i) mod cap)
+  done;
+  t.data <- data;
+  t.head <- 0
+
+let push_back t x =
+  if t.len = Array.length t.data then grow t;
+  t.data.((t.head + t.len) mod Array.length t.data) <- Some x;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Deque.get: index out of range";
+  match t.data.((t.head + i) mod Array.length t.data) with
+  | Some x -> x
+  | None -> assert false
+
+let front t = if t.len = 0 then None else Some (get t 0)
+let back t = if t.len = 0 then None else Some (get t (t.len - 1))
+
+let pop_front t =
+  if t.len = 0 then None
+  else begin
+    let x = get t 0 in
+    t.data.(t.head) <- None;
+    t.head <- (t.head + 1) mod Array.length t.data;
+    t.len <- t.len - 1;
+    Some x
+  end
+
+let pop_back t =
+  if t.len = 0 then None
+  else begin
+    let x = get t (t.len - 1) in
+    t.data.((t.head + t.len - 1) mod Array.length t.data) <- None;
+    t.len <- t.len - 1;
+    Some x
+  end
+
+let drop_front_while pred t =
+  let continue = ref true in
+  while !continue && t.len > 0 do
+    match front t with
+    | Some x when pred x -> ignore (pop_front t : 'a option)
+    | _ -> continue := false
+  done
+
+let drop_back_while pred t =
+  let continue = ref true in
+  while !continue && t.len > 0 do
+    match back t with
+    | Some x when pred x -> ignore (pop_back t : 'a option)
+    | _ -> continue := false
+  done
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (get t i)
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun x -> acc := x :: !acc) t;
+  List.rev !acc

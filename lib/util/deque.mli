@@ -1,0 +1,42 @@
+(** Growable double-ended queue on a circular buffer.
+
+    Built for the feature store's streaming MIN/MAX aggregates, which
+    keep a {e monotonic deque}: push new samples at the back popping
+    every dominated predecessor ({!drop_back_while}), expire old
+    samples from the front ({!drop_front_while}), and read the current
+    extremum at the front — O(1) amortized per sample. The structure
+    itself is generic. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [capacity] is the initial backing-array size (default 8); the
+    deque grows by doubling. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val clear : 'a t -> unit
+
+val push_back : 'a t -> 'a -> unit
+(** O(1) amortized. *)
+
+val get : 'a t -> int -> 'a
+(** [get t i] is the [i]-th element from the front.
+    @raise Invalid_argument if out of range. *)
+
+val front : 'a t -> 'a option
+val back : 'a t -> 'a option
+val pop_front : 'a t -> 'a option
+val pop_back : 'a t -> 'a option
+
+val drop_front_while : ('a -> bool) -> 'a t -> unit
+(** Pops front elements while the predicate holds. *)
+
+val drop_back_while : ('a -> bool) -> 'a t -> unit
+(** Pops back elements while the predicate holds. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Front to back. *)
+
+val to_list : 'a t -> 'a list
+(** Front to back. *)

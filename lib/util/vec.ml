@@ -1,0 +1,39 @@
+type 'a t = { mutable data : 'a option array; mutable len : int }
+
+let create ?(capacity = 8) () =
+  if capacity <= 0 then invalid_arg "Vec.create: capacity must be positive";
+  { data = Array.make capacity None; len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let grow t =
+  let data = Array.make (2 * Array.length t.data) None in
+  Array.blit t.data 0 data 0 t.len;
+  t.data <- data
+
+let push t x =
+  if t.len = Array.length t.data then grow t;
+  t.data.(t.len) <- Some x;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec.get: index out of range";
+  match t.data.(i) with Some x -> x | None -> assert false
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (get t i)
+  done
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun x -> acc := f !acc x) t;
+  !acc
+
+let to_list t = List.rev (fold (fun acc x -> x :: acc) [] t)
+let exists p t = fold (fun acc x -> acc || p x) false t
+
+let clear t =
+  Array.fill t.data 0 t.len None;
+  t.len <- 0

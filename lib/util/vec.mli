@@ -1,0 +1,35 @@
+(** Growable vector with O(1) amortized append.
+
+    Registration-heavy call sites (monitor installation, store
+    subscriptions) previously appended with [xs @ [x]] — quadratic
+    across a fleet install. A vector keeps registration O(1) while
+    preserving insertion order for iteration, which matters wherever
+    dispatch or reporting order is observable. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [capacity] is the initial backing-array size (default 8); the
+    vector grows by doubling. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** Appends at the end; O(1) amortized. *)
+
+val get : 'a t -> int -> 'a
+(** [get t i] is the [i]-th pushed element (insertion order).
+    @raise Invalid_argument if out of range. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** In insertion order. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** In insertion order. *)
+
+val to_list : 'a t -> 'a list
+(** In insertion order. *)
+
+val exists : ('a -> bool) -> 'a t -> bool
+val clear : 'a t -> unit

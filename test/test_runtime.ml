@@ -131,6 +131,141 @@ let store_aggregate_property =
       let got = Store.aggregate store ~key:"k" ~fn ~window_ns ~param:0. in
       Float.abs (got -. expected) < 1e-6)
 
+(* ---------- Incremental (demand-registered) aggregation ---------- *)
+
+let all_aggs : Gr_dsl.Ast.agg list =
+  [ Gr_dsl.Ast.Count; Sum; Rate; Avg; Min; Max; Stddev; Quantile; Delta ]
+
+(* Exact for the order-independent functions; tolerance for the
+   running-sum family, whose incremental add/subtract order differs
+   from the naive left fold. *)
+let agg_close (fn : Gr_dsl.Ast.agg) inc naive =
+  match fn with
+  | Count | Min | Max | Delta | Quantile -> inc = naive
+  | Sum | Rate | Avg -> Float.abs (inc -. naive) <= 1e-6 *. Float.max 1. (Float.abs naive)
+  | Stddev -> Float.abs (inc -. naive) <= 1e-4 *. Float.max 1. (Float.abs naive)
+
+(* Randomized interleavings of saves, clock advances and checks: the
+   streaming state must agree with the naive full scan (forced via the
+   oracle flag on the same store, so both sides see identical samples)
+   for every aggregate constructor, including ring-capacity eviction
+   (small capacities) and time expiry (advances beyond the window). *)
+let incremental_equivalence_property =
+  let open QCheck2.Gen in
+  let op =
+    frequency
+      [
+        (4, map (fun v -> `Save v) (float_bound_inclusive 100.));
+        (3, map (fun dt -> `Advance dt) (int_range 0 700_000_000));
+        (2, pure `Check);
+      ]
+  in
+  let gen =
+    quad
+      (oneofl all_aggs)
+      (float_range 0.05 0.95)
+      (oneofl [ 4; 16; 4096 ])
+      (list_size (int_range 1 120) op)
+  in
+  QCheck2.Test.make ~name:"incremental aggregates match naive oracle" ~count:400 gen
+    (fun (fn, param, capacity, ops) ->
+      let param = if fn = Gr_dsl.Ast.Quantile then param else 0. in
+      let clock = ref 0 in
+      let store = Store.create ~clock:(fun () -> !clock) ~capacity_per_key:capacity () in
+      let window_ns = 1e9 in
+      Store.register_demand store ~key:"k" ~fn ~window_ns ~param;
+      let ok = ref true in
+      let check () =
+        let inc = Store.aggregate store ~key:"k" ~fn ~window_ns ~param in
+        Store.set_force_naive store true;
+        let naive = Store.aggregate store ~key:"k" ~fn ~window_ns ~param in
+        Store.set_force_naive store false;
+        if not (agg_close fn inc naive) then ok := false
+      in
+      List.iter
+        (function
+          | `Save v -> Store.save store "k" v
+          | `Advance dt -> clock := !clock + dt
+          | `Check -> check ())
+        ops;
+      check ();
+      !ok)
+
+let test_incremental_empty_and_single () =
+  List.iter
+    (fun fn ->
+      let clock = ref 0 in
+      let store = Store.create ~clock:(fun () -> !clock) () in
+      Store.register_demand store ~key:"k" ~fn ~window_ns:1e9 ~param:0.5;
+      let agg () = Store.aggregate store ~key:"k" ~fn ~window_ns:1e9 ~param:0.5 in
+      check_float "empty window is 0" 0. (agg ());
+      Store.save store "k" 7.;
+      let single = agg () in
+      let expected =
+        match fn with
+        | Gr_dsl.Ast.Count -> 1.
+        | Sum -> 7.
+        | Rate -> 7.
+        | Avg | Min | Max | Quantile -> 7.
+        | Stddev | Delta -> 0.
+      in
+      check_float "single sample" expected single;
+      (* Expire it: back to the empty-window result. *)
+      clock := 2_000_000_000;
+      check_float "expired back to 0" 0. (agg ()))
+    all_aggs
+
+let test_incremental_registration_replays () =
+  (* A demand registered after samples exist must agree immediately. *)
+  let clock = ref 0 in
+  let store = Store.create ~clock:(fun () -> !clock) () in
+  List.iteri
+    (fun i v ->
+      clock := (i + 1) * 1000;
+      Store.save store "k" v)
+    [ 4.; 1.; 3.; 2. ];
+  Store.register_demand store ~key:"k" ~fn:Gr_dsl.Ast.Avg ~window_ns:1e9 ~param:0.;
+  Store.register_demand store ~key:"k" ~fn:Gr_dsl.Ast.Min ~window_ns:1e9 ~param:0.;
+  check_float "avg replayed" 2.5 (Store.aggregate store ~key:"k" ~fn:Gr_dsl.Ast.Avg ~window_ns:1e9 ~param:0.);
+  check_float "min replayed" 1. (Store.aggregate store ~key:"k" ~fn:Gr_dsl.Ast.Min ~window_ns:1e9 ~param:0.);
+  check_int "both were hits" 2 (Store.agg_hit_count store)
+
+let test_incremental_refcounting () =
+  let _, store = make_store () in
+  let reg () = Store.register_demand store ~key:"k" ~fn:Gr_dsl.Ast.Sum ~window_ns:1e9 ~param:0. in
+  let rel () = Store.release_demand store ~key:"k" ~fn:Gr_dsl.Ast.Sum ~window_ns:1e9 ~param:0. in
+  reg ();
+  reg ();
+  check_int "shared shape takes one slot" 1 (Store.demand_count store);
+  rel ();
+  check_int "survives first release" 1 (Store.demand_count store);
+  ignore (Store.aggregate store ~key:"k" ~fn:Gr_dsl.Ast.Sum ~window_ns:1e9 ~param:0. : float);
+  check_int "still a hit" 1 (Store.agg_hit_count store);
+  rel ();
+  check_int "freed on last release" 0 (Store.demand_count store);
+  ignore (Store.aggregate store ~key:"k" ~fn:Gr_dsl.Ast.Sum ~window_ns:1e9 ~param:0. : float);
+  check_int "now a miss" 1 (Store.agg_miss_count store);
+  (* Releasing a shape never registered is a no-op. *)
+  Store.release_demand store ~key:"zzz" ~fn:Gr_dsl.Ast.Max ~window_ns:1e9 ~param:0.
+
+let test_incremental_amortized_scan_cost () =
+  let clock = ref 0 in
+  let store = Store.create ~clock:(fun () -> !clock) () in
+  Store.register_demand store ~key:"k" ~fn:Gr_dsl.Ast.Avg ~window_ns:1e9 ~param:0.;
+  for i = 1 to 100 do
+    clock := i * 1000;
+    Store.save store "k" (float_of_int i)
+  done;
+  let agg () = Store.aggregate_result store ~key:"k" ~fn:Gr_dsl.Ast.Avg ~window_ns:1e9 ~param:0. in
+  let r = agg () in
+  check_bool "incremental" true r.Store.incremental;
+  check_int "steady state scans nothing" 0 r.Store.scanned;
+  (* Push the whole window out: one check pays the expiry... *)
+  clock := 3_000_000_000;
+  check_int "expiry charged once" 100 (agg ()).Store.scanned;
+  (* ...and the next is O(1) again. *)
+  check_int "then O(1) again" 0 (agg ()).Store.scanned
+
 (* ---------- VM ---------- *)
 
 let compile_rule src =
@@ -162,6 +297,20 @@ let test_vm_cost_accounting () =
   check_bool "cost grows with samples" true (r.est_cost_ns > 40.);
   check_int "executed every instruction" (Array.length rule.Gr_compiler.Ir.insts) r.insts_executed
 
+let test_vm_static_cost_hoisted () =
+  let clock, store = make_store () in
+  let rule, slots = compile_rule "AVG(lat, 1s) < 100 && LOAD(lat) >= 0" in
+  for i = 1 to 10 do
+    clock := i * 1000;
+    Store.save store "lat" 1.
+  done;
+  (* Precomputing the static instruction cost must not change the
+     charged total — only who sums it. *)
+  let per_run = Vm.run ~store ~slots rule in
+  let hoisted = Vm.run ~static_cost_ns:(Vm.static_cost_ns rule) ~store ~slots rule in
+  check_float "identical charged cost" per_run.est_cost_ns hoisted.est_cost_ns;
+  check_bool "static part positive" true (Vm.static_cost_ns rule > 0.)
+
 (* ---------- Engine ---------- *)
 
 let make_deployment ?config () =
@@ -173,6 +322,30 @@ let simple_rail ?(name = "g") ?(trigger = "TIMER(0, 10ms)") ?(rule = "LOAD(healt
     ?(actions = [ {|REPORT("violated", healthy)|} ]) () =
   Printf.sprintf "guardrail %s { trigger: { %s } rule: { %s } action: { %s } }" name trigger rule
     (String.concat "; " actions)
+
+let test_engine_registers_and_releases_demands () =
+  let _, d = make_deployment () in
+  let store = Guardrails.Deployment.store d in
+  let rail name = simple_rail ~name ~rule:"AVG(lat, 1s) < 100" () in
+  let h1 = List.hd (Guardrails.Deployment.install_source_exn d (rail "g1")) in
+  let h2 = List.hd (Guardrails.Deployment.install_source_exn d (rail "g2")) in
+  (* Identical rule terms share one streaming slot. *)
+  check_int "shared demand" 1 (Guardrails.Store.demand_count store);
+  Guardrails.Deployment.uninstall d h1;
+  check_int "survives one uninstall" 1 (Guardrails.Store.demand_count store);
+  Guardrails.Deployment.uninstall d h2;
+  check_int "released with the last monitor" 0 (Guardrails.Store.demand_count store)
+
+let test_engine_checks_hit_incremental_path () =
+  let kernel, d = make_deployment () in
+  Guardrails.Deployment.save d "lat" 1.;
+  ignore
+    (Guardrails.Deployment.install_source_exn d
+       (simple_rail ~rule:"AVG(lat, 1s) < 100" ())
+      : Engine.handle list);
+  Gr_kernel.Kernel.run_until kernel (Time_ns.ms 105);
+  let store = Guardrails.Deployment.store d in
+  check_bool "timer checks served incrementally" true (Guardrails.Store.agg_hit_count store >= 11)
 
 let test_engine_timer_checks () =
   let kernel, d = make_deployment () in
@@ -468,13 +641,28 @@ let suite =
         Alcotest.test_case "on_save" `Quick test_store_on_save;
         QCheck_alcotest.to_alcotest store_aggregate_property;
       ] );
+    ( "runtime.store.incremental",
+      [
+        QCheck_alcotest.to_alcotest incremental_equivalence_property;
+        Alcotest.test_case "empty and single-sample edges" `Quick
+          test_incremental_empty_and_single;
+        Alcotest.test_case "registration replays history" `Quick
+          test_incremental_registration_replays;
+        Alcotest.test_case "demand refcounting" `Quick test_incremental_refcounting;
+        Alcotest.test_case "amortized scan cost" `Quick test_incremental_amortized_scan_cost;
+      ] );
     ( "runtime.vm",
       [
         Alcotest.test_case "division by zero" `Quick test_vm_division_by_zero;
         Alcotest.test_case "cost accounting" `Quick test_vm_cost_accounting;
+        Alcotest.test_case "static cost hoisted" `Quick test_vm_static_cost_hoisted;
       ] );
     ( "runtime.engine",
       [
+        Alcotest.test_case "demand register/release on install" `Quick
+          test_engine_registers_and_releases_demands;
+        Alcotest.test_case "checks hit incremental path" `Quick
+          test_engine_checks_hit_incremental_path;
         Alcotest.test_case "timer checks" `Quick test_engine_timer_checks;
         Alcotest.test_case "violation and report" `Quick test_engine_violation_and_report;
         Alcotest.test_case "function trigger" `Quick test_engine_function_trigger;

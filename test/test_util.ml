@@ -155,6 +155,102 @@ let test_ring_invalid_capacity () =
   Alcotest.check_raises "zero capacity" (Invalid_argument "Ring.create: capacity must be positive")
     (fun () -> ignore (Ring.create ~capacity:0 : int Ring.t))
 
+let test_ring_bsearch_first () =
+  let r = Ring.create ~capacity:4 in
+  check_int "empty ring" 0 (Ring.bsearch_first (fun _ -> true) r);
+  for i = 1 to 10 do
+    Ring.push r (i * 10)
+  done;
+  (* Retained (after wrap): 70, 80, 90, 100. *)
+  check_int "all satisfy" 0 (Ring.bsearch_first (fun x -> x > 0) r);
+  check_int "none satisfy" 4 (Ring.bsearch_first (fun x -> x > 100) r);
+  check_int "first above cutoff" 2 (Ring.bsearch_first (fun x -> x > 80) r);
+  check_int "boundary inclusive" 1 (Ring.bsearch_first (fun x -> x >= 80) r)
+
+let ring_bsearch_property =
+  QCheck2.Test.make ~name:"ring bsearch_first agrees with linear scan" ~count:300
+    QCheck2.Gen.(triple (int_range 1 20) (list (int_range 0 100)) (int_range 0 100))
+    (fun (cap, xs, cutoff) ->
+      let r = Ring.create ~capacity:cap in
+      List.iter (Ring.push r) (List.sort Int.compare xs);
+      let pred x = x > cutoff in
+      let linear =
+        let rec go i = if i >= Ring.length r then i else if pred (Ring.get r i) then i else go (i + 1) in
+        go 0
+      in
+      Ring.bsearch_first pred r = linear)
+
+(* ---------- Vec ---------- *)
+
+let test_vec_push_order_and_growth () =
+  let v = Vec.create ~capacity:2 () in
+  check_bool "empty" true (Vec.is_empty v);
+  for i = 1 to 100 do
+    Vec.push v i
+  done;
+  check_int "length" 100 (Vec.length v);
+  check_int "first" 1 (Vec.get v 0);
+  check_int "last" 100 (Vec.get v 99);
+  Alcotest.(check (list int)) "insertion order" (List.init 100 (fun i -> i + 1)) (Vec.to_list v);
+  check_int "fold" 5050 (Vec.fold ( + ) 0 v);
+  check_bool "exists" true (Vec.exists (fun x -> x = 42) v);
+  Vec.clear v;
+  check_bool "cleared" true (Vec.is_empty v)
+
+let test_vec_get_out_of_range () =
+  let v = Vec.create () in
+  Vec.push v 1;
+  Alcotest.check_raises "get out of range" (Invalid_argument "Vec.get: index out of range")
+    (fun () -> ignore (Vec.get v 1 : int))
+
+(* ---------- Deque ---------- *)
+
+let test_deque_both_ends () =
+  let d = Deque.create ~capacity:2 () in
+  List.iter (Deque.push_back d) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check (option int)) "front" (Some 1) (Deque.front d);
+  Alcotest.(check (option int)) "back" (Some 5) (Deque.back d);
+  Alcotest.(check (option int)) "pop_front" (Some 1) (Deque.pop_front d);
+  Alcotest.(check (option int)) "pop_back" (Some 5) (Deque.pop_back d);
+  Alcotest.(check (list int)) "remaining" [ 2; 3; 4 ] (Deque.to_list d);
+  Deque.drop_front_while (fun x -> x < 4) d;
+  Alcotest.(check (list int)) "front dropped" [ 4 ] (Deque.to_list d);
+  Deque.drop_back_while (fun _ -> true) d;
+  check_bool "drained" true (Deque.is_empty d);
+  Alcotest.(check (option int)) "pop empty" None (Deque.pop_front d)
+
+let test_deque_wraparound_growth () =
+  (* Force head to wrap before growing so the copy must re-linearize. *)
+  let d = Deque.create ~capacity:4 () in
+  List.iter (Deque.push_back d) [ 1; 2; 3 ];
+  ignore (Deque.pop_front d : int option);
+  ignore (Deque.pop_front d : int option);
+  List.iter (Deque.push_back d) [ 4; 5; 6; 7; 8 ];
+  Alcotest.(check (list int)) "linear order preserved" [ 3; 4; 5; 6; 7; 8 ] (Deque.to_list d);
+  check_int "indexed get" 5 (Deque.get d 2)
+
+(* A monotonic min-deque driven randomly must always report the true
+   minimum of the live window — the exact discipline the feature
+   store's streaming MIN/MAX uses. *)
+let deque_monotonic_property =
+  QCheck2.Test.make ~name:"monotonic deque tracks window minimum" ~count:300
+    QCheck2.Gen.(pair (int_range 1 10) (list_size (int_range 1 60) (int_range 0 1000)))
+    (fun (window, xs) ->
+      let d = Deque.create () in
+      let ok = ref true in
+      List.iteri
+        (fun i x ->
+          Deque.drop_back_while (fun (_, v) -> v >= x) d;
+          Deque.push_back d (i, x);
+          Deque.drop_front_while (fun (j, _) -> j <= i - window) d;
+          let live = List.filteri (fun j _ -> j > i - window && j <= i) xs in
+          let true_min = List.fold_left min (List.hd (List.rev live)) live in
+          match Deque.front d with
+          | Some (_, v) when v = true_min -> ()
+          | _ -> ok := false)
+        xs;
+      !ok)
+
 (* ---------- Heap ---------- *)
 
 let test_heap_sorts () =
@@ -360,7 +456,20 @@ let suite =
         Alcotest.test_case "clear" `Quick test_ring_clear;
         Alcotest.test_case "wraparound order" `Quick test_ring_wraparound_order;
         Alcotest.test_case "invalid capacity" `Quick test_ring_invalid_capacity;
+        Alcotest.test_case "bsearch_first" `Quick test_ring_bsearch_first;
         QCheck_alcotest.to_alcotest ring_property;
+        QCheck_alcotest.to_alcotest ring_bsearch_property;
+      ] );
+    ( "util.vec",
+      [
+        Alcotest.test_case "push order and growth" `Quick test_vec_push_order_and_growth;
+        Alcotest.test_case "out-of-range get" `Quick test_vec_get_out_of_range;
+      ] );
+    ( "util.deque",
+      [
+        Alcotest.test_case "both ends" `Quick test_deque_both_ends;
+        Alcotest.test_case "wraparound growth" `Quick test_deque_wraparound_growth;
+        QCheck_alcotest.to_alcotest deque_monotonic_property;
       ] );
     ( "util.heap",
       [
