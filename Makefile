@@ -1,4 +1,4 @@
-.PHONY: all build test fmt fmt-check bench bench-smoke ci
+.PHONY: all build test fmt fmt-check lint bench bench-smoke ci
 
 all: build
 
@@ -16,6 +16,12 @@ fmt:
 fmt-check:
 	dune build @fmt @fmt-check
 
+# Static analysis over the shipped specs (must be clean) and the
+# specs/bad negative corpus (each file must produce its pinned
+# diagnostic family and exit code). See docs/LINT.md.
+lint: build
+	sh scripts/lint_corpus.sh
+
 bench:
 	dune exec bench/main.exe
 
@@ -27,4 +33,5 @@ bench-smoke:
 ci: fmt-check
 	dune build
 	dune runtest
+	$(MAKE) lint
 	$(MAKE) bench-smoke

@@ -4,6 +4,9 @@
      grc check   FILE     parse and typecheck
      grc compile FILE     full pipeline; print disassembly + verifier stats
      grc deps    FILE     interference edges and feedback-loop cycles
+     grc lint    FILE...  static analysis: abstract interpretation over each
+                          rule plus whole-deployment interference checks;
+                          exit 0 clean, 1 warnings (with --strict), 2 errors
      grc fmt     FILE     parse and pretty-print canonical form
      grc run     FILE     install against an idle simulated kernel and run;
                           report per-monitor telemetry, optionally export a
@@ -100,6 +103,100 @@ let deps_cmd =
     (Cmd.info "deps" ~doc:"Dependency analysis: interference edges and feedback loops")
     Term.(const run $ file_arg)
 
+let lint_cmd =
+  let run paths json strict budget =
+    let compile_one path =
+      let src = read_file path in
+      match Guardrails.Parser.parse src with
+      | Error (pos, msg) ->
+        Error (Format.asprintf "%s: parse error at %a: %s" path Guardrails.Ast.pp_pos pos msg)
+      | Ok spec -> (
+        match Guardrails.Typecheck.check_spec spec with
+        | Error errs ->
+          Error
+            (String.concat "\n"
+               (List.map
+                  (fun e -> Format.asprintf "%s: %a" path Guardrails.Typecheck.pp_error e)
+                  errs))
+        | Ok () ->
+          Ok
+            (List.map
+               (fun m -> (path, Guardrails.Opt.optimize_monitor m))
+               (Guardrails.Lower.spec spec)))
+    in
+    let compiled = List.map compile_one paths in
+    let failures = List.filter_map (function Error e -> Some e | Ok _ -> None) compiled in
+    if failures <> [] then begin
+      List.iter (fun e -> Format.eprintf "%s@." e) failures;
+      2
+    end
+    else begin
+      let tagged = List.concat_map (function Ok l -> l | Error _ -> []) compiled in
+      let monitors = List.map snd tagged in
+      let file_of =
+        let tbl = Hashtbl.create 16 in
+        List.iter
+          (fun (f, (m : Guardrails.Monitor.t)) ->
+            if not (Hashtbl.mem tbl m.name) then Hashtbl.add tbl m.name f)
+          tagged;
+        fun name -> Hashtbl.find_opt tbl name
+      in
+      let config = { Guardrails.Analyze.hook_budget_ns = budget } in
+      let diags = Guardrails.Analyze.deployment ~config monitors in
+      if json then begin
+        let with_file (d : Guardrails.Diagnostic.t) =
+          let file =
+            match d.monitor with
+            | Some m -> (
+              match file_of m with Some f -> Guardrails.Json.Str f | None -> Guardrails.Json.Null)
+            | None -> Guardrails.Json.Null
+          in
+          match Guardrails.Diagnostic.to_json d with
+          | Guardrails.Json.Obj fields -> Guardrails.Json.Obj (("file", file) :: fields)
+          | other -> other
+        in
+        print_endline (Guardrails.Json.to_string (Guardrails.Json.Arr (List.map with_file diags)))
+      end
+      else
+        List.iter
+          (fun (d : Guardrails.Diagnostic.t) ->
+            let prefix =
+              match d.monitor with
+              | Some m -> ( match file_of m with Some f -> f ^ ": " | None -> "")
+              | None -> ""
+            in
+            Format.printf "%s%a@." prefix Guardrails.Diagnostic.pp d)
+          diags;
+      let has sev = List.exists (fun (d : Guardrails.Diagnostic.t) -> d.severity = sev) diags in
+      if has Guardrails.Diagnostic.Error then 2
+      else if has Guardrails.Diagnostic.Warning && strict then 1
+      else 0
+    end
+  in
+  let files =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"Guardrail source file(s); linted together as one deployment.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as a JSON array.") in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Exit 1 when warnings are found (errors always exit 2).")
+  in
+  let budget =
+    Arg.(
+      value & opt float 500.
+      & info [ "hook-budget-ns" ] ~docv:"NS"
+          ~doc:"Per-FUNCTION-hook cumulative static cost budget in nanoseconds (default 500).")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static analysis: abstract interpretation over each rule and whole-deployment \
+          interference checks")
+    Term.(const run $ files $ json $ strict $ budget)
+
 let cgen_cmd =
   let run path header =
     if header then begin
@@ -186,4 +283,7 @@ let run_cmd =
 
 let () =
   let info = Cmd.info "grc" ~version:"1.0.0" ~doc:"Guardrail compiler for learned OS policies" in
-  exit (Cmd.eval' (Cmd.group info [ check_cmd; compile_cmd; deps_cmd; cgen_cmd; fmt_cmd; run_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ check_cmd; compile_cmd; deps_cmd; lint_cmd; cgen_cmd; fmt_cmd; run_cmd ]))

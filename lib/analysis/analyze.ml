@@ -1,0 +1,358 @@
+module Ast = Gr_dsl.Ast
+module Ir = Gr_compiler.Ir
+module Monitor = Gr_compiler.Monitor
+
+type config = { hook_budget_ns : float }
+
+let default_config = { hook_budget_ns = 500. }
+
+(* ---------- Abstract evaluation ---------- *)
+
+let eval_unop op v =
+  match op with
+  | Ast.Neg -> Interval.neg v
+  | Ast.Abs -> Interval.abs v
+  | Ast.Not -> Interval.not_ v
+
+let eval_binop op a b =
+  match op with
+  | Ast.Add -> Interval.add a b
+  | Ast.Sub -> Interval.sub a b
+  | Ast.Mul -> Interval.mul a b
+  | Ast.Div -> Interval.div a b
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne -> Interval.cmp op a b
+  | Ast.And -> Interval.and_ a b
+  | Ast.Or -> Interval.or_ a b
+
+(* Range of a windowed aggregate given the key's sample range. An
+   empty window yields 0 in the feature store, so 0 is always
+   included. *)
+let eval_agg (fn : Ast.agg) key_av =
+  match fn with
+  | Ast.Count | Ast.Rate | Ast.Stddev -> Interval.finite 0. infinity
+  | Ast.Avg | Ast.Min | Ast.Max | Ast.Quantile -> Interval.join (Interval.const 0.) key_av
+  | Ast.Sum ->
+    (* Magnitude scales with the (unbounded) sample count. *)
+    let h = Interval.join (Interval.const 0.) key_av in
+    {
+      h with
+      Interval.lo = (if Interval.may_neg h then neg_infinity else h.Interval.lo);
+      hi = (if Interval.may_pos h then infinity else h.Interval.hi);
+    }
+  | Ast.Delta ->
+    (* last − first: the self-difference of the sample range. *)
+    Interval.join (Interval.const 0.) (Interval.sub key_av key_av)
+
+(* Evaluates a straight-line program, returning the per-register
+   abstract values (single assignment makes the final register file a
+   complete record of every intermediate). *)
+let eval_program ~lookup ~(slots : string array) (p : Ir.program) =
+  let regs = Array.make (max 1 p.Ir.n_regs) Interval.bot in
+  Array.iter
+    (fun inst ->
+      let v =
+        match inst with
+        | Ir.Const { value; _ } -> Interval.const value
+        | Ir.Load { slot; _ } -> lookup slots.(slot)
+        | Ir.Agg { fn; slot; _ } -> eval_agg fn (lookup slots.(slot))
+        | Ir.Unop { op; src; _ } -> eval_unop op regs.(src)
+        | Ir.Binop { op; lhs; rhs; _ } -> eval_binop op regs.(lhs) regs.(rhs)
+      in
+      regs.(Ir.dst inst) <- v)
+    p.Ir.insts;
+  regs
+
+let result_value ~lookup ~slots (p : Ir.program) =
+  if Array.length p.Ir.insts = 0 then Interval.unknown
+  else (eval_program ~lookup ~slots p).(p.Ir.result)
+
+(* ---------- Slot seeding ---------- *)
+
+let saves m =
+  List.filter_map
+    (function Monitor.Save { key; value } -> Some (key, value) | _ -> None)
+    m.Monitor.actions
+
+(* Abstract store contents: keys written by some monitor are the join
+   of all their SAVE programs' values plus 0 (the initial value);
+   everything else is external telemetry — finite but unknown. Two
+   rounds of downward iteration from top refine self-referential
+   saves soundly (each iterate over-approximates the fixpoint). *)
+let key_env monitors =
+  let written = Hashtbl.create 16 in
+  List.iter (fun m -> List.iter (fun (k, _) -> Hashtbl.replace written k ()) (saves m)) monitors;
+  let env = ref (fun key -> if Hashtbl.mem written key then Interval.top else Interval.unknown) in
+  for _round = 1 to 2 do
+    let lookup = !env in
+    let next = Hashtbl.create 16 in
+    List.iter
+      (fun m ->
+        List.iter
+          (fun (key, value) ->
+            let v = result_value ~lookup ~slots:m.Monitor.slots value in
+            let joined =
+              match Hashtbl.find_opt next key with
+              | Some prev -> Interval.join prev v
+              | None -> Interval.join (Interval.const 0.) v
+            in
+            Hashtbl.replace next key joined)
+          (saves m))
+      monitors;
+    env :=
+      fun key ->
+        match Hashtbl.find_opt next key with Some v -> v | None -> Interval.unknown
+  done;
+  !env
+
+(* ---------- Pass 1: per-program diagnostics ---------- *)
+
+let is_comparison = function
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne -> true
+  | _ -> false
+
+let check_program ~diag ~monitor ~lookup ~is_rule (m : Monitor.t) (p : Ir.program) =
+  let slots = m.Monitor.slots in
+  let regs = eval_program ~lookup ~slots p in
+  Array.iteri
+    (fun i inst ->
+      let pos = Ir.pos_of p i in
+      match inst with
+      | Ir.Binop { op = Ast.Div; rhs; dst; _ } ->
+        let dv = regs.(rhs) in
+        if Interval.must_zero dv then
+          diag
+            (Diagnostic.error ~monitor ?pos ~code:"GRL003"
+               "divisor is always 0; the VM defines x / 0 = 0, so this quotient is constantly 0")
+        else if Interval.may_zero dv && not (Interval.is_unconstrained dv) then
+          diag
+            (Diagnostic.warning ~monitor ?pos ~code:"GRL003"
+               (Printf.sprintf
+                  "divisor may be 0 (divisor in %s); the VM silently yields 0 for x / 0"
+                  (Interval.to_string dv)));
+        ignore dst
+      | Ir.Binop { op; lhs; rhs; dst } when is_comparison op ->
+        let lv = regs.(lhs) and rv = regs.(rhs) in
+        if Interval.may_nan lv || Interval.may_nan rv then
+          diag
+            (Diagnostic.warning ~monitor ?pos ~code:"GRL005"
+               (Printf.sprintf
+                  "%s operand of %s may be NaN; NaN makes every comparison false (except <>)"
+                  (if Interval.may_nan lv then "left" else "right")
+                  (Ast.binop_symbol op)))
+        else begin
+          let v = regs.(dst) in
+          let constant =
+            if Interval.always_true v then Some "true"
+            else if Interval.always_false v then Some "false"
+            else None
+          in
+          match constant with
+          | Some outcome when (not is_rule) || dst <> p.Ir.result ->
+            (* The rule's root comparison is reported as GRL001/002. *)
+            diag
+              (Diagnostic.warning ~monitor ?pos ~code:"GRL004"
+                 (Printf.sprintf "comparison is always %s: left in %s, right in %s" outcome
+                    (Interval.to_string lv) (Interval.to_string rv)))
+          | _ -> ()
+        end
+      | _ -> ())
+    p.Ir.insts;
+  if Array.length p.Ir.insts = 0 then Interval.unknown else regs.(p.Ir.result)
+
+let check_monitor ~diag ~lookup (m : Monitor.t) =
+  let monitor = m.Monitor.name in
+  let rule_pos =
+    match Ir.pos_of m.Monitor.rule m.Monitor.rule.Ir.result with
+    | Some p -> Some p
+    | None -> Some m.Monitor.pos
+  in
+  let rv = check_program ~diag ~monitor ~lookup ~is_rule:true m m.Monitor.rule in
+  if Interval.always_true rv then
+    diag
+      (Diagnostic.warning ~monitor ?pos:rule_pos ~code:"GRL001"
+         (Printf.sprintf "rule is always true (value in %s): the guardrail can never fire"
+            (Interval.to_string rv)))
+  else if Interval.always_false rv then
+    diag
+      (Diagnostic.warning ~monitor ?pos:rule_pos ~code:"GRL002"
+         (Printf.sprintf "rule is always false (value in %s): the guardrail fires on every check"
+            (Interval.to_string rv)));
+  List.iter
+    (fun (_, value) ->
+      ignore (check_program ~diag ~monitor ~lookup ~is_rule:false m value : Interval.t))
+    (saves m)
+
+(* ---------- Pass 2: interference ---------- *)
+
+let names_of idxs monitors =
+  List.map (fun i -> (List.nth monitors i).Monitor.name) idxs |> List.sort compare
+
+(* Tarjan's SCC over the SAVE -> ON_CHANGE trigger graph. *)
+let trigger_sccs (monitors : Monitor.t list) =
+  let n = List.length monitors in
+  let marr = Array.of_list monitors in
+  let watchers = Hashtbl.create 16 in
+  Array.iteri
+    (fun i m ->
+      List.iter
+        (function
+          | Monitor.On_change key -> Hashtbl.add watchers key i
+          | Monitor.Timer _ | Monitor.Function _ -> ())
+        m.Monitor.triggers)
+    marr;
+  let succs i =
+    List.concat_map (fun (key, _) -> Hashtbl.find_all watchers key) (saves marr.(i))
+    |> List.sort_uniq compare
+  in
+  let index = Array.make n (-1) and lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] and counter = ref 0 and sccs = ref [] in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) < 0 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      (succs v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+          stack := rest;
+          on_stack.(w) <- false;
+          if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      sccs := pop [] :: !sccs
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then strongconnect v
+  done;
+  (* Cyclic components: more than one monitor, or a self-loop. *)
+  List.filter
+    (fun comp ->
+      match comp with
+      | [ v ] -> List.mem v (succs v)
+      | _ :: _ :: _ -> true
+      | [] -> false)
+    (List.rev !sccs)
+
+let check_deployment ~config ~diag (monitors : Monitor.t list) =
+  (* GRL101: duplicate SAVE key within one monitor. *)
+  List.iter
+    (fun m ->
+      let seen = Hashtbl.create 4 in
+      List.iter
+        (fun (key, _) ->
+          if Hashtbl.mem seen key then
+            diag
+              (Diagnostic.error ~monitor:m.Monitor.name ~pos:m.Monitor.pos ~code:"GRL101"
+                 (Printf.sprintf "duplicate SAVE key %S: only the last write survives a check" key))
+          else Hashtbl.add seen key ())
+        (saves m))
+    monitors;
+  (* GRL102: write-write conflicts across monitors. *)
+  let writers = Hashtbl.create 16 in
+  List.iter
+    (fun m -> List.iter (fun key -> Hashtbl.add writers key m.Monitor.name) (Monitor.writes m))
+    monitors;
+  Hashtbl.fold (fun key _ acc -> key :: acc) writers []
+  |> List.sort_uniq compare
+  |> List.iter (fun key ->
+         let ws = Hashtbl.find_all writers key |> List.sort_uniq compare in
+         match ws with
+         | first :: _ :: _ ->
+           diag
+             (Diagnostic.warning ~monitor:first ~code:"GRL102"
+                (Printf.sprintf "key %S is written by multiple monitors (%s): last writer wins"
+                   key (String.concat ", " ws)))
+         | _ -> ());
+  (* GRL103: SAVE <-> ON_CHANGE trigger cycles. *)
+  List.iter
+    (fun comp ->
+      let names = names_of comp monitors in
+      match names with
+      | [ only ] ->
+        diag
+          (Diagnostic.error ~monitor:only ~code:"GRL103"
+             (Printf.sprintf
+                "monitor %s re-triggers itself: it SAVEs a key it watches via ON_CHANGE" only))
+      | first :: _ ->
+        diag
+          (Diagnostic.error ~monitor:first ~code:"GRL103"
+             (Printf.sprintf
+                "SAVE/ON_CHANGE trigger cycle among monitors %s: each SAVE re-triggers the next"
+                (String.concat ", " names)))
+      | [] -> ())
+    (trigger_sccs monitors);
+  (* GRL104: REPLACE/RESTORE flap on a shared policy. *)
+  let replacers = Hashtbl.create 4 and restorers = Hashtbl.create 4 in
+  List.iter
+    (fun m ->
+      List.iter
+        (function
+          | Monitor.Replace p -> Hashtbl.add replacers p m.Monitor.name
+          | Monitor.Restore p -> Hashtbl.add restorers p m.Monitor.name
+          | _ -> ())
+        m.Monitor.actions)
+    monitors;
+  Hashtbl.fold (fun p _ acc -> p :: acc) replacers []
+  |> List.sort_uniq compare
+  |> List.iter (fun policy ->
+         match Hashtbl.find_all restorers policy |> List.sort_uniq compare with
+         | [] -> ()
+         | restores ->
+           let replaces = Hashtbl.find_all replacers policy |> List.sort_uniq compare in
+           diag
+             (Diagnostic.warning ~monitor:(List.hd replaces) ~code:"GRL104"
+                (Printf.sprintf
+                   "policy %S is REPLACEd by %s and RESTOREd by %s: opposing actions can flap"
+                   policy (String.concat ", " replaces) (String.concat ", " restores))));
+  (* GRL105: per-hook cumulative cost budget. *)
+  let hooks = Hashtbl.create 4 in
+  List.iter
+    (fun m ->
+      List.iter
+        (function
+          | Monitor.Function hook -> Hashtbl.add hooks hook m
+          | Monitor.Timer _ | Monitor.On_change _ -> ())
+        m.Monitor.triggers)
+    monitors;
+  Hashtbl.fold (fun h _ acc -> h :: acc) hooks []
+  |> List.sort_uniq compare
+  |> List.iter (fun hook ->
+         let ms = Hashtbl.find_all hooks hook in
+         let total = List.fold_left (fun acc m -> acc +. Monitor.static_cost_ns m) 0. ms in
+         if total > config.hook_budget_ns then begin
+           let names =
+             List.map (fun m -> m.Monitor.name) ms |> List.sort_uniq compare
+           in
+           diag
+             (Diagnostic.error ~monitor:(List.hd names) ~code:"GRL105"
+                (Printf.sprintf
+                   "hook %S: cumulative static cost %.0fns of %d monitor(s) (%s) exceeds the \
+                    %.0fns budget"
+                   hook total (List.length ms) (String.concat ", " names) config.hook_budget_ns))
+         end)
+
+(* ---------- Entry points ---------- *)
+
+let deployment ?(config = default_config) monitors =
+  let out = ref [] in
+  let diag d = out := d :: !out in
+  let lookup = key_env monitors in
+  List.iter (check_monitor ~diag ~lookup) monitors;
+  check_deployment ~config ~diag monitors;
+  List.rev !out
+
+let rule_value monitors (m : Monitor.t) =
+  let lookup = key_env monitors in
+  result_value ~lookup ~slots:m.Monitor.slots m.Monitor.rule

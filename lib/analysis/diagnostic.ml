@@ -1,0 +1,40 @@
+module Json = Gr_trace.Json
+
+type severity = Error | Warning
+
+type t = {
+  severity : severity;
+  code : string;
+  monitor : string option;
+  pos : Gr_dsl.Ast.pos option;
+  message : string;
+}
+
+let make severity ?monitor ?pos ~code message = { severity; code; monitor; pos; message }
+let error = make Error
+let warning = make Warning
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let pp fmt d =
+  Format.fprintf fmt "%s[%s]" (severity_name d.severity) d.code;
+  (match d.monitor with
+  | Some m -> Format.fprintf fmt " monitor %s" m
+  | None -> Format.fprintf fmt " deployment");
+  (match d.pos with
+  | Some p -> Format.fprintf fmt " (%d:%d)" p.Gr_dsl.Ast.line p.Gr_dsl.Ast.col
+  | None -> ());
+  Format.fprintf fmt ": %s" d.message
+
+let to_string d = Format.asprintf "%a" pp d
+
+let to_json d =
+  Json.Obj
+    [
+      ("severity", Json.Str (severity_name d.severity));
+      ("code", Json.Str d.code);
+      ("monitor", match d.monitor with Some m -> Json.Str m | None -> Json.Null);
+      ("line", match d.pos with Some p -> Json.Num (float_of_int p.Gr_dsl.Ast.line) | None -> Json.Null);
+      ("col", match d.pos with Some p -> Json.Num (float_of_int p.Gr_dsl.Ast.col) | None -> Json.Null);
+      ("message", Json.Str d.message);
+    ]

@@ -1,0 +1,39 @@
+(** Structured lint diagnostics.
+
+    Every finding of the {!Analyze} passes is one of these: a
+    machine-readable code ([GRLxxx]), a severity, the monitor it
+    concerns (or [None] for deployment-wide findings), an optional
+    source position, and a human-readable message.
+
+    Code families:
+    - [GRL0xx] — per-program abstract-interpretation findings
+      (constant rules, division by zero, NaN comparisons).
+    - [GRL1xx] — whole-deployment interference findings (SAVE
+      conflicts, trigger cycles, action flap, hook cost budgets). *)
+
+type severity = Error | Warning
+
+type t = {
+  severity : severity;
+  code : string;  (** e.g. ["GRL003"] *)
+  monitor : string option;  (** [None] for deployment-wide findings *)
+  pos : Gr_dsl.Ast.pos option;
+  message : string;
+}
+
+val error : ?monitor:string -> ?pos:Gr_dsl.Ast.pos -> code:string -> string -> t
+val warning : ?monitor:string -> ?pos:Gr_dsl.Ast.pos -> code:string -> string -> t
+
+val severity_name : severity -> string
+(** ["error"] / ["warning"]. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line:
+    [warning[GRL002] monitor m (3:11): rule is always false ...] —
+    the format pinned by the golden lint tests. *)
+
+val to_string : t -> string
+
+val to_json : t -> Gr_trace.Json.t
+(** Object with fields [severity], [code], [monitor], [line], [col],
+    [message]; absent monitor/position become [null]. *)

@@ -1,0 +1,250 @@
+module Ast = Gr_dsl.Ast
+
+type t = {
+  lo : float;
+  hi : float;
+  pinf : bool;
+  ninf : bool;
+  nan : bool;
+}
+
+let bot = { lo = infinity; hi = neg_infinity; pinf = false; ninf = false; nan = false }
+let unknown = { bot with lo = neg_infinity; hi = infinity }
+let top = { unknown with pinf = true; ninf = true; nan = true }
+
+let const v =
+  if Float.is_nan v then { bot with nan = true }
+  else if v = infinity then { bot with pinf = true }
+  else if v = neg_infinity then { bot with ninf = true }
+  else { bot with lo = v; hi = v }
+
+let finite lo hi = { bot with lo; hi }
+
+let has_finite t = t.lo <= t.hi
+let is_bot t = (not (has_finite t)) && (not t.pinf) && (not t.ninf) && not t.nan
+let is_unconstrained t = has_finite t && t.lo = neg_infinity && t.hi = infinity
+
+let equal a b =
+  (* Bounds compare as bit-classes so empty = empty regardless of rep. *)
+  (if has_finite a then has_finite b && a.lo = b.lo && a.hi = b.hi else not (has_finite b))
+  && a.pinf = b.pinf && a.ninf = b.ninf && a.nan = b.nan
+
+let join a b =
+  let lo, hi =
+    if has_finite a && has_finite b then (Float.min a.lo b.lo, Float.max a.hi b.hi)
+    else if has_finite a then (a.lo, a.hi)
+    else (b.lo, b.hi)
+  in
+  { lo; hi; pinf = a.pinf || b.pinf; ninf = a.ninf || b.ninf; nan = a.nan || b.nan }
+
+let may_zero t = has_finite t && t.lo <= 0. && 0. <= t.hi
+let must_zero t = has_finite t && t.lo = 0. && t.hi = 0. && (not t.pinf) && (not t.ninf) && not t.nan
+let may_pos t = t.pinf || (has_finite t && t.hi > 0.)
+let may_neg t = t.ninf || (has_finite t && t.lo < 0.)
+let may_nan t = t.nan
+
+(* The VM's truth test is [v <> 0.]: NaN and the infinities are truthy. *)
+let may_true t = t.pinf || t.ninf || t.nan || may_pos t || may_neg t
+let may_false t = may_zero t
+let always_true t = (not (is_bot t)) && not (may_false t)
+let always_false t = (not (is_bot t)) && not (may_true t)
+
+(* Arithmetic on finite-part bounds is done in IEEE itself; when a
+   resulting bound degenerates ({∞,∞} singleton, or NaN from mixing
+   opposite unbounded ends) the information is moved into flags. *)
+let norm t =
+  if Float.is_nan t.lo || Float.is_nan t.hi then { t with lo = neg_infinity; hi = infinity }
+  else if t.lo = infinity && t.hi = infinity then { t with lo = infinity; hi = neg_infinity; pinf = true }
+  else if t.lo = neg_infinity && t.hi = neg_infinity then
+    { t with lo = infinity; hi = neg_infinity; ninf = true }
+  else t
+
+let neg t = { lo = -.t.hi; hi = -.t.lo; pinf = t.ninf; ninf = t.pinf; nan = t.nan }
+
+let abs t =
+  let lo, hi =
+    if not (has_finite t) then (t.lo, t.hi)
+    else if t.lo >= 0. then (t.lo, t.hi)
+    else if t.hi <= 0. then (-.t.hi, -.t.lo)
+    else (0., Float.max (-.t.lo) t.hi)
+  in
+  { lo; hi; pinf = t.pinf || t.ninf; ninf = false; nan = t.nan }
+
+let of_cond ~may_t ~may_f =
+  match (may_t, may_f) with
+  | true, true -> finite 0. 1.
+  | true, false -> const 1.
+  | false, true -> const 0.
+  | false, false -> bot
+
+let not_ t = if is_bot t then bot else of_cond ~may_t:(may_false t) ~may_f:(may_true t)
+
+let and_ a b =
+  if is_bot a || is_bot b then bot
+  else of_cond ~may_t:(may_true a && may_true b) ~may_f:(may_false a || may_false b)
+
+let or_ a b =
+  if is_bot a || is_bot b then bot
+  else of_cond ~may_t:(may_true a || may_true b) ~may_f:(may_false a && may_false b)
+
+let add a b =
+  if is_bot a || is_bot b then bot
+  else begin
+    let fin = has_finite a && has_finite b in
+    let lo = if fin then a.lo +. b.lo else infinity
+    and hi = if fin then a.hi +. b.hi else neg_infinity in
+    norm
+      {
+        lo;
+        hi;
+        pinf =
+          (a.pinf && (has_finite b || b.pinf))
+          || (b.pinf && (has_finite a || a.pinf))
+          || (fin && hi = infinity);
+        ninf =
+          (a.ninf && (has_finite b || b.ninf))
+          || (b.ninf && (has_finite a || a.ninf))
+          || (fin && lo = neg_infinity);
+        nan = a.nan || b.nan || (a.pinf && b.ninf) || (a.ninf && b.pinf);
+      }
+  end
+
+let sub a b = add a (neg b)
+
+(* Within finite parts an infinite bound means "arbitrarily large but
+   finite", so 0 × unbounded is 0, not the IEEE 0 × ∞ = NaN. *)
+let mul_bound x y = if x = 0. || y = 0. then 0. else x *. y
+
+let mul a b =
+  if is_bot a || is_bot b then bot
+  else begin
+    let fin = has_finite a && has_finite b in
+    let lo, hi =
+      if fin then begin
+        let ps =
+          [ mul_bound a.lo b.lo; mul_bound a.lo b.hi; mul_bound a.hi b.lo; mul_bound a.hi b.hi ]
+        in
+        (List.fold_left Float.min infinity ps, List.fold_left Float.max neg_infinity ps)
+      end
+      else (infinity, neg_infinity)
+    in
+    let inf_pos =
+      (a.pinf && may_pos b) || (b.pinf && may_pos a) || (a.ninf && may_neg b)
+      || (b.ninf && may_neg a)
+    and inf_neg =
+      (a.pinf && may_neg b) || (b.pinf && may_neg a) || (a.ninf && may_pos b)
+      || (b.ninf && may_pos a)
+    and inf_zero = ((a.pinf || a.ninf) && may_zero b) || ((b.pinf || b.ninf) && may_zero a) in
+    norm
+      {
+        lo;
+        hi;
+        pinf = inf_pos || (fin && hi = infinity);
+        ninf = inf_neg || (fin && lo = neg_infinity);
+        nan = a.nan || b.nan || inf_zero;
+      }
+  end
+
+let div a b =
+  if is_bot a || is_bot b then bot
+  else begin
+    let acc = ref bot in
+    let part p = acc := join !acc p in
+    (* The VM defines x / 0 = 0, and finite / ±∞ is (signed) zero. *)
+    if may_zero b then part (const 0.);
+    if (b.pinf || b.ninf) && has_finite a then part (const 0.);
+    if has_finite a && has_finite b && (b.lo < 0. || b.hi > 0.) then
+      part
+        (if b.lo > 0. || b.hi < 0. then begin
+           (* Sign-definite divisor: corner quotients bound the range.
+              A NaN corner is ±∞/±∞ — both ends unbounded, no info. *)
+           let qs = [ a.lo /. b.lo; a.lo /. b.hi; a.hi /. b.lo; a.hi /. b.hi ] in
+           if List.exists Float.is_nan qs then unknown
+           else finite (List.fold_left Float.min infinity qs) (List.fold_left Float.max neg_infinity qs)
+         end
+         else unknown (* divisor straddles 0: quotient magnitude unbounded *));
+    let r = !acc in
+    let a_inf = (a.pinf || a.ninf) && (may_pos b || may_neg b) in
+    norm
+      {
+        r with
+        pinf = r.pinf || a_inf || (has_finite r && r.hi = infinity);
+        ninf = r.ninf || a_inf || (has_finite r && r.lo = neg_infinity);
+        nan = r.nan || a.nan || b.nan || ((a.pinf || a.ninf) && (b.pinf || b.ninf));
+      }
+  end
+
+(* ---------- Comparisons ---------- *)
+
+type cls = Fin of float * float | Pinf | Ninf | Nan
+
+let classes t =
+  (if has_finite t then [ Fin (t.lo, t.hi) ] else [])
+  @ (if t.pinf then [ Pinf ] else [])
+  @ (if t.ninf then [ Ninf ] else [])
+  @ if t.nan then [ Nan ] else []
+
+let range = function
+  | Fin (lo, hi) -> (lo, hi)
+  | Pinf -> (infinity, infinity)
+  | Ninf -> (neg_infinity, neg_infinity)
+  | Nan -> (nan, nan)
+
+(* (may be true, may be false) of [x op y] for x, y drawn from the two
+   classes. Unbounded finite bounds are treated as attained, which
+   over-approximates both components — exactly what the
+   always-true/always-false diagnostics need to stay sound. *)
+let cmp_pair op ca cb =
+  match (ca, cb) with
+  | Nan, _ | _, Nan -> ( match op with Ast.Ne -> (true, false) | _ -> (false, true))
+  | _ ->
+    let xlo, xhi = range ca and ylo, yhi = range cb in
+    let lt = xlo < yhi and gt = xhi > ylo in
+    let eq = xlo <= yhi && ylo <= xhi in
+    (match op with
+    | Ast.Lt -> (lt, gt || eq)
+    | Ast.Le -> (lt || eq, gt)
+    | Ast.Gt -> (gt, lt || eq)
+    | Ast.Ge -> (gt || eq, lt)
+    | Ast.Eq -> (eq, lt || gt)
+    | Ast.Ne -> (lt || gt, eq)
+    | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.And | Ast.Or ->
+      invalid_arg "Interval.cmp: not a comparison")
+
+let cmp op a b =
+  let mt = ref false and mf = ref false in
+  List.iter
+    (fun ca ->
+      List.iter
+        (fun cb ->
+          let t, f = cmp_pair op ca cb in
+          mt := !mt || t;
+          mf := !mf || f)
+        (classes b))
+    (classes a);
+  of_cond ~may_t:!mt ~may_f:!mf
+
+(* ---------- Rendering ---------- *)
+
+let to_string t =
+  if is_bot t then "empty"
+  else begin
+    let parts = ref [] in
+    if t.nan then parts := "NaN" :: !parts;
+    if t.pinf then parts := "+inf" :: !parts;
+    if t.ninf then parts := "-inf" :: !parts;
+    if has_finite t then begin
+      let b v = Printf.sprintf "%g" v in
+      let s =
+        if t.lo = t.hi then Printf.sprintf "{%s}" (b t.lo)
+        else
+          let l = if t.lo = neg_infinity then "(-oo" else Printf.sprintf "[%s" (b t.lo) in
+          let r = if t.hi = infinity then "+oo)" else Printf.sprintf "%s]" (b t.hi) in
+          l ^ ", " ^ r
+      in
+      parts := s :: !parts
+    end;
+    String.concat " or " !parts
+  end
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

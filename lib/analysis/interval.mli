@@ -1,0 +1,88 @@
+(** Interval abstract domain over IEEE floats.
+
+    Abstract values for the lint analysis ({!Analyze}): a finite
+    interval plus independent "may be +∞ / −∞ / NaN" flags. The
+    split matters because the VM's semantics treat the special values
+    specially — NaN comparisons are constantly false (except [<>]),
+    [x / 0 = 0] — and the diagnostics need to know {e whether} a
+    special value can reach an instruction, not just that the range
+    is wide.
+
+    Finite bounds of [±infinity] mean {e unbounded but finite}: the
+    value can be arbitrarily large yet is not the IEEE infinity
+    (which is tracked by the flags). Arithmetic that can overflow to
+    a real infinity sets both — the bound and the flag. *)
+
+type t = {
+  lo : float;  (** finite-part bounds; [lo > hi] means no finite value *)
+  hi : float;
+  pinf : bool;  (** may be +∞ *)
+  ninf : bool;  (** may be −∞ *)
+  nan : bool;  (** may be NaN *)
+}
+
+val bot : t
+(** No value (unreachable). *)
+
+val unknown : t
+(** Any finite float — the abstraction of an external telemetry key. *)
+
+val top : t
+(** Any float including ±∞ and NaN. *)
+
+val const : float -> t
+val finite : float -> float -> t
+(** [finite lo hi]: the finite interval [\[lo, hi\]], no flags. *)
+
+val join : t -> t -> t
+val equal : t -> t -> bool
+
+val is_bot : t -> bool
+val has_finite : t -> bool
+val is_unconstrained : t -> bool
+(** Finite part unbounded in both directions — nothing is known, so
+    diagnostics that would fire on "may be zero" stay quiet. *)
+
+val may_zero : t -> bool
+val must_zero : t -> bool
+(** The only possible value is [0.] (no special-value flags). *)
+
+val may_nan : t -> bool
+val may_pos : t -> bool
+val may_neg : t -> bool
+
+val may_true : t -> bool
+(** Some value is truthy under the VM's [v <> 0.] test — note NaN
+    and ±∞ are truthy. *)
+
+val may_false : t -> bool
+val always_true : t -> bool
+val always_false : t -> bool
+(** [always_*] are [false] on {!bot}. *)
+
+(** Transfer functions mirroring {!Gr_runtime.Vm} semantics. *)
+
+val neg : t -> t
+val abs : t -> t
+val not_ : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val div : t -> t -> t
+(** VM semantics: [x / 0 = 0]; a divisor that may be zero
+    contributes [0] to the quotient. *)
+
+val and_ : t -> t -> t
+val or_ : t -> t -> t
+
+val cmp : Gr_dsl.Ast.binop -> t -> t -> t
+(** Comparison result as a sub-interval of [{0, 1}]. NaN operands
+    make every comparison false except [Ne], per IEEE. Only defined
+    on the six comparison operators. *)
+
+val to_string : t -> string
+(** Deterministic rendering for diagnostics, e.g. ["[0, +oo)"],
+    ["{42}"], ["(-oo, 5] or NaN"]. *)
+
+val pp : Format.formatter -> t -> unit

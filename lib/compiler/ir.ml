@@ -9,7 +9,28 @@ type inst =
   | Unop of { dst : int; op : Ast.unop; src : int }
   | Binop of { dst : int; op : Ast.binop; lhs : int; rhs : int }
 
-type program = { insts : inst array; result : int; n_regs : int }
+type program = {
+  insts : inst array;
+  result : int;
+  n_regs : int;
+  srcmap : Ast.pos array;
+}
+
+let pos_of p i =
+  if i >= 0 && i < Array.length p.srcmap then Some p.srcmap.(i) else None
+
+(* Single source of truth for the static per-instruction cost model;
+   Vm.static_cost_ns, Verify's stats and gr_analysis all charge from
+   here. Streaming demand registration made aggregates O(1) amortized;
+   QUANTILE alone still ranks the in-window suffix per call. *)
+let inst_cost_ns = function
+  | Const _ -> 1.
+  | Unop _ | Binop _ -> 2.
+  | Load _ -> 6.
+  | Agg { fn = Gr_dsl.Ast.Quantile; _ } -> 40.
+  | Agg _ -> 8.
+
+let static_cost_ns p = Array.fold_left (fun acc i -> acc +. inst_cost_ns i) 0. p.insts
 
 let dst = function
   | Const { dst; _ } | Load { dst; _ } | Agg { dst; _ } | Unop { dst; _ } | Binop { dst; _ }

@@ -28,7 +28,29 @@ type program = {
   insts : inst array;
   result : int;  (** register holding the program's value *)
   n_regs : int;
+  srcmap : Gr_dsl.Ast.pos array;
+      (** Source position of each instruction, parallel to [insts].
+          Either the same length as [insts] (programs lowered from
+          source) or empty (programs built programmatically); the
+          optimiser keeps it aligned through CSE/DCE. *)
 }
+
+val pos_of : program -> int -> Gr_dsl.Ast.pos option
+(** Source position of instruction [i], when the program carries a
+    source map. *)
+
+val inst_cost_ns : inst -> float
+(** Static cost model: rough nanoseconds per instruction on the
+    simulated in-kernel interpreter. This table is the single source
+    of truth — the runtime ({!Gr_runtime.Vm.static_cost_ns}), the
+    verifier's stats and the lint cost-budget analysis all charge
+    from it. Aggregates are O(1) amortized since the feature store
+    streams registered demands; only QUANTILE still pays a ranked
+    suffix scan surcharge. *)
+
+val static_cost_ns : program -> float
+(** Sum of {!inst_cost_ns} over the program — the per-check cost
+    excluding data-dependent sample expiry. *)
 
 val dst : inst -> int
 val operands : inst -> int list

@@ -16,15 +16,16 @@ let const_or_fail ~what (e : Ast.expr Ast.located) =
   | Some v -> v
   | None -> raise (Error (e.pos, what ^ " must be constant (did the spec typecheck?)"))
 
-(* Emits instructions for [e] into [code] (reversed), returning the
-   result register. Registers are numbered by emission order, so the
+(* Emits instructions for [e] into [code] (reversed, paired with the
+   expression's source position), returning the result register.
+   Registers are numbered by emission order, so the
    single-assignment/defined-before-use invariant holds by
    construction. *)
 let rec emit table code next (e : Ast.expr Ast.located) =
   let push inst =
     let dst = !next in
     incr next;
-    code := Ir.with_dst inst dst :: !code;
+    code := (Ir.with_dst inst dst, e.Ast.pos) :: !code;
     dst
   in
   match e.node with
@@ -45,12 +46,18 @@ let rec emit table code next (e : Ast.expr Ast.located) =
     in
     push (Ir.Agg { dst = 0; fn; slot = slot_for table key; window_ns; param })
 
-let program_of table (e : Ast.expr Ast.located) =
+let program_of ?(fold = true) table (e : Ast.expr Ast.located) =
   let code = ref [] and next = ref 0 in
-  let result = emit table code next (Typecheck.const_fold e) in
-  { Ir.insts = Array.of_list (List.rev !code); result; n_regs = !next }
+  let result = emit table code next (if fold then Typecheck.const_fold e else e) in
+  let emitted = Array.of_list (List.rev !code) in
+  {
+    Ir.insts = Array.map fst emitted;
+    result;
+    n_regs = !next;
+    srcmap = Array.map snd emitted;
+  }
 
-let expr ~slots e = program_of slots e
+let expr ?fold ~slots e = program_of ?fold slots e
 
 (* Conjoins rules: r1 && r2 && ... as one program. *)
 let rules_program table = function
@@ -58,7 +65,8 @@ let rules_program table = function
   | first :: rest ->
     let conj =
       List.fold_left
-        (fun acc rule -> Ast.at acc.Ast.pos (Ast.Binop (Ast.And, acc, rule)))
+        (fun (acc : Ast.expr Ast.located) rule ->
+          Ast.at acc.Ast.pos (Ast.Binop (Ast.And, acc, rule)))
         first rest
     in
     program_of table conj
@@ -99,6 +107,6 @@ let guardrail (g : Ast.guardrail) =
   let triggers = List.map lower_trigger g.triggers in
   let slots = Array.make (Hashtbl.length table) "" in
   Hashtbl.iter (fun key s -> slots.(s) <- key) table;
-  { Monitor.name = g.name; slots; triggers; rule; actions }
+  { Monitor.name = g.name; pos = g.pos; slots; triggers; rule; actions }
 
 let spec gs = List.map guardrail gs

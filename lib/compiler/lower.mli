@@ -15,6 +15,12 @@ val guardrail : Gr_dsl.Ast.guardrail -> Monitor.t
 val spec : Gr_dsl.Ast.spec -> Monitor.t list
 
 val expr :
-  slots:(string, int) Hashtbl.t -> Gr_dsl.Ast.expr Gr_dsl.Ast.located -> Ir.program
+  ?fold:bool ->
+  slots:(string, int) Hashtbl.t ->
+  Gr_dsl.Ast.expr Gr_dsl.Ast.located ->
+  Ir.program
 (** Lowers one expression against a (mutable, growing) slot table;
-    exposed for tests. *)
+    exposed for tests. [fold] (default [true]) runs
+    {!Gr_dsl.Typecheck.const_fold} first; the folding-equivalence
+    property compiles with [false] to compare against the folded
+    pipeline. *)

@@ -14,11 +14,19 @@ type action =
 
 type t = {
   name : string;
+  pos : Gr_dsl.Ast.pos;
   slots : string array;
   triggers : trigger list;
   rule : Ir.program;
   actions : action list;
 }
+
+let static_cost_ns t =
+  List.fold_left
+    (fun acc -> function
+      | Save { value; _ } -> acc +. Ir.static_cost_ns value
+      | Report _ | Replace _ | Restore _ | Retrain _ | Deprioritize _ | Kill _ -> acc)
+    (Ir.static_cost_ns t.rule) t.actions
 
 let reads t =
   let of_program p = List.map (fun s -> t.slots.(s)) (Ir.read_slots p) in

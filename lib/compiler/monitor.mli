@@ -26,11 +26,19 @@ type action =
 
 type t = {
   name : string;
+  pos : Gr_dsl.Ast.pos;
+      (** source position of the guardrail header; [{line = 0; col =
+          0}] for monitors built programmatically *)
   slots : string array;  (** slot index -> feature-store key *)
   triggers : trigger list;
   rule : Ir.program;  (** property holds iff the result is non-zero *)
   actions : action list;
 }
+
+val static_cost_ns : t -> float
+(** {!Ir.static_cost_ns} summed over the rule and every SAVE value
+    program — the monitor's per-check cost charged against a hook's
+    budget by the lint cost analysis. *)
 
 val reads : t -> string list
 (** Keys the rule (and SAVE value programs) read; sorted, unique. *)

@@ -44,19 +44,28 @@ let dce (p : Ir.program) =
   done;
   let remap = Array.make p.n_regs (-1) in
   let next = ref 0 in
+  let has_srcmap = Array.length p.srcmap = Array.length p.insts in
   let kept =
     Array.to_list p.insts
-    |> List.filter_map (fun inst ->
+    |> List.mapi (fun i inst -> (i, inst))
+    |> List.filter_map (fun (i, inst) ->
            if not live.(Ir.dst inst) then None
            else begin
              let inst = Ir.map_operands inst (fun r -> remap.(r)) in
              let dst = !next in
              incr next;
              remap.(Ir.dst inst) <- dst;
-             Some (Ir.with_dst inst dst)
+             Some (Ir.with_dst inst dst, i)
            end)
   in
-  { Ir.insts = Array.of_list kept; result = remap.(p.result); n_regs = !next }
+  {
+    Ir.insts = Array.of_list (List.map fst kept);
+    result = remap.(p.result);
+    n_regs = !next;
+    srcmap =
+      (if has_srcmap then Array.of_list (List.map (fun (_, i) -> p.srcmap.(i)) kept)
+       else p.srcmap);
+  }
 
 let optimize p = dce (cse p)
 

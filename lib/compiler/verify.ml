@@ -23,15 +23,6 @@ type stats = {
   est_cost_ns : float;
 }
 
-(* Cost model: rough nanoseconds per instruction on the simulated
-   in-kernel interpreter. Aggregations pay a surcharge standing in
-   for the window scan. *)
-let est_inst_cost_ns = function
-  | Ir.Const _ -> 1.
-  | Ir.Unop _ | Ir.Binop _ -> 2.
-  | Ir.Load _ -> 6.
-  | Ir.Agg _ -> 40.
-
 let verify_program ~limits ~what ~n_slots (p : Ir.program) =
   let errs = ref [] in
   let err fmt = Printf.ksprintf (fun m -> errs := (what ^ ": " ^ m) :: !errs) fmt in
@@ -59,8 +50,7 @@ let verify_program ~limits ~what ~n_slots (p : Ir.program) =
           err "instruction %d quantile parameter %g outside (0, 1)" i param
       | Ir.Const _ | Ir.Load _ | Ir.Unop _ | Ir.Binop _ -> ())
     p.insts;
-  let cost = Array.fold_left (fun acc i -> acc +. est_inst_cost_ns i) 0. p.insts in
-  (!errs, n, cost)
+  (!errs, n, Ir.static_cost_ns p)
 
 let verify ?(limits = default_limits) (m : Monitor.t) =
   let errs = ref [] in
@@ -89,11 +79,18 @@ let verify ?(limits = default_limits) (m : Monitor.t) =
   in
   errs := rule_errs @ !errs;
   let total_insts = ref rule_insts and total_cost = ref rule_cost in
+  (* Duplicate SAVE keys within one monitor: the runtime executes
+     actions in order, so the last write silently wins — reject at
+     load time instead of losing a write at runtime. *)
+  let save_keys = Hashtbl.create 4 in
   List.iter
     (fun action ->
       match action with
       | Monitor.Save { key; value } ->
         if key = "" then err "SAVE with empty key";
+        if Hashtbl.mem save_keys key then
+          err "duplicate SAVE key %S (last write wins at runtime)" key
+        else Hashtbl.add save_keys key ();
         let save_errs, n, cost =
           verify_program ~limits ~what:(Printf.sprintf "save(%s)" key) ~n_slots value
         in

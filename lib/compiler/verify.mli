@@ -16,10 +16,14 @@
     - division is total by VM definition (x/0 = 0), so no arithmetic
       traps;
     - action arguments are sane (weights >= 1, SAVE value programs
-      verify recursively, non-empty policy/class names).
+      verify recursively, non-empty policy/class names);
+    - no two SAVE actions in one monitor write the same key (the
+      runtime executes actions in order, so the earlier write would
+      silently be lost).
 
     [stats] also carries a static worst-case cost estimate used by
-    the P5 overhead property and the overhead ablation. *)
+    the P5 overhead property and the overhead ablation; it is summed
+    from the single cost table in {!Ir.inst_cost_ns}. *)
 
 type limits = {
   max_insts : int;  (** per program; default 4096 *)
@@ -37,13 +41,9 @@ type stats = {
   n_slots : int;
   n_actions : int;
   est_cost_ns : float;
-      (** static per-check cost estimate from the instruction cost
-          model (aggregations are charged a window-scan surcharge) *)
+      (** static per-check cost estimate: {!Ir.static_cost_ns} over
+          the rule and every SAVE value program *)
 }
 
 val verify : ?limits:limits -> Monitor.t -> (stats, string list) result
 (** All violations found, not just the first. *)
-
-val est_inst_cost_ns : Ir.inst -> float
-(** The cost model, exposed so the runtime charges consistent
-    simulated overhead per executed instruction. *)

@@ -35,6 +35,11 @@ module Deps = Gr_compiler.Deps
 module Compile = Gr_compiler.Compile
 module Cgen = Gr_compiler.Cgen
 
+(* Static analysis (grc lint) *)
+module Interval = Gr_analysis.Interval
+module Diagnostic = Gr_analysis.Diagnostic
+module Analyze = Gr_analysis.Analyze
+
 (* Runtime *)
 module Store = Gr_runtime.Feature_store
 module Vm = Gr_runtime.Vm

@@ -43,6 +43,7 @@ type action =
 
 type guardrail = {
   name : string;
+  pos : pos;  (* position of the "guardrail" keyword *)
   triggers : trigger located list;
   rules : expr located list;
   actions : action located list;

@@ -79,6 +79,7 @@ type action =
 
 type guardrail = {
   name : string;
+  pos : pos;  (** position of the [guardrail] keyword *)
   triggers : trigger located list;  (** non-empty *)
   rules : expr located list;  (** non-empty; conjoined *)
   actions : action located list;  (** non-empty *)

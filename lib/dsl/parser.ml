@@ -335,6 +335,7 @@ let parse_block st parse_item =
   loop []
 
 let parse_guardrail st =
+  let guardrail_pos = snd (peek st) in
   expect st Lexer.GUARDRAIL;
   let name = parse_guardrail_name st in
   expect st Lexer.LBRACE;
@@ -370,6 +371,7 @@ let parse_guardrail st =
   in
   {
     name;
+    pos = guardrail_pos;
     triggers = check "trigger" !triggers;
     rules = check "rule" !rules;
     actions = check "action" !actions;

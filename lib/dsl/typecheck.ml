@@ -191,10 +191,7 @@ let check_spec spec =
       (fun g ->
         if Hashtbl.mem seen g.name then
           Some
-            {
-              pos = { line = 0; col = 0 };
-              message = Printf.sprintf "duplicate guardrail name %S" g.name;
-            }
+            { pos = g.pos; message = Printf.sprintf "duplicate guardrail name %S" g.name }
         else begin
           Hashtbl.add seen g.name ();
           None

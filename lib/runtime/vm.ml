@@ -12,8 +12,7 @@ let of_bool b = if b then 1. else 0.
 
 let sample_scan_cost_ns = 0.5
 
-let static_cost_ns (p : Ir.program) =
-  Array.fold_left (fun acc i -> acc +. Gr_compiler.Verify.est_inst_cost_ns i) 0. p.insts
+let static_cost_ns = Ir.static_cost_ns
 
 let run ?static_cost_ns:precomputed ~store ~slots (p : Ir.program) =
   let regs = Array.make (max 1 p.n_regs) 0. in

@@ -5,7 +5,7 @@
     encoded as 0/1; any non-zero value is truthy for [&&]/[||]/[!].
 
     Each run reports the dynamic cost in estimated nanoseconds —
-    instruction costs from {!Gr_compiler.Verify.est_inst_cost_ns}
+    instruction costs from {!Gr_compiler.Ir.inst_cost_ns}
     plus a per-sample surcharge for window work — which the engine
     accumulates as monitor overhead (the currency of the P5 property
     and the overhead ablation). Aggregates go through
@@ -21,10 +21,10 @@ type result = {
 }
 
 val static_cost_ns : Gr_compiler.Ir.program -> float
-(** Sum of the per-instruction cost model over the program — fixed at
-    compile time. Callers that execute a program repeatedly compute
-    this once and pass it to {!run} so the hot path only adds the
-    dynamic (sample-scan) part. *)
+(** {!Gr_compiler.Ir.static_cost_ns} — fixed at compile time.
+    Callers that execute a program repeatedly compute this once and
+    pass it to {!run} so the hot path only adds the dynamic
+    (sample-scan) part. *)
 
 val run :
   ?static_cost_ns:float ->

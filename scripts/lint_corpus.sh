@@ -1,0 +1,51 @@
+#!/bin/sh
+# Runs `grc lint --strict` over the negative corpus in specs/bad and
+# pins two things per file: the exit code (1 = warnings only, 2 =
+# errors) and the GRLxxx code of the expected diagnostic family. The
+# shipped specs in specs/ are checked to lint clean as one deployment.
+# Run from the repo root (the Makefile's `lint` target does).
+set -u
+
+GRC="dune exec --no-build grc --"
+fail=0
+
+expect() {
+    file="specs/bad/$1"
+    want_rc=$2
+    want_code=$3
+    out=$($GRC lint --strict "$file" 2>&1)
+    rc=$?
+    if [ "$rc" -ne "$want_rc" ]; then
+        echo "FAIL $file: exit $rc, expected $want_rc" >&2
+        echo "$out" | sed 's/^/    /' >&2
+        fail=1
+    elif ! echo "$out" | grep -q "\[$want_code\]"; then
+        echo "FAIL $file: expected a $want_code diagnostic, got:" >&2
+        echo "$out" | sed 's/^/    /' >&2
+        fail=1
+    else
+        echo "ok   $file ($want_code, exit $rc)"
+    fi
+}
+
+# Shipped specs must be clean, linted together as one deployment.
+if $GRC lint --strict specs/*.grd; then
+    echo "ok   specs/*.grd (clean deployment)"
+else
+    echo "FAIL specs/*.grd: shipped specs must lint clean" >&2
+    fail=1
+fi
+
+expect always_true.grd      1 GRL001
+expect always_false.grd     1 GRL002
+expect div_by_zero.grd      2 GRL003
+expect div_may_zero.grd     1 GRL003
+expect disjoint_compare.grd 1 GRL004
+expect nan_compare.grd      1 GRL005
+expect dup_save.grd         2 GRL101
+expect save_conflict.grd    1 GRL102
+expect cascade_cycle.grd    2 GRL103
+expect replace_flap.grd     1 GRL104
+expect hook_budget.grd      2 GRL105
+
+exit $fail

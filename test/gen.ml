@@ -121,7 +121,7 @@ let action_gen =
 let guardrail_gen =
   let open QCheck2.Gen in
   map3
-    (fun triggers rules actions -> { name = "generated"; triggers; rules; actions })
+    (fun triggers rules actions -> { name = "generated"; pos; triggers; rules; actions })
     (list_size (int_range 1 3) trigger_gen)
     (list_size (int_range 1 3) expr_gen)
     (list_size (int_range 1 3) action_gen)

@@ -99,6 +99,7 @@ let monitor_of_expr i expr =
     (Lower.guardrail
        {
          name = Printf.sprintf "g%d" i;
+         pos;
          triggers =
            [ at pos (Timer { start = at pos (Number 0.); interval = at pos (Number 1e9); stop = None }) ];
          rules = [ expr ];

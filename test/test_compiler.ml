@@ -137,6 +137,7 @@ let test_optimized_passes_verifier () =
   let m =
     {
       Monitor.name = "m";
+      pos = { Ast.line = 0; col = 0 };
       slots;
       triggers = [ Monitor.Timer { start_ns = 0; interval_ns = 1000; stop_ns = None } ];
       rule = p;
@@ -162,6 +163,23 @@ let equivalence_property =
         (Float.is_nan a && Float.is_nan b) || Float.abs (a -. b) <= 1e-9 *. Float.max 1. (Float.abs a)
       in
       eq expected got && eq expected got_opt)
+
+let const_fold_property =
+  (* const_fold runs the same IEEE operations at compile time that
+     the VM would run at check time, so folded and unfolded programs
+     must agree bit-for-bit on a shared store. *)
+  QCheck2.Test.make ~name:"const_fold is semantics-preserving" ~count:300 Gen.expr_gen
+    (fun e ->
+      let store = make_store () in
+      let run ~fold =
+        let table = Hashtbl.create 8 in
+        let p = Lower.expr ~fold ~slots:table e in
+        let slots = Array.make (Hashtbl.length table) "" in
+        Hashtbl.iter (fun k s -> slots.(s) <- k) table;
+        (Vm.run ~store ~slots p).value
+      in
+      let folded = run ~fold:true and raw = run ~fold:false in
+      (Float.is_nan folded && Float.is_nan raw) || folded = raw)
 
 let optimize_idempotent_property =
   QCheck2.Test.make ~name:"optimize is idempotent" ~count:300 Gen.expr_gen (fun e ->
@@ -196,6 +214,7 @@ let test_verifier_rejects_bad_register_use () =
             [| Ir.Load { dst = 0; slot = 0 }; Ir.Binop { dst = 1; op = Ast.Lt; lhs = 0; rhs = 5 } |];
           result = 1;
           n_regs = 2;
+          srcmap = [||];
         };
     }
   in
@@ -211,6 +230,7 @@ let test_verifier_rejects_bad_slot () =
           Ir.insts = [| Ir.Load { dst = 0; slot = 99 } |];
           result = 0;
           n_regs = 1;
+          srcmap = [||];
         };
     }
   in
@@ -248,11 +268,31 @@ let test_verifier_checks_actions () =
   check_bool "empty report" true
     (Result.is_error (Verify.verify (with_action (Monitor.Report { message = ""; keys = [] }))))
 
+let test_verifier_rejects_duplicate_save () =
+  let spec =
+    Parser.parse_exn
+      {|guardrail g { trigger: { TIMER(0, 1s) } rule: { LOAD(a) < 5 } action: { SAVE(k, 1) SAVE(k, 2) } }|}
+  in
+  let m = List.hd (Gr_compiler.Lower.spec spec) in
+  match Verify.verify m with
+  | Error errs ->
+    let mentions needle s =
+      let n = String.length needle and h = String.length s in
+      let rec scan i = i + n <= h && (String.sub s i n = needle || scan (i + 1)) in
+      scan 0
+    in
+    check_bool "names the duplicate key" true (List.exists (mentions "duplicate SAVE key") errs)
+  | Ok _ -> Alcotest.fail "duplicate SAVE keys must be rejected"
+
 let test_verifier_checks_save_programs () =
   let m = verified_monitor "LOAD(a) < 5" in
   let bad_save =
     Monitor.Save
-      { key = "k"; value = { Ir.insts = [| Ir.Load { dst = 0; slot = 42 } |]; result = 0; n_regs = 1 } }
+      {
+        key = "k";
+        value =
+          { Ir.insts = [| Ir.Load { dst = 0; slot = 42 } |]; result = 0; n_regs = 1; srcmap = [||] };
+      }
   in
   check_bool "SAVE program verified recursively" true
     (Result.is_error (Verify.verify { m with Monitor.actions = [ bad_save ] }))
@@ -372,6 +412,7 @@ let suite =
         Alcotest.test_case "DCE shrinks programs" `Quick test_dce_removes_dead_code;
         Alcotest.test_case "optimised passes verifier" `Quick test_optimized_passes_verifier;
         QCheck_alcotest.to_alcotest equivalence_property;
+        QCheck_alcotest.to_alcotest const_fold_property;
         QCheck_alcotest.to_alcotest optimize_idempotent_property;
       ] );
     ( "compiler.verify",
@@ -384,6 +425,7 @@ let suite =
         Alcotest.test_case "rejects empty trigger/action lists" `Quick
           test_verifier_rejects_empty_triggers_or_actions;
         Alcotest.test_case "checks action arguments" `Quick test_verifier_checks_actions;
+        Alcotest.test_case "rejects duplicate SAVE keys" `Quick test_verifier_rejects_duplicate_save;
         Alcotest.test_case "checks SAVE programs" `Quick test_verifier_checks_save_programs;
       ] );
     ( "compiler.driver",
