@@ -1,4 +1,4 @@
-.PHONY: all build test fmt fmt-check lint bench bench-smoke ci
+.PHONY: all build test fmt fmt-check lint bench bench-smoke soak-smoke examples-run ci
 
 all: build
 
@@ -30,8 +30,20 @@ bench:
 bench-smoke:
 	dune exec bench/main.exe -- agg scale --json --smoke
 
+# Bounded chaos soak: every scenario x seeds 1-7 with generated fault
+# plans, invariants checked after every sim event (docs/TESTING.md).
+# Failures print a `grc soak --plan ...` repro line and exit non-zero.
+soak-smoke:
+	dune exec bin/grc.exe -- soak --smoke
+
+# Compile and run every file in examples/ end to end.
+examples-run:
+	dune build @examples-run
+
 ci: fmt-check
 	dune build
 	dune runtest
 	$(MAKE) lint
 	$(MAKE) bench-smoke
+	$(MAKE) soak-smoke
+	$(MAKE) examples-run

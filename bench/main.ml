@@ -16,6 +16,7 @@
      compile-stats Ablation E: compiler statistics over specs/
      scale        Ablation F: monitor-count scalability
      agg          Ablation G: naive vs incremental window aggregation
+     soak         Chaos soak: fault injection vs guardrail invariants
 
    With --json, experiments that support it (fig2, overhead, scale,
    agg) print one machine-readable JSON document to stdout instead of
@@ -38,6 +39,7 @@ let experiments : (string * (json:bool -> unit)) list =
     ("compile-stats", fun ~json:_ -> Compile_stats.run ());
     ("scale", Scale.run);
     ("agg", Agg.run);
+    ("soak", Soak.run);
   ]
 
 let () =

@@ -1,0 +1,43 @@
+(* Chaos soak: randomized deployments x fault plans with invariants
+   checked after every sim event (gr_fault). The bench entry runs a
+   wider sweep than [grc soak --smoke] and reports aggregate counts;
+   any failure prints its shrunk repro command and fails the run. *)
+
+open Gr_util
+module Soak = Gr_fault.Soak
+
+let run ~json =
+  let seeds, duration =
+    if !Common.smoke then (List.init 7 (fun i -> i + 1), Time_ns.of_float_sec 0.5)
+    else (List.init 25 (fun i -> i + 1), Time_ns.of_float_sec 2.0)
+  in
+  let log line = if not json then Printf.printf "  %s\n%!" line in
+  if not json then Common.section "chaos soak: fault injection vs guardrail invariants";
+  let r = Soak.soak ~log ~scenarios:Soak.scenario_names ~seeds ~duration () in
+  if json then
+    Common.print_json
+      (Common.Json.Obj
+         [
+           ("experiment", Str "soak");
+           ("runs", Common.json_int r.Soak.runs);
+           ("passed", Common.json_int r.Soak.passed);
+           ("failed", Common.json_int (List.length r.Soak.failures));
+           ("total_events", Common.json_int r.Soak.total_events);
+           ("total_faults", Common.json_int r.Soak.total_faults);
+           ( "failures",
+             Common.Json.Arr
+               (List.map
+                  (fun (f : Soak.failure) ->
+                    Common.Json.Obj
+                      [
+                        ("scenario", Str f.Soak.scenario);
+                        ("seed", Common.json_int f.Soak.seed);
+                        ("repro", Str (Soak.repro_command f));
+                        ( "problems",
+                          Common.Json.Arr
+                            (List.map (fun p -> Common.Json.Str p) f.Soak.problems) );
+                      ])
+                  r.Soak.failures) );
+         ])
+  else Format.printf "%a" Soak.pp_report r;
+  if r.Soak.failures <> [] then exit 1

@@ -238,18 +238,40 @@ let fmt_cmd =
   in
   Cmd.v (Cmd.info "fmt" ~doc:"Pretty-print the canonical form") Term.(const run $ file_arg)
 
+(* grc run / grc soak contract: a missing or unparsable spec file is a
+   usage error — one line on stderr, exit 2, never a backtrace. The
+   positional argument is a plain string (not Arg.file) so the check
+   and exit code are ours. *)
+let load_spec_source path =
+  if not (Sys.file_exists path) then Error (Printf.sprintf "grc: %s: no such file" path)
+  else
+    match read_file path with
+    | exception Sys_error e -> Error (Printf.sprintf "grc: %s" e)
+    | src -> (
+      match Guardrails.Parser.parse src with
+      | Error (pos, msg) ->
+        Error (Format.asprintf "grc: %s: parse error at %a: %s" path Guardrails.Ast.pp_pos pos msg)
+      | Ok spec -> (
+        match Guardrails.Typecheck.check_spec spec with
+        | Error (e :: _) -> Error (Format.asprintf "grc: %s: %a" path Guardrails.Typecheck.pp_error e)
+        | Error [] | Ok () -> Ok src))
+
 let run_cmd =
   let run path until seed trace_out =
-    let src = read_file path in
-    let kernel = Guardrails.Kernel.create ~seed in
-    let d =
-      Guardrails.Deployment.create ~kernel ~tracing:(Option.is_some trace_out) ()
-    in
-    match Guardrails.Deployment.install_source d src with
-    | Error e ->
-      Format.eprintf "%s: %a@." path Guardrails.Deployment.pp_error e;
-      1
-    | Ok handles ->
+    match load_spec_source path with
+    | Error msg ->
+      prerr_endline msg;
+      2
+    | Ok src -> (
+      let kernel = Guardrails.Kernel.create ~seed in
+      let d =
+        Guardrails.Deployment.create ~kernel ~tracing:(Option.is_some trace_out) ()
+      in
+      match Guardrails.Deployment.install_source d src with
+      | Error e ->
+        Format.eprintf "%s: %a@." path Guardrails.Deployment.pp_error e;
+        1
+      | Ok handles ->
       Format.printf "%s: installed %d monitor(s), running %gs of idle simulated kernel@." path
         (List.length handles) until;
       Guardrails.Kernel.run_until kernel (Guardrails.Util.Time_ns.of_float_sec until);
@@ -260,7 +282,7 @@ let run_cmd =
         Guardrails.Deployment.write_chrome_trace d ~path:out;
         Format.printf "Chrome trace written to %s (open at chrome://tracing)@." out
       | None -> ());
-      0
+      0)
   in
   let until =
     Arg.(
@@ -274,16 +296,151 @@ let run_cmd =
       & opt (some string) None
       & info [ "trace" ] ~docv:"OUT.json" ~doc:"Write a Chrome trace_event file.")
   in
+  let path_arg =
+    Arg.(
+      required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Guardrail source file.")
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:
          "Install monitors against an idle simulated kernel, drive their TIMER triggers, and \
           report per-monitor telemetry")
-    Term.(const run $ file_arg $ until $ seed $ trace_out)
+    Term.(const run $ path_arg $ until $ seed $ trace_out)
+
+let soak_cmd =
+  let module Soak = Gr_fault.Soak in
+  let module Fault = Gr_fault.Fault in
+  let run scenario seed runs duration plan_str spec_path dump_trace smoke =
+    let fail2 msg =
+      prerr_endline ("grc soak: " ^ msg);
+      2
+    in
+    let scenarios_r =
+      if scenario = "all" then Ok Soak.scenario_names
+      else if List.mem scenario Soak.scenario_names then Ok [ scenario ]
+      else
+        Error
+          (Printf.sprintf "unknown scenario %S (expected %s or all)" scenario
+             (String.concat "|" Soak.scenario_names))
+    in
+    let plan_r =
+      match plan_str with
+      | None -> Ok None
+      | Some s -> (
+        match Fault.plan_of_string s with
+        | Ok p -> Ok (Some p)
+        | Error e -> Error ("bad --plan: " ^ e))
+    in
+    let spec_r =
+      match spec_path with
+      | None -> Ok None
+      | Some path -> (
+        match load_spec_source path with
+        | Ok src -> Ok (Some src)
+        | Error msg -> Error msg)
+    in
+    match (scenarios_r, plan_r, spec_r) with
+    | Error e, _, _ | _, Error e, _ -> fail2 e
+    | _, _, Error msg ->
+      (* load_spec_source already prefixes "grc:". *)
+      prerr_endline msg;
+      2
+    | Ok scenarios, Ok plan, Ok extra_source -> (
+      let duration_ns = Guardrails.Util.Time_ns.of_float_sec duration in
+      match plan with
+      | Some plan -> (
+        match scenarios with
+        | [ scenario ] ->
+          let r = Soak.run_one ?extra_source ~scenario ~seed ~duration:duration_ns ~plan () in
+          if dump_trace then
+            List.iter (fun e -> Format.printf "%a@." Guardrails.Trace_event.pp e) r.Soak.trace;
+          Format.printf
+            "%s seed=%d: %d events, %d faults injected (%d skipped), %d checks, %d \
+             violations@."
+            scenario seed r.Soak.events r.Soak.faults_injected r.Soak.faults_skipped
+            r.Soak.checks r.Soak.violations;
+          if r.Soak.ok then begin
+            print_endline "OK";
+            0
+          end
+          else begin
+            List.iter (fun p -> print_endline ("PROBLEM: " ^ p)) r.Soak.problems;
+            1
+          end
+        | _ -> fail2 "--plan replays one run; pass a single --scenario with it")
+      | None ->
+        let scenarios, seeds, duration_ns =
+          if smoke then
+            (* Bounded CI preset: 21 seeded runs, well under a minute. *)
+            ( Soak.scenario_names,
+              List.init 7 (fun i -> i + 1),
+              Guardrails.Util.Time_ns.of_float_sec 0.5 )
+          else (scenarios, List.init runs (fun i -> seed + i), duration_ns)
+        in
+        let report = Soak.soak ~log:print_endline ?extra_source ~scenarios ~seeds
+            ~duration:duration_ns ()
+        in
+        Format.printf "%a" Soak.pp_report report;
+        if report.Soak.failures = [] then 0 else 1)
+  in
+  let scenario =
+    Arg.(
+      value & opt string "all"
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:"Scenario template: blk, sched, store, or all (default).")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"First seed (default 1).")
+  in
+  let runs =
+    Arg.(
+      value & opt int 5
+      & info [ "runs" ] ~docv:"N" ~doc:"Seeds per scenario, starting at --seed (default 5).")
+  in
+  let duration =
+    Arg.(
+      value & opt float 2.
+      & info [ "duration" ] ~docv:"SECONDS" ~doc:"Simulated seconds per run (default 2).")
+  in
+  let plan =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan" ] ~docv:"PLAN"
+          ~doc:
+            "Replay this exact fault plan (the format a failing run prints) instead of \
+             generating one; runs a single (scenario, seed) pair.")
+  in
+  let spec =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spec" ] ~docv:"FILE"
+          ~doc:"Install these guardrails into every scenario, next to the built-in ones.")
+  in
+  let dump_trace =
+    Arg.(
+      value & flag
+      & info [ "dump-trace" ]
+          ~doc:"With --plan: print the full trace event stream (determinism debugging).")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"CI preset: every scenario, seeds 1-7, 0.5 simulated seconds per run.")
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Chaos soak: run fault-injection scenarios under global invariants; failures shrink \
+          to a minimal reproducible (seed, plan) command line")
+    Term.(
+      const run $ scenario $ seed $ runs $ duration $ plan $ spec $ dump_trace $ smoke)
 
 let () =
   let info = Cmd.info "grc" ~version:"1.0.0" ~doc:"Guardrail compiler for learned OS policies" in
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ check_cmd; compile_cmd; deps_cmd; lint_cmd; cgen_cmd; fmt_cmd; run_cmd ]))
+          [ check_cmd; compile_cmd; deps_cmd; lint_cmd; cgen_cmd; fmt_cmd; run_cmd; soak_cmd ]))

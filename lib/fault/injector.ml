@@ -1,0 +1,142 @@
+open Gr_util
+module Tracer = Gr_trace.Tracer
+module Event = Gr_trace.Event
+
+exception Injected_hook_fault of string
+
+type t = {
+  kernel : Gr_kernel.Kernel.t;
+  tracer : Tracer.t;
+  store : Gr_runtime.Feature_store.t;
+  devices : Gr_kernel.Ssd.t array;
+  base_profiles : Gr_kernel.Ssd.profile array;
+  blk : Gr_kernel.Blk.t option;
+  rng : Rng.t;
+  mutable on_policy_install : string -> unit;
+  mutable armed : int;
+  mutable injected : int;
+  mutable skipped : int;
+  mutable hook_raises : int;
+}
+
+let create ~kernel ~tracer ~store ?(devices = [||]) ?blk ~seed () =
+  {
+    kernel;
+    tracer;
+    store;
+    devices;
+    base_profiles = Array.map Gr_kernel.Ssd.profile devices;
+    blk;
+    rng = Rng.create (seed lxor 0x0fa517);
+    on_policy_install = ignore;
+    armed = 0;
+    injected = 0;
+    skipped = 0;
+    hook_raises = 0;
+  }
+
+let set_on_policy_install t fn = t.on_policy_install <- fn
+let armed t = t.armed
+let injected t = t.injected
+let skipped t = t.skipped
+let hook_raises t = t.hook_raises
+
+let trace t fault ~applied =
+  Tracer.instant t.tracer ~cat:"fault"
+    ~args:[ ("fault", Event.Str (Fault.fault_to_string fault)); ("applied", Event.Bool applied) ]
+    "fault.inject"
+
+(* A storm is the device's own GC process cranked up: episodes nearly
+   back-to-back at a high multiplier, the tail-latency regime LinnOS
+   models go stale against. *)
+let storm_profile (p : Gr_kernel.Ssd.profile) =
+  {
+    p with
+    Gr_kernel.Ssd.gc_period = Time_ns.ms 4;
+    gc_duration = Time_ns.ms 3;
+    gc_multiplier = Float.max p.gc_multiplier 40.;
+  }
+
+let schedule_after t delay fn =
+  ignore (Gr_sim.Engine.schedule_after t.kernel.engine delay fn : Gr_sim.Engine.handle)
+
+let apply t ({ Fault.at = _; kind } as fault) =
+  let applied =
+    match kind with
+    | Fault.Gc_storm { device; duration } ->
+      if Array.length t.devices = 0 then false
+      else begin
+        let idx = device mod Array.length t.devices in
+        let dev = t.devices.(idx) in
+        Gr_kernel.Ssd.set_profile dev (storm_profile (Gr_kernel.Ssd.profile dev));
+        schedule_after t duration (fun _ ->
+            Gr_kernel.Ssd.set_profile dev t.base_profiles.(idx));
+        true
+      end
+    | Fault.Device_death { device; duration } ->
+      if Array.length t.devices = 0 then false
+      else begin
+        let dev = t.devices.(device mod Array.length t.devices) in
+        Gr_kernel.Ssd.kill dev;
+        schedule_after t duration (fun _ -> Gr_kernel.Ssd.revive dev);
+        true
+      end
+    | Fault.Hook_exn { hook; count } ->
+      let remaining = ref count in
+      ignore
+        (Gr_kernel.Hooks.subscribe t.kernel.hooks hook (fun _ ->
+             if !remaining > 0 then begin
+               decr remaining;
+               t.hook_raises <- t.hook_raises + 1;
+               raise (Injected_hook_fault hook)
+             end)
+          : Gr_kernel.Hooks.subscription);
+      true
+    | Fault.Evict_burst { key; burst } ->
+      for _ = 1 to burst do
+        Gr_runtime.Feature_store.save t.store key (Rng.float t.rng 100.)
+      done;
+      true
+    | Fault.Corrupt_key { key; corruption } ->
+      let value =
+        match corruption with
+        | Fault.Nan -> Float.nan
+        | Fault.Huge -> 1e14
+        | Fault.Neg_huge -> -1e14
+        | Fault.Value v -> v
+      in
+      Gr_runtime.Feature_store.save t.store key value;
+      true
+    | Fault.Policy_chaos { chaos } -> (
+      match t.blk with
+      | None -> false
+      | Some blk ->
+        let slot = Gr_kernel.Blk.slot blk in
+        let policy =
+          match chaos with
+          | Fault.Stuck_trust -> Gr_policy.Inject.stuck_blk Gr_kernel.Blk.Trust_primary
+          | Fault.Stuck_revoke -> Gr_policy.Inject.stuck_blk Gr_kernel.Blk.Revoke_now
+          | Fault.Flip ->
+            Gr_policy.Inject.flip_blk_decisions ~rng:t.rng ~p:0.5
+              (Gr_kernel.Policy_slot.current slot)
+        in
+        let name = policy.Gr_kernel.Blk.policy_name in
+        Gr_kernel.Policy_slot.install slot ~name policy;
+        t.on_policy_install name;
+        true)
+    | Fault.Clock_skew { by } ->
+      Gr_kernel.Kernel.advance_clock_skew t.kernel ~by;
+      true
+  in
+  if applied then t.injected <- t.injected + 1 else t.skipped <- t.skipped + 1;
+  trace t fault ~applied
+
+let arm t plan =
+  List.iter
+    (fun (fault : Fault.fault) ->
+      t.armed <- t.armed + 1;
+      let at = Time_ns.max fault.at (Gr_sim.Engine.now t.kernel.engine) in
+      ignore
+        (Gr_sim.Engine.schedule_at t.kernel.engine at (fun _ -> apply t fault)
+          : Gr_sim.Engine.handle))
+    plan

@@ -1,0 +1,51 @@
+(** Arms a {!Fault.plan} against a live deployment.
+
+    Each fault is scheduled as an ordinary sim-engine event at its
+    plan time, so injection is subject to the same deterministic
+    clock and FIFO tie-breaking as everything else: a (seed, plan)
+    pair replays bit-for-bit. Every application (and every skip, when
+    the scenario lacks the faulted subsystem) is traced as an instant
+    event of category ["fault"], putting the injected failures on the
+    same timeline as the guardrail checks that react to them. *)
+
+exception Injected_hook_fault of string
+(** What injected hook listeners raise; distinguishable from real
+    listener bugs when reconciling
+    {!Gr_kernel.Hooks.contained_exn_count}. *)
+
+type t
+
+val create :
+  kernel:Gr_kernel.Kernel.t ->
+  tracer:Gr_trace.Tracer.t ->
+  store:Gr_runtime.Feature_store.t ->
+  ?devices:Gr_kernel.Ssd.t array ->
+  ?blk:Gr_kernel.Blk.t ->
+  seed:int ->
+  unit ->
+  t
+(** Device profiles are snapshotted here; a GC storm always restores
+    the profile the device had at injector creation. *)
+
+val set_on_policy_install : t -> (string -> unit) -> unit
+(** Called with the policy name whenever a [Policy_chaos] fault
+    installs into the block slot — the soak uses this to reset its
+    REPLACE/RESTORE bookkeeping, since {!Gr_kernel.Policy_slot.install}
+    makes the new policy live. *)
+
+val arm : t -> Fault.plan -> unit
+(** Schedules every fault; faults timed in the past fire at the next
+    clock tick. May be called before or during a run. *)
+
+val armed : t -> int
+val injected : t -> int
+(** Faults whose effect was applied. *)
+
+val skipped : t -> int
+(** Faults dropped because the scenario lacks the target (no devices,
+    no block slot). *)
+
+val hook_raises : t -> int
+(** Exceptions actually raised by injected hook listeners so far —
+    the number the kernel's contained-exception counter must equal,
+    or a {e real} listener bug slipped in. *)

@@ -1,0 +1,519 @@
+open Gr_util
+module Ssd = Gr_kernel.Ssd
+module Blk = Gr_kernel.Blk
+module Sched = Gr_kernel.Sched
+module Slot = Gr_kernel.Policy_slot
+module Hooks = Gr_kernel.Hooks
+module Kernel = Gr_kernel.Kernel
+module Store = Gr_runtime.Feature_store
+module Rt = Gr_runtime.Engine
+module Sink = Gr_trace.Sink
+module Tracer = Gr_trace.Tracer
+module D = Guardrails.Deployment
+
+let scenario_names = [ "blk"; "sched"; "store" ]
+
+let caps_of = function
+  | "blk" ->
+    {
+      Fault.n_devices = 4;
+      keys = [ "false_submit"; "latency_us"; "false_submit_rate" ];
+      hooks = [ "blk:io_complete"; "blk:io_submit" ];
+      blk_policy = true;
+    }
+  | "sched" ->
+    {
+      Fault.n_devices = 0;
+      keys = [ "sched_max_wait_ms"; "sched_jain" ];
+      hooks = [ "sched:dispatch"; "sched:task_complete" ];
+      blk_policy = false;
+    }
+  | "store" ->
+    {
+      Fault.n_devices = 0;
+      keys = [ "lat"; "rate"; "err" ];
+      hooks = [ "soak:tick" ];
+      blk_policy = false;
+    }
+  | s -> invalid_arg ("Soak: unknown scenario " ^ s)
+
+let gen_plan ~scenario ~seed ~duration =
+  let caps = caps_of scenario in
+  let rng = Rng.create ((seed * 0x9e3779b9) lxor Hashtbl.hash scenario) in
+  let n = 3 + Rng.int rng 5 in
+  Fault.gen ~rng ~caps ~n ~horizon:duration
+
+(* Scenario templates. Each builds a full deployment around a seeded
+   kernel; everything stochastic draws from kernel.rng or a split of
+   it, so a (scenario, seed) pair is one reproducible universe. *)
+
+type built = {
+  b_kernel : Kernel.t;
+  b_d : D.t;
+  b_handles : Rt.handle list;
+  b_inj : Injector.t;
+  b_fallback : (bool ref * (unit -> bool)) option;
+      (** REPLACE/RESTORE bookkeeping vs. the slot's actual state *)
+  b_retrain_runs : int ref;
+  b_anomalies : string list ref;
+}
+
+let blk_spec =
+  {|
+guardrail soak-false-submit {
+  trigger: { TIMER(0, 100ms) },
+  rule: { LOAD(false_submit_rate) <= 0.05 },
+  action: {
+    REPORT("false submit rate above bound", false_submit_rate)
+    REPLACE("blk_policy")
+  }
+}
+
+guardrail soak-tail-latency {
+  trigger: { TIMER(0, 200ms) },
+  rule: { COUNT(latency_us, 1s) == 0 || AVG(latency_us, 1s) <= 5000 },
+  action: {
+    REPORT("average I/O latency degraded", latency_us)
+    RETRAIN("blk_policy")
+  }
+}
+|}
+
+let build_blk ~seed ~duration =
+  let kernel = Kernel.create ~seed in
+  let devices =
+    Array.init 4 (fun i -> Ssd.create ~rng:kernel.rng ~profile:Ssd.young_profile ~id:i)
+  in
+  let blk = Blk.create ~engine:kernel.engine ~hooks:kernel.hooks ~devices () in
+  let model = Gr_policy.Linnos.train ~rng:kernel.rng ~devices () in
+  Slot.install (Blk.slot blk) ~name:"linnos" (Gr_policy.Linnos.policy model);
+  let d = D.create ~kernel ~tracing:true ~store_capacity:1024 () in
+  D.forward_hook_arg d ~hook:"blk:io_complete" ~arg:"false_submit" ();
+  D.forward_hook_arg d ~hook:"blk:io_complete" ~arg:"latency_us" ();
+  D.derive_window_avg d ~src:"false_submit" ~dst:"false_submit_rate" ~window:(Time_ns.sec 1)
+    ~every:(Time_ns.ms 100);
+  let expected_fallback = ref (Slot.on_fallback (Blk.slot blk)) in
+  let retrain_runs = ref 0 in
+  Kernel.register_policy kernel ~name:"blk_policy"
+    ~retrain:(fun () -> incr retrain_runs)
+    ~replace:(fun () ->
+      Slot.use_fallback (Blk.slot blk);
+      expected_fallback := true)
+    ~restore:(fun () ->
+      Slot.restore (Blk.slot blk);
+      expected_fallback := false)
+    ();
+  let handles = D.install_source_exn d blk_spec in
+  ignore
+    (Gr_workload.Io_driver.start ~engine:kernel.engine ~rng:kernel.rng ~blk
+       ~arrival:(Gr_workload.Arrival.poisson ~rate_per_sec:1200.)
+       ~n_devices:4 ~zipf_s:0.5 ~until:duration ()
+      : Gr_workload.Io_driver.t);
+  let inj =
+    Injector.create ~kernel ~tracer:(D.tracer d) ~store:(D.store d) ~devices ~blk ~seed ()
+  in
+  (* Policy_chaos installs a new live policy, so the slot is no longer
+     on its fallback regardless of what REPLACE did earlier. *)
+  Injector.set_on_policy_install inj (fun _ -> expected_fallback := false);
+  {
+    b_kernel = kernel;
+    b_d = d;
+    b_handles = handles;
+    b_inj = inj;
+    b_fallback = Some (expected_fallback, fun () -> Slot.on_fallback (Blk.slot blk));
+    b_retrain_runs = retrain_runs;
+    b_anomalies = ref [];
+  }
+
+let sched_spec =
+  {|
+guardrail soak-starvation {
+  trigger: { TIMER(0, 50ms) },
+  rule: { LOAD(sched_max_wait_ms) <= 150 },
+  action: {
+    REPORT("task starvation", sched_max_wait_ms)
+    DEPRIORITIZE("batch", 64)
+  }
+}
+
+guardrail soak-fairness {
+  trigger: { TIMER(0, 100ms) },
+  rule: { COUNT(sched_jain, 1s) == 0 || MIN(sched_jain, 1s) >= 0.2 },
+  action: {
+    REPORT("unfair CPU shares", sched_jain)
+    REPLACE("sched_policy")
+  }
+}
+|}
+
+let build_sched ~seed ~duration =
+  let kernel = Kernel.create ~seed in
+  let sched = Sched.create ~engine:kernel.engine ~hooks:kernel.hooks ~cpus:2 () in
+  Slot.install (Sched.slot sched) ~name:"wild-slices"
+    (Gr_policy.Inject.wild_slices ~rng:kernel.rng ~max_ms:120);
+  let d = D.create ~kernel ~tracing:true () in
+  D.wire_scheduler d sched;
+  let anomalies = ref [] in
+  (* Re-route DEPRIORITIZE through a handler that performs the action
+     and then verifies its observable effect immediately: every live
+     task of the class must carry the new weight. *)
+  Rt.set_deprioritize_handler (D.engine d) (fun ~cls ~weight ->
+      ignore (Sched.deprioritize_class sched ~cls ~weight : int);
+      List.iter
+        (fun (task : Sched.task) ->
+          match task.state with
+          | Sched.Runnable | Sched.Running ->
+            if task.cls = cls && task.weight <> weight then
+              anomalies :=
+                Printf.sprintf "DEPRIORITIZE(%s, %d) left live task %d at weight %d" cls
+                  weight task.tid task.weight
+                :: !anomalies
+          | Sched.Complete | Sched.Killed -> ())
+        (Sched.tasks sched));
+  let expected_fallback = ref (Slot.on_fallback (Sched.slot sched)) in
+  Kernel.register_policy kernel ~name:"sched_policy"
+    ~replace:(fun () ->
+      Slot.use_fallback (Sched.slot sched);
+      expected_fallback := true)
+    ~restore:(fun () ->
+      Slot.restore (Sched.slot sched);
+      expected_fallback := false)
+    ();
+  let handles = D.install_source_exn d sched_spec in
+  let spawn_rng = Rng.split kernel.rng in
+  ignore
+    (Gr_sim.Engine.every kernel.engine ~stop:duration ~interval:(Time_ns.ms 4) (fun _ ->
+         let cls = if Rng.int spawn_rng 3 = 0 then "latency" else "batch" in
+         ignore
+           (Sched.spawn sched ~name:"soak" ~cls
+              ~demand:(Time_ns.us (500 + Rng.int spawn_rng 9500))
+              ()
+             : Sched.task))
+      : Gr_sim.Engine.handle);
+  let inj = Injector.create ~kernel ~tracer:(D.tracer d) ~store:(D.store d) ~seed () in
+  {
+    b_kernel = kernel;
+    b_d = d;
+    b_handles = handles;
+    b_inj = inj;
+    b_fallback = Some (expected_fallback, fun () -> Slot.on_fallback (Sched.slot sched));
+    b_retrain_runs = ref 0;
+    b_anomalies = anomalies;
+  }
+
+let store_spec =
+  {|
+guardrail soak-bounds {
+  trigger: { TIMER(0, 50ms) },
+  rule: { COUNT(lat, 500ms) == 0 || MIN(lat, 500ms) <= MAX(lat, 500ms) },
+  action: { REPORT("window min above max", lat) }
+}
+
+guardrail soak-stats {
+  trigger: { TIMER(0, 100ms) },
+  rule: { STDDEV(lat, 1s) >= 0 && SUM(rate, 1s) >= 0 },
+  action: { REPORT("negative second moment", lat, rate) }
+}
+
+guardrail soak-tail {
+  trigger: { ON_CHANGE(err) },
+  rule: { COUNT(lat, 1s) == 0 || QUANTILE(lat, 0.9, 1s) >= MIN(lat, 1s) },
+  action: { REPORT("tail inversion", lat, err) }
+}
+
+guardrail soak-trend {
+  trigger: { TIMER(0, 200ms) },
+  rule: { ABS(DELTA(lat, 2s)) <= 1e13 && AVG(lat, 2s) <= 1e13 },
+  action: { REPORT("signal blowup", lat) }
+}
+|}
+
+let build_store ~seed ~duration =
+  let kernel = Kernel.create ~seed in
+  (* A small per-key ring keeps capacity eviction constantly active
+     under the 1ms save cadence. *)
+  let d = D.create ~kernel ~tracing:true ~store_capacity:256 () in
+  D.forward_hook_arg d ~hook:"soak:tick" ~arg:"v" ~key:"err" ();
+  let handles = D.install_source_exn d store_spec in
+  let wl_rng = Rng.split kernel.rng in
+  ignore
+    (Gr_sim.Engine.every kernel.engine ~stop:duration ~interval:(Time_ns.ms 1) (fun _ ->
+         let store = D.store d in
+         Store.save store "lat" (Rng.lognormal wl_rng ~mu:5.3 ~sigma:0.5);
+         Store.save store "rate" (if Rng.bool wl_rng then 1. else 0.))
+      : Gr_sim.Engine.handle);
+  ignore
+    (Gr_sim.Engine.every kernel.engine ~stop:duration ~interval:(Time_ns.ms 5) (fun _ ->
+         Hooks.fire kernel.hooks "soak:tick" [ ("v", Rng.float wl_rng 10.) ])
+      : Gr_sim.Engine.handle);
+  let inj = Injector.create ~kernel ~tracer:(D.tracer d) ~store:(D.store d) ~seed () in
+  {
+    b_kernel = kernel;
+    b_d = d;
+    b_handles = handles;
+    b_inj = inj;
+    b_fallback = None;
+    b_retrain_runs = ref 0;
+    b_anomalies = ref [];
+  }
+
+let build ~scenario ~seed ~duration =
+  match scenario with
+  | "blk" -> build_blk ~seed ~duration
+  | "sched" -> build_sched ~seed ~duration
+  | "store" -> build_store ~seed ~duration
+  | s -> invalid_arg ("Soak: unknown scenario " ^ s)
+
+(* Oracle comparison. Exact aggregates (COUNT, MIN, MAX, QUANTILE,
+   DELTA) must match bit-for-bit (or be NaN on both sides); running
+   sums are allowed the float error a streaming path legitimately
+   accumulates, scaled by the window's magnitude [m] because injected
+   1e14 corruptions make both paths ill-conditioned — e.g. the naive
+   scan folds newest-first while the streaming sum admits oldest-first,
+   so a window holding +1e14 and -1e14 differs by O(eps * 1e14) even
+   when both are correct. STDDEV's sum-of-squares form additionally
+   cancels catastrophically while an extreme value is in-window. *)
+let agg_name = function
+  | Gr_dsl.Ast.Avg -> "AVG"
+  | Rate -> "RATE"
+  | Count -> "COUNT"
+  | Sum -> "SUM"
+  | Min -> "MIN"
+  | Max -> "MAX"
+  | Stddev -> "STDDEV"
+  | Quantile -> "QUANTILE"
+  | Delta -> "DELTA"
+
+let agg_close ~fn ~m ~n a b =
+  if Float.is_nan a || Float.is_nan b then Float.is_nan a && Float.is_nan b
+  else if a = b then true
+  else
+    let diff = Float.abs (a -. b) in
+    match (fn : Gr_dsl.Ast.agg) with
+    | Count | Min | Max | Quantile | Delta -> false
+    | Sum | Rate | Avg ->
+      diff <= 1e-9 +. (1e-6 *. (Float.abs a +. Float.abs b)) +. (1e-9 *. m *. float_of_int (n + 1))
+    | Stddev -> diff <= 1e-9 +. (1e-4 *. (Float.abs a +. Float.abs b)) +. (1e-7 *. m)
+
+type run_result = {
+  ok : bool;
+  problems : string list;
+  events : int;
+  faults_injected : int;
+  faults_skipped : int;
+  checks : int;
+  violations : int;
+  trace : Gr_trace.Event.t list;
+}
+
+let run_one ?extra_source ~scenario ~seed ~duration ~plan () =
+  let b = build ~scenario ~seed ~duration in
+  let seen = Hashtbl.create 16 in
+  let problems = ref [] in
+  let push msg =
+    if not (Hashtbl.mem seen msg) then begin
+      Hashtbl.add seen msg ();
+      problems := msg :: !problems
+    end
+  in
+  (match extra_source with
+  | None -> ()
+  | Some src -> (
+    match D.install_source b.b_d src with
+    | Ok _ -> ()
+    | Error e -> push (Format.asprintf "extra spec rejected: %a" D.pp_error e)));
+  Injector.arm b.b_inj plan;
+  let store = D.store b.b_d in
+  let check_cheap () =
+    (match b.b_fallback with
+    | Some (expected, actual) ->
+      if actual () <> !expected then
+        push "policy slot fallback state diverged from REPLACE/RESTORE bookkeeping"
+    | None -> ());
+    let raised = Injector.hook_raises b.b_inj in
+    let contained = Hooks.contained_exn_count b.b_kernel.hooks in
+    if contained <> raised then
+      push
+        (Printf.sprintf
+           "hook exception accounting: kernel contained %d, injector raised %d — a real \
+            listener bug"
+           contained raised)
+  in
+  let check_oracle () =
+    List.iter
+      (fun (key, fn, window_ns, param) ->
+        let inc = Store.aggregate_result store ~key ~fn ~window_ns ~param in
+        Store.set_force_naive store true;
+        let naive = Store.aggregate store ~key ~fn ~window_ns ~param in
+        Store.set_force_naive store false;
+        let samples = Store.window_samples store ~key ~window_ns in
+        let n = Array.length samples in
+        let m =
+          Array.fold_left
+            (fun acc v -> if Float.is_finite v then Float.max acc (Float.abs v) else acc)
+            0. samples
+        in
+        if not (agg_close ~fn ~m ~n naive inc.Store.value) then
+          push
+            (Printf.sprintf
+               "streaming aggregate diverged from naive oracle: %s(%s, %gns) streaming=%h \
+                naive=%h"
+               (agg_name fn) key window_ns inc.Store.value naive))
+      (Store.demand_shapes store)
+  in
+  let engine = b.b_kernel.engine in
+  let events = ref 0 in
+  (try
+     let continue = ref true in
+     while !continue do
+       match Gr_sim.Engine.next_event_time engine with
+       | Some t when Time_ns.compare t duration <= 0 ->
+         ignore (Gr_sim.Engine.step engine : bool);
+         incr events;
+         check_cheap ();
+         if !events mod 64 = 0 then check_oracle ()
+       | Some _ | None -> continue := false
+     done
+   with exn ->
+     push (Printf.sprintf "engine raised %s — corrective machinery must never throw"
+             (Printexc.to_string exn)));
+  check_cheap ();
+  check_oracle ();
+  let tracer = D.tracer b.b_d in
+  let sink_check label s =
+    if Sink.emitted s <> Sink.length s + Sink.dropped s then
+      push
+        (Printf.sprintf "%s sink accounting broken: emitted %d <> length %d + dropped %d"
+           label (Sink.emitted s) (Sink.length s) (Sink.dropped s));
+    if Sink.length s > Sink.capacity s then
+      push (Printf.sprintf "%s sink exceeded its capacity" label)
+  in
+  sink_check "trace" (Tracer.events tracer);
+  sink_check "report" (Tracer.reports tracer);
+  let eng = D.engine b.b_d in
+  let checks, violations, retrains_requested =
+    List.fold_left
+      (fun (c, v, r) h ->
+        let st = Rt.Stats.get eng h in
+        let name = Rt.monitor_name h in
+        if st.Rt.Stats.violations > st.Rt.Stats.checks then
+          push (Printf.sprintf "monitor %s: more violations than checks" name);
+        if st.Rt.Stats.action_firings > st.Rt.Stats.violations then
+          push (Printf.sprintf "monitor %s: more action firings than violations" name);
+        if st.Rt.Stats.retrains_requested + st.Rt.Stats.retrains_suppressed
+           > st.Rt.Stats.action_firings then
+          push
+            (Printf.sprintf "monitor %s: retrain bookkeeping (%d requested + %d suppressed) \
+                             exceeds %d action firings"
+               name st.Rt.Stats.retrains_requested st.Rt.Stats.retrains_suppressed
+               st.Rt.Stats.action_firings);
+        ( c + st.Rt.Stats.checks,
+          v + st.Rt.Stats.violations,
+          r + st.Rt.Stats.retrains_requested ))
+      (0, 0, 0) b.b_handles
+  in
+  if !(b.b_retrain_runs) > retrains_requested then
+    push
+      (Printf.sprintf "retrain bookkeeping: %d callbacks ran but only %d were requested"
+         !(b.b_retrain_runs) retrains_requested);
+  List.iter push !(b.b_anomalies);
+  let problems = List.rev !problems in
+  {
+    ok = problems = [];
+    problems;
+    events = !events;
+    faults_injected = Injector.injected b.b_inj;
+    faults_skipped = Injector.skipped b.b_inj;
+    checks;
+    violations;
+    trace = Sink.to_list (Tracer.events tracer);
+  }
+
+(* Shrinking: greedy ddmin on single faults. Re-running the predicate
+   is sound because runs are deterministic in (scenario, seed, plan). *)
+let shrink ~still_fails plan =
+  let rec fixpoint plan =
+    let n = List.length plan in
+    let rec try_drop i =
+      if i >= n then plan
+      else
+        let candidate = List.filteri (fun j _ -> j <> i) plan in
+        if still_fails candidate then fixpoint candidate else try_drop (i + 1)
+    in
+    if n = 0 then plan else try_drop 0
+  in
+  fixpoint plan
+
+type failure = {
+  scenario : string;
+  seed : int;
+  duration : Time_ns.t;
+  plan : Fault.plan;
+  shrunk : Fault.plan;
+  problems : string list;
+}
+
+type report = {
+  runs : int;
+  passed : int;
+  failures : failure list;
+  total_events : int;
+  total_faults : int;
+}
+
+let repro_command f =
+  Printf.sprintf "grc soak --scenario %s --seed %d --duration %g --plan '%s'" f.scenario
+    f.seed (Time_ns.to_float_sec f.duration)
+    (Fault.plan_to_string f.shrunk)
+
+let soak ?(log = ignore) ?extra_source ~scenarios ~seeds ~duration () =
+  let runs = ref 0 and passed = ref 0 and total_events = ref 0 and total_faults = ref 0 in
+  let failures = ref [] in
+  List.iter
+    (fun scenario ->
+      List.iter
+        (fun seed ->
+          incr runs;
+          let plan = gen_plan ~scenario ~seed ~duration in
+          let r = run_one ?extra_source ~scenario ~seed ~duration ~plan () in
+          total_events := !total_events + r.events;
+          total_faults := !total_faults + r.faults_injected;
+          if r.ok then begin
+            incr passed;
+            log
+              (Printf.sprintf "PASS %-5s seed=%-3d %6d events, %d faults" scenario seed
+                 r.events r.faults_injected)
+          end
+          else begin
+            log
+              (Printf.sprintf "FAIL %-5s seed=%-3d %s" scenario seed
+                 (String.concat "; " r.problems));
+            let still_fails p =
+              not (run_one ?extra_source ~scenario ~seed ~duration ~plan:p ()).ok
+            in
+            let shrunk = shrink ~still_fails plan in
+            failures :=
+              { scenario; seed; duration; plan; shrunk; problems = r.problems } :: !failures
+          end)
+        seeds)
+    scenarios;
+  {
+    runs = !runs;
+    passed = !passed;
+    failures = List.rev !failures;
+    total_events = !total_events;
+    total_faults = !total_faults;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt "soak: %d run(s), %d passed, %d failed; %d sim events, %d faults injected@."
+    r.runs r.passed
+    (List.length r.failures)
+    r.total_events r.total_faults;
+  List.iter
+    (fun f ->
+      Format.fprintf fmt "FAIL %s seed=%d (%d-fault plan shrunk to %d):@." f.scenario f.seed
+        (List.length f.plan) (List.length f.shrunk);
+      List.iter (fun p -> Format.fprintf fmt "  - %s@." p) f.problems;
+      Format.fprintf fmt "  repro: %s@." (repro_command f))
+    r.failures

@@ -1,0 +1,103 @@
+(** Chaos-soak harness: randomized deployments x fault plans, with
+    global invariants checked after every sim event.
+
+    Each run builds one of three scenario templates around a seeded
+    kernel, arms a generated (or supplied) {!Fault.plan}, then drives
+    the sim engine {e one event at a time}, checking cheap invariants
+    between events and expensive ones (the streaming-vs-naive
+    aggregate oracle) on a stride:
+
+    - the engine never raises — injected hook exceptions are contained
+      by the kernel, everything else is a bug;
+    - the kernel's contained-exception count equals the number of
+      exceptions the injector raised (an unexplained containment is a
+      real listener bug);
+    - REPLACE/RESTORE bookkeeping matches the policy slot's actual
+      fallback state;
+    - every registered streaming aggregate agrees with the naive
+      full-scan oracle, NaN- and magnitude-aware;
+    - trace and report sinks satisfy [emitted = length + dropped];
+    - per-monitor stats are sane (violations <= checks, firings <=
+      violations, retrain callbacks run <= retrains requested);
+    - DEPRIORITIZE observably reweights every live task of its class
+      (checked in the action handler itself).
+
+    A failing (seed, plan) shrinks by greedy delta debugging to a
+    minimal plan that still fails, and {!repro_command} renders it as
+    a [grc soak] command line. Same seed, same plan: bit-identical
+    trace event streams — {!run_one} exposes the stream so tests can
+    assert that. *)
+
+val scenario_names : string list
+(** ["blk"; "sched"; "store"]: LinnOS-style block stack under I/O
+    load; multi-CPU scheduler with a wild slice policy; feature-store
+    aggregation under a synthetic save workload. *)
+
+val caps_of : string -> Fault.caps
+(** What each scenario exposes for faulting.
+    @raise Invalid_argument on an unknown scenario name. *)
+
+val gen_plan : scenario:string -> seed:int -> duration:Gr_util.Time_ns.t -> Fault.plan
+(** The plan a soak run of this (scenario, seed) would use. *)
+
+type run_result = {
+  ok : bool;
+  problems : string list;  (** deduplicated invariant failures *)
+  events : int;  (** sim events dispatched *)
+  faults_injected : int;
+  faults_skipped : int;
+  checks : int;  (** guardrail rule evaluations across monitors *)
+  violations : int;
+  trace : Gr_trace.Event.t list;  (** full trace-event stream *)
+}
+
+val run_one :
+  ?extra_source:string ->
+  scenario:string ->
+  seed:int ->
+  duration:Gr_util.Time_ns.t ->
+  plan:Fault.plan ->
+  unit ->
+  run_result
+(** One deterministic run. [extra_source] installs additional
+    guardrails (the [grc soak --spec] path) into the scenario's
+    deployment; an install failure is reported as a problem. *)
+
+type failure = {
+  scenario : string;
+  seed : int;
+  duration : Gr_util.Time_ns.t;
+  plan : Fault.plan;  (** as generated *)
+  shrunk : Fault.plan;  (** minimal still-failing subset *)
+  problems : string list;
+}
+
+type report = {
+  runs : int;
+  passed : int;
+  failures : failure list;
+  total_events : int;
+  total_faults : int;
+}
+
+val shrink : still_fails:(Fault.plan -> bool) -> Fault.plan -> Fault.plan
+(** Greedy delta debugging: repeatedly drops any single fault whose
+    removal preserves failure, to a 1-minimal plan. The predicate is
+    a parameter so the shrinker itself is unit-testable. *)
+
+val soak :
+  ?log:(string -> unit) ->
+  ?extra_source:string ->
+  scenarios:string list ->
+  seeds:int list ->
+  duration:Gr_util.Time_ns.t ->
+  unit ->
+  report
+(** Runs every scenario x seed with generated plans, shrinking each
+    failure. [log] receives one progress line per run. *)
+
+val repro_command : failure -> string
+(** The [grc soak --scenario .. --seed .. --duration .. --plan '..']
+    line that reproduces the shrunk failure. *)
+
+val pp_report : Format.formatter -> report -> unit

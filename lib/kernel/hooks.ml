@@ -1,6 +1,6 @@
 type args = (string * float) list
 
-type listener = { id : int; fn : args -> unit }
+type listener = { id : int; fn : args -> unit; mutable strikes : int }
 
 type point = { mutable listeners : listener list; mutable fired : int }
 
@@ -8,13 +8,28 @@ type t = {
   points : (string, point) Hashtbl.t;
   mutable next_id : int;
   mutable tracer : Gr_trace.Tracer.t option;
+  mutable max_strikes : int;
+  mutable contained_exns : int;
+  mutable quarantined : int;
 }
 
 type subscription = { hook : string; listener_id : int }
 
-let create () = { points = Hashtbl.create 64; next_id = 0; tracer = None }
+let create () =
+  {
+    points = Hashtbl.create 64;
+    next_id = 0;
+    tracer = None;
+    max_strikes = 3;
+    contained_exns = 0;
+    quarantined = 0;
+  }
 
 let set_tracer t tracer = t.tracer <- Some tracer
+
+let set_max_strikes t n =
+  if n <= 0 then invalid_arg "Hooks.set_max_strikes: must be positive";
+  t.max_strikes <- n
 
 let point t name =
   match Hashtbl.find_opt t.points name with
@@ -30,13 +45,48 @@ let subscribe t name fn =
   t.next_id <- id + 1;
   (* Keep subscription order: append. Lists are short (a few monitors
      per hook), so the O(n) append is irrelevant. *)
-  p.listeners <- p.listeners @ [ { id; fn } ];
+  p.listeners <- p.listeners @ [ { id; fn; strikes = 0 } ];
   { hook = name; listener_id = id }
 
 let unsubscribe t sub =
   match Hashtbl.find_opt t.points sub.hook with
   | None -> ()
   | Some p -> p.listeners <- List.filter (fun l -> l.id <> sub.listener_id) p.listeners
+
+(* A listener that raises must not take the kernel down with it — a
+   crashing probe handler is the probe's bug, not a panic (the real
+   kernel likewise contains a faulting BPF program). The exception is
+   counted, traced, and after [max_strikes] faults the listener is
+   quarantined: unsubscribed for good, like the kernel disabling a
+   misbehaving kprobe. Fault-injection soaks reconcile these counters
+   against the faults they injected, so a *real* listener bug still
+   fails the run — it is accounted for, not swallowed. *)
+let dispatch t name p args =
+  List.iter
+    (fun l ->
+      try l.fn args
+      with exn ->
+        t.contained_exns <- t.contained_exns + 1;
+        l.strikes <- l.strikes + 1;
+        let quarantine = l.strikes >= t.max_strikes in
+        if quarantine then begin
+          t.quarantined <- t.quarantined + 1;
+          p.listeners <- List.filter (fun l' -> l'.id <> l.id) p.listeners
+        end;
+        match t.tracer with
+        | Some tr when Gr_trace.Tracer.enabled tr ->
+          Gr_trace.Tracer.instant tr ~cat:"hook"
+            ~args:
+              [
+                ("hook", Gr_trace.Event.Str name);
+                ("listener", Gr_trace.Event.Int l.id);
+                ("exn", Gr_trace.Event.Str (Printexc.to_string exn));
+                ("strikes", Gr_trace.Event.Int l.strikes);
+                ("quarantined", Gr_trace.Event.Bool quarantine);
+              ]
+            "hook.listener_exn"
+        | _ -> ())
+    p.listeners
 
 let fire t name args =
   let p = point t name in
@@ -50,10 +100,13 @@ let fire t name args =
     Gr_trace.Tracer.with_span tr ~cat:"hook"
       ~args:(List.map (fun (k, v) -> (k, Gr_trace.Event.Float v)) args)
       name
-      (fun () -> List.iter (fun l -> l.fn args) p.listeners)
-  | _ -> List.iter (fun l -> l.fn args) p.listeners
+      (fun () -> dispatch t name p args)
+  | _ -> dispatch t name p args
 
 let fire_count t name =
   match Hashtbl.find_opt t.points name with None -> 0 | Some p -> p.fired
+
+let contained_exn_count t = t.contained_exns
+let quarantined_count t = t.quarantined
 
 let known_hooks t = List.of_seq (Hashtbl.to_seq_keys t.points)

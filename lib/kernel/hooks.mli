@@ -30,7 +30,15 @@ val set_tracer : t -> Gr_trace.Tracer.t -> unit
 type subscription
 
 val subscribe : t -> string -> (args -> unit) -> subscription
-(** Listeners fire in subscription order. *)
+(** Listeners fire in subscription order.
+
+    A listener that raises does not abort the firing: the exception
+    is contained, counted ({!contained_exn_count}) and traced
+    (instant event ["hook.listener_exn"], category ["hook"]), and
+    the remaining listeners still run. A listener that has raised
+    [max_strikes] times (default 3, {!set_max_strikes}) is
+    {e quarantined}: permanently unsubscribed, the way the kernel
+    disables a faulting probe handler. *)
 
 val unsubscribe : t -> subscription -> unit
 
@@ -38,6 +46,17 @@ val fire : t -> string -> args -> unit
 
 val fire_count : t -> string -> int
 (** Times the named hook has fired; 0 for unknown hooks. *)
+
+val set_max_strikes : t -> int -> unit
+(** Faults a listener may raise before quarantine; must be positive. *)
+
+val contained_exn_count : t -> int
+(** Total listener exceptions contained since creation. Fault-soak
+    invariant checks reconcile this against the hook faults they
+    injected — an unexplained increment is a real listener bug. *)
+
+val quarantined_count : t -> int
+(** Listeners permanently removed after reaching the strike limit. *)
 
 val known_hooks : t -> string list
 (** All hook names that have ever been fired or subscribed to. *)

@@ -11,11 +11,26 @@ type t = {
   hooks : Hooks.t;
   registry : Policy_slot.Registry.t;
   rng : Gr_util.Rng.t;
+  mutable skew : Gr_util.Time_ns.t;
+      (** additive offset on the observed clock; see {!advance_clock_skew} *)
 }
 
 val create : seed:int -> t
 
 val now : t -> Gr_util.Time_ns.t
+(** The kernel-observed clock: the sim engine's virtual time plus the
+    current skew. Everything layered on the kernel (feature-store
+    timestamps, cooldown bookkeeping, trace timestamps) reads this;
+    the event queue itself runs on the unskewed engine clock. *)
+
+val clock_skew : t -> Gr_util.Time_ns.t
+
+val advance_clock_skew : t -> by:Gr_util.Time_ns.t -> unit
+(** Jumps the observed clock forward by [by] without firing any
+    events — the fault model for clock skew (an NTP step, a VM
+    migration pause). Forward-only, so store timestamps stay
+    monotonic and windowed aggregates remain well-defined; a backward
+    jump raises [Invalid_argument]. *)
 
 val run_until : t -> Gr_util.Time_ns.t -> unit
 

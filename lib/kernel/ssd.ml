@@ -35,9 +35,16 @@ type t = {
   mutable profile : profile;
   mutable queue : int;
   mutable completed : int;
+  mutable dead : bool;
+  mutable deaths : int;
   gc_phase : Time_ns.t; (* per-device offset so devices don't GC in lockstep *)
   history : float Ring.t; (* recent completed latencies, us *)
 }
+
+(* Service latency of a dead device: a command timeout, not an error
+   return — the device model has no error path, so death is the
+   pathological tail every latency guardrail must catch. *)
+let dead_latency = Time_ns.ms 2000
 
 let create ~rng ~profile ~id =
   let rng = Rng.split rng in
@@ -47,6 +54,8 @@ let create ~rng ~profile ~id =
     profile;
     queue = 0;
     completed = 0;
+    dead = false;
+    deaths = 0;
     gc_phase = Rng.int rng (max 1 profile.gc_period);
     history = Ring.create ~capacity:64;
   }
@@ -62,13 +71,26 @@ let in_gc t ~now =
   else (now + t.gc_phase) mod p.gc_period < p.gc_duration
 
 let draw_latency t ~now =
-  let p = t.profile in
-  let mu = log p.base_latency_us in
-  let base_us = Rng.lognormal t.rng ~mu ~sigma:p.latency_sigma in
-  let gc_factor = if in_gc t ~now then p.gc_multiplier else 1.0 in
-  let queue_us = float_of_int t.queue *. p.queue_service_us in
-  (* microseconds -> nanoseconds *)
-  int_of_float (Float.round (((base_us *. gc_factor) +. queue_us) *. 1_000.))
+  if t.dead then dead_latency
+  else begin
+    let p = t.profile in
+    let mu = log p.base_latency_us in
+    let base_us = Rng.lognormal t.rng ~mu ~sigma:p.latency_sigma in
+    let gc_factor = if in_gc t ~now then p.gc_multiplier else 1.0 in
+    let queue_us = float_of_int t.queue *. p.queue_service_us in
+    (* microseconds -> nanoseconds *)
+    int_of_float (Float.round (((base_us *. gc_factor) +. queue_us) *. 1_000.))
+  end
+
+let kill t =
+  if not t.dead then begin
+    t.dead <- true;
+    t.deaths <- t.deaths + 1
+  end
+
+let revive t = t.dead <- false
+let is_dead t = t.dead
+let deaths t = t.deaths
 
 let begin_io t = t.queue <- t.queue + 1
 

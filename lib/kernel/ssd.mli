@@ -37,6 +37,19 @@ val set_profile : t -> profile -> unit
 val queue_depth : t -> int
 val in_gc : t -> now:Gr_util.Time_ns.t -> bool
 
+val kill : t -> unit
+(** Device death: every subsequent I/O is served at a 2s command
+    timeout (there is no error path in the model, so death shows up
+    as the worst possible tail latency). Idempotent. *)
+
+val revive : t -> unit
+(** Brings a dead device back to its configured profile. *)
+
+val is_dead : t -> bool
+
+val deaths : t -> int
+(** Times this device has been killed. *)
+
 val draw_latency : t -> now:Gr_util.Time_ns.t -> Gr_util.Time_ns.t
 (** Samples the service latency an I/O issued at [now] would see,
     given current queue depth and GC state. Does not change device

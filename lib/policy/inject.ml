@@ -14,6 +14,15 @@ let flip_blk_decisions ~rng ~p policy =
           | Gr_kernel.Blk.Revoke_now | Gr_kernel.Blk.Hedge _ -> Gr_kernel.Blk.Trust_primary);
   }
 
+let stuck_blk decision =
+  let suffix =
+    match decision with
+    | Gr_kernel.Blk.Trust_primary -> "trust"
+    | Gr_kernel.Blk.Revoke_now -> "revoke"
+    | Gr_kernel.Blk.Hedge _ -> "hedge"
+  in
+  { Gr_kernel.Blk.policy_name = "stuck-" ^ suffix; decide = (fun _ -> decision) }
+
 let always_promote =
   { Gr_kernel.Mm.policy_name = "always-promote"; promote = (fun _ -> true) }
 

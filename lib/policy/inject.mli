@@ -11,6 +11,13 @@ val flip_blk_decisions :
     the opposite extreme (Trust_primary <-> Revoke_now; Hedge flips
     to Trust_primary). Models random mispredictions. *)
 
+val stuck_blk : Gr_kernel.Blk.decision -> Gr_kernel.Blk.policy
+(** Ignores its features entirely and always emits the given
+    decision — the degenerate learned policy (a saturated network, a
+    constant-output regression) that fault plans install to prove
+    REPLACE recovers from it. [Trust_primary] never hedges (false
+    submits under a slow device); [Revoke_now] wastes every I/O. *)
+
 val always_promote : Gr_kernel.Mm.policy
 (** Degenerate placement policy: promotes every slow access —
     thrashes the fast tier. *)

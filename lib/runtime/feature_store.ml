@@ -27,8 +27,21 @@ type demand = {
   mutable count : int;
   mutable sum : float;
   mutable sumsq : float;
+  mutable nans : int; (* NaN samples currently in window *)
+  mutable extremes : int; (* non-finite or huge samples in window *)
+  mutable needs_rebuild : bool;
   extrema : (int * float) Deque.t option; (* Min/Max only *)
 }
+
+(* A sample this large poisons the running sums: once admitted, NaN and
+   infinity never subtract back out, and a finite-but-huge value leaves
+   catastrophic cancellation behind when it retires. Such samples are
+   counted while in the window (results agree with the naive scan,
+   which sees the same values), and the running state is rebuilt from
+   the ring the moment the last one leaves. Legitimate signals stay
+   orders of magnitude below the threshold, so rebuilds only happen
+   when something (e.g. a fault injector) corrupts a key. *)
+let is_extreme v = (not (Float.is_finite v)) || Float.abs v > 1e11
 
 type entry = {
   samples : (Time_ns.t * float) Ring.t;
@@ -87,16 +100,33 @@ let entry t key =
 
 let retire t d v =
   d.count <- d.count - 1;
+  if Float.is_nan v then d.nans <- d.nans - 1;
+  if is_extreme v then begin
+    d.extremes <- d.extremes - 1;
+    if d.extremes = 0 then d.needs_rebuild <- true
+  end;
   if d.count = 0 then begin
     (* Resetting on empty kills floating-point drift: each non-empty
        stretch of the window accumulates its own error, none carries
        over. *)
     d.sum <- 0.;
-    d.sumsq <- 0.
+    d.sumsq <- 0.;
+    d.needs_rebuild <- false
   end
   else begin
     d.sum <- d.sum -. v;
-    d.sumsq <- d.sumsq -. (v *. v)
+    d.sumsq <- d.sumsq -. (v *. v);
+    (* Catastrophic cancellation: if the retired sample dominated the
+       running sums, the subtraction left mostly the rounding error
+       accumulated while it was in the window (an adversarial 1e9
+       among 100-scale samples corrupts AVG/STDDEV long after it
+       leaves). The ratio test is NaN-safe — comparisons are false
+       when a NaN is still in the window, and the nans/extremes
+       counters handle that case. *)
+    if
+      (not d.needs_rebuild)
+      && (Float.abs v > Float.abs d.sum || v *. v > d.sumsq)
+    then d.needs_rebuild <- true
   end;
   t.expired <- t.expired + 1
 
@@ -104,14 +134,40 @@ let admit d seq v =
   d.count <- d.count + 1;
   d.sum <- d.sum +. v;
   d.sumsq <- d.sumsq +. (v *. v);
+  if Float.is_nan v then d.nans <- d.nans + 1;
+  if is_extreme v then d.extremes <- d.extremes + 1;
   match d.extrema with
   | None -> ()
   | Some dq ->
-    (match d.fn with
-    | Min -> Deque.drop_back_while (fun (_, back) -> back >= v) dq
-    | Max -> Deque.drop_back_while (fun (_, back) -> back <= v) dq
-    | _ -> ());
-    Deque.push_back dq (seq, v)
+    if not (Float.is_nan v) then begin
+      (* NaN never enters the monotonic deque (it compares false with
+         everything and would wedge there); MIN/MAX answer NaN from
+         the [nans] counter while one is in the window instead. *)
+      (match d.fn with
+      | Min -> Deque.drop_back_while (fun (_, back) -> back >= v) dq
+      | Max -> Deque.drop_back_while (fun (_, back) -> back <= v) dq
+      | _ -> ());
+      Deque.push_back dq (seq, v)
+    end
+
+(* Recompute the running state from the retained in-window samples —
+   the recovery path after the last poisoning sample leaves the
+   window. O(window), but only ever runs at that transition. *)
+let rebuild e d =
+  d.needs_rebuild <- false;
+  d.count <- 0;
+  d.sum <- 0.;
+  d.sumsq <- 0.;
+  d.nans <- 0;
+  d.extremes <- 0;
+  (match d.extrema with Some dq -> Deque.clear dq | None -> ());
+  let base = e.pushes - Ring.length e.samples in
+  for seq = d.oldest_seq to e.pushes - 1 do
+    let _, v = Ring.get e.samples (seq - base) in
+    admit d seq v
+  done
+
+let maybe_rebuild e d = if d.needs_rebuild then rebuild e d
 
 (* Advance [oldest_seq] past samples whose timestamp left the window;
    returns how many were retired (the check's amortized scan cost). *)
@@ -132,6 +188,7 @@ let expire t e d ~now =
   (match d.extrema with
   | Some dq -> Deque.drop_front_while (fun (seq, _) -> seq < d.oldest_seq) dq
   | None -> ());
+  maybe_rebuild e d;
   !expired
 
 (* The ring is about to overwrite its oldest slot: any demand still
@@ -147,9 +204,10 @@ let evict_oldest t e =
         if d.oldest_seq <= evict_seq then begin
           retire t d v;
           d.oldest_seq <- evict_seq + 1;
-          match d.extrema with
+          (match d.extrema with
           | Some dq -> Deque.drop_front_while (fun (seq, _) -> seq <= evict_seq) dq
-          | None -> ()
+          | None -> ());
+          maybe_rebuild e d
         end)
       e.demands
 
@@ -198,6 +256,9 @@ let register_demand t ~key ~fn ~window_ns ~param =
         count = 0;
         sum = 0.;
         sumsq = 0.;
+        nans = 0;
+        extremes = 0;
+        needs_rebuild = false;
         extrema =
           (match fn with Min | Max -> Some (Deque.create ()) | _ -> None);
       }
@@ -229,6 +290,15 @@ let release_demand t ~key ~fn ~window_ns ~param =
 
 let demand_count t = t.n_demands
 let set_force_naive t flag = t.force_naive <- flag
+
+let demand_shapes t =
+  Hashtbl.fold
+    (fun key e acc ->
+      List.fold_left
+        (fun acc d -> (key, d.fn, d.window_ns, d.param) :: acc)
+        acc e.demands)
+    t.entries []
+  |> List.sort compare
 
 (* ---------- windowed reads ---------- *)
 
@@ -315,9 +385,14 @@ let demand_aggregate t e d ~window_ns ~param =
     | Rate -> (d.sum /. (window_ns /. 1e9), 0)
     | Avg -> ((if d.count = 0 then 0. else d.sum /. float_of_int d.count), 0)
     | Min | Max -> (
-      match d.extrema with
-      | Some dq -> (( match Deque.front dq with None -> 0. | Some (_, v) -> v), 0)
-      | None -> (0., 0))
+      (* Float.min/Float.max propagate NaN, so the naive scan answers
+         NaN whenever one is in the window; the deque (which NaN never
+         enters) defers to the counter to agree. *)
+      if d.nans > 0 then (Float.nan, 0)
+      else
+        match d.extrema with
+        | Some dq -> (( match Deque.front dq with None -> 0. | Some (_, v) -> v), 0)
+        | None -> (0., 0))
     | Stddev ->
       if d.count < 2 then (0., 0)
       else begin

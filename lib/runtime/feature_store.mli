@@ -71,6 +71,11 @@ val release_demand :
 val demand_count : t -> int
 (** Distinct demands currently registered (not counting refs). *)
 
+val demand_shapes : t -> (string * Gr_dsl.Ast.agg * float * float) list
+(** Every registered [(key, fn, window_ns, param)] shape, in a
+    deterministic (sorted) order — the enumeration a fault soak walks
+    to cross-check the streaming path against the naive oracle. *)
+
 val set_force_naive : t -> bool -> unit
 (** When set, every aggregate takes the naive full-scan path even if
     a demand is registered — the oracle mode the equivalence property

@@ -70,6 +70,22 @@ let every t ?start ?stop ~interval fn =
 
 let cancel handle = handle.target.live <- false
 
+(* Discard cancelled tombstones sitting at the head of the queue so
+   that peeking reports the next event that will actually run — a
+   tombstone's timestamp must not drive [run_until]'s limit check or a
+   caller's own stepping loop past the limit. *)
+let rec drop_tombstones t =
+  match Heap.peek t.queue with
+  | Some ev when not ev.live ->
+    ignore (Heap.pop t.queue : event option);
+    t.cancelled <- t.cancelled + 1;
+    drop_tombstones t
+  | Some _ | None -> ()
+
+let next_event_time t =
+  drop_tombstones t;
+  match Heap.peek t.queue with Some ev -> Some ev.time | None -> None
+
 let rec step t =
   match Heap.pop t.queue with
   | None -> false
@@ -93,8 +109,8 @@ let rec step t =
 let run_until t limit =
   let continue = ref true in
   while !continue do
-    match Heap.peek t.queue with
-    | Some ev when Time_ns.compare ev.time limit <= 0 -> ignore (step t : bool)
+    match next_event_time t with
+    | Some time when Time_ns.compare time limit <= 0 -> ignore (step t : bool)
     | Some _ | None -> continue := false
   done;
   if Time_ns.compare t.clock limit < 0 then t.clock <- limit

@@ -48,6 +48,14 @@ val cancel : handle -> unit
 val step : t -> bool
 (** Runs the single earliest pending event; [false] if none remain. *)
 
+val next_event_time : t -> Gr_util.Time_ns.t option
+(** Timestamp of the next event {!step} would actually run, skipping
+    (and reclaiming) cancelled tombstones — so a caller can drive the
+    engine one event at a time up to a limit and examine invariants
+    between events, as the fault-injection soak does. Previously a
+    tombstone at the queue head could carry [run_until] one live
+    event past its limit; peeking through this function fixes that. *)
+
 val run_until : t -> Gr_util.Time_ns.t -> unit
 (** Runs events with timestamp [<= limit], then advances the clock to
     [limit]. *)

@@ -1,6 +1,26 @@
-(* Fuzz-style robustness tests: the compiler front end must never
-   raise anything except its declared error type, no matter the
-   input. *)
+(* Fuzz-style tests, in two tiers.
+
+   Robustness: the compiler front end must never raise anything
+   except its declared error type, no matter the input.
+
+   Differential: random well-typed specs are compiled twice — the
+   real pipeline (optimised, streaming aggregates) and a reference
+   configuration (unoptimised, naive full-scan aggregates) — and the
+   VM's result is compared against an independent IR interpreter
+   written directly from the semantics in vm.mli. A divergence means
+   a bug in the optimiser, the VM, or the incremental store.
+
+   Every case derives from a pinned seed ([0x5EED + i]), so CI runs
+   the exact same 500 programs every time and a failure message
+   identifies the case by index alone. *)
+
+module Store = Gr_runtime.Feature_store
+module Vm = Gr_runtime.Vm
+module Ir = Gr_compiler.Ir
+module Monitor = Gr_compiler.Monitor
+module Compile = Gr_compiler.Compile
+module Rng = Gr_util.Rng
+module Time_ns = Gr_util.Time_ns
 
 let parser_total_on_garbage =
   QCheck2.Test.make ~name:"parser returns Ok/Error on arbitrary bytes, never raises" ~count:1000
@@ -45,13 +65,176 @@ let compiled_monitors_always_verify =
           (fun m -> Result.is_ok (Gr_compiler.Verify.verify m))
           monitors)
 
+(* ------------------------------------------------------------------ *)
+(* Differential fuzzer: VM vs. a direct IR reference interpreter.     *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_cases = 500
+
+(* Reference interpreter, written against the documented semantics
+   (vm.mli): booleans are 0/1, any non-zero value is truthy, division
+   by zero yields 0. Deliberately shares no code with Vm.run. *)
+let eval_ref ~store ~slots (p : Ir.program) =
+  let regs = Array.make (max 1 p.Ir.n_regs) 0. in
+  let truthy v = v <> 0. in
+  let of_bool b = if b then 1. else 0. in
+  Array.iter
+    (fun (inst : Ir.inst) ->
+      match inst with
+      | Ir.Const { dst; value } -> regs.(dst) <- value
+      | Ir.Load { dst; slot } -> regs.(dst) <- Store.load store slots.(slot)
+      | Ir.Agg { dst; fn; slot; window_ns; param } ->
+        regs.(dst) <- Store.aggregate store ~key:slots.(slot) ~fn ~window_ns ~param
+      | Ir.Unop { dst; op; src } ->
+        let v = regs.(src) in
+        regs.(dst) <-
+          (match op with
+          | Gr_dsl.Ast.Neg -> -.v
+          | Gr_dsl.Ast.Abs -> Float.abs v
+          | Gr_dsl.Ast.Not -> of_bool (not (truthy v)))
+      | Ir.Binop { dst; op; lhs; rhs } ->
+        let a = regs.(lhs) and b = regs.(rhs) in
+        regs.(dst) <-
+          (match op with
+          | Gr_dsl.Ast.Add -> a +. b
+          | Gr_dsl.Ast.Sub -> a -. b
+          | Gr_dsl.Ast.Mul -> a *. b
+          | Gr_dsl.Ast.Div -> if b = 0. then 0. else a /. b
+          | Gr_dsl.Ast.Lt -> of_bool (a < b)
+          | Gr_dsl.Ast.Le -> of_bool (a <= b)
+          | Gr_dsl.Ast.Gt -> of_bool (a > b)
+          | Gr_dsl.Ast.Ge -> of_bool (a >= b)
+          | Gr_dsl.Ast.Eq -> of_bool (a = b)
+          | Gr_dsl.Ast.Ne -> of_bool (a <> b)
+          | Gr_dsl.Ast.And -> of_bool (truthy a && truthy b)
+          | Gr_dsl.Ast.Or -> of_bool (truthy a || truthy b)))
+    p.Ir.insts;
+  regs.(p.Ir.result)
+
+(* The rule program plus every SAVE value program, labelled. Both
+   compiles see the same source, so the lists zip positionally. *)
+let labeled_programs (m : Monitor.t) =
+  ("rule", m.Monitor.rule)
+  :: List.concat_map
+       (function
+         | Monitor.Save { key; value } -> [ ("save:" ^ key, value) ]
+         | _ -> [])
+       m.Monitor.actions
+
+(* Register every aggregate shape the monitor will ask for, exactly
+   as the runtime does at install time, so the VM side exercises the
+   streaming path while the reference side scans naively. *)
+let register_demands store (m : Monitor.t) =
+  List.iter
+    (fun (_, (p : Ir.program)) ->
+      Array.iter
+        (function
+          | Ir.Agg { fn; slot; window_ns; param; _ } ->
+            Store.register_demand store ~key:m.Monitor.slots.(slot) ~fn ~window_ns ~param
+          | _ -> ())
+        p.Ir.insts)
+    (labeled_programs m)
+
+(* Samples are small integers, so streaming and naive sums are exact
+   and boolean results cannot flip on a rounding knife-edge; the
+   tolerance only absorbs the two stddev formulations (running
+   sum-of-squares vs. two-pass). Occasional NaNs check that both
+   interpreters propagate them identically. *)
+let close a b =
+  (Float.is_nan a && Float.is_nan b)
+  || a = b
+  || Float.abs (a -. b) <= 1e-9 +. (1e-6 *. (Float.abs a +. Float.abs b))
+
+let fuzz_keys = [| "lat"; "rate"; "depth"; "err"; "load_avg" |]
+
+let run_case i failures =
+  let fail fmt =
+    Printf.ksprintf (fun msg -> failures := Printf.sprintf "case %d: %s" i msg :: !failures) fmt
+  in
+  let rand = Random.State.make [| 0x5EED + i |] in
+  let g = QCheck2.Gen.generate1 ~rand Gen.guardrail_gen in
+  (* The verifier rejects duplicate SAVE keys; keep the first write
+     per key so every generated case compiles and gets compared. *)
+  let g =
+    let seen = Hashtbl.create 4 in
+    {
+      g with
+      Gr_dsl.Ast.actions =
+        List.filter
+          (fun (a : Gr_dsl.Ast.action Gr_dsl.Ast.located) ->
+            match a.Gr_dsl.Ast.node with
+            | Gr_dsl.Ast.Save { key; _ } ->
+              if Hashtbl.mem seen key then false
+              else (
+                Hashtbl.add seen key ();
+                true)
+            | _ -> true)
+          g.Gr_dsl.Ast.actions;
+    }
+  in
+  let src = Gr_dsl.Pretty.spec_to_string [ g ] in
+  match (Compile.source ~optimize:true src, Compile.source ~optimize:false src) with
+  | Error e, _ | _, Error e ->
+    fail "generated spec failed to compile: %a@\n%s" (fun () -> Format.asprintf "%a" Compile.pp_error) e src
+  | Ok opts, Ok refs when List.length opts <> List.length refs ->
+    fail "optimised/unoptimised monitor counts differ (%d vs %d)" (List.length opts)
+      (List.length refs)
+  | Ok opts, Ok refs ->
+    let clock = ref Time_ns.zero in
+    let store = Store.create ~clock:(fun () -> !clock) ~capacity_per_key:1024 () in
+    List.iter (register_demands store) opts;
+    let rng = Rng.create (0xD1FF + i) in
+    for _ = 1 to 400 do
+      clock := Time_ns.add !clock (Time_ns.us (1 + Rng.int rng 4999));
+      let v = if Rng.int rng 50 = 0 then Float.nan else float_of_int (Rng.int rng 17) in
+      Store.save store fuzz_keys.(Rng.int rng (Array.length fuzz_keys)) v
+    done;
+    List.iter2
+      (fun (om : Monitor.t) (rm : Monitor.t) ->
+        List.iter2
+          (fun (label, p_opt) (_, p_ref) ->
+            (* The optimiser (CSE + DCE) only removes instructions. *)
+            if Array.length p_opt.Ir.insts > Array.length p_ref.Ir.insts then
+              fail "%s: optimised program longer than unoptimised (%d > %d)" label
+                (Array.length p_opt.Ir.insts)
+                (Array.length p_ref.Ir.insts);
+            let vm = Vm.run ~store ~slots:om.Monitor.slots p_opt in
+            let again = Vm.run ~store ~slots:om.Monitor.slots p_opt in
+            if not (close vm.Vm.value again.Vm.value) then
+              fail "%s: VM not idempotent at fixed clock (%h vs %h)" label vm.Vm.value
+                again.Vm.value;
+            Store.set_force_naive store true;
+            let reference = eval_ref ~store ~slots:rm.Monitor.slots p_ref in
+            Store.set_force_naive store false;
+            if not (close vm.Vm.value reference) then
+              fail "%s: VM=%h reference=%h@\n%s" label vm.Vm.value reference src)
+          (labeled_programs om) (labeled_programs rm))
+      opts refs
+
+let test_differential () =
+  let failures = ref [] in
+  for i = 0 to fuzz_cases - 1 do
+    run_case i failures
+  done;
+  match List.rev !failures with
+  | [] -> ()
+  | fs ->
+    let shown = List.filteri (fun i _ -> i < 10) fs in
+    Alcotest.failf "%d/%d differential cases diverged (first %d shown):\n%s" (List.length fs)
+      fuzz_cases (List.length shown) (String.concat "\n" shown)
+
+(* Pin the property tests' seed too: CI replays the same inputs. *)
+let pinned t = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5EED |]) t
+
 let suite =
   [
     ( "fuzz",
       [
-        QCheck_alcotest.to_alcotest parser_total_on_garbage;
-        QCheck_alcotest.to_alcotest parser_total_on_token_soup;
-        QCheck_alcotest.to_alcotest compile_total_on_token_soup;
-        QCheck_alcotest.to_alcotest compiled_monitors_always_verify;
+        pinned parser_total_on_garbage;
+        pinned parser_total_on_token_soup;
+        pinned compile_total_on_token_soup;
+        pinned compiled_monitors_always_verify;
+        Alcotest.test_case "differential: VM vs reference interpreter, 500 pinned seeds" `Quick
+          test_differential;
       ] );
   ]
