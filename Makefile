@@ -1,4 +1,4 @@
-.PHONY: all build test fmt fmt-check lint bench bench-smoke soak-smoke examples-run ci
+.PHONY: all build test fmt fmt-check lint bench bench-smoke soak-smoke fleet-smoke examples-run ci
 
 all: build
 
@@ -36,6 +36,15 @@ bench-smoke:
 soak-smoke:
 	dune exec bin/grc.exe -- soak --smoke
 
+# 4-node fleet smoke (docs/FLEET.md): the merged-aggregation
+# experiment (exits non-zero unless the fleet QUANTILE guardrail
+# matches the naive concat-and-scan oracle at every checkpoint and
+# the canaried REPLACE stays on its subset), plus a short chaos soak
+# of the fleet scenario with faults confined to node 0.
+fleet-smoke:
+	dune exec bench/main.exe -- fleet
+	dune exec bin/grc.exe -- soak --scenario fleet --nodes 4 --runs 3 --duration 0.5
+
 # Compile and run every file in examples/ end to end.
 examples-run:
 	dune build @examples-run
@@ -46,4 +55,5 @@ ci: fmt-check
 	$(MAKE) lint
 	$(MAKE) bench-smoke
 	$(MAKE) soak-smoke
+	$(MAKE) fleet-smoke
 	$(MAKE) examples-run

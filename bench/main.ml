@@ -14,8 +14,9 @@
      oscillation  Ablation C: guardrail feedback loops
      incremental  Ablation D: incremental deployment
      compile-stats Ablation E: compiler statistics over specs/
-     scale        Ablation F: monitor-count scalability
+     scale        Ablation F: monitor-count scalability (incl. fleet sweep)
      agg          Ablation G: naive vs incremental window aggregation
+     fleet        Ablation H: fleet-wide merged aggregation + canary
      soak         Chaos soak: fault injection vs guardrail invariants
 
    With --json, experiments that support it (fig2, overhead, scale,
@@ -39,6 +40,7 @@ let experiments : (string * (json:bool -> unit)) list =
     ("compile-stats", fun ~json:_ -> Compile_stats.run ());
     ("scale", Scale.run);
     ("agg", Agg.run);
+    ("fleet", Fleet_bench.run);
     ("soak", Soak.run);
   ]
 

@@ -37,6 +37,45 @@ let run_with ~monitors =
 
 let monitor_counts () = if !Common.smoke then [ 1; 10 ] else [ 1; 10; 50; 200; 1000 ]
 
+(* Fleet sweep: the same Listing 2-sized monitors, but fleet-wide —
+   installed on the control engine, each aggregating the merged view
+   of every node's shard of its key. Each node feeds all keys at a
+   fixed cadence, so checking work grows with monitors while the
+   per-check merge fans out over nodes. *)
+
+let fleet_run_until = Time_ns.sec 3
+
+let run_fleet_with ~nodes ~monitors =
+  let fleet = Guardrails.Fleet.create ~nodes ~seed:7 () in
+  Array.iter
+    (fun node ->
+      let rng = (Guardrails.Deployment.kernel node).Gr_kernel.Kernel.rng in
+      for i = 0 to monitors - 1 do
+        Guardrails.Deployment.derive_periodic node
+          ~key:(Printf.sprintf "key_%d" i)
+          ~every:(Time_ns.ms 10)
+          (fun () -> Rng.float rng 100.)
+      done)
+    (Guardrails.Fleet.nodes fleet);
+  for i = 0 to monitors - 1 do
+    ignore
+      (Guardrails.Fleet.install_source_exn fleet (monitor_source i)
+        : Guardrails.Engine.handle list)
+  done;
+  let wall_start = Unix.gettimeofday () in
+  Guardrails.Fleet.run_until fleet fleet_run_until;
+  let wall = Unix.gettimeofday () -. wall_start in
+  let engine = Guardrails.Fleet.engine fleet in
+  ( Guardrails.Engine.Stats.total_checks engine,
+    Guardrails.Engine.Stats.total_overhead_ns engine,
+    wall,
+    Common.monitors_json (Guardrails.Fleet.control fleet) )
+
+let fleet_counts () =
+  let nodes = if !Common.smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  let monitors = if !Common.smoke then [ 1; 10 ] else [ 1; 10; 50 ] in
+  List.concat_map (fun n -> List.map (fun m -> (n, m)) monitors) nodes
+
 let run ~json =
   if not json then begin
     Common.section "Ablation F — monitor-count scalability";
@@ -51,6 +90,22 @@ let run ~json =
           Printf.printf "  %-10d %-12d %12.0f ns    %8.3f\n" n checks overhead per_sim_s;
         (n, checks, overhead, per_sim_s, monitors))
       (monitor_counts ())
+  in
+  if not json then begin
+    Common.section "Ablation F' — fleet scalability (nodes x monitors)";
+    Printf.printf "  %-7s %-10s %-12s %-18s %s\n" "nodes" "monitors" "checks"
+      "est. check work" "host s/sim s"
+  end;
+  let fleet_rows =
+    List.map
+      (fun (nodes, n) ->
+        let checks, overhead, wall, monitors = run_fleet_with ~nodes ~monitors:n in
+        let per_sim_s = wall /. Time_ns.to_float_sec fleet_run_until in
+        if not json then
+          Printf.printf "  %-7d %-10d %-12d %12.0f ns    %8.3f\n" nodes n checks overhead
+            per_sim_s;
+        (nodes, n, checks, overhead, per_sim_s, monitors))
+      (fleet_counts ())
   in
   if json then
     let open Common.Json in
@@ -70,5 +125,17 @@ let run ~json =
                         ("host_sec_per_sim_sec", Common.json_num per_sim_s);
                         ("monitor_metrics", monitors);
                       ])
-                  rows) );
+                  rows
+                @ List.map
+                    (fun (nodes, n, checks, overhead, per_sim_s, monitors) ->
+                      Obj
+                        [
+                          ("nodes", Common.json_int nodes);
+                          ("monitors", Common.json_int n);
+                          ("checks", Common.json_int checks);
+                          ("est_check_work_ns", Common.json_num overhead);
+                          ("host_sec_per_sim_sec", Common.json_num per_sim_s);
+                          ("monitor_metrics", monitors);
+                        ])
+                    fleet_rows) );
          ])

@@ -104,7 +104,7 @@ let deps_cmd =
     Term.(const run $ file_arg)
 
 let lint_cmd =
-  let run paths json strict budget =
+  let run paths json strict budget fleet =
     let compile_one path =
       let src = read_file path in
       match Guardrails.Parser.parse src with
@@ -131,7 +131,21 @@ let lint_cmd =
       2
     end
     else begin
-      let tagged = List.concat_map (function Ok l -> l | Error _ -> []) compiled in
+      (* --fleet: each FILE is one node's deployment. Node-local keys
+         are qualified per file before the interference checks, so
+         same-named keys on different nodes stop colliding while
+         GLOBAL keys still do. *)
+      let tagged =
+        List.concat
+          (List.mapi
+             (fun node_id -> function
+               | Error _ -> []
+               | Ok l ->
+                 if fleet then
+                   List.map (fun (f, m) -> (f, Guardrails.Monitor.qualify ~node_id m)) l
+                 else l)
+             compiled)
+      in
       let monitors = List.map snd tagged in
       let file_of =
         let tbl = Hashtbl.create 16 in
@@ -190,12 +204,21 @@ let lint_cmd =
       & info [ "hook-budget-ns" ] ~docv:"NS"
           ~doc:"Per-FUNCTION-hook cumulative static cost budget in nanoseconds (default 500).")
   in
+  let fleet =
+    Arg.(
+      value & flag
+      & info [ "fleet" ]
+          ~doc:
+            "Treat each FILE as one fleet node's deployment: node-local keys are qualified \
+             per file, so interference checks (GRL101/GRL102) only fire for genuinely \
+             shared state such as GLOBAL keys.")
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Static analysis: abstract interpretation over each rule and whole-deployment \
           interference checks")
-    Term.(const run $ files $ json $ strict $ budget)
+    Term.(const run $ files $ json $ strict $ budget $ fleet)
 
 let cgen_cmd =
   let run path header =
@@ -257,32 +280,59 @@ let load_spec_source path =
         | Error [] | Ok () -> Ok src))
 
 let run_cmd =
-  let run path until seed trace_out =
-    match load_spec_source path with
-    | Error msg ->
-      prerr_endline msg;
+  let run path until seed trace_out nodes =
+    if nodes < 1 then begin
+      prerr_endline "grc run: --nodes must be positive";
       2
-    | Ok src -> (
-      let kernel = Guardrails.Kernel.create ~seed in
-      let d =
-        Guardrails.Deployment.create ~kernel ~tracing:(Option.is_some trace_out) ()
-      in
-      match Guardrails.Deployment.install_source d src with
-      | Error e ->
-        Format.eprintf "%s: %a@." path Guardrails.Deployment.pp_error e;
-        1
-      | Ok handles ->
-      Format.printf "%s: installed %d monitor(s), running %gs of idle simulated kernel@." path
-        (List.length handles) until;
-      Guardrails.Kernel.run_until kernel (Guardrails.Util.Time_ns.of_float_sec until);
-      Format.printf "%a@." Guardrails.Engine.pp_report (Guardrails.Deployment.engine d);
-      Format.printf "%a" Guardrails.Trace_export.pp_summary (Guardrails.Deployment.tracer d);
-      (match trace_out with
-      | Some out ->
-        Guardrails.Deployment.write_chrome_trace d ~path:out;
-        Format.printf "Chrome trace written to %s (open at chrome://tracing)@." out
-      | None -> ());
-      0)
+    end
+    else
+      match load_spec_source path with
+      | Error msg ->
+        prerr_endline msg;
+        2
+      | Ok src when nodes = 1 -> (
+        let kernel = Guardrails.Kernel.create ~seed in
+        let d =
+          Guardrails.Deployment.create ~kernel ~tracing:(Option.is_some trace_out) ()
+        in
+        match Guardrails.Deployment.install_source d src with
+        | Error e ->
+          Format.eprintf "%s: %a@." path Guardrails.Deployment.pp_error e;
+          1
+        | Ok handles ->
+        Format.printf "%s: installed %d monitor(s), running %gs of idle simulated kernel@."
+          path (List.length handles) until;
+        Guardrails.Kernel.run_until kernel (Guardrails.Util.Time_ns.of_float_sec until);
+        Format.printf "%a@." Guardrails.Engine.pp_report (Guardrails.Deployment.engine d);
+        Format.printf "%a" Guardrails.Trace_export.pp_summary (Guardrails.Deployment.tracer d);
+        (match trace_out with
+        | Some out ->
+          Guardrails.Deployment.write_chrome_trace d ~path:out;
+          Format.printf "Chrome trace written to %s (open at chrome://tracing)@." out
+        | None -> ());
+        0)
+      | Ok src -> (
+        let fleet =
+          Guardrails.Fleet.create ~nodes ~seed ~tracing:(Option.is_some trace_out) ()
+        in
+        match Guardrails.Fleet.install_source fleet src with
+        | Error e ->
+          Format.eprintf "%s: %a@." path Guardrails.Deployment.pp_error e;
+          1
+        | Ok handles ->
+          Format.printf
+            "%s: installed %d monitor(s) fleet-wide over %d idle node(s), running %gs@." path
+            (List.length handles) nodes until;
+          Guardrails.Fleet.run_until fleet (Guardrails.Util.Time_ns.of_float_sec until);
+          Format.printf "%a@." Guardrails.Engine.pp_report (Guardrails.Fleet.engine fleet);
+          Format.printf "%a" Guardrails.Trace_export.pp_summary (Guardrails.Fleet.tracer fleet);
+          (match trace_out with
+          | Some out ->
+            Guardrails.Deployment.write_chrome_trace (Guardrails.Fleet.control fleet)
+              ~path:out;
+            Format.printf "Chrome trace written to %s (open at chrome://tracing)@." out
+          | None -> ());
+          0)
   in
   let until =
     Arg.(
@@ -296,6 +346,15 @@ let run_cmd =
       & opt (some string) None
       & info [ "trace" ] ~docv:"OUT.json" ~doc:"Write a Chrome trace_event file.")
   in
+  let nodes =
+    Arg.(
+      value & opt int 1
+      & info [ "nodes" ] ~docv:"N"
+          ~doc:
+            "Number of fleet nodes (default 1). With N > 1 the monitors install fleet-wide: \
+             plain keys aggregate the merged view of every node's shard, GLOBAL(key) resolves \
+             to the shared tier, and REPLACE/RETRAIN act through the fleet proxies.")
+  in
   let path_arg =
     Arg.(
       required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Guardrail source file.")
@@ -303,14 +362,14 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run"
        ~doc:
-         "Install monitors against an idle simulated kernel, drive their TIMER triggers, and \
-          report per-monitor telemetry")
-    Term.(const run $ path_arg $ until $ seed $ trace_out)
+         "Install monitors against an idle simulated kernel (or fleet of kernels), drive \
+          their TIMER triggers, and report per-monitor telemetry")
+    Term.(const run $ path_arg $ until $ seed $ trace_out $ nodes)
 
 let soak_cmd =
   let module Soak = Gr_fault.Soak in
   let module Fault = Gr_fault.Fault in
-  let run scenario seed runs duration plan_str spec_path dump_trace smoke =
+  let run scenario seed runs duration plan_str spec_path dump_trace smoke nodes =
     let fail2 msg =
       prerr_endline ("grc soak: " ^ msg);
       2
@@ -351,7 +410,9 @@ let soak_cmd =
       | Some plan -> (
         match scenarios with
         | [ scenario ] ->
-          let r = Soak.run_one ?extra_source ~scenario ~seed ~duration:duration_ns ~plan () in
+          let r =
+            Soak.run_one ?extra_source ~nodes ~scenario ~seed ~duration:duration_ns ~plan ()
+          in
           if dump_trace then
             List.iter (fun e -> Format.printf "%a@." Guardrails.Trace_event.pp e) r.Soak.trace;
           Format.printf
@@ -377,7 +438,7 @@ let soak_cmd =
               Guardrails.Util.Time_ns.of_float_sec 0.5 )
           else (scenarios, List.init runs (fun i -> seed + i), duration_ns)
         in
-        let report = Soak.soak ~log:print_endline ?extra_source ~scenarios ~seeds
+        let report = Soak.soak ~log:print_endline ?extra_source ~nodes ~scenarios ~seeds
             ~duration:duration_ns ()
         in
         Format.printf "%a" Soak.pp_report report;
@@ -387,7 +448,7 @@ let soak_cmd =
     Arg.(
       value & opt string "all"
       & info [ "scenario" ] ~docv:"NAME"
-          ~doc:"Scenario template: blk, sched, store, or all (default).")
+          ~doc:"Scenario template: blk, sched, store, fleet, or all (default).")
   in
   let seed =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"First seed (default 1).")
@@ -430,13 +491,19 @@ let soak_cmd =
       & info [ "smoke" ]
           ~doc:"CI preset: every scenario, seeds 1-7, 0.5 simulated seconds per run.")
   in
+  let nodes =
+    Arg.(
+      value & opt int 3
+      & info [ "nodes" ] ~docv:"N"
+          ~doc:"Fleet size for the fleet scenario (default 3); other scenarios ignore it.")
+  in
   Cmd.v
     (Cmd.info "soak"
        ~doc:
          "Chaos soak: run fault-injection scenarios under global invariants; failures shrink \
           to a minimal reproducible (seed, plan) command line")
     Term.(
-      const run $ scenario $ seed $ runs $ duration $ plan $ spec $ dump_trace $ smoke)
+      const run $ scenario $ seed $ runs $ duration $ plan $ spec $ dump_trace $ smoke $ nodes)
 
 let () =
   let info = Cmd.info "grc" ~version:"1.0.0" ~doc:"Guardrail compiler for learned OS policies" in

@@ -41,6 +41,29 @@ let writes t =
   List.sort_uniq String.compare
     (List.filter_map (function Save { key; _ } -> Some key | _ -> None) t.actions)
 
+(* Rewrite every node-local key to its node-qualified form so monitors
+   from different fleet nodes can be analysed as one deployment
+   without conflating same-named keys. Global keys pass through: they
+   really do name one shared cell. Hook names, policy names and
+   scheduling classes are left alone. *)
+let qualify ~node_id t =
+  let q = Gr_dsl.Ast.node_key node_id in
+  {
+    t with
+    slots = Array.map q t.slots;
+    triggers =
+      List.map
+        (function On_change key -> On_change (q key) | (Timer _ | Function _) as tr -> tr)
+        t.triggers;
+    actions =
+      List.map
+        (function
+          | Report { message; keys } -> Report { message; keys = List.map q keys }
+          | Save { key; value } -> Save { key = q key; value }
+          | (Replace _ | Restore _ | Retrain _ | Deprioritize _ | Kill _) as a -> a)
+        t.actions;
+  }
+
 let pp_trigger fmt = function
   | Timer { start_ns; interval_ns; stop_ns } ->
     Format.fprintf fmt "timer start=%dns interval=%dns%s" start_ns interval_ns

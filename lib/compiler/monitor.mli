@@ -46,5 +46,13 @@ val reads : t -> string list
 val writes : t -> string list
 (** Keys written by SAVE actions; sorted, unique. *)
 
+val qualify : node_id:int -> t -> t
+(** Copy of the monitor with every node-local key (slots, ON_CHANGE
+    triggers, SAVE and REPORT keys) rewritten to its
+    {!Gr_dsl.Ast.node_key} form. Monitors from several fleet nodes can
+    then be linted together as one deployment without conflating
+    same-named node-local keys, while [GLOBAL] keys — unqualified by
+    design — still surface genuine cross-node conflicts. *)
+
 val pp : Format.formatter -> t -> unit
 (** Disassembly of the whole monitor. *)

@@ -1,20 +1,67 @@
 open Gr_util
 
+let src = Logs.Src.create "guardrails.deployment" ~doc:"Guardrail deployment"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
 type t = {
   kernel : Gr_kernel.Kernel.t;
   store : Gr_runtime.Feature_store.t;
   engine : Gr_runtime.Engine.t;
   tracer : Gr_trace.Tracer.t;
+  attach_sim : bool;
   (* Newest first; O(1) install. Accessors present install order. *)
   mutable monitors_rev : (Gr_runtime.Engine.handle * Gr_compiler.Monitor.t) list;
 }
 
+(* The hook table and sim engine belong to the kernel, so they carry
+   one tracer at a time. Attaching over a different deployment's
+   tracer silently rewired that deployment's channel — the historical
+   wart — so takeovers are now explicit and logged. *)
+let warn_takeover ~channel =
+  Log.warn (fun m ->
+      m
+        "deployment tracer takeover: the kernel's %s channel was attached to another \
+         deployment's tracer; detach_tracer on the old deployment first to hand over \
+         cleanly"
+        channel)
+
+let attach_tracer t =
+  (match Gr_kernel.Hooks.tracer t.kernel.hooks with
+  | Some prev when prev != t.tracer -> warn_takeover ~channel:"hook"
+  | _ -> ());
+  Gr_kernel.Hooks.set_tracer t.kernel.hooks t.tracer;
+  if t.attach_sim then begin
+    (match Gr_sim.Engine.tracer t.kernel.engine with
+    | Some prev when prev != t.tracer -> warn_takeover ~channel:"sim"
+    | _ -> ());
+    Gr_sim.Engine.set_tracer t.kernel.engine t.tracer
+  end
+
+let detach_tracer t =
+  (match Gr_kernel.Hooks.tracer t.kernel.hooks with
+  | Some prev when prev == t.tracer -> Gr_kernel.Hooks.clear_tracer t.kernel.hooks
+  | _ -> ());
+  match Gr_sim.Engine.tracer t.kernel.engine with
+  | Some prev when prev == t.tracer -> Gr_sim.Engine.clear_tracer t.kernel.engine
+  | _ -> ()
+
+let owns_tracer t =
+  (match Gr_kernel.Hooks.tracer t.kernel.hooks with
+  | Some prev -> prev == t.tracer
+  | None -> false)
+  && ((not t.attach_sim)
+     ||
+     match Gr_sim.Engine.tracer t.kernel.engine with
+     | Some prev -> prev == t.tracer
+     | None -> false)
+
 let create ~kernel ?config ?(store_capacity = 4096) ?(tracing = false)
-    ?(trace_capacity = 65536) () =
+    ?(trace_capacity = 65536) ?(attach_sim = true) ?node_id () =
   let tracer =
     Gr_trace.Tracer.create
       ~clock:(fun () -> Gr_kernel.Kernel.now kernel)
-      ~capacity:trace_capacity ~enabled:tracing ()
+      ~capacity:trace_capacity ~enabled:tracing ?node_id ()
   in
   let store =
     Gr_runtime.Feature_store.create
@@ -22,12 +69,14 @@ let create ~kernel ?config ?(store_capacity = 4096) ?(tracing = false)
       ~capacity_per_key:store_capacity ()
   in
   Gr_runtime.Feature_store.set_tracer store tracer;
-  Gr_sim.Engine.set_tracer kernel.engine tracer;
-  Gr_kernel.Hooks.set_tracer kernel.hooks tracer;
+  Option.iter (Gr_runtime.Feature_store.set_node_id store) node_id;
   let engine = Gr_runtime.Engine.create ~kernel ~store ?config ~tracer () in
-  { kernel; store; engine; tracer; monitors_rev = [] }
+  let t = { kernel; store; engine; tracer; attach_sim; monitors_rev = [] } in
+  attach_tracer t;
+  t
 
 let kernel t = t.kernel
+let node_id t = Gr_trace.Tracer.node_id t.tracer
 let store t = t.store
 let engine t = t.engine
 let tracer t = t.tracer

@@ -28,19 +28,52 @@ val create :
   ?store_capacity:int ->
   ?tracing:bool ->
   ?trace_capacity:int ->
+  ?attach_sim:bool ->
+  ?node_id:int ->
   unit ->
   t
 (** [tracing] (default [false]) turns the deployment's trace-event
     channel on: sim-event dispatch, hook entry/exit, rule checks,
     action firings and store traffic all land in a bounded
     ring-buffer sink of [trace_capacity] events (default 65536).
-    Metrics and the REPORT channel run regardless. The tracer is
-    attached to the kernel's hook table and sim engine, so a kernel
-    shared across deployments reports into the most recent one. *)
+    Metrics and the REPORT channel run regardless.
+
+    Creation attaches the deployment's tracer to the kernel's hook
+    table, and — when [attach_sim] is [true], the default — to the
+    sim engine's dispatch channel. Attaching over a tracer that
+    belongs to another deployment logs a takeover warning instead of
+    rewiring silently; use {!detach_tracer} on the old deployment
+    first to hand over cleanly, and {!attach_tracer} to take the
+    channels back later. Fleet nodes pass [~attach_sim:false] because
+    the sim engine (the shared fleet clock) is not theirs to claim.
+
+    [node_id] tags every trace event, report and metrics export this
+    deployment produces with the owning fleet node's id; single-node
+    deployments omit it and emit exactly what they always did. *)
+
+val attach_tracer : t -> unit
+(** (Re)claim the kernel's hook — and, unless the deployment was
+    created with [~attach_sim:false], sim — trace channels for this
+    deployment's tracer. Logs a warning per channel that currently
+    carries a different deployment's tracer. Idempotent. *)
+
+val detach_tracer : t -> unit
+(** Release any kernel trace channel currently carrying {e this}
+    deployment's tracer; channels owned by other tracers are left
+    untouched. Idempotent. *)
+
+val owns_tracer : t -> bool
+(** [true] iff every channel this deployment attaches to (hooks, plus
+    the sim engine unless created with [~attach_sim:false]) currently
+    carries this deployment's tracer — i.e. its trace output is not
+    being stolen by a later deployment on the same kernel. *)
 
 val kernel : t -> Gr_kernel.Kernel.t
 val store : t -> Gr_runtime.Feature_store.t
 val engine : t -> Gr_runtime.Engine.t
+
+val node_id : t -> int option
+(** The fleet node id this deployment was created with, if any. *)
 
 val tracer : t -> Gr_trace.Tracer.t
 val metrics : t -> Gr_trace.Metrics.t

@@ -1,0 +1,231 @@
+let src = Logs.Src.create "guardrails.fleet" ~doc:"Guardrail fleet deployment"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+module Store = Gr_runtime.Feature_store
+
+type stats = { mutable replaces : int; mutable restores : int; mutable retrains : int;
+               mutable pushes : int }
+
+type t = {
+  sim : Gr_sim.Engine.t;
+  control : Deployment.t;  (* fleet-level kernel/store/engine; store = global tier *)
+  nodes : Node.t array;
+  canaries : (string, int list) Hashtbl.t;  (* policy -> node ids REPLACE targets *)
+  forwarded_hooks : (string, unit) Hashtbl.t;
+  proxied_policies : (string, unit) Hashtbl.t;
+  stats : stats;
+}
+
+let create ~nodes:n ~seed ?config ?store_capacity ?(tracing = false) () =
+  if n < 1 then invalid_arg "Fleet.create: a fleet has at least one node";
+  let sim = Gr_sim.Engine.create () in
+  let control_kernel = Gr_kernel.Kernel.create_on ~engine:sim ~seed in
+  (* The control deployment claims the sim trace channel (the clock is
+     fleet property); nodes attach hooks-only. *)
+  let control = Deployment.create ~kernel:control_kernel ?config ?store_capacity ~tracing () in
+  let nodes =
+    Array.init n (fun id ->
+        let kernel = Gr_kernel.Kernel.create_on ~engine:sim ~seed:(seed + id + 1) in
+        Node.create ~kernel ?config ?store_capacity ~tracing ~attach_sim:false ~node_id:id ())
+  in
+  let global = Deployment.store control in
+  Store.set_shards global (Array.map Node.store nodes);
+  Array.iter (fun node -> Store.set_global_tier (Node.store node) global) nodes;
+  (* Replay global-tier writes into every node engine so a node's
+     ON_CHANGE(GLOBAL(key)) fires no matter which member saved the
+     key. The control engine already subscribes to its own store. *)
+  Store.on_save global (fun key _value ->
+      if Gr_dsl.Ast.is_global_key key then
+        Array.iter
+          (fun node -> Gr_runtime.Engine.dispatch_on_change (Node.engine node) key)
+          nodes);
+  {
+    sim;
+    control;
+    nodes;
+    canaries = Hashtbl.create 8;
+    forwarded_hooks = Hashtbl.create 8;
+    proxied_policies = Hashtbl.create 8;
+    stats = { replaces = 0; restores = 0; retrains = 0; pushes = 0 };
+  }
+
+let sim t = t.sim
+let control t = t.control
+let store t = Deployment.store t.control
+let engine t = Deployment.engine t.control
+let tracer t = Deployment.tracer t.control
+let nodes t = Array.copy t.nodes
+let node_count t = Array.length t.nodes
+
+let node t id =
+  if id < 0 || id >= Array.length t.nodes then invalid_arg "Fleet.node: no such node";
+  t.nodes.(id)
+
+let set_canary t ~policy ids =
+  List.iter
+    (fun id ->
+      if id < 0 || id >= Array.length t.nodes then
+        invalid_arg "Fleet.set_canary: no such node")
+    ids;
+  Hashtbl.replace t.canaries policy ids
+
+let clear_canary t ~policy = Hashtbl.remove t.canaries policy
+let canary t ~policy = Hashtbl.find_opt t.canaries policy
+
+let save_global t key value =
+  Store.save (store t) (Gr_dsl.Ast.global_key key) value
+
+let load_global t key = Store.load (store t) (Gr_dsl.Ast.global_key key)
+let run_until t limit = Gr_sim.Engine.run_until t.sim limit
+
+let replaces t = t.stats.replaces
+let restores t = t.stats.restores
+let retrains t = t.stats.retrains
+let model_pushes t = t.stats.pushes
+
+(* Fleet action proxies.
+
+   A fleet monitor's REPLACE/RESTORE/RETRAIN names a policy that lives
+   in the node kernels' registries, not the control kernel's. Install
+   registers a proxy under the control kernel that fans out:
+   - REPLACE broadcasts to every node, or only to the policy's canary
+     subset when one is set;
+   - RESTORE always broadcasts (healing is never canaried);
+   - RETRAIN runs once, on the lowest-id node that owns the policy,
+     and the refreshed model is then pushed to every other owner —
+     the paper's train-once/deploy-everywhere fleet shape. *)
+
+let node_controls node name =
+  Gr_kernel.Policy_slot.Registry.find (Node.kernel node).Gr_kernel.Kernel.registry name
+
+let fleet_event t name args =
+  Gr_trace.Tracer.instant (tracer t) ~cat:"fleet" ~args name
+
+let on_policy_nodes t name targets f =
+  Array.iteri
+    (fun id node ->
+      let keep = match targets with None -> true | Some ids -> List.mem id ids in
+      if keep then
+        match node_controls node name with
+        | Some controls -> f id controls
+        | None ->
+          Log.warn (fun m ->
+              m "fleet action for policy %s: node %d has no such policy" name id))
+    t.nodes
+
+let proxy_replace t name () =
+  let targets = Hashtbl.find_opt t.canaries name in
+  (match targets with
+  | Some ids ->
+    Log.info (fun m ->
+        m "fleet REPLACE %s canaried to nodes [%s]" name
+          (String.concat ";" (List.map string_of_int ids)))
+  | None -> ());
+  on_policy_nodes t name targets (fun id controls ->
+      t.stats.replaces <- t.stats.replaces + 1;
+      fleet_event t "fleet.replace"
+        [ ("policy", Gr_trace.Event.Str name); ("target", Int id) ];
+      controls.Gr_kernel.Policy_slot.Registry.replace ())
+
+let proxy_restore t name () =
+  on_policy_nodes t name None (fun id controls ->
+      t.stats.restores <- t.stats.restores + 1;
+      fleet_event t "fleet.restore"
+        [ ("policy", Gr_trace.Event.Str name); ("target", Int id) ];
+      controls.Gr_kernel.Policy_slot.Registry.restore ())
+
+let proxy_retrain t name () =
+  let owners =
+    List.filter_map
+      (fun id ->
+        Option.map (fun c -> (id, c)) (node_controls t.nodes.(id) name))
+      (List.init (Array.length t.nodes) Fun.id)
+  in
+  match owners with
+  | [] -> Log.warn (fun m -> m "fleet RETRAIN %s: no node owns this policy" name)
+  | (trainer, controls) :: others ->
+    t.stats.retrains <- t.stats.retrains + 1;
+    fleet_event t "fleet.retrain"
+      [ ("policy", Gr_trace.Event.Str name); ("trainer", Int trainer) ];
+    controls.Gr_kernel.Policy_slot.Registry.retrain ();
+    List.iter
+      (fun (id, _) ->
+        t.stats.pushes <- t.stats.pushes + 1;
+        fleet_event t "fleet.model_push"
+          [ ("policy", Gr_trace.Event.Str name); ("target", Int id) ])
+      others
+
+let proxy_policy t name =
+  if not (Hashtbl.mem t.proxied_policies name) then begin
+    Hashtbl.replace t.proxied_policies name ();
+    Gr_kernel.Policy_slot.Registry.register
+      (Deployment.kernel t.control).Gr_kernel.Kernel.registry name
+      {
+        replace = proxy_replace t name;
+        restore = proxy_restore t name;
+        retrain = proxy_retrain t name;
+      }
+  end
+
+(* A fleet monitor's FUNCTION trigger listens on the control kernel's
+   hook table; forward each node's firings of that hook (tagging the
+   origin) so one fleet monitor observes every member's call sites. *)
+let forward_hook t hook =
+  if not (Hashtbl.mem t.forwarded_hooks hook) then begin
+    Hashtbl.replace t.forwarded_hooks hook ();
+    let control_hooks = (Deployment.kernel t.control).Gr_kernel.Kernel.hooks in
+    Array.iteri
+      (fun id node ->
+        let id = float_of_int id in
+        ignore
+          (Gr_kernel.Hooks.subscribe (Node.kernel node).Gr_kernel.Kernel.hooks hook
+             (fun args -> Gr_kernel.Hooks.fire control_hooks hook (("node", id) :: args))
+            : Gr_kernel.Hooks.subscription))
+      t.nodes
+  end
+
+let wire_monitor t (monitor : Gr_compiler.Monitor.t) =
+  List.iter
+    (function
+      | Gr_compiler.Monitor.Function hook -> forward_hook t hook
+      | Timer _ | On_change _ -> ())
+    monitor.triggers;
+  List.iter
+    (function
+      | Gr_compiler.Monitor.Replace name
+      | Restore name
+      | Retrain name ->
+        proxy_policy t name
+      | Report _ | Deprioritize _ | Kill _ | Save _ -> ())
+    monitor.actions
+
+let install_monitor t monitor =
+  wire_monitor t monitor;
+  Deployment.install_monitor t.control monitor
+
+let install_source t src =
+  match Gr_compiler.Compile.source src with
+  | Error e -> Error (Deployment.Compile e)
+  | Ok monitors ->
+    (* Wire before installing so triggers are live the moment the
+       engine arms them; wiring is idempotent so rollback on a failed
+       install leaves only inert forwarders. *)
+    List.iter (wire_monitor t) monitors;
+    let rec go installed = function
+      | [] -> Ok (List.rev installed)
+      | m :: rest -> (
+        match Deployment.install_monitor t.control m with
+        | Ok handle -> go (handle :: installed) rest
+        | Error e ->
+          List.iter (Deployment.uninstall t.control) installed;
+          Error e)
+    in
+    go [] monitors
+
+let install_source_exn t src =
+  match install_source t src with
+  | Ok handles -> handles
+  | Error e -> failwith (Format.asprintf "%a" Deployment.pp_error e)
+
+let violations t = Gr_runtime.Engine.violations (Deployment.engine t.control)

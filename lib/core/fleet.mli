@@ -1,0 +1,129 @@
+(** A fleet deployment: N node kernels on one shared simulated clock,
+    plus a fleet-level control deployment that owns the global
+    feature-store tier and runs fleet-wide guardrails.
+
+    {[
+      let fleet = Fleet.create ~nodes:4 ~seed:7 () in
+      Array.iter build_devices (Fleet.nodes fleet);
+      Fleet.install_source_exn fleet
+        {|GUARDRAIL fleet_tail
+          ON TIMER(100ms)
+          CHECK QUANTILE(io_lat_us, 10s, 0.99) < 500.0
+          ON VIOLATION REPLACE latency_predictor|};
+      Fleet.run_until fleet (Time_ns.sec 10)
+    ]}
+
+    {2 Scoping}
+
+    Every node's store is a shard; the control deployment's store is
+    the global tier. A plain key read by a {e fleet} monitor sees the
+    merged view of all shards (aggregates merge incrementally via
+    {!Gr_runtime.Feature_store.Merge}); the same key read by a {e
+    node} monitor sees only that node's shard. [GLOBAL(key)] resolves
+    to the global tier from everywhere, and a global save wakes
+    ON_CHANGE monitors on the control engine {e and} every node
+    engine.
+
+    {2 Fleet actions}
+
+    Policies live in node kernels. Installing a fleet monitor
+    registers proxies on the control kernel: REPLACE broadcasts to
+    every node or, when {!set_canary} was called for the policy, only
+    to the canary subset; RESTORE always broadcasts; RETRAIN runs
+    once on the lowest-id node owning the policy and pushes the
+    refreshed model to the other owners (trace events
+    [fleet.replace]/[fleet.restore]/[fleet.retrain]/[fleet.model_push],
+    category ["fleet"]). FUNCTION triggers of fleet monitors are
+    forwarded from every node's hook table with a ["node"] argument
+    tagging the origin. *)
+
+type t
+
+val create :
+  nodes:int ->
+  seed:int ->
+  ?config:Gr_runtime.Engine.config ->
+  ?store_capacity:int ->
+  ?tracing:bool ->
+  unit ->
+  t
+(** Builds one shared sim engine, a control kernel seeded with [seed],
+    and [nodes] node deployments (ids [0..nodes-1], seeds
+    [seed + id + 1]) wired as store shards of the control store.
+    [nodes] must be positive; [nodes:1] is a fleet-of-one whose node
+    behaves exactly like a standalone {!Deployment}. *)
+
+val sim : t -> Gr_sim.Engine.t
+(** The shared virtual clock every member kernel runs on. *)
+
+val control : t -> Deployment.t
+(** The fleet-level deployment: its store is the global tier, its
+    engine runs the fleet-wide monitors, its tracer owns the sim
+    dispatch channel. *)
+
+val store : t -> Gr_runtime.Feature_store.t
+(** The global store tier ([= Deployment.store (control t)]). Plain
+    keys read through it present the merged all-shards view. *)
+
+val engine : t -> Gr_runtime.Engine.t
+val tracer : t -> Gr_trace.Tracer.t
+
+val nodes : t -> Node.t array
+(** Copy of the member array, index = node id. *)
+
+val node : t -> int -> Node.t
+(** Raises [Invalid_argument] for an unknown id. *)
+
+val node_count : t -> int
+
+(** {1 Fleet-wide guardrails} *)
+
+val install_source : t -> string -> (Gr_runtime.Engine.handle list, Deployment.error) result
+(** Compiles the source and installs every monitor into the control
+    engine, after wiring FUNCTION-trigger forwarding from all nodes
+    and REPLACE/RESTORE/RETRAIN proxies for every policy the monitors
+    act on. On error nothing from this source stays installed. *)
+
+val install_source_exn : t -> string -> Gr_runtime.Engine.handle list
+
+val install_monitor :
+  t -> Gr_compiler.Monitor.t -> (Gr_runtime.Engine.handle, Deployment.error) result
+
+val violations : t -> Gr_runtime.Engine.violation_record list
+(** The control engine's violation log (fleet-wide monitors only;
+    per-node logs live on each node's engine). *)
+
+(** {1 Canarying} *)
+
+val set_canary : t -> policy:string -> int list -> unit
+(** Restrict the named policy's fleet REPLACE to these node ids.
+    Raises [Invalid_argument] on an unknown id. *)
+
+val clear_canary : t -> policy:string -> unit
+(** Subsequent REPLACEs broadcast again. *)
+
+val canary : t -> policy:string -> int list option
+
+(** {1 Global store and clock} *)
+
+val save_global : t -> string -> float -> unit
+(** [save_global t key v] writes [GLOBAL(key)] — visible to every
+    member and waking ON_CHANGE(GLOBAL(key)) monitors fleet-wide. *)
+
+val load_global : t -> string -> float
+
+val run_until : t -> Gr_util.Time_ns.t -> unit
+(** Advances the shared clock; all nodes and the control engine make
+    progress in one deterministic event order. *)
+
+(** {1 Fleet action counters} *)
+
+val replaces : t -> int
+(** Per-node REPLACE deliveries (a broadcast to 4 nodes counts 4). *)
+
+val restores : t -> int
+val retrains : t -> int
+(** Global retrain rounds (train-once). *)
+
+val model_pushes : t -> int
+(** Models pushed to non-trainer owners after a retrain. *)

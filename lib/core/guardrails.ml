@@ -71,6 +71,8 @@ module Fs = Gr_kernel.Fs
 
 (* Facade *)
 module Deployment = Deployment
+module Node = Node
+module Fleet = Fleet
 module Autotune = Autotune
 
 let compile = Gr_compiler.Compile.source

@@ -1,0 +1,6 @@
+(* One fleet member: exactly the single-machine deployment record.
+   The split is nominal — [Node] is the per-machine half of what used
+   to be the only deployment shape, and [Deployment] remains as the
+   standalone (fleet-of-one) alias — so existing single-node code and
+   fleet code share every code path. *)
+include Deployment

@@ -51,6 +51,31 @@ type guardrail = {
 
 type spec = guardrail list
 
+(* Scoped feature-store keys. A plain key names node-local state; the
+   GLOBAL(key) qualifier names the fleet-wide tier. The AST carries the
+   canonical encoded form — "global::" ^ name — so every downstream
+   consumer (slot tables, dependency analysis, lint, the store itself)
+   distinguishes scopes by ordinary string identity. *)
+let global_prefix = "global::"
+
+let global_key name = global_prefix ^ name
+
+let is_global_key key =
+  let n = String.length global_prefix in
+  String.length key >= n && String.sub key 0 n = global_prefix
+
+let local_name key =
+  if is_global_key key then
+    String.sub key (String.length global_prefix)
+      (String.length key - String.length global_prefix)
+  else key
+
+(* Node-qualified display form used when several nodes' monitors are
+   analysed together: "node3::key". Global keys are never qualified —
+   they name one fleet-wide cell whichever node touches them. *)
+let node_key node_id key =
+  if is_global_key key then key else Printf.sprintf "node%d::%s" node_id key
+
 let unop_symbol = function Neg -> "-" | Not -> "!" | Abs -> "ABS"
 
 let binop_symbol = function

@@ -87,6 +87,36 @@ type guardrail = {
 
 type spec = guardrail list
 
+(** {1 Scoped keys}
+
+    Feature-store keys are scoped: a plain key names node-local state,
+    while the [GLOBAL(key)] qualifier names the fleet-wide store tier.
+    The AST keeps keys as strings and carries scope in a canonical
+    encoding — [global::name] — so the compiler's slot tables, the
+    dependency analysis and the lint pass distinguish scopes by plain
+    string identity, and the flat string stays valid as node-local
+    sugar. *)
+
+val global_prefix : string
+(** ["global::"], the encoding prefix. *)
+
+val global_key : string -> string
+(** [global_key "x"] is ["global::x"], the encoded form that
+    [GLOBAL(x)] parses to. *)
+
+val is_global_key : string -> bool
+(** Whether an encoded key names the global tier. *)
+
+val local_name : string -> string
+(** The bare name with any scope prefix stripped — what [GLOBAL(x)]
+    prints as [x]. *)
+
+val node_key : int -> string -> string
+(** [node_key 3 "x"] is ["node3::x"], the node-qualified form used
+    when monitors from several nodes are analysed together. Global
+    keys pass through unqualified — they name one fleet-wide cell
+    whichever node touches them. *)
+
 val unop_symbol : unop -> string
 val binop_symbol : binop -> string
 val agg_name : agg -> string

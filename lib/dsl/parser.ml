@@ -39,6 +39,21 @@ let expect_name st what =
     s
   | t, p -> error p (Printf.sprintf "expected %s but found %s" what (Lexer.token_to_string t))
 
+(* A feature-store key position: a plain name is node-local, and the
+   GLOBAL(name) qualifier selects the fleet-wide tier, carried in the
+   AST as the canonical "global::" encoding. Only key positions accept
+   the qualifier — hook names, policy names and scheduling classes do
+   not. *)
+let parse_key st what =
+  match peek st with
+  | Lexer.IDENT "GLOBAL", _ ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let name = expect_name st what in
+    expect st Lexer.RPAREN;
+    global_key name
+  | _ -> expect_name st what
+
 let agg_of_ident = function
   | "AVG" -> Some Avg
   | "RATE" -> Some Rate
@@ -145,7 +160,7 @@ and parse_atom st =
   | Lexer.IDENT "LOAD", p ->
     advance st;
     expect st Lexer.LPAREN;
-    let key = expect_name st "a feature-store key" in
+    let key = parse_key st "a feature-store key" in
     expect st Lexer.RPAREN;
     at p (Load key)
   | Lexer.IDENT "ABS", p ->
@@ -163,7 +178,7 @@ and parse_atom st =
     let fn = Option.get (agg_of_ident name) in
     advance st;
     expect st Lexer.LPAREN;
-    let key = expect_name st "a feature-store key" in
+    let key = parse_key st "a feature-store key" in
     expect st Lexer.COMMA;
     (* QUANTILE(key, q, window); others are FN(key, window). *)
     let first = parse_or st in
@@ -241,7 +256,7 @@ let parse_trigger st =
   | Lexer.IDENT "ON_CHANGE", p ->
     advance st;
     expect st Lexer.LPAREN;
-    let key = expect_name st "a feature-store key" in
+    let key = parse_key st "a feature-store key" in
     expect st Lexer.RPAREN;
     at p (On_change key)
   | t, p ->
@@ -259,7 +274,7 @@ let parse_action st =
       match peek st with
       | Lexer.COMMA, _ ->
         advance st;
-        keys (expect_name st "a feature-store key" :: acc)
+        keys (parse_key st "a feature-store key" :: acc)
       | _ -> List.rev acc
     in
     let keys = keys [] in
@@ -300,7 +315,7 @@ let parse_action st =
   | Lexer.IDENT "SAVE", p ->
     advance st;
     expect st Lexer.LPAREN;
-    let key = expect_name st "a feature-store key" in
+    let key = parse_key st "a feature-store key" in
     expect st Lexer.COMMA;
     let value = parse_or st in
     expect st Lexer.RPAREN;

@@ -24,11 +24,18 @@ let float_lit f =
     try_prec 1
   end
 
+(* Keys print in source syntax: the encoded "global::" form the parser
+   produced for GLOBAL(name) goes back out as the qualifier, so
+   parse ∘ pretty is the identity on scoped keys too. *)
+let key fmt k =
+  if is_global_key k then Format.fprintf fmt "GLOBAL(%s)" (local_name k)
+  else Format.pp_print_string fmt k
+
 let rec pp_expr ~parent fmt { node; _ } =
   match node with
   | Number f -> Format.pp_print_string fmt (float_lit f)
   | Bool b -> Format.pp_print_bool fmt b
-  | Load key -> Format.fprintf fmt "LOAD(%s)" key
+  | Load k -> Format.fprintf fmt "LOAD(%a)" key k
   | Unop (Abs, e) -> Format.fprintf fmt "ABS(%a)" (pp_expr ~parent:0) e
   | Unop (op, e) -> Format.fprintf fmt "%s%a" (unop_symbol op) (pp_expr ~parent:6) e
   | Binop (op, lhs, rhs) ->
@@ -47,13 +54,13 @@ let rec pp_expr ~parent fmt { node; _ } =
     Format.fprintf fmt "%s%a %s %a%s" open_p
       (pp_expr ~parent:lhs_parent) lhs (binop_symbol op)
       (pp_expr ~parent:rhs_parent) rhs close_p
-  | Agg { fn; key; window; param } -> (
+  | Agg { fn; key = k; window; param } -> (
     match param with
     | Some q ->
-      Format.fprintf fmt "%s(%s, %a, %a)" (agg_name fn) key (pp_expr ~parent:0) q
+      Format.fprintf fmt "%s(%a, %a, %a)" (agg_name fn) key k (pp_expr ~parent:0) q
         (pp_expr ~parent:0) window
     | None ->
-      Format.fprintf fmt "%s(%s, %a)" (agg_name fn) key (pp_expr ~parent:0) window)
+      Format.fprintf fmt "%s(%a, %a)" (agg_name fn) key k (pp_expr ~parent:0) window)
 
 let expr fmt e = pp_expr ~parent:0 fmt e
 
@@ -64,13 +71,13 @@ let trigger fmt { node; _ } =
   | Timer { start; interval; stop = Some stop } ->
     Format.fprintf fmt "TIMER(%a, %a, %a)" expr start expr interval expr stop
   | Function name -> Format.fprintf fmt "FUNCTION(%S)" name
-  | On_change key -> Format.fprintf fmt "ON_CHANGE(%s)" key
+  | On_change k -> Format.fprintf fmt "ON_CHANGE(%a)" key k
 
 let action fmt { node; _ } =
   match node with
   | Report { message; keys } ->
     Format.fprintf fmt "REPORT(%S" message;
-    List.iter (fun k -> Format.fprintf fmt ", %s" k) keys;
+    List.iter (fun k -> Format.fprintf fmt ", %a" key k) keys;
     Format.pp_print_string fmt ")"
   | Replace name -> Format.fprintf fmt "REPLACE(%S)" name
   | Restore name -> Format.fprintf fmt "RESTORE(%S)" name
@@ -78,7 +85,7 @@ let action fmt { node; _ } =
   | Deprioritize { cls; weight } ->
     Format.fprintf fmt "DEPRIORITIZE(%S, %a)" cls expr weight
   | Kill cls -> Format.fprintf fmt "KILL(%S)" cls
-  | Save { key; value } -> Format.fprintf fmt "SAVE(%s, %a)" key expr value
+  | Save { key = k; value } -> Format.fprintf fmt "SAVE(%a, %a)" key k expr value
 
 (* Items are separated by ';' — without an explicit separator, two
    newline-separated rules such as "LOAD(a) < 1" and "-5 < 3" would

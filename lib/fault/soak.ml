@@ -11,7 +11,7 @@ module Sink = Gr_trace.Sink
 module Tracer = Gr_trace.Tracer
 module D = Guardrails.Deployment
 
-let scenario_names = [ "blk"; "sched"; "store" ]
+let scenario_names = [ "blk"; "sched"; "store"; "fleet" ]
 
 let caps_of = function
   | "blk" ->
@@ -33,6 +33,17 @@ let caps_of = function
       Fault.n_devices = 0;
       keys = [ "lat"; "rate"; "err" ];
       hooks = [ "soak:tick" ];
+      blk_policy = false;
+    }
+  | "fleet" ->
+    (* Faults land on node 0 only: its device dies, its shard's keys
+       get corrupted, its hooks raise — the invariant checks then
+       assert that the fleet-merged aggregates and the survivors'
+       guardrails stay consistent with the naive oracle. *)
+    {
+      Fault.n_devices = 2;
+      keys = [ "latency_us"; "false_submit" ];
+      hooks = [ "blk:io_complete"; "blk:io_submit" ];
       blk_policy = false;
     }
   | s -> invalid_arg ("Soak: unknown scenario " ^ s)
@@ -257,11 +268,110 @@ let build_store ~seed ~duration =
     b_anomalies = ref [];
   }
 
-let build ~scenario ~seed ~duration =
+let fleet_spec =
+  {|
+guardrail fleet-tail {
+  trigger: { TIMER(0, 100ms) },
+  rule: { COUNT(latency_us, 1s) == 0 || QUANTILE(latency_us, 0.99, 1s) <= 1e9 },
+  action: {
+    REPORT("fleet p99 latency degraded", latency_us)
+    REPLACE("blk_policy")
+  }
+}
+
+guardrail fleet-spread {
+  trigger: { TIMER(0, 200ms) },
+  rule: { COUNT(latency_us, 1s) == 0 || STDDEV(latency_us, 1s) >= 0 },
+  action: { REPORT("fleet latency spread negative", latency_us) }
+}
+
+guardrail fleet-pressure {
+  trigger: { ON_CHANGE(GLOBAL(pressure)) },
+  rule: { LOAD(GLOBAL(pressure)) <= 1e9 },
+  action: { REPORT("global pressure blowup") }
+}
+|}
+
+(* Three single-device nodes on one shared clock; fleet guardrails
+   aggregate the merged latency stream and act through the broadcast
+   REPLACE proxy. The injector targets node 0 exclusively (see
+   [caps_of]), so surviving shards keep feeding the merged view while
+   one member is dead or lying. *)
+let build_fleet ~nodes ~seed ~duration =
+  let fleet = Guardrails.Fleet.create ~nodes ~seed ~store_capacity:1024 ~tracing:true () in
+  let n = Guardrails.Fleet.node_count fleet in
+  (* The broadcast REPLACE proxy flips every node's slot in one action
+     execution, so "all slots on fallback" tracks the fleet action
+     exactly; checks only run between sim events. *)
+  let expected_fallback = ref false in
+  let slots = ref [] in
+  let node_devices = ref [||] and node_blk = ref None in
+  for id = 0 to n - 1 do
+    let node = Guardrails.Fleet.node fleet id in
+    let kernel = D.kernel node in
+    let devices =
+      Array.init 2 (fun i -> Ssd.create ~rng:kernel.rng ~profile:Ssd.young_profile ~id:i)
+    in
+    let blk = Blk.create ~engine:kernel.engine ~hooks:kernel.hooks ~devices () in
+    let model = Gr_policy.Linnos.train ~rng:kernel.rng ~devices () in
+    Slot.install (Blk.slot blk) ~name:"linnos" (Gr_policy.Linnos.policy model);
+    slots := Blk.slot blk :: !slots;
+    Kernel.register_policy kernel ~name:"blk_policy"
+      ~replace:(fun () ->
+        Slot.use_fallback (Blk.slot blk);
+        expected_fallback := true)
+      ~restore:(fun () ->
+        Slot.restore (Blk.slot blk);
+        expected_fallback := false)
+      ();
+    D.forward_hook_arg node ~hook:"blk:io_complete" ~arg:"latency_us" ();
+    D.forward_hook_arg node ~hook:"blk:io_complete" ~arg:"false_submit" ();
+    ignore
+      (Gr_workload.Io_driver.start ~engine:kernel.engine ~rng:kernel.rng ~blk
+         ~arrival:(Gr_workload.Arrival.poisson ~rate_per_sec:400.)
+         ~n_devices:2 ~zipf_s:0.5 ~until:duration ()
+        : Gr_workload.Io_driver.t);
+    if id = 0 then begin
+      node_devices := devices;
+      node_blk := Some blk
+    end
+  done;
+  let slots = List.rev !slots in
+  let control = Guardrails.Fleet.control fleet in
+  let handles = Guardrails.Fleet.install_source_exn fleet fleet_spec in
+  ignore
+    (Gr_sim.Engine.every (Guardrails.Fleet.sim fleet) ~stop:duration
+       ~interval:(Time_ns.ms 50) (fun _ ->
+         let avg =
+           Store.aggregate (D.store control) ~key:"latency_us" ~fn:Gr_dsl.Ast.Avg
+             ~window_ns:(float_of_int (Time_ns.sec 1))
+             ~param:0.
+         in
+         Guardrails.Fleet.save_global fleet "pressure"
+           (if Float.is_nan avg then 0. else avg /. 1000.))
+      : Gr_sim.Engine.handle);
+  let node0 = Guardrails.Fleet.node fleet 0 in
+  let inj =
+    Injector.create ~kernel:(D.kernel node0) ~tracer:(D.tracer control)
+      ~store:(D.store node0) ~devices:!node_devices ?blk:!node_blk ~seed ()
+  in
+  {
+    b_kernel = D.kernel node0;
+    b_d = control;
+    b_handles = handles;
+    b_inj = inj;
+    b_fallback =
+      Some (expected_fallback, fun () -> List.for_all Slot.on_fallback slots);
+    b_retrain_runs = ref 0;
+    b_anomalies = ref [];
+  }
+
+let build ?(nodes = 3) ~scenario ~seed ~duration () =
   match scenario with
   | "blk" -> build_blk ~seed ~duration
   | "sched" -> build_sched ~seed ~duration
   | "store" -> build_store ~seed ~duration
+  | "fleet" -> build_fleet ~nodes ~seed ~duration
   | s -> invalid_arg ("Soak: unknown scenario " ^ s)
 
 (* Oracle comparison. Exact aggregates (COUNT, MIN, MAX, QUANTILE,
@@ -306,8 +416,8 @@ type run_result = {
   trace : Gr_trace.Event.t list;
 }
 
-let run_one ?extra_source ~scenario ~seed ~duration ~plan () =
-  let b = build ~scenario ~seed ~duration in
+let run_one ?extra_source ?nodes ~scenario ~seed ~duration ~plan () =
+  let b = build ?nodes ~scenario ~seed ~duration () in
   let seen = Hashtbl.create 16 in
   let problems = ref [] in
   let push msg =
@@ -466,7 +576,7 @@ let repro_command f =
     f.seed (Time_ns.to_float_sec f.duration)
     (Fault.plan_to_string f.shrunk)
 
-let soak ?(log = ignore) ?extra_source ~scenarios ~seeds ~duration () =
+let soak ?(log = ignore) ?extra_source ?nodes ~scenarios ~seeds ~duration () =
   let runs = ref 0 and passed = ref 0 and total_events = ref 0 and total_faults = ref 0 in
   let failures = ref [] in
   List.iter
@@ -475,7 +585,7 @@ let soak ?(log = ignore) ?extra_source ~scenarios ~seeds ~duration () =
         (fun seed ->
           incr runs;
           let plan = gen_plan ~scenario ~seed ~duration in
-          let r = run_one ?extra_source ~scenario ~seed ~duration ~plan () in
+          let r = run_one ?extra_source ?nodes ~scenario ~seed ~duration ~plan () in
           total_events := !total_events + r.events;
           total_faults := !total_faults + r.faults_injected;
           if r.ok then begin
@@ -489,7 +599,7 @@ let soak ?(log = ignore) ?extra_source ~scenarios ~seeds ~duration () =
               (Printf.sprintf "FAIL %-5s seed=%-3d %s" scenario seed
                  (String.concat "; " r.problems));
             let still_fails p =
-              not (run_one ?extra_source ~scenario ~seed ~duration ~plan:p ()).ok
+              not (run_one ?extra_source ?nodes ~scenario ~seed ~duration ~plan:p ()).ok
             in
             let shrunk = shrink ~still_fails plan in
             failures :=

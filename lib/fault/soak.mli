@@ -29,9 +29,13 @@
     assert that. *)
 
 val scenario_names : string list
-(** ["blk"; "sched"; "store"]: LinnOS-style block stack under I/O
-    load; multi-CPU scheduler with a wild slice policy; feature-store
-    aggregation under a synthetic save workload. *)
+(** ["blk"; "sched"; "store"; "fleet"]: LinnOS-style block stack
+    under I/O load; multi-CPU scheduler with a wild slice policy;
+    feature-store aggregation under a synthetic save workload; a
+    multi-node fleet whose faults all land on node 0 (its device
+    dies, its shard's keys get corrupted, its hooks raise) while the
+    invariants assert that the fleet-merged aggregates and the
+    surviving nodes' guardrails stay consistent. *)
 
 val caps_of : string -> Fault.caps
 (** What each scenario exposes for faulting.
@@ -53,6 +57,7 @@ type run_result = {
 
 val run_one :
   ?extra_source:string ->
+  ?nodes:int ->
   scenario:string ->
   seed:int ->
   duration:Gr_util.Time_ns.t ->
@@ -61,7 +66,9 @@ val run_one :
   run_result
 (** One deterministic run. [extra_source] installs additional
     guardrails (the [grc soak --spec] path) into the scenario's
-    deployment; an install failure is reported as a problem. *)
+    deployment; an install failure is reported as a problem.
+    [nodes] (default 3) sizes the ["fleet"] scenario and is ignored
+    by the single-node scenarios. *)
 
 type failure = {
   scenario : string;
@@ -88,6 +95,7 @@ val shrink : still_fails:(Fault.plan -> bool) -> Fault.plan -> Fault.plan
 val soak :
   ?log:(string -> unit) ->
   ?extra_source:string ->
+  ?nodes:int ->
   scenarios:string list ->
   seeds:int list ->
   duration:Gr_util.Time_ns.t ->

@@ -26,6 +26,8 @@ let create () =
   }
 
 let set_tracer t tracer = t.tracer <- Some tracer
+let clear_tracer t = t.tracer <- None
+let tracer t = t.tracer
 
 let set_max_strikes t n =
   if n <= 0 then invalid_arg "Hooks.set_max_strikes: must be positive";

@@ -103,12 +103,17 @@ let rec create ~kernel ~store ?(config = default_config) ?tracer () =
     }
   in
   (* One store subscription dispatches all ON_CHANGE triggers. *)
-  Feature_store.on_save store (fun key _value ->
-      match Hashtbl.find_opt t.on_change_index key with
-      | None -> ()
-      | Some states ->
-        List.iter (fun st -> on_change_check t ~via:("on_change:" ^ key) st) !states);
+  Feature_store.on_save store (fun key _value -> dispatch_on_change t key);
   t
+
+(* Also the fleet's cross-store glue: saves landing in the global
+   store tier are replayed into each node engine so ON_CHANGE(GLOBAL
+   key) triggers fire on nodes too. *)
+and dispatch_on_change t key =
+  match Hashtbl.find_opt t.on_change_index key with
+  | None -> ()
+  | Some states ->
+    List.iter (fun st -> on_change_check t ~via:("on_change:" ^ key) st) !states
 
 and on_change_check t ~via st = check t ~via st
 

@@ -80,6 +80,13 @@ val check_now : t -> handle -> bool
 (** Forces one rule evaluation (outside any trigger); [true] if the
     property held. Used by tests and the CLI. *)
 
+val dispatch_on_change : t -> string -> unit
+(** Run the ON_CHANGE triggers indexed under this exact key, as if the
+    engine's own store had saved it. The fleet layer uses this to
+    replay global-tier saves into every node engine — a node's
+    ON_CHANGE(GLOBAL(key)) fires no matter which node wrote the key.
+    Saves through the engine's store dispatch automatically. *)
+
 module Stats : sig
   type s = {
     checks : int;

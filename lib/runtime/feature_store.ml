@@ -1,5 +1,29 @@
 open Gr_util
 
+(* Scoped keys. The flat string namespace every caller already uses is
+   node-local sugar: a plain key lives in this store instance, while a
+   key carrying the canonical "global::" encoding (what the DSL's
+   GLOBAL(key) qualifier lowers to) is routed to the fleet-wide tier.
+   A standalone store is its own global tier, so single-node behaviour
+   is untouched — the scoped key simply lands in a distinct entry. *)
+module Key = struct
+  type t = Node of int * string | Global of string
+
+  let of_id ~node_id id =
+    if Gr_dsl.Ast.is_global_key id then Global (Gr_dsl.Ast.local_name id)
+    else Node (node_id, id)
+
+  let id = function
+    | Global name -> Gr_dsl.Ast.global_key name
+    | Node (_, name) -> name
+
+  let node_id = function Global _ -> None | Node (i, _) -> Some i
+
+  let to_string = function
+    | Global name -> Printf.sprintf "GLOBAL(%s)" name
+    | Node (i, name) -> Gr_dsl.Ast.node_key i name
+end
+
 (* A demand is one (fn, window, param) aggregate registered against a
    key, kept incrementally so checks don't re-scan the ring.
 
@@ -63,6 +87,9 @@ type t = {
   mutable n_demands : int;
   mutable force_naive : bool;
   mutable tracer : Gr_trace.Tracer.t option;
+  mutable node_id : int;
+  mutable global_tier : t option; (* None: this store is its own tier *)
+  mutable shards : t array; (* fleet tier: node stores merged under plain keys *)
 }
 
 let create ~clock ?(capacity_per_key = 4096) () =
@@ -80,9 +107,34 @@ let create ~clock ?(capacity_per_key = 4096) () =
     n_demands = 0;
     force_naive = false;
     tracer = None;
+    node_id = 0;
+    global_tier = None;
+    shards = [||];
   }
 
 let set_tracer t tracer = t.tracer <- Some tracer
+let clear_tracer t = t.tracer <- None
+let node_id t = t.node_id
+let set_node_id t id = t.node_id <- id
+
+let set_global_tier t g =
+  if g == t then t.global_tier <- None else t.global_tier <- Some g
+
+let global_tier t = match t.global_tier with Some g -> g | None -> t
+let set_shards t shards = t.shards <- Array.copy shards
+let shards t = Array.copy t.shards
+
+(* Where a key's entry lives: global-scoped keys go to the fleet tier
+   (self when standalone), everything else stays here. *)
+let resolve t key =
+  if Gr_dsl.Ast.is_global_key key then global_tier t else t
+
+(* A fleet-tier store answers plain keys as the merged view over its
+   own entries plus every node shard; its own table is member 0 so
+   fleet-level saves of plain keys stay visible. *)
+let sharded t key = Array.length t.shards > 0 && not (Gr_dsl.Ast.is_global_key key)
+
+let members t = t :: Array.to_list t.shards
 
 let tracing t = match t.tracer with Some tr -> Gr_trace.Tracer.enabled tr | None -> false
 
@@ -211,7 +263,7 @@ let evict_oldest t e =
         end)
       e.demands
 
-let save t key value =
+let save_here t key value =
   let e = entry t key in
   e.latest <- value;
   if Ring.length e.samples = Ring.capacity e.samples then evict_oldest t e;
@@ -228,11 +280,45 @@ let save t key value =
       [ ("value", value) ];
   Vec.iter (fun fn -> fn key value) t.subscribers
 
+let save t key value = save_here (resolve t key) key value
+
+(* Merged latest for plain keys on a fleet-tier store: the value of
+   the newest sample across all members. Ties on the timestamp go to
+   the later member, matching the merged window ordering (stable by
+   member position). *)
+let merged_load t key =
+  let best = ref None in
+  List.iter
+    (fun m ->
+      match Hashtbl.find_opt m.entries key with
+      | None -> ()
+      | Some e -> (
+        match Ring.newest e.samples with
+        | None -> ()
+        | Some (at, v) -> (
+          match !best with
+          | Some (at', _) when at' > at -> ()
+          | _ -> best := Some (at, v))))
+    (members t);
+  match !best with Some (_, v) -> v | None -> 0.
+
 let load t key =
+  let t = resolve t key in
   t.loads <- t.loads + 1;
-  match Hashtbl.find_opt t.entries key with Some e -> e.latest | None -> 0.
-let mem t key = Hashtbl.mem t.entries key
-let keys t = List.sort String.compare (List.of_seq (Hashtbl.to_seq_keys t.entries))
+  if sharded t key then merged_load t key
+  else match Hashtbl.find_opt t.entries key with Some e -> e.latest | None -> 0.
+
+let mem t key =
+  let t = resolve t key in
+  if sharded t key then List.exists (fun m -> Hashtbl.mem m.entries key) (members t)
+  else Hashtbl.mem t.entries key
+
+let keys t =
+  if Array.length t.shards = 0 then
+    List.sort String.compare (List.of_seq (Hashtbl.to_seq_keys t.entries))
+  else
+    List.sort_uniq String.compare
+      (List.concat_map (fun m -> List.of_seq (Hashtbl.to_seq_keys m.entries)) (members t))
 
 (* ---------- demand registration ---------- *)
 
@@ -241,7 +327,17 @@ let find_demand e ~fn ~window_ns ~param =
     (fun d -> d.fn = fn && d.window_ns = window_ns && d.param = param)
     e.demands
 
-let register_demand t ~key ~fn ~window_ns ~param =
+let rec register_demand t ~key ~fn ~window_ns ~param =
+  let t = resolve t key in
+  (* Fleet tier: the merged read is incremental only if every member
+     keeps streaming state for the shape, so the registration fans out
+     to each node shard (and is kept on the own table for
+     bookkeeping/enumeration). *)
+  if sharded t key then
+    Array.iter (fun s -> register_demand s ~key ~fn ~window_ns ~param) t.shards;
+  register_demand_here t ~key ~fn ~window_ns ~param
+
+and register_demand_here t ~key ~fn ~window_ns ~param =
   let e = entry t key in
   match find_demand e ~fn ~window_ns ~param with
   | Some d -> d.refs <- d.refs + 1
@@ -275,7 +371,13 @@ let register_demand t ~key ~fn ~window_ns ~param =
     e.demands <- d :: e.demands;
     t.n_demands <- t.n_demands + 1
 
-let release_demand t ~key ~fn ~window_ns ~param =
+let rec release_demand t ~key ~fn ~window_ns ~param =
+  let t = resolve t key in
+  if sharded t key then
+    Array.iter (fun s -> release_demand s ~key ~fn ~window_ns ~param) t.shards;
+  release_demand_here t ~key ~fn ~window_ns ~param
+
+and release_demand_here t ~key ~fn ~window_ns ~param =
   match Hashtbl.find_opt t.entries key with
   | None -> ()
   | Some e -> (
@@ -302,35 +404,79 @@ let demand_shapes t =
 
 (* ---------- windowed reads ---------- *)
 
-(* Newest-first in-window values: the naive scan, kept verbatim as the
-   oracle the incremental path is property-tested against. *)
-let window_values t ~key ~window_ns =
-  match Hashtbl.find_opt t.entries key with
-  | None -> []
-  | Some e ->
-    let now = t.clock () in
-    let cutoff = now - int_of_float window_ns in
-    Ring.fold
-      (fun acc (at, v) -> if at > cutoff then v :: acc else acc)
-      [] e.samples
-
 (* First ring index inside the window, found by binary search over the
    time-ordered samples — O(log n) instead of a full fold. *)
 let first_inside e ~now ~window_ns =
   let cutoff = now - int_of_float window_ns in
   Ring.bsearch_first (fun (at, _) -> at > cutoff) e.samples
 
+(* In-window (timestamp, value) pairs for one member, oldest first. *)
+let member_window e ~now ~window_ns =
+  let i0 = first_inside e ~now ~window_ns in
+  Array.init (Ring.length e.samples - i0) (fun i -> Ring.get e.samples (i0 + i))
+
+(* The merged window of a fleet-tier plain key: every member's
+   in-window samples, sorted by timestamp. Each member's slice is
+   already time-ordered and the sort is stable, so equal timestamps
+   keep member order (own table first, then shards in index order) —
+   the tie-break DELTA's merged oldest/newest must agree with. The
+   window cutoff uses the fleet store's clock for every member; in a
+   fleet all stores share the sim clock anyway. *)
+let merged_window t ~key ~window_ns =
+  let now = t.clock () in
+  let parts =
+    List.filter_map
+      (fun m ->
+        match Hashtbl.find_opt m.entries key with
+        | None -> None
+        | Some e -> Some (member_window e ~now ~window_ns))
+      (members t)
+  in
+  let all = Array.concat parts in
+  Array.stable_sort (fun (a, _) (b, _) -> compare (a : Time_ns.t) b) all;
+  all
+
+(* Newest-first in-window values: the naive scan, kept verbatim as the
+   oracle the incremental path is property-tested against. On a
+   fleet-tier store this is the concat-and-scan over all shards. *)
+let window_values t ~key ~window_ns =
+  let t = resolve t key in
+  if sharded t key then
+    Array.fold_left (fun acc (_, v) -> v :: acc) [] (merged_window t ~key ~window_ns)
+  else
+    match Hashtbl.find_opt t.entries key with
+    | None -> []
+    | Some e ->
+      let now = t.clock () in
+      let cutoff = now - int_of_float window_ns in
+      Ring.fold
+        (fun acc (at, v) -> if at > cutoff then v :: acc else acc)
+        [] e.samples
+
 let window_samples t ~key ~window_ns =
-  match Hashtbl.find_opt t.entries key with
-  | None -> [||]
-  | Some e ->
-    let i0 = first_inside e ~now:(t.clock ()) ~window_ns in
-    Array.init (Ring.length e.samples - i0) (fun i -> snd (Ring.get e.samples (i0 + i)))
+  let t = resolve t key in
+  if sharded t key then Array.map snd (merged_window t ~key ~window_ns)
+  else
+    match Hashtbl.find_opt t.entries key with
+    | None -> [||]
+    | Some e ->
+      let i0 = first_inside e ~now:(t.clock ()) ~window_ns in
+      Array.init (Ring.length e.samples - i0) (fun i -> snd (Ring.get e.samples (i0 + i)))
 
 let samples_in_window t ~key ~window_ns =
-  match Hashtbl.find_opt t.entries key with
-  | None -> 0
-  | Some e -> Ring.length e.samples - first_inside e ~now:(t.clock ()) ~window_ns
+  let t = resolve t key in
+  if sharded t key then
+    let now = t.clock () in
+    List.fold_left
+      (fun acc m ->
+        match Hashtbl.find_opt m.entries key with
+        | None -> acc
+        | Some e -> acc + Ring.length e.samples - first_inside e ~now ~window_ns)
+      0 (members t)
+  else
+    match Hashtbl.find_opt t.entries key with
+    | None -> 0
+    | Some e -> Ring.length e.samples - first_inside e ~now:(t.clock ()) ~window_ns
 
 let agg_name : Gr_dsl.Ast.agg -> string = function
   | Count -> "COUNT"
@@ -421,20 +567,239 @@ let demand_aggregate t e d ~window_ns ~param =
   in
   { value; scanned = expired + extra_scan; incremental = true }
 
+(* ---------- cross-shard merge ---------- *)
+
+(* Mergeable summary of one shard's streaming state for a single
+   (key, fn, window, param) shape: the running count/sum/sumsq behind
+   COUNT/SUM/RATE/AVG/STDDEV, the deque-of-extrema front behind
+   MIN/MAX, the window head/tail behind DELTA and the in-window value
+   multiset behind QUANTILE. [union] is associative with [empty] as
+   unit, so a fleet-wide aggregate over N node shards folds N exports
+   — each O(1) amortized on the streaming path — instead of
+   re-scanning every shard's window. *)
+module Merge = struct
+  type state = {
+    count : int;
+    sum : float;
+    sumsq : float;
+    nans : int; (* NaN samples in the window; MIN/MAX answer NaN while > 0 *)
+    minv : float option; (* min over non-NaN in-window samples *)
+    maxv : float option;
+    oldest : (Time_ns.t * float) option;
+    newest : (Time_ns.t * float) option;
+    samples : float array; (* in-window values (QUANTILE only) *)
+  }
+
+  let empty =
+    {
+      count = 0;
+      sum = 0.;
+      sumsq = 0.;
+      nans = 0;
+      minv = None;
+      maxv = None;
+      oldest = None;
+      newest = None;
+      samples = [||];
+    }
+
+  let opt2 f a b = match (a, b) with None, x | x, None -> x | Some x, Some y -> Some (f x y)
+
+  (* [union a b] with [a] from the earlier shard position: timestamp
+     ties on the window head go to [a], on the tail to [b] — the same
+     tie-break as the stable merged-window sort the naive oracle
+     scans. *)
+  let union a b =
+    {
+      count = a.count + b.count;
+      sum = a.sum +. b.sum;
+      sumsq = a.sumsq +. b.sumsq;
+      nans = a.nans + b.nans;
+      minv = opt2 Float.min a.minv b.minv;
+      maxv = opt2 Float.max a.maxv b.maxv;
+      oldest =
+        (match (a.oldest, b.oldest) with
+        | None, x | x, None -> x
+        | Some (ta, _), Some (tb, _) -> if tb < ta then b.oldest else a.oldest);
+      newest =
+        (match (a.newest, b.newest) with
+        | None, x | x, None -> x
+        | Some (ta, _), Some (tb, _) -> if tb >= ta then b.newest else a.newest);
+      samples = Array.append a.samples b.samples;
+    }
+
+  let value ~fn ~window_ns ~param s =
+    match (fn : Gr_dsl.Ast.agg) with
+    | Count -> float_of_int s.count
+    | Sum -> s.sum
+    | Rate -> s.sum /. (window_ns /. 1e9)
+    | Avg -> if s.count = 0 then 0. else s.sum /. float_of_int s.count
+    | Min -> (
+      if s.nans > 0 then Float.nan
+      else match s.minv with Some v -> v | None -> 0.)
+    | Max -> (
+      if s.nans > 0 then Float.nan
+      else match s.maxv with Some v -> v | None -> 0.)
+    | Stddev ->
+      if s.count < 2 then 0.
+      else begin
+        let n = float_of_int s.count in
+        let mean = s.sum /. n in
+        sqrt (Float.max 0. ((s.sumsq /. n) -. (mean *. mean)))
+      end
+    | Delta -> (
+      match (s.newest, s.oldest) with
+      | Some (_, nv), Some (_, ov) -> nv -. ov
+      | _ -> 0.)
+    | Quantile ->
+      if Array.length s.samples = 0 then 0.
+      else Stats.quantile (Array.copy s.samples) param
+end
+
+(* One member's export for a shape, plus read-cost accounting:
+   (state, samples scanned, served incrementally). The streaming path
+   exports the demand's running state after lazy expiry; without a
+   demand (or under force_naive) the state is rebuilt by scanning the
+   in-window suffix. *)
+let export_here t ~key ~fn ~window_ns ~param =
+  match Hashtbl.find_opt t.entries key with
+  | None -> (Merge.empty, 0, true)
+  | Some e -> (
+    let now = t.clock () in
+    let streaming =
+      if t.force_naive then None else find_demand e ~fn ~window_ns ~param
+    in
+    match streaming with
+    | Some d -> (
+      let expired = expire t e d ~now in
+      let base = e.pushes - Ring.length e.samples in
+      match d.fn with
+      | Count | Sum | Rate | Avg | Stddev ->
+        ( { Merge.empty with count = d.count; sum = d.sum; sumsq = d.sumsq; nans = d.nans },
+          expired,
+          true )
+      | Min | Max ->
+        let front =
+          match d.extrema with
+          | Some dq -> Option.map snd (Deque.front dq)
+          | None -> None
+        in
+        ( {
+            Merge.empty with
+            count = d.count;
+            nans = d.nans;
+            minv = (if d.fn = Min then front else None);
+            maxv = (if d.fn = Max then front else None);
+          },
+          expired,
+          true )
+      | Delta ->
+        if d.oldest_seq >= e.pushes then (Merge.empty, expired, true)
+        else
+          ( {
+              Merge.empty with
+              count = d.count;
+              oldest = Some (Ring.get e.samples (d.oldest_seq - base));
+              newest = Some (Ring.get e.samples (Ring.length e.samples - 1));
+            },
+            expired,
+            true )
+      | Quantile ->
+        let i0 = first_inside e ~now ~window_ns in
+        let n = Ring.length e.samples - i0 in
+        ( {
+            Merge.empty with
+            count = n;
+            samples = Array.init n (fun i -> snd (Ring.get e.samples (i0 + i)));
+          },
+          expired + n,
+          true ))
+    | None ->
+      let win = member_window e ~now ~window_ns in
+      let n = Array.length win in
+      let st = ref Merge.empty in
+      Array.iteri
+        (fun i (at, v) ->
+          let s = !st in
+          st :=
+            {
+              Merge.count = s.count + 1;
+              sum = s.sum +. v;
+              sumsq = s.sumsq +. (v *. v);
+              nans = (s.nans + if Float.is_nan v then 1 else 0);
+              minv = (if Float.is_nan v then s.minv else Merge.opt2 Float.min s.minv (Some v));
+              maxv = (if Float.is_nan v then s.maxv else Merge.opt2 Float.max s.maxv (Some v));
+              oldest = (if i = 0 then Some (at, v) else s.oldest);
+              newest = Some (at, v);
+              samples = s.samples;
+            })
+        win;
+      ({ !st with samples = Array.map snd win }, n, false))
+
+let rec export_state t ~key ~fn ~window_ns ~param =
+  let t = resolve t key in
+  if sharded t key then
+    List.fold_left
+      (fun acc m ->
+        let s =
+          if m == t then
+            let s, _, _ = export_here m ~key ~fn ~window_ns ~param in
+            s
+          else export_state m ~key ~fn ~window_ns ~param
+        in
+        Merge.union acc s)
+      Merge.empty (members t)
+  else
+    let s, _, _ = export_here t ~key ~fn ~window_ns ~param in
+    s
+
+(* Fleet-tier aggregate over a plain key: fold every member's export
+   into one merged state. Under force_naive the whole merged window is
+   re-scanned instead — the concat-and-scan oracle the incremental
+   merge is verified against. *)
+let merged_aggregate t ~key ~fn ~window_ns ~param =
+  if t.force_naive then naive_aggregate t ~key ~fn ~window_ns ~param
+  else begin
+    let scanned = ref 0 in
+    let incremental = ref true in
+    let state =
+      List.fold_left
+        (fun acc m ->
+          let s, n, inc = export_here m ~key ~fn ~window_ns ~param in
+          scanned := !scanned + n;
+          if not inc then incremental := false;
+          Merge.union acc s)
+        Merge.empty (members t)
+    in
+    {
+      value = Merge.value ~fn ~window_ns ~param state;
+      scanned = !scanned;
+      incremental = !incremental;
+    }
+  end
+
 let aggregate_result t ~key ~fn ~window_ns ~param =
+  let t = resolve t key in
   let r =
-    match Hashtbl.find_opt t.entries key with
-    | Some e when not t.force_naive -> (
-      match find_demand e ~fn ~window_ns ~param with
-      | Some d ->
-        t.agg_hits <- t.agg_hits + 1;
-        demand_aggregate t e d ~window_ns ~param
-      | None ->
+    if sharded t key then begin
+      let r = merged_aggregate t ~key ~fn ~window_ns ~param in
+      if r.incremental then t.agg_hits <- t.agg_hits + 1
+      else t.agg_misses <- t.agg_misses + 1;
+      r
+    end
+    else
+      match Hashtbl.find_opt t.entries key with
+      | Some e when not t.force_naive -> (
+        match find_demand e ~fn ~window_ns ~param with
+        | Some d ->
+          t.agg_hits <- t.agg_hits + 1;
+          demand_aggregate t e d ~window_ns ~param
+        | None ->
+          t.agg_misses <- t.agg_misses + 1;
+          naive_aggregate t ~key ~fn ~window_ns ~param)
+      | _ ->
         t.agg_misses <- t.agg_misses + 1;
-        naive_aggregate t ~key ~fn ~window_ns ~param)
-    | _ ->
-      t.agg_misses <- t.agg_misses + 1;
-      naive_aggregate t ~key ~fn ~window_ns ~param
+        naive_aggregate t ~key ~fn ~window_ns ~param
   in
   if tracing t then
     Gr_trace.Tracer.instant (Option.get t.tracer) ~cat:"store"

@@ -27,8 +27,65 @@
 
 type t
 
+(** {1 Scoped keys}
+
+    Keys are scoped. The flat string namespace every existing caller
+    uses is {e node-local sugar}: a plain key names state in this
+    store instance. A key carrying the canonical ["global::"] encoding
+    (what the DSL's [GLOBAL(key)] qualifier lowers to, see
+    {!Gr_dsl.Ast.global_key}) is routed to the fleet-wide tier set
+    with {!set_global_tier}. A standalone store is its own global
+    tier, so single-node behaviour is bit-for-bit unchanged. *)
+
+module Key : sig
+  type t = Node of int * string | Global of string
+
+  val of_id : node_id:int -> string -> t
+  (** Structured view of an encoded key, attributing plain keys to
+      [node_id]. *)
+
+  val id : t -> string
+  (** The encoded string form the store's flat API takes. *)
+
+  val node_id : t -> int option
+  (** [None] for global keys. *)
+
+  val to_string : t -> string
+  (** Display form: [node3::key] or [GLOBAL(key)] — what lint
+      diagnostics print when scoping matters. *)
+end
+
 val create : clock:(unit -> Gr_util.Time_ns.t) -> ?capacity_per_key:int -> unit -> t
 (** [capacity_per_key] defaults to 4096 samples. *)
+
+val node_id : t -> int
+(** Which fleet node this store shard belongs to; 0 for a standalone
+    store. *)
+
+val set_node_id : t -> int -> unit
+
+val set_global_tier : t -> t -> unit
+(** Route ["global::"]-scoped keys to the given fleet-tier store.
+    Saves, loads, demand registrations and aggregates on global keys
+    all forward there, and its {!on_save} subscribers see the save —
+    the cross-node signalling channel. Passing the store itself resets
+    to standalone behaviour. *)
+
+val global_tier : t -> t
+(** The store global keys resolve to; the store itself when
+    standalone. *)
+
+val set_shards : t -> t array -> unit
+(** Declare this store the fleet tier over the given node shards.
+    Plain keys then read as the {e merged} view: loads answer the
+    newest sample across all members, windowed aggregates fold every
+    member's streaming state with {!Merge.union}, and
+    {!window_samples} is the timestamp-sorted concatenation. The
+    store's own table still participates (member 0), so fleet-level
+    saves of plain keys stay visible. Register demands after the
+    shards are set so the registration fans out. *)
+
+val shards : t -> t array
 
 val set_tracer : t -> Gr_trace.Tracer.t -> unit
 (** Attach a tracer. When tracing is enabled, every SAVE emits a
@@ -39,6 +96,9 @@ val set_tracer : t -> Gr_trace.Tracer.t -> unit
     per-call — they are the hottest operation in the system and
     per-load events would be all volume, no signal; the per-check
     trace events already carry the VM's dynamic cost. *)
+
+val clear_tracer : t -> unit
+(** Detach the tracer; subsequent store activity is untraced. *)
 
 val save : t -> string -> float -> unit
 (** Appends a timestamped sample, updates the latest value and every
@@ -114,6 +174,50 @@ val window_samples : t -> key:string -> window_ns:float -> float array
 val samples_in_window : t -> key:string -> window_ns:float -> int
 (** How many samples a naive aggregate over this window would scan;
     O(log window) by binary search. *)
+
+(** {1 Cross-shard merge}
+
+    Fleet-wide aggregation composes per-shard streaming state instead
+    of re-scanning every shard: each shard {e exports} a mergeable
+    summary of one (key, fn, window, param) shape — the running
+    count/sum/sum-of-squares, the front of the monotonic deque, the
+    window head/tail, or the in-window value multiset for QUANTILE —
+    and the fleet tier folds them with {!Merge.union}. The merged
+    result is verified against the naive concat-and-scan oracle by the
+    equivalence property tests and the fleet soak. *)
+
+module Merge : sig
+  type state = {
+    count : int;
+    sum : float;
+    sumsq : float;
+    nans : int;  (** NaN samples in window; MIN/MAX answer NaN while > 0 *)
+    minv : float option;  (** min over non-NaN in-window samples *)
+    maxv : float option;
+    oldest : (Gr_util.Time_ns.t * float) option;
+    newest : (Gr_util.Time_ns.t * float) option;
+    samples : float array;  (** in-window values (QUANTILE exports only) *)
+  }
+
+  val empty : state
+  (** Unit of {!union}: the state of an empty window. *)
+
+  val union : state -> state -> state
+  (** Associative merge; the left argument is the earlier shard
+      position, which decides timestamp ties for DELTA's window
+      head/tail exactly like the stable merged-window sort. *)
+
+  val value : fn:Gr_dsl.Ast.agg -> window_ns:float -> param:float -> state -> float
+  (** The aggregate a merged state answers — same empty-window and NaN
+      semantics as {!aggregate}. *)
+end
+
+val export_state :
+  t -> key:string -> fn:Gr_dsl.Ast.agg -> window_ns:float -> param:float -> Merge.state
+(** One shard's mergeable summary for the shape, after lazy expiry —
+    O(1) amortized when the shape has a registered demand (QUANTILE
+    pays its in-window suffix), a window scan otherwise. On a
+    fleet-tier store this already folds all members. *)
 
 val on_save : t -> (string -> float -> unit) -> unit
 (** Global subscription used by the runtime's ON_CHANGE dispatch and

@@ -15,9 +15,11 @@ type monitor = {
   latency_hist : Stats.Histogram.t;
 }
 
-type t = { table : (string, monitor) Hashtbl.t }
+type t = { table : (string, monitor) Hashtbl.t; mutable node_id : int option }
 
-let create () = { table = Hashtbl.create 16 }
+let create () = { table = Hashtbl.create 16; node_id = None }
+let node_id t = t.node_id
+let set_node_id t id = t.node_id <- id
 
 (* Log-scale histogram over check costs: 0.1ns .. 10ms. *)
 let hist_lo = -1.
@@ -100,7 +102,11 @@ let monitor_to_json m : Json.t =
           ] );
     ]
 
-let to_json t : Json.t = Obj [ ("monitors", Arr (List.map monitor_to_json (monitors t))) ]
+let to_json t : Json.t =
+  let monitors_field = ("monitors", Json.Arr (List.map monitor_to_json (monitors t))) in
+  match t.node_id with
+  | None -> Obj [ monitors_field ]
+  | Some id -> Obj [ ("node", Num (float_of_int id)); monitors_field ]
 
 let pp fmt t =
   Format.fprintf fmt "%-28s %8s %10s %7s %12s %10s %10s %10s@\n" "monitor" "checks"

@@ -33,6 +33,12 @@ type t
 
 val create : unit -> t
 
+val node_id : t -> int option
+val set_node_id : t -> int option -> unit
+(** Fleet provenance: which node this registry belongs to. [None]
+    (the default, and the only value in single-node deployments)
+    leaves {!to_json} output exactly as before. *)
+
 val monitor : t -> string -> monitor
 (** Find-or-create by monitor name. *)
 
@@ -53,7 +59,8 @@ val latency_quantile : monitor -> float -> float
 val to_json : t -> Json.t
 (** [{"monitors":[{name, checks, violations, fires, vm_cost_ns, ...,
     latency_ns:{mean,min,max,p50,p90,p99}}]}]. Field order is fixed,
-    so the output is deterministic. *)
+    so the output is deterministic. When a node id is set, a leading
+    ["node"] field identifies the shard. *)
 
 val pp : Format.formatter -> t -> unit
 (** Summary table, one row per monitor. *)

@@ -4,16 +4,20 @@ type t = {
   reports : Sink.t;
   metrics : Metrics.t;
   mutable enabled : bool;
+  mutable node_id : int option;
 }
 
 let create ~clock ?(capacity = 65536) ?(report_capacity = 16384) ?overflow ?(enabled = false)
-    () =
+    ?node_id () =
+  let metrics = Metrics.create () in
+  Metrics.set_node_id metrics node_id;
   {
     clock;
     events = Sink.create ~capacity ?overflow ();
     reports = Sink.create ~capacity:report_capacity ?overflow ();
-    metrics = Metrics.create ();
+    metrics;
     enabled;
+    node_id;
   }
 
 let enabled t = t.enabled
@@ -22,9 +26,26 @@ let clock t = t.clock
 let events t = t.events
 let reports t = t.reports
 let metrics t = t.metrics
+let node_id t = t.node_id
+
+let set_node_id t id =
+  t.node_id <- id;
+  Metrics.set_node_id t.metrics id
+
+(* Fleet provenance: when the tracer belongs to a node, every event's
+   args carry the node id, so merged fleet traces stay attributable.
+   Standalone tracers (no node id) emit exactly what they always did. *)
+let tag t args =
+  match t.node_id with
+  | None -> args
+  | Some id -> (
+    let nd = ("node", Event.Int id) in
+    match args with None -> Some [ nd ] | Some l -> Some (l @ [ nd ]))
 
 let emit t ?dur_ns ?args ~cat ~ph name =
-  if t.enabled then Sink.emit t.events (Event.make ~ts:(t.clock ()) ?dur_ns ?args ~cat ~ph name)
+  if t.enabled then
+    Sink.emit t.events
+      (Event.make ~ts:(t.clock ()) ?dur_ns ?args:(tag t args) ~cat ~ph name)
 
 let instant t ~cat ?args name = emit t ?args ~cat ~ph:Event.Instant name
 
@@ -45,4 +66,5 @@ let with_span t ~cat ?args name f =
   end
 
 let report t ?args name =
-  Sink.emit t.reports (Event.make ~ts:(t.clock ()) ?args ~cat:"report" ~ph:Event.Instant name)
+  Sink.emit t.reports
+    (Event.make ~ts:(t.clock ()) ?args:(tag t args) ~cat:"report" ~ph:Event.Instant name)

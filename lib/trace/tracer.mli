@@ -26,12 +26,18 @@ val create :
   ?report_capacity:int ->
   ?overflow:Sink.overflow ->
   ?enabled:bool ->
+  ?node_id:int ->
   unit ->
   t
 (** [capacity] (default 65536) sizes the event sink,
     [report_capacity] (default 16384) the report sink. [enabled]
     defaults to [false]: metrics and reports flow, trace events do
-    not. *)
+    not. [node_id], when given, tags every emitted event and report
+    with a trailing [("node", Int id)] argument and stamps the
+    metrics registry — fleet runs use it so merged traces stay
+    attributable to the shard that produced them. Without it the
+    output is byte-identical to what single-node deployments always
+    emitted. *)
 
 val enabled : t -> bool
 val set_enabled : t -> bool -> unit
@@ -40,6 +46,11 @@ val clock : t -> unit -> Gr_util.Time_ns.t
 val events : t -> Sink.t
 val reports : t -> Sink.t
 val metrics : t -> Metrics.t
+
+val node_id : t -> int option
+val set_node_id : t -> int option -> unit
+(** Change the fleet provenance tag after creation (also restamps the
+    metrics registry). Events already in the sinks are unaffected. *)
 
 (* Emitters; all no-ops when disabled except [report]. *)
 

@@ -5,7 +5,12 @@ open Gr_dsl.Ast
 
 let pos = { line = 1; col = 1 }
 
-let key_gen = QCheck2.Gen.oneofl [ "lat"; "rate"; "depth"; "err"; "load_avg" ]
+(* Scoped keys ride along in every generator: GLOBAL(...) parses to
+   its canonical [Ast.global_key] encoding, so the round-trip and
+   compiler-equivalence properties cover fleet-scoped keys for free. *)
+let key_gen =
+  QCheck2.Gen.oneofl
+    [ "lat"; "rate"; "depth"; "err"; "load_avg"; global_key "lat"; global_key "pressure" ]
 
 let small_float =
   (* Closed set of well-behaved literals: round-trips through the
@@ -125,6 +130,39 @@ let guardrail_gen =
     (list_size (int_range 1 3) trigger_gen)
     (list_size (int_range 1 3) expr_gen)
     (list_size (int_range 1 3) action_gen)
+
+(* Rewrite every key of a guardrail to its GLOBAL form — the
+   all-global extreme of the scoped-key round-trip property. *)
+let globalize_guardrail g =
+  let gk k = if is_global_key k then k else global_key k in
+  let rec globalize (e : expr located) =
+    at e.pos
+      (match e.node with
+      | (Number _ | Bool _) as n -> n
+      | Load k -> Load (gk k)
+      | Unop (op, sub) -> Unop (op, globalize sub)
+      | Binop (op, l, r) -> Binop (op, globalize l, globalize r)
+      | Agg a -> Agg { a with key = gk a.key })
+  in
+  {
+    g with
+    triggers =
+      List.map
+        (fun (t : trigger located) ->
+          at t.pos
+            (match t.node with On_change k -> On_change (gk k) | other -> other))
+        g.triggers;
+    rules = List.map globalize g.rules;
+    actions =
+      List.map
+        (fun (a : action located) ->
+          at a.pos
+            (match a.node with
+            | Report r -> Report { r with keys = List.map gk r.keys }
+            | Save s -> Save { s with key = gk s.key }
+            | other -> other))
+        g.actions;
+  }
 
 let strip_guardrail g =
   {

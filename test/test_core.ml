@@ -117,6 +117,138 @@ let test_engine_report () =
   check_bool "report flags the violation state" true (contains "VIOLATED");
   check_bool "report lists recent violations" true (contains "v")
 
+(* ---------- Tracer ownership ---------- *)
+
+(* Run [f] with a reporter that counts warning-level log lines. *)
+let count_warnings f =
+  let warns = ref 0 in
+  let prev_level = Logs.level () in
+  Logs.set_level (Some Logs.Warning);
+  Logs.set_reporter
+    {
+      Logs.report =
+        (fun _src level ~over k msgf ->
+          if level = Logs.Warning then incr warns;
+          msgf (fun ?header:_ ?tags:_ fmt ->
+              Format.ikfprintf
+                (fun _ ->
+                  over ();
+                  k ())
+                Format.str_formatter fmt));
+    };
+  Fun.protect
+    ~finally:(fun () ->
+      Logs.set_reporter Logs.nop_reporter;
+      Logs.set_level prev_level)
+    (fun () ->
+      let r = f () in
+      (r, !warns))
+
+let test_tracer_takeover_and_reattach () =
+  let kernel = Gr_kernel.Kernel.create ~seed:3 in
+  let d1 = Guardrails.Deployment.create ~kernel ~tracing:true () in
+  check_bool "first deployment owns the channels" true (Guardrails.Deployment.owns_tracer d1);
+  (* A second deployment on the same kernel takes the channels over —
+     loudly, not silently. *)
+  let d2, warns =
+    count_warnings (fun () -> Guardrails.Deployment.create ~kernel ~tracing:true ())
+  in
+  check_bool "takeover warned" true (warns > 0);
+  check_bool "second owns after takeover" true (Guardrails.Deployment.owns_tracer d2);
+  check_bool "first dispossessed" false (Guardrails.Deployment.owns_tracer d1);
+  (* Ownership is explicit and reversible: attach the first back. *)
+  let (), rewarns = count_warnings (fun () -> Guardrails.Deployment.attach_tracer d1) in
+  check_bool "reattach is a takeover too, and warns" true (rewarns > 0);
+  check_bool "first owns again" true (Guardrails.Deployment.owns_tracer d1);
+  check_bool "second lost ownership" false (Guardrails.Deployment.owns_tracer d2);
+  (* Detach only clears channels the detaching deployment owns. *)
+  Guardrails.Deployment.detach_tracer d2;
+  check_bool "non-owner detach leaves the owner alone" true (Guardrails.Deployment.owns_tracer d1);
+  Guardrails.Deployment.detach_tracer d1;
+  check_bool "owner detach clears the channels" false (Guardrails.Deployment.owns_tracer d1)
+
+(* ---------- Fleet ---------- *)
+
+let test_fleet_scoped_views () =
+  let fleet = Guardrails.Fleet.create ~nodes:3 ~seed:7 () in
+  let node_store i = Guardrails.Node.store (Guardrails.Fleet.node fleet i) in
+  (* The same key name on different nodes stays distinct per shard... *)
+  Array.iteri
+    (fun i n -> Guardrails.Store.save (Guardrails.Node.store n) "lat" (float_of_int (10 * (i + 1))))
+    (Guardrails.Fleet.nodes fleet);
+  let agg st fn = Guardrails.Store.aggregate st ~key:"lat" ~fn ~window_ns:1e9 ~param:0. in
+  Alcotest.(check (float 1e-9)) "node 0 sees only its own value" 10.
+    (Guardrails.Store.load (node_store 0) "lat");
+  Alcotest.(check (float 1e-9)) "node shard holds one sample" 1.
+    (agg (node_store 1) Gr_dsl.Ast.Count);
+  (* ...while the fleet store presents the merged all-shards view. *)
+  let fs = Guardrails.Fleet.store fleet in
+  Alcotest.(check (float 1e-9)) "fleet merged count" 3. (agg fs Gr_dsl.Ast.Count);
+  Alcotest.(check (float 1e-9)) "fleet merged sum" 60. (agg fs Gr_dsl.Ast.Sum);
+  Alcotest.(check (float 1e-9)) "fleet merged max" 30. (agg fs Gr_dsl.Ast.Max);
+  (* GLOBAL(key) is one value, visible from every member. *)
+  Guardrails.Fleet.save_global fleet "pressure" 7.;
+  Alcotest.(check (float 1e-9)) "global readable at the fleet tier" 7.
+    (Guardrails.Fleet.load_global fleet "pressure");
+  Alcotest.(check (float 1e-9)) "global readable from a node shard" 7.
+    (Guardrails.Store.load (node_store 2) (Gr_dsl.Ast.global_key "pressure"))
+
+let test_fleet_global_on_change () =
+  let fleet = Guardrails.Fleet.create ~nodes:2 ~seed:7 () in
+  let src =
+    {|guardrail pressure-watch { trigger: { ON_CHANGE(GLOBAL(pressure)) } rule: { LOAD(GLOBAL(pressure)) < 1 } action: { REPORT("pressure", GLOBAL(pressure)) } }|}
+  in
+  let node_handles =
+    Array.map
+      (fun n -> List.hd (Guardrails.Node.install_source_exn n src))
+      (Guardrails.Fleet.nodes fleet)
+  in
+  let fleet_handle = List.hd (Guardrails.Fleet.install_source_exn fleet src) in
+  (* One global save wakes the ON_CHANGE monitors on the control
+     engine AND on every node engine. *)
+  Guardrails.Fleet.save_global fleet "pressure" 5.;
+  Array.iteri
+    (fun i n ->
+      check_bool
+        (Printf.sprintf "node %d monitor woke on the global save" i)
+        true
+        ((Engine.Stats.get (Guardrails.Node.engine n) node_handles.(i)).violations > 0))
+    (Guardrails.Fleet.nodes fleet);
+  check_bool "fleet monitor fired too" true
+    ((Engine.Stats.get (Guardrails.Fleet.engine fleet) fleet_handle).violations > 0)
+
+let test_fleet_canary_replace_and_retrain_once () =
+  let fleet = Guardrails.Fleet.create ~nodes:3 ~seed:7 () in
+  let replaced = Array.make 3 0 and retrained = Array.make 3 0 in
+  Array.iteri
+    (fun i n ->
+      Gr_kernel.Kernel.register_policy (Guardrails.Node.kernel n) ~name:"p"
+        ~replace:(fun () -> replaced.(i) <- replaced.(i) + 1)
+        ~restore:(fun () -> ())
+        ~retrain:(fun () -> retrained.(i) <- retrained.(i) + 1)
+        ())
+    (Guardrails.Fleet.nodes fleet);
+  Guardrails.Fleet.set_canary fleet ~policy:"p" [ 1 ];
+  ignore
+    (Guardrails.Fleet.install_source_exn fleet
+       {|guardrail g { trigger: { TIMER(0, 10ms, 15ms) } rule: { LOAD(healthy) == 1 } action: { REPLACE("p"); RETRAIN("p") } }|}
+      : Engine.handle list);
+  Guardrails.Fleet.run_until fleet (Time_ns.ms 30);
+  (* TIMER(0, 10ms, 15ms) fires at 0 and 10ms: two canaried REPLACEs,
+     delivered to node 1 only. *)
+  check_int "canary node replaced twice" 2 replaced.(1);
+  check_int "node 0 untouched" 0 replaced.(0);
+  check_int "node 2 untouched" 0 replaced.(2);
+  check_int "per-node deliveries counted" 2 (Guardrails.Fleet.replaces fleet);
+  (* RETRAIN is async (retrain_delay) and global: it trains once, on
+     the lowest-id owner, and pushes the model to the other owners. *)
+  check_int "no retrain yet" 0 (retrained.(0) + retrained.(1) + retrained.(2));
+  Guardrails.Fleet.run_until fleet (Time_ns.ms 100);
+  check_int "trainer is node 0" 1 retrained.(0);
+  check_int "others get pushes, not retrains" 0 (retrained.(1) + retrained.(2));
+  check_int "one global retrain round" 1 (Guardrails.Fleet.retrains fleet);
+  check_int "model pushed to the two other owners" 2 (Guardrails.Fleet.model_pushes fleet)
+
 (* ---------- Autotune ---------- *)
 
 let autotune_source ~hi =
@@ -190,6 +322,16 @@ let suite =
         Alcotest.test_case "derive_window_avg" `Quick test_derive_window_avg;
         Alcotest.test_case "shipped specs compile" `Quick test_shipped_specs_compile;
         Alcotest.test_case "engine report" `Quick test_engine_report;
+        Alcotest.test_case "tracer takeover and reattach" `Quick
+          test_tracer_takeover_and_reattach;
+      ] );
+    ( "core.fleet",
+      [
+        Alcotest.test_case "scoped store views" `Quick test_fleet_scoped_views;
+        Alcotest.test_case "global on-change wakes every engine" `Quick
+          test_fleet_global_on_change;
+        Alcotest.test_case "canaried replace, retrain-once" `Quick
+          test_fleet_canary_replace_and_retrain_once;
       ] );
     ( "core.autotune",
       [

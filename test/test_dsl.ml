@@ -335,6 +335,43 @@ let guardrail_roundtrip_property =
       | Ok [ g2 ] -> Gen.strip_guardrail g2 = Gen.strip_guardrail g
       | Ok _ -> false)
 
+let global_guardrail_roundtrip_property =
+  QCheck2.Test.make ~name:"print/parse round-trip preserves all-GLOBAL guardrails" ~count:200
+    QCheck2.Gen.(map Gen.globalize_guardrail Gen.guardrail_gen)
+    (fun g ->
+      let printed = Pretty.spec_to_string [ g ] in
+      match Parser.parse printed with
+      | Error _ -> false
+      | Ok [ g2 ] -> Gen.strip_guardrail g2 = Gen.strip_guardrail g
+      | Ok _ -> false)
+
+let test_global_key_syntax () =
+  let spec =
+    parse_ok
+      {|guardrail g {
+          trigger: { ON_CHANGE(GLOBAL(pressure)) },
+          rule: { LOAD(GLOBAL(pressure)) <= AVG(lat, 1s) },
+          action: { SAVE(GLOBAL(alarm), 1) REPORT("over", GLOBAL(pressure), lat) }
+        }|}
+  in
+  let g = List.hd spec in
+  (match (List.hd g.Ast.triggers).Ast.node with
+  | Ast.On_change k ->
+    Alcotest.(check bool) "trigger key is global" true (Ast.is_global_key k);
+    Alcotest.(check string) "local name survives" "pressure" (Ast.local_name k)
+  | _ -> Alcotest.fail "expected ON_CHANGE trigger");
+  let printed = Pretty.spec_to_string spec in
+  Alcotest.(check bool)
+    "pretty restores GLOBAL(...) surface syntax" true
+    (let contains s sub =
+       let n = String.length sub in
+       let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+       go 0
+     in
+     contains printed "GLOBAL(pressure)" && contains printed "GLOBAL(alarm)");
+  Alcotest.(check string) "round-trips" printed
+    (Pretty.spec_to_string (parse_ok printed))
+
 let folding_preserves_types =
   QCheck2.Test.make ~name:"const_fold preserves well-typedness" ~count:300 Gen.expr_gen
     (fun e ->
@@ -385,7 +422,9 @@ let suite =
     ( "dsl.pretty",
       [
         Alcotest.test_case "Listing 2 round-trip" `Quick test_listing2_roundtrip;
+        Alcotest.test_case "GLOBAL key syntax" `Quick test_global_key_syntax;
         QCheck_alcotest.to_alcotest roundtrip_property;
         QCheck_alcotest.to_alcotest guardrail_roundtrip_property;
+        QCheck_alcotest.to_alcotest global_guardrail_roundtrip_property;
       ] );
   ]

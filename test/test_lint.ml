@@ -122,6 +122,42 @@ let test_hook_budget =
        of 4 monitor(s) (p50-watch, p70-watch, p90-watch, p99-watch) exceeds the 500ns budget";
     ]
 
+(* ---------- Fleet scoping (grc lint --fleet) ---------- *)
+
+let compile_src src =
+  let spec = Parser.parse_exn src in
+  (match Typecheck.check_spec spec with
+  | Ok () -> ()
+  | Error errs ->
+    Alcotest.failf "inline spec: %s"
+      (String.concat "; " (List.map (fun e -> Format.asprintf "%a" Typecheck.pp_error e) errs)));
+  List.map Opt.optimize_monitor (Lower.spec spec)
+
+let test_fleet_qualify_unconflates () =
+  let node name key =
+    Printf.sprintf
+      {|guardrail %s { trigger: { TIMER(0, 1s) } rule: { LOAD(pending) <= 10 } action: { SAVE(%s, 1) } }|}
+      name key
+  in
+  (* Two nodes shipping near-identical specs: analysed flat, lint sees
+     one "io_limit" cell written by both monitors. *)
+  let a = compile_src (node "ga" "io_limit") and b = compile_src (node "gb" "io_limit") in
+  check_bool "unscoped same-named keys conflict (GRL102)" true
+    (List.exists (fun (d : Diagnostic.t) -> d.code = "GRL102") (Analyze.deployment (a @ b)));
+  (* --fleet qualifies node-local keys per file: the writes land on
+     distinct per-node cells and the conflict disappears. *)
+  let qualify id = List.map (Gr_compiler.Monitor.qualify ~node_id:id) in
+  check_strings "node-qualified keys do not collide" []
+    (List.map Diagnostic.to_string (Analyze.deployment (qualify 0 a @ qualify 1 b)));
+  (* GLOBAL keys name one shared cell, so they must keep conflicting
+     even across node-qualified deployments. *)
+  let ag = compile_src (node "ga" "GLOBAL(io_limit)")
+  and bg = compile_src (node "gb" "GLOBAL(io_limit)") in
+  check_bool "global keys still conflict across nodes" true
+    (List.exists
+       (fun (d : Diagnostic.t) -> d.code = "GRL102")
+       (Analyze.deployment (qualify 0 ag @ qualify 1 bg)))
+
 let test_hook_budget_configurable () =
   let diags = lint_bad ~config:{ Analyze.hook_budget_ns = 10_000. } "hook_budget.grd" in
   check_strings "raised budget silences GRL105" [] (List.map Diagnostic.to_string diags)
@@ -241,7 +277,11 @@ let suite =
         Alcotest.test_case "hook budget is configurable" `Quick test_hook_budget_configurable;
       ] );
     ( "lint.deployment",
-      [ Alcotest.test_case "shipped specs stay clean" `Quick test_shipped_specs_clean ] );
+      [
+        Alcotest.test_case "shipped specs stay clean" `Quick test_shipped_specs_clean;
+        Alcotest.test_case "fleet scoping unconflates node keys" `Quick
+          test_fleet_qualify_unconflates;
+      ] );
     ( "lint.json",
       [
         Alcotest.test_case "diagnostics round-trip" `Quick test_json_round_trip;

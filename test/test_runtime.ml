@@ -266,6 +266,122 @@ let test_incremental_amortized_scan_cost () =
   (* ...and the next is O(1) again. *)
   check_int "then O(1) again" 0 (agg ()).Store.scanned
 
+(* ---------- Fleet-tier merged aggregation ---------- *)
+
+let make_fleet_store ~capacity ~shards:n =
+  let clock = ref 0 in
+  let mk () = Store.create ~clock:(fun () -> !clock) ~capacity_per_key:capacity () in
+  let fleet = mk () in
+  let shards = Array.init n (fun _ -> mk ()) in
+  Store.set_shards fleet shards;
+  Array.iter (fun s -> Store.set_global_tier s fleet) shards;
+  (clock, fleet, shards)
+
+(* The fleet analogue of [incremental_equivalence_property]: saves land
+   on random shards, and every read of the fleet store — which merges
+   the shards' exported streaming states — must agree with the naive
+   concat-and-scan oracle over the same retained samples. Small
+   capacities force ring eviction at shard boundaries; advances beyond
+   the window force retirement. *)
+let merge_equivalence_property =
+  let open QCheck2.Gen in
+  let op =
+    frequency
+      [
+        (4, map2 (fun i v -> `Save (i, v)) (int_range 0 3) (float_bound_inclusive 100.));
+        (3, map (fun dt -> `Advance dt) (int_range 0 700_000_000));
+        (2, pure `Check);
+      ]
+  in
+  let gen =
+    pair
+      (quad (oneofl all_aggs) (float_range 0.05 0.95) (oneofl [ 4; 16; 4096 ]) (int_range 2 4))
+      (list_size (int_range 1 120) op)
+  in
+  QCheck2.Test.make ~name:"merged shard aggregates match naive concat-and-scan" ~count:300 gen
+    (fun ((fn, param, capacity, n), ops) ->
+      let param = if fn = Gr_dsl.Ast.Quantile then param else 0. in
+      let clock, fleet, shards = make_fleet_store ~capacity ~shards:n in
+      let window_ns = 1e9 in
+      Store.register_demand fleet ~key:"k" ~fn ~window_ns ~param;
+      let ok = ref true in
+      let check () =
+        let merged = Store.aggregate_result fleet ~key:"k" ~fn ~window_ns ~param in
+        if not merged.Store.incremental then ok := false;
+        Store.set_force_naive fleet true;
+        let naive = Store.aggregate fleet ~key:"k" ~fn ~window_ns ~param in
+        Store.set_force_naive fleet false;
+        if not (agg_close fn merged.Store.value naive) then ok := false
+      in
+      List.iter
+        (function
+          | `Save (i, v) -> Store.save shards.(i mod n) "k" v
+          | `Advance dt -> clock := !clock + dt
+          | `Check -> check ())
+        ops;
+      check ();
+      !ok)
+
+let test_merge_union_laws () =
+  let clock, fleet, shards = make_fleet_store ~capacity:4096 ~shards:3 in
+  (* Integer-valued samples at distinct timestamps: float sums are
+     exact, so unit and associativity hold structurally, not just up
+     to rounding. *)
+  let feed i vals =
+    List.iteri
+      (fun j v ->
+        clock := (i * 100) + j + 1;
+        Store.save shards.(i) "k" v)
+      vals
+  in
+  feed 0 [ 4.; 9. ];
+  feed 1 [ 1. ];
+  feed 2 [ 7.; 2.; 5. ];
+  clock := 1_000;
+  let window_ns = 1e9 in
+  List.iter
+    (fun fn ->
+      let param = if fn = Gr_dsl.Ast.Quantile then 0.5 else 0. in
+      let export s = Store.export_state s ~key:"k" ~fn ~window_ns ~param in
+      let a = export shards.(0) and b = export shards.(1) and c = export shards.(2) in
+      let open Store.Merge in
+      check_bool "empty is a left unit" true (union empty a = a);
+      check_bool "empty is a right unit" true (union a empty = a);
+      check_bool "union associates" true (union (union a b) c = union a (union b c));
+      let folded = List.fold_left union empty [ a; b; c ] in
+      Store.set_force_naive fleet true;
+      let naive = Store.aggregate fleet ~key:"k" ~fn ~window_ns ~param in
+      Store.set_force_naive fleet false;
+      check_bool "folded value = naive concat-and-scan" true
+        (agg_close fn (value ~fn ~window_ns ~param folded) naive))
+    all_aggs
+
+let test_merge_shard_boundary_eviction () =
+  (* Capacity 2 per key: shard 0's oldest samples are ring-evicted
+     while shard 1 keeps sparse old ones — the merged window must
+     reflect exactly the union of what each shard actually retains. *)
+  let clock, fleet, shards = make_fleet_store ~capacity:2 ~shards:2 in
+  Store.register_demand fleet ~key:"k" ~fn:Gr_dsl.Ast.Sum ~window_ns:1e9 ~param:0.;
+  Store.register_demand fleet ~key:"k" ~fn:Gr_dsl.Ast.Delta ~window_ns:1e9 ~param:0.;
+  clock := 10;
+  Store.save shards.(1) "k" 100.;
+  List.iteri
+    (fun i v ->
+      clock := 20 + i;
+      Store.save shards.(0) "k" v)
+    [ 1.; 2.; 3.; 4. ];
+  (* Shard 0 retains only [3.; 4.]; shard 1 retains [100.]. *)
+  check_float "sum over retained union" 107.
+    (Store.aggregate fleet ~key:"k" ~fn:Gr_dsl.Ast.Sum ~window_ns:1e9 ~param:0.);
+  check_float "delta spans shards (oldest on shard 1)" (-96.)
+    (Store.aggregate fleet ~key:"k" ~fn:Gr_dsl.Ast.Delta ~window_ns:1e9 ~param:0.);
+  (* Retire shard 1's sample by time: the window head moves to shard 0. *)
+  clock := 1_000_000_021;
+  check_float "sum after cross-shard retirement" 7.
+    (Store.aggregate fleet ~key:"k" ~fn:Gr_dsl.Ast.Sum ~window_ns:1e9 ~param:0.);
+  check_float "delta after cross-shard retirement" 1.
+    (Store.aggregate fleet ~key:"k" ~fn:Gr_dsl.Ast.Delta ~window_ns:1e9 ~param:0.)
+
 (* ---------- VM ---------- *)
 
 let compile_rule src =
@@ -650,6 +766,12 @@ let suite =
           test_incremental_registration_replays;
         Alcotest.test_case "demand refcounting" `Quick test_incremental_refcounting;
         Alcotest.test_case "amortized scan cost" `Quick test_incremental_amortized_scan_cost;
+      ] );
+    ( "runtime.store.merge",
+      [
+        QCheck_alcotest.to_alcotest merge_equivalence_property;
+        Alcotest.test_case "union laws" `Quick test_merge_union_laws;
+        Alcotest.test_case "shard-boundary eviction" `Quick test_merge_shard_boundary_eviction;
       ] );
     ( "runtime.vm",
       [

@@ -70,6 +70,28 @@ let test_tracer_gating () =
   Tracer.with_span tr ~cat:"test" "span" (fun () -> ());
   check_int "enabled tracer records (instant + B + E)" 3 (Sink.length (Tracer.events tr))
 
+let test_tracer_node_tagging () =
+  let tr = Tracer.create ~clock:(fun () -> 0) ~node_id:2 () in
+  Tracer.set_enabled tr true;
+  Tracer.instant tr ~cat:"test" ~args:[ ("x", Event.Float 1.) ] "tagged";
+  Tracer.instant tr ~cat:"test" "tagged-bare";
+  (match Sink.to_list (Tracer.events tr) with
+  | [ a; b ] ->
+    check_bool "node id appended to existing args" true
+      (a.Event.args = [ ("x", Event.Float 1.); ("node", Event.Int 2) ]);
+    check_bool "node id materializes args when absent" true
+      (b.Event.args = [ ("node", Event.Int 2) ])
+  | l -> Alcotest.failf "expected 2 events, got %d" (List.length l));
+  (* Metrics inherit the tag and surface it as a leading JSON field;
+     an untagged tracer's output shape is unchanged. *)
+  (match Metrics.to_json (Tracer.metrics tr) with
+  | Json.Obj (("node", Json.Num 2.) :: _) -> ()
+  | _ -> Alcotest.fail "metrics json must lead with the node field");
+  let untagged = Tracer.create ~clock:(fun () -> 0) () in
+  match Metrics.to_json (Tracer.metrics untagged) with
+  | Json.Obj [ ("monitors", _) ] -> ()
+  | _ -> Alcotest.fail "untagged metrics json shape must be unchanged"
+
 (* ---------- Exporter round-trip ---------- *)
 
 (* Durations are chosen integral-in-microseconds so the ns -> us -> ns
@@ -233,6 +255,7 @@ let suite =
     ( "trace.tracer",
       [
         Alcotest.test_case "gating" `Quick test_tracer_gating;
+        Alcotest.test_case "node tagging" `Quick test_tracer_node_tagging;
         Alcotest.test_case "deterministic under fixed seed" `Quick test_trace_determinism;
       ] );
     ( "trace.export",
