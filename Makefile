@@ -1,4 +1,4 @@
-.PHONY: all build test fmt fmt-check lint bench bench-smoke soak-smoke fleet-smoke examples-run ci
+.PHONY: all build test fmt fmt-check lint bench bench-smoke soak-smoke fleet-smoke obs-smoke examples-run ci
 
 all: build
 
@@ -45,6 +45,13 @@ fleet-smoke:
 	dune exec bench/main.exe -- fleet
 	dune exec bin/grc.exe -- soak --scenario fleet --nodes 4 --runs 3 --duration 0.5
 
+# Observability smoke (docs/OBSERVABILITY.md): traced quickstart whose
+# t=3s REPORT `grc explain` must walk back to its sim dispatch, plus
+# golden-diffed OpenMetrics expositions from `grc run --metrics`
+# (single-node and 2-node fleet; host-time lines filtered).
+obs-smoke: build
+	sh scripts/obs_smoke.sh
+
 # Compile and run every file in examples/ end to end.
 examples-run:
 	dune build @examples-run
@@ -56,4 +63,5 @@ ci: fmt-check
 	$(MAKE) bench-smoke
 	$(MAKE) soak-smoke
 	$(MAKE) fleet-smoke
+	$(MAKE) obs-smoke
 	$(MAKE) examples-run

@@ -130,6 +130,28 @@ let monitors_json deployment =
   | Json.Obj [ ("monitors", monitors) ] -> monitors
   | other -> other
 
+(* The scale sweeps install N copies of one spec, so their N
+   per-monitor rows are identical except the name; collapse that case
+   to a single aggregate row carrying a count, which keeps
+   BENCH_scale.json readable at monitors=1000 instead of repeating
+   the same metrics a thousand times. Any real divergence between
+   monitors falls back to the full per-monitor list. *)
+let compact_monitors_json deployment =
+  match monitors_json deployment with
+  | Json.Arr (first :: _ :: _ as l) -> (
+    let strip = function
+      | Json.Obj fields -> Json.Obj (List.filter (fun (k, _) -> k <> "name") fields)
+      | j -> j
+    in
+    let f0 = strip first in
+    if List.for_all (fun m -> Json.equal (strip m) f0) l then
+      match f0 with
+      | Json.Obj fields ->
+        Json.Arr [ Json.Obj (("count", Num (float_of_int (List.length l))) :: fields) ]
+      | _ -> Json.Arr l
+    else Json.Arr l)
+  | other -> other
+
 let json_num x : Json.t = if Float.is_finite x then Num x else Null
 let json_int i : Json.t = Num (float_of_int i)
 

@@ -15,6 +15,7 @@
      incremental  Ablation D: incremental deployment
      compile-stats Ablation E: compiler statistics over specs/
      scale        Ablation F: monitor-count scalability (incl. fleet sweep)
+     obs          Ablation G: observability self-overhead (provenance, metrics)
      agg          Ablation G: naive vs incremental window aggregation
      fleet        Ablation H: fleet-wide merged aggregation + canary
      soak         Chaos soak: fault injection vs guardrail invariants
@@ -39,6 +40,7 @@ let experiments : (string * (json:bool -> unit)) list =
     ("incremental", fun ~json:_ -> Incremental.run ());
     ("compile-stats", fun ~json:_ -> Compile_stats.run ());
     ("scale", Scale.run);
+    ("obs", Obs.run);
     ("agg", Agg.run);
     ("fleet", Fleet_bench.run);
     ("soak", Soak.run);

@@ -33,7 +33,7 @@ let run_with ~monitors =
   ( Guardrails.Engine.Stats.total_checks engine,
     Guardrails.Engine.Stats.total_overhead_ns engine,
     wall,
-    Common.monitors_json rig.deployment )
+    Common.compact_monitors_json rig.deployment )
 
 let monitor_counts () = if !Common.smoke then [ 1; 10 ] else [ 1; 10; 50; 200; 1000 ]
 
@@ -69,7 +69,7 @@ let run_fleet_with ~nodes ~monitors =
   ( Guardrails.Engine.Stats.total_checks engine,
     Guardrails.Engine.Stats.total_overhead_ns engine,
     wall,
-    Common.monitors_json (Guardrails.Fleet.control fleet) )
+    Common.compact_monitors_json (Guardrails.Fleet.control fleet) )
 
 let fleet_counts () =
   let nodes = if !Common.smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ] in

@@ -10,7 +10,11 @@
      grc fmt     FILE     parse and pretty-print canonical form
      grc run     FILE     install against an idle simulated kernel and run;
                           report per-monitor telemetry, optionally export a
-                          Chrome trace_event file *)
+                          Chrome trace_event file (--trace) and an
+                          OpenMetrics text exposition (--metrics)
+     grc explain TRACE    reconstruct the causal chain behind a decision
+                          from a trace: dispatch -> hook -> check -> actions,
+                          with rule disassembly and input provenance *)
 
 open Cmdliner
 
@@ -280,12 +284,34 @@ let load_spec_source path =
         | Error [] | Ok () -> Ok src))
 
 let run_cmd =
-  let run path until seed trace_out nodes =
+  (* Post-run telemetry plumbing shared by the single-node and fleet
+     paths: the OpenMetrics exposition, the dropped-report warning
+     and the --strict-drops exit-code contract. *)
+  let finish ~tracers ~metrics_out ~strict_drops ok_code =
+    (match metrics_out with
+    | Some out ->
+      Guardrails.Trace_export.write_openmetrics ~path:out tracers;
+      Format.printf "OpenMetrics telemetry written to %s@." out
+    | None -> ());
+    let dropped_reports =
+      List.fold_left
+        (fun acc tr -> acc + Guardrails.Trace_sink.dropped (Guardrails.Trace.reports tr))
+        0 tracers
+    in
+    if dropped_reports > 0 then
+      Printf.eprintf
+        "grc run: warning: %d report event(s) dropped by the bounded report sink; raise its \
+         capacity or drain it more often\n"
+        dropped_reports;
+    if strict_drops && dropped_reports > 0 then 1 else ok_code
+  in
+  let run path until seed trace_out nodes metrics_out strict_drops =
     if nodes < 1 then begin
       prerr_endline "grc run: --nodes must be positive";
       2
     end
-    else
+    else begin
+      if Option.is_some metrics_out then Guardrails.Selfcost.set_enabled true;
       match load_spec_source path with
       | Error msg ->
         prerr_endline msg;
@@ -310,7 +336,9 @@ let run_cmd =
           Guardrails.Deployment.write_chrome_trace d ~path:out;
           Format.printf "Chrome trace written to %s (open at chrome://tracing)@." out
         | None -> ());
-        0)
+        finish
+          ~tracers:[ Guardrails.Deployment.tracer d ]
+          ~metrics_out ~strict_drops 0)
       | Ok src -> (
         let fleet =
           Guardrails.Fleet.create ~nodes ~seed ~tracing:(Option.is_some trace_out) ()
@@ -332,7 +360,12 @@ let run_cmd =
               ~path:out;
             Format.printf "Chrome trace written to %s (open at chrome://tracing)@." out
           | None -> ());
-          0)
+          let tracers =
+            Guardrails.Fleet.tracer fleet
+            :: Array.to_list (Array.map Guardrails.Node.tracer (Guardrails.Fleet.nodes fleet))
+          in
+          finish ~tracers ~metrics_out ~strict_drops 0)
+    end
   in
   let until =
     Arg.(
@@ -359,12 +392,131 @@ let run_cmd =
     Arg.(
       required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Guardrail source file.")
   in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"OUT.prom"
+          ~doc:
+            "Write the post-run telemetry as an OpenMetrics/Prometheus text exposition: \
+             per-monitor counters and latency summaries (per-node labels and fleet rollups \
+             under --nodes), trace-channel accounting, and the observability plane's own \
+             self-overhead counters.")
+  in
+  let strict_drops =
+    Arg.(
+      value & flag
+      & info [ "strict-drops" ]
+          ~doc:
+            "Exit 1 when any report event was dropped by the bounded report sink (a warning \
+             is printed on stderr either way).")
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:
          "Install monitors against an idle simulated kernel (or fleet of kernels), drive \
           their TIMER triggers, and report per-monitor telemetry")
-    Term.(const run $ path_arg $ until $ seed $ trace_out $ nodes)
+    Term.(const run $ path_arg $ until $ seed $ trace_out $ nodes $ metrics_out $ strict_drops)
+
+(* grc explain: offline decision forensics over a Chrome trace file
+   written by `grc run --trace` (or any deployment export). Selects a
+   decision — a REPORT by index, actions by name, or everything a
+   monitor did — and prints the full causal chain: the sim dispatch
+   that rooted it, the hook/check path, the rule disassembly, the
+   sibling actions the same decision fired, and the store writes
+   (recursively) that produced the values the rule read. *)
+let explain_cmd =
+  let module P = Guardrails.Provenance in
+  let run path report_n action_name monitor_name json depth =
+    match P.load path with
+    | Error e ->
+      Printf.eprintf "grc explain: %s: %s\n" path e;
+      2
+    | Ok prov -> (
+      (match P.orphans prov with
+      | [] -> ()
+      | orphans ->
+        Printf.eprintf
+          "grc explain: warning: %d event(s) reference a parent span missing from the trace \
+           (bounded sink overflow?); chains through them are truncated\n"
+          (List.length orphans));
+      let named kind = function
+        | [] ->
+          Printf.eprintf "grc explain: no %s found in %s\n" kind path;
+          None
+        | l -> Some l
+      in
+      let targets =
+        match (report_n, action_name, monitor_name) with
+        | Some n, None, None -> (
+          let reports = P.reports prov in
+          match List.nth_opt reports n with
+          | Some r -> Some [ r ]
+          | None ->
+            Printf.eprintf "grc explain: --report %d out of range (%d report(s) in %s)\n" n
+              (List.length reports) path;
+            None)
+        | None, Some name, None -> named (Printf.sprintf "%S actions" name) (P.actions ~name prov)
+        | None, None, Some name ->
+          named (Printf.sprintf "decisions by monitor %S" name) (P.monitor_decisions prov name)
+        | None, None, None -> named "reports" (P.reports prov)
+        | _ ->
+          prerr_endline "grc explain: --report, --action and --monitor are mutually exclusive";
+          None
+      in
+      match targets with
+      | None -> 2
+      | Some targets ->
+        let explanations = List.map (P.explain ~max_depth:depth prov) targets in
+        if json then
+          print_endline
+            (Guardrails.Json.to_string
+               (Guardrails.Json.Arr (List.map P.explanation_to_json explanations)))
+        else
+          List.iteri
+            (fun i e ->
+              if i > 0 then print_newline ();
+              Format.printf "%a@." P.pp_explanation e)
+            explanations;
+        0)
+  in
+  let trace_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"TRACE.json" ~doc:"Chrome trace_event file written by grc run --trace.")
+  in
+  let report_n =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "report" ] ~docv:"N" ~doc:"Explain the N-th REPORT event (0-based).")
+  in
+  let action_name =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "action" ] ~docv:"NAME"
+          ~doc:"Explain every NAME action (REPLACE, RESTORE, SAVE, RETRAIN.scheduled, ...).")
+  in
+  let monitor_name =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "monitor" ] ~docv:"NAME" ~doc:"Explain every decision made by monitor NAME.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit explanations as a JSON array.") in
+  let depth =
+    Arg.(
+      value & opt int 4
+      & info [ "depth" ] ~docv:"D"
+          ~doc:"How many store-write hops to unwind when tracing input data flow (default 4).")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Reconstruct the causal chain behind guardrail decisions from a trace: dispatch -> \
+          hook -> check -> actions, with rule disassembly and recursive input provenance")
+    Term.(const run $ trace_arg $ report_n $ action_name $ monitor_name $ json $ depth)
 
 let soak_cmd =
   let module Soak = Gr_fault.Soak in
@@ -510,4 +662,14 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ check_cmd; compile_cmd; deps_cmd; lint_cmd; cgen_cmd; fmt_cmd; run_cmd; soak_cmd ]))
+          [
+            check_cmd;
+            compile_cmd;
+            deps_cmd;
+            lint_cmd;
+            cgen_cmd;
+            fmt_cmd;
+            run_cmd;
+            explain_cmd;
+            soak_cmd;
+          ]))

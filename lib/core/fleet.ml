@@ -29,6 +29,14 @@ let create ~nodes:n ~seed ?config ?store_capacity ?(tracing = false) () =
         let kernel = Gr_kernel.Kernel.create_on ~engine:sim ~seed:(seed + id + 1) in
         Node.create ~kernel ?config ?store_capacity ~tracing ~attach_sim:false ~node_id:id ())
   in
+  (* One span context for the whole fleet: node tracers allocate ids
+     from the control tracer's counter, so a cross-node cascade
+     (global save -> node ON_CHANGE check -> fleet action) is a single
+     causal tree no matter which tracer recorded each edge. *)
+  Array.iter
+    (fun node ->
+      Gr_trace.Tracer.share_ctx ~src:(Deployment.tracer control) (Node.tracer node))
+    nodes;
   let global = Deployment.store control in
   Store.set_shards global (Array.map Node.store nodes);
   Array.iter (fun node -> Store.set_global_tier (Node.store node) global) nodes;

@@ -51,6 +51,8 @@ module Trace_event = Gr_trace.Event
 module Trace_sink = Gr_trace.Sink
 module Trace_export = Gr_trace.Export
 module Metrics = Gr_trace.Metrics
+module Provenance = Gr_trace.Provenance
+module Selfcost = Gr_trace.Selfcost
 module Json = Gr_trace.Json
 
 (* Substrate *)

@@ -3,6 +3,18 @@ module Monitor = Gr_compiler.Monitor
 module Tracer = Gr_trace.Tracer
 module Event = Gr_trace.Event
 module Metrics = Gr_trace.Metrics
+module Selfcost = Gr_trace.Selfcost
+
+(* Run [f] with [span] as the causal parent of everything it emits
+   (saving/restoring the previous parent — actions can nest through
+   store cascades). *)
+let with_current tr span f =
+  match span with
+  | None -> f ()
+  | Some _ ->
+    let prev = Tracer.current_span tr in
+    Tracer.set_current tr span;
+    Fun.protect ~finally:(fun () -> Tracer.set_current tr prev) f
 
 let src = Logs.Src.create "guardrails.engine" ~doc:"Guardrail runtime engine"
 
@@ -135,11 +147,20 @@ and report t st ~message ~snapshot =
        ]
       @ List.map (fun (k, v) -> ("key:" ^ k, Event.Float v)) snapshot)
 
-and action_instant t st name args =
-  if Tracer.enabled t.tracer then
+(* Emits the action's trace instant and returns its span id so the
+   caller can parent the action's downstream effects (store saves,
+   policy-slot flips, fleet proxies) to the action itself. [?parent]
+   overrides the causal parent — the RETRAIN.run -> RETRAIN.scheduled
+   cross-dispatch edge. *)
+and action_instant ?parent t st name args =
+  if Tracer.enabled t.tracer then begin
+    let span = Tracer.fresh_span t.tracer in
     Tracer.instant t.tracer ~cat:"action"
       ~args:(("monitor", Event.Str st.monitor.Monitor.name) :: args)
-      name
+      ~span ?parent name;
+    Some span
+  end
+  else None
 
 and run_actions t st =
   let now = Gr_kernel.Kernel.now t.kernel in
@@ -157,15 +178,15 @@ and run_actions t st =
         Log.info (fun m ->
             m "guardrail %s violated at %a: %s" st.monitor.Monitor.name Time_ns.pp now message)
       | Monitor.Replace policy -> (
-        action_instant t st "REPLACE" [ ("policy", Event.Str policy) ];
+        let aspan = action_instant t st "REPLACE" [ ("policy", Event.Str policy) ] in
         match Gr_kernel.Policy_slot.Registry.find t.kernel.registry policy with
-        | Some controls -> controls.replace ()
+        | Some controls -> with_current t.tracer aspan controls.replace
         | None ->
           Log.warn (fun m -> m "REPLACE: unknown policy %S (monitor %s)" policy st.monitor.name))
       | Monitor.Restore policy -> (
-        action_instant t st "RESTORE" [ ("policy", Event.Str policy) ];
+        let aspan = action_instant t st "RESTORE" [ ("policy", Event.Str policy) ] in
         match Gr_kernel.Policy_slot.Registry.find t.kernel.registry policy with
-        | Some controls -> controls.restore ()
+        | Some controls -> with_current t.tracer aspan controls.restore
         | None ->
           Log.warn (fun m -> m "RESTORE: unknown policy %S (monitor %s)" policy st.monitor.name))
       | Monitor.Retrain policy -> (
@@ -181,31 +202,42 @@ and run_actions t st =
           in
           if not allowed then begin
             st.retrains_suppressed <- st.retrains_suppressed + 1;
-            action_instant t st "RETRAIN.suppressed" [ ("policy", Event.Str policy) ]
+            ignore
+              (action_instant t st "RETRAIN.suppressed" [ ("policy", Event.Str policy) ]
+                : int option)
           end
           else begin
             Hashtbl.replace t.last_retrain policy now;
             st.retrains_requested <- st.retrains_requested + 1;
-            action_instant t st "RETRAIN.scheduled" [ ("policy", Event.Str policy) ];
-            (* Asynchronous offline retraining (§3.2). *)
+            let sched =
+              action_instant t st "RETRAIN.scheduled" [ ("policy", Event.Str policy) ]
+            in
+            (* Asynchronous offline retraining (§3.2). The run fires
+               in a later dispatch; its explicit [?parent] is the
+               cross-time causal edge back to the scheduling. *)
             ignore
               (Gr_sim.Engine.schedule_after t.kernel.engine t.config.retrain_delay
                  (fun _ ->
-                   action_instant t st "RETRAIN.run" [ ("policy", Event.Str policy) ];
-                   controls.retrain ())
+                   let run_span =
+                     action_instant ?parent:sched t st "RETRAIN.run"
+                       [ ("policy", Event.Str policy) ]
+                   in
+                   with_current t.tracer run_span controls.retrain)
                 : Gr_sim.Engine.handle)
           end)
       | Monitor.Deprioritize { cls; weight } -> (
-        action_instant t st "DEPRIORITIZE"
-          [ ("cls", Event.Str cls); ("weight", Event.Int weight) ];
+        let aspan =
+          action_instant t st "DEPRIORITIZE"
+            [ ("cls", Event.Str cls); ("weight", Event.Int weight) ]
+        in
         match t.deprioritize with
-        | Some handler -> handler ~cls ~weight
+        | Some handler -> with_current t.tracer aspan (fun () -> handler ~cls ~weight)
         | None ->
           Log.warn (fun m -> m "DEPRIORITIZE(%s): no handler wired (monitor %s)" cls st.monitor.name))
       | Monitor.Kill cls -> (
-        action_instant t st "KILL" [ ("cls", Event.Str cls) ];
+        let aspan = action_instant t st "KILL" [ ("cls", Event.Str cls) ] in
         match t.kill with
-        | Some handler -> handler ~cls
+        | Some handler -> with_current t.tracer aspan (fun () -> handler ~cls)
         | None -> Log.warn (fun m -> m "KILL(%s): no handler wired (monitor %s)" cls st.monitor.name))
       | Monitor.Save { key; value } ->
         let result =
@@ -215,9 +247,12 @@ and run_actions t st =
         Metrics.record_action_cost
           (Metrics.monitor (Tracer.metrics t.tracer) st.monitor.Monitor.name)
           ~cost_ns:result.est_cost_ns;
-        action_instant t st "SAVE"
-          [ ("key", Event.Str key); ("value", Event.Float result.value) ];
-        Feature_store.save t.store key result.value)
+        let aspan =
+          action_instant t st "SAVE"
+            [ ("key", Event.Str key); ("value", Event.Float result.value) ]
+        in
+        with_current t.tracer aspan (fun () ->
+            Feature_store.save t.store key result.value))
     st.actions_costed;
   if not !reported then report t st ~message:"<violation>" ~snapshot:[]
 
@@ -259,50 +294,65 @@ and check ?(via = "manual") t st =
         ~finally:(fun () -> t.cascade_depth <- t.cascade_depth - 1)
         (fun () ->
           st.checks <- st.checks + 1;
-          let result =
+          let run_vm () =
             Vm.run ~static_cost_ns:st.rule_cost_ns ~store:t.store ~slots:st.monitor.slots
               st.monitor.rule
           in
+          let result =
+            if Selfcost.enabled () then Selfcost.time Selfcost.Check run_vm else run_vm ()
+          in
           st.overhead_ns <- st.overhead_ns +. result.est_cost_ns;
           let healthy = Vm.truthy result.value in
-          Metrics.record_check
-            (Metrics.monitor (Tracer.metrics t.tracer) st.monitor.Monitor.name)
-            ~cost_ns:result.est_cost_ns ~insts:result.insts_executed
-            ~samples:result.samples_scanned ~violated:(not healthy);
+          let record () =
+            Metrics.record_check
+              (Metrics.monitor (Tracer.metrics t.tracer) st.monitor.Monitor.name)
+              ~cost_ns:result.est_cost_ns ~insts:result.insts_executed
+              ~samples:result.samples_scanned ~violated:(not healthy)
+          in
+          if Selfcost.enabled () then Selfcost.time Selfcost.Metrics_record record
+          else record ();
           (* The check as a Complete span whose duration is the VM's
              dynamic cost estimate — per-monitor overhead on the
-             timeline. *)
-          if Tracer.enabled t.tracer then
-            Tracer.complete t.tracer ~cat:"check" ~dur_ns:result.est_cost_ns
-              ~args:
-                [
-                  ("monitor_id", Event.Int st.id);
-                  ("trigger", Event.Str via);
-                  ("insts", Event.Int result.insts_executed);
-                  ("samples_scanned", Event.Int result.samples_scanned);
-                  ("violated", Event.Bool (not healthy));
-                ]
-              st.monitor.Monitor.name;
-          if healthy then begin
-            if st.in_violation then begin
-              st.in_violation <- false;
-              record_flip t st
+             timeline. Its span id is the causal parent of everything
+             the decision does (flip alerts, actions, the REPORT). *)
+          let check_span =
+            if Tracer.enabled t.tracer then begin
+              let span = Tracer.fresh_span t.tracer in
+              Tracer.complete t.tracer ~cat:"check" ~dur_ns:result.est_cost_ns
+                ~args:
+                  [
+                    ("monitor_id", Event.Int st.id);
+                    ("trigger", Event.Str via);
+                    ("insts", Event.Int result.insts_executed);
+                    ("samples_scanned", Event.Int result.samples_scanned);
+                    ("violated", Event.Bool (not healthy));
+                  ]
+                ~span st.monitor.Monitor.name;
+              Some span
             end
-          end
-          else begin
-            st.violations <- st.violations + 1;
-            if not st.in_violation then begin
-              st.in_violation <- true;
-              record_flip t st
-            end;
-            let now = Gr_kernel.Kernel.now t.kernel in
-            let cooled =
-              match st.last_firing with
-              | None -> true
-              | Some at -> Time_ns.diff now at >= st.cooldown
-            in
-            if cooled then run_actions t st
-          end)
+            else None
+          in
+          with_current t.tracer check_span (fun () ->
+              if healthy then begin
+                if st.in_violation then begin
+                  st.in_violation <- false;
+                  record_flip t st
+                end
+              end
+              else begin
+                st.violations <- st.violations + 1;
+                if not st.in_violation then begin
+                  st.in_violation <- true;
+                  record_flip t st
+                end;
+                let now = Gr_kernel.Kernel.now t.kernel in
+                let cooled =
+                  match st.last_firing with
+                  | None -> true
+                  | Some at -> Time_ns.diff now at >= st.cooldown
+                in
+                if cooled then run_actions t st
+              end))
     end
   end
 

@@ -274,11 +274,20 @@ let save_here t key value =
   t.saves <- t.saves + 1;
   (* Counter events let Chrome/Perfetto plot each key as a time
      series; emitted before subscribers so the SAVE sample precedes
-     any ON_CHANGE check it wakes. *)
-  if tracing t then
-    Gr_trace.Tracer.counter (Option.get t.tracer) ~cat:"store" ("store:" ^ key)
-      [ ("value", value) ];
-  Vec.iter (fun fn -> fn key value) t.subscribers
+     any ON_CHANGE check it wakes. The counter's span is the causal
+     parent of every subscriber it wakes, so ON_CHANGE cascades trace
+     back to the write that triggered them. *)
+  if tracing t then begin
+    let tr = Option.get t.tracer in
+    let span = Gr_trace.Tracer.fresh_span tr in
+    Gr_trace.Tracer.counter tr ~cat:"store" ("store:" ^ key) ~span [ ("value", value) ];
+    let prev = Gr_trace.Tracer.current_span tr in
+    Gr_trace.Tracer.set_current tr (Some span);
+    Fun.protect
+      ~finally:(fun () -> Gr_trace.Tracer.set_current tr prev)
+      (fun () -> Vec.iter (fun fn -> fn key value) t.subscribers)
+  end
+  else Vec.iter (fun fn -> fn key value) t.subscribers
 
 let save t key value = save_here (resolve t key) key value
 
@@ -762,7 +771,7 @@ let merged_aggregate t ~key ~fn ~window_ns ~param =
   else begin
     let scanned = ref 0 in
     let incremental = ref true in
-    let state =
+    let fold () =
       List.fold_left
         (fun acc m ->
           let s, n, inc = export_here m ~key ~fn ~window_ns ~param in
@@ -770,6 +779,11 @@ let merged_aggregate t ~key ~fn ~window_ns ~param =
           if not inc then incremental := false;
           Merge.union acc s)
         Merge.empty (members t)
+    in
+    let state =
+      if Gr_trace.Selfcost.enabled () then
+        Gr_trace.Selfcost.time Gr_trace.Selfcost.Store_merge fold
+      else fold ()
     in
     {
       value = Merge.value ~fn ~window_ns ~param state;

@@ -101,10 +101,19 @@ let rec step t =
       t.fired <- t.fired + 1;
       (match t.tracer with
       | Some tr when Gr_trace.Tracer.enabled tr ->
-        Gr_trace.Tracer.instant tr ~cat:"sim" ~args:[ ("seq", Gr_trace.Event.Int ev.order) ]
-          "dispatch"
-      | _ -> ());
-      ev.run t;
+        (* Each dispatch roots a causal tree: everything the handler
+           does (hook fires, checks, actions, saves) parents back to
+           this span, directly or transitively. *)
+        let span = Gr_trace.Tracer.fresh_span tr in
+        Gr_trace.Tracer.instant tr ~cat:"sim"
+          ~args:[ ("seq", Gr_trace.Event.Int ev.order) ]
+          ~span "dispatch";
+        let prev = Gr_trace.Tracer.current_span tr in
+        Gr_trace.Tracer.set_current tr (Some span);
+        Fun.protect
+          ~finally:(fun () -> Gr_trace.Tracer.set_current tr prev)
+          (fun () -> ev.run t)
+      | _ -> ev.run t);
       true
     end
 

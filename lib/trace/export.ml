@@ -124,3 +124,62 @@ let pp_summary fmt tracer =
   pp_sink fmt "events" (Tracer.events tracer);
   pp_sink fmt "reports" (Tracer.reports tracer);
   Metrics.pp fmt (Tracer.metrics tracer)
+
+(* ---- OpenMetrics exposition over whole tracers ----
+
+   Monitor families (from the registries) plus the observability
+   plane's own accounting: sink throughput/drops per channel and the
+   self-overhead counters, so a scrape answers both "what did the
+   guardrails do" and "what did watching them cost". *)
+
+let om_sink_row buf ~metric ~channel ?node v =
+  Buffer.add_string buf
+    (Printf.sprintf "%s_total{channel=%S%s} %d\n" metric channel
+       (match node with None -> "" | Some id -> Printf.sprintf ",node=\"%d\"" id)
+       v)
+
+let om_sink_family buf ~metric ~help ~value tracers =
+  Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" metric help);
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" metric);
+  List.iter
+    (fun tr ->
+      let node = Tracer.node_id tr in
+      om_sink_row buf ~metric ~channel:"events" ?node (value (Tracer.events tr));
+      om_sink_row buf ~metric ~channel:"reports" ?node (value (Tracer.reports tr)))
+    tracers
+
+let openmetrics_of_tracers tracers =
+  let buf = Buffer.create 8192 in
+  Metrics.openmetrics_into buf (List.map Tracer.metrics tracers);
+  om_sink_family buf ~metric:"guardrail_trace_emitted"
+    ~help:"Events accepted by a trace channel." ~value:Sink.emitted tracers;
+  om_sink_family buf ~metric:"guardrail_trace_dropped"
+    ~help:"Events rejected or overwritten on channel overflow." ~value:Sink.dropped tracers;
+  if Selfcost.enabled () then begin
+    Buffer.add_string buf
+      "# HELP guardrail_selfcost_ops Observability self-overhead: operations per subsystem.\n";
+    Buffer.add_string buf "# TYPE guardrail_selfcost_ops counter\n";
+    List.iter
+      (fun s ->
+        Buffer.add_string buf
+          (Printf.sprintf "guardrail_selfcost_ops_total{subsystem=%S} %d\n" (Selfcost.name s)
+             (Selfcost.ops s)))
+      Selfcost.all;
+    Buffer.add_string buf
+      "# HELP guardrail_selfcost_host_ns Observability self-overhead: real host nanoseconds per subsystem.\n";
+    Buffer.add_string buf "# TYPE guardrail_selfcost_host_ns counter\n";
+    List.iter
+      (fun s ->
+        Buffer.add_string buf
+          (Printf.sprintf "guardrail_selfcost_host_ns_total{subsystem=%S} %.0f\n"
+             (Selfcost.name s) (Selfcost.host_ns s)))
+      Selfcost.all
+  end;
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+let openmetrics tracer = openmetrics_of_tracers [ tracer ]
+
+let write_openmetrics ~path tracers =
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (openmetrics_of_tracers tracers))

@@ -8,6 +8,9 @@
     timestamps in microseconds. Open the file at [chrome://tracing]
     or {{:https://ui.perfetto.dev}Perfetto}. *)
 
+val json_of_event : Event.t -> Json.t
+(** One event as a Chrome trace object ([ts] in microseconds). *)
+
 val chrome_of_events : Event.t list -> Json.t
 
 val chrome : Tracer.t -> Json.t
@@ -32,3 +35,16 @@ val pp_events : Format.formatter -> Event.t list -> unit
 val pp_summary : Format.formatter -> Tracer.t -> unit
 (** Sink accounting (buffered/emitted/dropped for both channels)
     followed by the per-monitor metrics table. *)
+
+val openmetrics_of_tracers : Tracer.t list -> string
+(** Complete OpenMetrics exposition for a set of tracers (a fleet
+    passes control first, then each node): the per-monitor families
+    ({!Metrics.openmetrics_into}, including fleet rollup rows when
+    more than one tracer is given), sink throughput/drop counters per
+    channel, and — when {!Selfcost.enabled} — the observability
+    self-overhead counters. Terminated with [# EOF\n]. *)
+
+val openmetrics : Tracer.t -> string
+(** [openmetrics_of_tracers [t]]. *)
+
+val write_openmetrics : path:string -> Tracer.t list -> unit

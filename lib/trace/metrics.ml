@@ -108,6 +108,122 @@ let to_json t : Json.t =
   | None -> Obj [ monitors_field ]
   | Some id -> Obj [ ("node", Num (float_of_int id)); monitors_field ]
 
+(* ---- OpenMetrics / Prometheus text rendering ---- *)
+
+let om_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let om_labels = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (om_escape v)) labels)
+    ^ "}"
+
+let om_num x =
+  if Float.is_nan x then "NaN"
+  else if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.9g" x
+
+(* Monitor-scoped label set: node label only on fleet registries, so
+   single-node output has no spurious label dimension. *)
+let mlabels t m =
+  ("monitor", m.name)
+  :: (match t.node_id with None -> [] | Some id -> [ ("node", string_of_int id) ])
+
+let counter_families =
+  [
+    ("guardrail_checks", "Rule checks executed.", fun m -> float_of_int m.checks);
+    ("guardrail_violations", "Checks whose rule evaluated unhealthy.", fun m -> float_of_int m.violations);
+    ("guardrail_fires", "Action firings (cooldown-gated).", fun m -> float_of_int m.fires);
+    ("guardrail_vm_cost_ns", "Estimated VM nanoseconds spent in rules and actions.", fun m -> m.vm_cost_ns);
+    ("guardrail_vm_insts", "VM instructions executed.", fun m -> float_of_int m.vm_insts);
+    ("guardrail_samples_scanned", "Store samples scanned by aggregates.", fun m -> float_of_int m.samples_scanned);
+  ]
+
+(* Families for a set of registries (one per deployment; a fleet
+   passes control + every node). With more than one registry, each
+   counter family also gets merged rollup rows — summed across nodes,
+   no node label — so fleet dashboards can consume one series per
+   monitor without PromQL re-aggregation. No trailing EOF: callers
+   compose further families ({!Export}). *)
+let openmetrics_into buf ts =
+  let mons t = monitors t in
+  let family (name, help, value) =
+    Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" name);
+    List.iter
+      (fun t ->
+        List.iter
+          (fun m ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s_total%s %s\n" name (om_labels (mlabels t m)) (om_num (value m))))
+          (mons t))
+      ts;
+    if List.length ts > 1 then begin
+      let merged = Hashtbl.create 16 in
+      let order = ref [] in
+      List.iter
+        (fun t ->
+          List.iter
+            (fun m ->
+              (match Hashtbl.find_opt merged m.name with
+              | None -> order := m.name :: !order
+              | Some _ -> ());
+              Hashtbl.replace merged m.name
+                (value m +. Option.value ~default:0. (Hashtbl.find_opt merged m.name)))
+            (mons t))
+        ts;
+      List.iter
+        (fun name_ ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s_total%s %s\n" name
+               (om_labels [ ("monitor", name_); ("scope", "fleet") ])
+               (om_num (Hashtbl.find merged name_))))
+        (List.rev !order)
+    end
+  in
+  List.iter family counter_families;
+  (* Check latency as a summary: streaming quantiles plus count/sum. *)
+  let name = "guardrail_check_latency_ns" in
+  Buffer.add_string buf
+    (Printf.sprintf "# HELP %s Per-check VM cost distribution (estimated ns).\n" name);
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" name);
+  List.iter
+    (fun t ->
+      List.iter
+        (fun m ->
+          let base = mlabels t m in
+          List.iter
+            (fun q ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s%s %s\n" name
+                   (om_labels (base @ [ ("quantile", q) ]))
+                   (om_num (latency_quantile m (float_of_string q)))))
+            [ "0.5"; "0.9"; "0.99" ];
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count%s %d\n" name (om_labels base) m.checks);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum%s %s\n" name (om_labels base) (om_num m.vm_cost_ns)))
+        (mons t))
+    ts
+
+let to_openmetrics ts =
+  let buf = Buffer.create 4096 in
+  openmetrics_into buf ts;
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
 let pp fmt t =
   Format.fprintf fmt "%-28s %8s %10s %7s %12s %10s %10s %10s@\n" "monitor" "checks"
     "violations" "fires" "vm cost" "p50" "p90" "p99";

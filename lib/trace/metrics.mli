@@ -62,5 +62,20 @@ val to_json : t -> Json.t
     so the output is deterministic. When a node id is set, a leading
     ["node"] field identifies the shard. *)
 
+val openmetrics_into : Buffer.t -> t list -> unit
+(** Append the per-monitor OpenMetrics families (counters plus the
+    check-latency summary) for the given registries — one registry
+    per deployment; a fleet passes control plus every node. Each
+    series carries a [monitor] label and, on node-tagged registries,
+    a [node] label. With more than one registry, every counter family
+    also emits merged rollup rows labelled [scope="fleet"] — summed
+    across nodes — so fleet dashboards get one series per monitor
+    without re-aggregation. No trailing [# EOF]: {!Export} composes
+    further families on top. *)
+
+val to_openmetrics : t list -> string
+(** {!openmetrics_into} terminated with [# EOF\n] — a complete
+    OpenMetrics text exposition. *)
+
 val pp : Format.formatter -> t -> unit
 (** Summary table, one row per monitor. *)

@@ -1,0 +1,52 @@
+type subsystem = Trace_emit | Provenance | Metrics_record | Store_merge | Check
+
+let all = [ Trace_emit; Provenance; Metrics_record; Store_merge; Check ]
+
+let name = function
+  | Trace_emit -> "trace_emit"
+  | Provenance -> "provenance"
+  | Metrics_record -> "metrics_record"
+  | Store_merge -> "store_merge"
+  | Check -> "check"
+
+let index = function
+  | Trace_emit -> 0
+  | Provenance -> 1
+  | Metrics_record -> 2
+  | Store_merge -> 3
+  | Check -> 4
+
+let n = 5
+let on = ref false
+let op_counts = Array.make n 0
+let ns_totals = Array.make n 0.
+
+let enabled () = !on
+let set_enabled b = on := b
+
+let reset () =
+  Array.fill op_counts 0 n 0;
+  Array.fill ns_totals 0 n 0.
+
+let ops s = op_counts.(index s)
+let host_ns s = ns_totals.(index s)
+
+let add s ~ops ~host_ns =
+  if !on then begin
+    let i = index s in
+    op_counts.(i) <- op_counts.(i) + ops;
+    ns_totals.(i) <- ns_totals.(i) +. host_ns
+  end
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+let time s f =
+  if not !on then f ()
+  else begin
+    let t0 = now_ns () in
+    let r = f () in
+    let i = index s in
+    op_counts.(i) <- op_counts.(i) + 1;
+    ns_totals.(i) <- ns_totals.(i) +. (now_ns () -. t0);
+    r
+  end

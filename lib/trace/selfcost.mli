@@ -1,0 +1,49 @@
+(** Observability self-overhead accounting.
+
+    The tracing plane claims to be cheap; this module is where that
+    claim is measured rather than estimated. Each subsystem of the
+    observability stack accumulates an operation count and {e real
+    host time} (wall-clock nanoseconds, not the VM's estimated-ns
+    currency) spent doing its own bookkeeping:
+
+    - [Trace_emit] — constructing events and pushing them into sinks;
+    - [Provenance] — span-id allocation and causal-context upkeep;
+    - [Metrics_record] — the per-check metrics registry updates;
+    - [Store_merge] — folding per-shard streaming aggregate state on
+      fleet-tier reads;
+    - [Check] — the VM run itself, the denominator the others are
+      compared against.
+
+    Accounting is process-global and {b off by default}: every
+    instrumented site guards on {!enabled}, so an untraced,
+    unmeasured run pays a single branch per site. The counters never
+    feed back into traces or simulated time, so enabling them cannot
+    perturb determinism — only the host-time numbers themselves are
+    machine-dependent. [grc run --metrics] and [bench -- obs] switch
+    them on and surface the totals as OpenMetrics families. *)
+
+type subsystem = Trace_emit | Provenance | Metrics_record | Store_merge | Check
+
+val all : subsystem list
+val name : subsystem -> string
+(** Stable lower-snake label used in metrics output. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val reset : unit -> unit
+(** Zero every counter (accounting stays enabled/disabled as is). *)
+
+val ops : subsystem -> int
+val host_ns : subsystem -> float
+
+val add : subsystem -> ops:int -> host_ns:float -> unit
+(** Record a batch measured externally (the [bench -- obs]
+    calibration loops use this). No-op when disabled. *)
+
+val now_ns : unit -> float
+(** Host wall clock in nanoseconds; monotonic enough for deltas. *)
+
+val time : subsystem -> (unit -> 'a) -> 'a
+(** Run the thunk, charging its wall-clock duration and one op to the
+    subsystem; just the thunk when disabled. *)

@@ -1,3 +1,13 @@
+(* Causal provenance context. Span ids are allocated in emission
+   order, which the single sim clock makes deterministic: the same
+   seed replays the same dispatch sequence, hence the same ids. The
+   context is shared between every tracer riding the same sim engine
+   (fleet control + nodes), so a cross-node effect parents to the
+   dispatch that caused it no matter which tracer records it. *)
+type span_ctx = { mutable next_span : int; mutable current : int option }
+
+let create_ctx () = { next_span = 0; current = None }
+
 type t = {
   clock : unit -> Gr_util.Time_ns.t;
   events : Sink.t;
@@ -5,6 +15,14 @@ type t = {
   metrics : Metrics.t;
   mutable enabled : bool;
   mutable node_id : int option;
+  mutable ctx : span_ctx;
+  (* Tail of the provenance args, [("parent", _); ("node", _)], cached
+     per parent: args lists are immutable so every sibling event in a
+     causal scope can share the same cells, and steady-state tagging
+     allocates only the leading span cell. *)
+  mutable node_tail : (string * Event.arg) list;
+  mutable memo_parent : int;
+  mutable memo_tail : (string * Event.arg) list;
 }
 
 let create ~clock ?(capacity = 65536) ?(report_capacity = 16384) ?overflow ?(enabled = false)
@@ -18,6 +36,10 @@ let create ~clock ?(capacity = 65536) ?(report_capacity = 16384) ?overflow ?(ena
     metrics;
     enabled;
     node_id;
+    ctx = create_ctx ();
+    node_tail = (match node_id with None -> [] | Some id -> [ ("node", Event.Int id) ]);
+    memo_parent = min_int;
+    memo_tail = [];
   }
 
 let enabled t = t.enabled
@@ -30,41 +52,106 @@ let node_id t = t.node_id
 
 let set_node_id t id =
   t.node_id <- id;
+  t.node_tail <- (match id with None -> [] | Some id -> [ ("node", Event.Int id) ]);
+  t.memo_parent <- min_int;
   Metrics.set_node_id t.metrics id
 
-(* Fleet provenance: when the tracer belongs to a node, every event's
-   args carry the node id, so merged fleet traces stay attributable.
-   Standalone tracers (no node id) emit exactly what they always did. *)
-let tag t args =
-  match t.node_id with
-  | None -> args
-  | Some id -> (
-    let nd = ("node", Event.Int id) in
-    match args with None -> Some [ nd ] | Some l -> Some (l @ [ nd ]))
+let ctx t = t.ctx
+let set_ctx t ctx = t.ctx <- ctx
+let share_ctx ~src t = t.ctx <- src.ctx
 
-let emit t ?dur_ns ?args ~cat ~ph name =
-  if t.enabled then
-    Sink.emit t.events
-      (Event.make ~ts:(t.clock ()) ?dur_ns ?args:(tag t args) ~cat ~ph name)
+let fresh_span t =
+  let id = t.ctx.next_span in
+  t.ctx.next_span <- id + 1;
+  id
 
-let instant t ~cat ?args name = emit t ?args ~cat ~ph:Event.Instant name
+let current_span t = t.ctx.current
+let set_current t span = t.ctx.current <- span
 
-let counter t ~cat name series =
+(* Provenance + fleet tagging: each recorded event carries its own
+   span id, the span id of the event that caused it (when inside a
+   causal context), and — on fleet nodes — the node id, so merged
+   traces stay both attributable and reconstructable as decision
+   trees. Bookkeeping is only reachable when the tracer is enabled;
+   disabled emission stays one branch. *)
+let tag t ?span ?parent args =
+  let selfcost = Selfcost.enabled () in
+  let t0 = if selfcost then Selfcost.now_ns () else 0. in
+  let span = match span with Some s -> s | None -> fresh_span t in
+  let parent = match parent with Some _ as p -> p | None -> t.ctx.current in
+  (* Built back to front so the trailing cells are shared, never
+     copied: the parent/node tail is memoized per parent (siblings of
+     one causal scope hit the cache), so steady-state tagging
+     allocates the span cell plus the append of the caller's own
+     args, typically 0-3 cells. *)
+  let rest =
+    match parent with
+    | None -> t.node_tail
+    | Some p ->
+      if p = t.memo_parent then t.memo_tail
+      else begin
+        let tail = ("parent", Event.Int p) :: t.node_tail in
+        t.memo_parent <- p;
+        t.memo_tail <- tail;
+        tail
+      end
+  in
+  let prov = ("span", Event.Int span) :: rest in
+  let tagged = match args with None -> prov | Some l -> l @ prov in
+  if selfcost then
+    Selfcost.add Selfcost.Provenance ~ops:1 ~host_ns:(Selfcost.now_ns () -. t0);
+  Some tagged
+
+let emit t ?dur_ns ?args ?span ?parent ~cat ~ph name =
+  if t.enabled then begin
+    let args = tag t ?span ?parent args in
+    if Selfcost.enabled () then
+      Selfcost.time Selfcost.Trace_emit (fun () ->
+          Sink.emit t.events (Event.make ~ts:(t.clock ()) ?dur_ns ?args ~cat ~ph name))
+    else Sink.emit t.events (Event.make ~ts:(t.clock ()) ?dur_ns ?args ~cat ~ph name)
+  end
+
+let instant t ~cat ?args ?span ?parent name = emit t ?args ?span ?parent ~cat ~ph:Event.Instant name
+
+let counter t ~cat ?span name series =
   emit t
     ~args:(List.map (fun (k, v) -> (k, Event.Float v)) series)
-    ~cat ~ph:Event.Counter name
+    ?span ~cat ~ph:Event.Counter name
 
-let complete t ~cat ~dur_ns ?args name = emit t ~dur_ns ?args ~cat ~ph:Event.Complete name
-let span_begin t ~cat ?args name = emit t ?args ~cat ~ph:Event.Begin name
+let complete t ~cat ~dur_ns ?args ?span ?parent name =
+  emit t ~dur_ns ?args ?span ?parent ~cat ~ph:Event.Complete name
+
+let span_begin t ~cat ?args ?span name = emit t ?args ?span ~cat ~ph:Event.Begin name
 let span_end t ~cat name = emit t ~cat ~ph:Event.End name
 
 let with_span t ~cat ?args name f =
   if not t.enabled then f ()
   else begin
-    span_begin t ~cat ?args name;
-    Fun.protect ~finally:(fun () -> span_end t ~cat name) f
+    (* The span's own id becomes the causal parent of everything the
+       body emits (listener checks, saves, nested hook fires); the
+       End event is emitted inside the context so it ties into the
+       same tree. *)
+    let span = fresh_span t in
+    span_begin t ~cat ?args ~span name;
+    let prev = t.ctx.current in
+    t.ctx.current <- Some span;
+    Fun.protect
+      ~finally:(fun () ->
+        span_end t ~cat name;
+        t.ctx.current <- prev)
+      f
   end
 
 let report t ?args name =
-  Sink.emit t.reports
-    (Event.make ~ts:(t.clock ()) ?args:(tag t args) ~cat:"report" ~ph:Event.Instant name)
+  (* Reports flow whether or not tracing is on; they only carry
+     provenance args when it is, keeping untraced output byte-stable. *)
+  let args =
+    if t.enabled then tag t args
+    else
+      match t.node_id with
+      | None -> args
+      | Some id ->
+        let nd = ("node", Event.Int id) in
+        Some (match args with None -> [ nd ] | Some l -> l @ [ nd ])
+  in
+  Sink.emit t.reports (Event.make ~ts:(t.clock ()) ?args ~cat:"report" ~ph:Event.Instant name)

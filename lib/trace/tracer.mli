@@ -1,6 +1,7 @@
 (** The tracer: the single handle instrumented subsystems emit into.
 
-    A tracer owns two sinks and a metrics registry:
+    A tracer owns two sinks, a metrics registry and a causal span
+    context:
 
     - [events] — the debug/profiling channel (sim dispatch, hook
       entry/exit, rule checks, store traffic). Emission is gated on
@@ -13,12 +14,26 @@
       view over it. It is still bounded with drop accounting.
     - [metrics] — the per-monitor registry ({!Metrics}), also always
       on (O(1) per check).
+    - the span context — a monotonic span-id allocator plus the
+      "current cause" register. When tracing is enabled every
+      recorded event carries its own [span] id and, when emitted
+      inside a causal context, the [parent] span id of the event
+      that caused it, so a trace is a forest of decision trees that
+      {!Provenance} can reconstruct. Ids are allocated in emission
+      order on the sim clock, so they are deterministic under a
+      fixed seed.
 
     Timestamps come from the [clock] the tracer was created with —
     in every deployment that is the simulated kernel clock, which is
     why traces are deterministic under a fixed seed. *)
 
 type t
+
+type span_ctx
+(** The shared provenance state: a span-id allocator and the current
+    causal parent. One per standalone deployment; shared across every
+    tracer of a fleet (control + nodes) so causality crosses node
+    boundaries. *)
 
 val create :
   clock:(unit -> Gr_util.Time_ns.t) ->
@@ -37,7 +52,7 @@ val create :
     metrics registry — fleet runs use it so merged traces stay
     attributable to the shard that produced them. Without it the
     output is byte-identical to what single-node deployments always
-    emitted. *)
+    emitted. A fresh tracer owns a fresh span context. *)
 
 val enabled : t -> bool
 val set_enabled : t -> bool -> unit
@@ -52,19 +67,55 @@ val set_node_id : t -> int option -> unit
 (** Change the fleet provenance tag after creation (also restamps the
     metrics registry). Events already in the sinks are unaffected. *)
 
-(* Emitters; all no-ops when disabled except [report]. *)
+(* Causal span context. *)
 
-val instant : t -> cat:string -> ?args:(string * Event.arg) list -> string -> unit
-val counter : t -> cat:string -> string -> (string * float) list -> unit
+val ctx : t -> span_ctx
+val set_ctx : t -> span_ctx -> unit
+val share_ctx : src:t -> t -> unit
+(** [share_ctx ~src t] makes [t] allocate spans from [src]'s context;
+    the fleet wires every node tracer to the control tracer's context
+    at creation. *)
+
+val fresh_span : t -> int
+(** Allocate the next span id (monotonic within the context). *)
+
+val current_span : t -> int option
+val set_current : t -> int option -> unit
+(** Set/clear the causal parent subsequent emissions will carry.
+    Sites that open a causal scope save the previous value and
+    restore it when the scope closes. *)
+
+(* Emitters; all no-ops when disabled except [report]. [?span] pins
+   the event's own span id (callers that also set it as the current
+   parent allocate it first with {!fresh_span}); [?parent] overrides
+   the context's current parent — the cross-time edge used by e.g.
+   a RETRAIN.run firing in a later dispatch than the RETRAIN.scheduled
+   that caused it. *)
+
+val instant :
+  t -> cat:string -> ?args:(string * Event.arg) list -> ?span:int -> ?parent:int -> string -> unit
+
+val counter : t -> cat:string -> ?span:int -> string -> (string * float) list -> unit
+
 val complete :
-  t -> cat:string -> dur_ns:float -> ?args:(string * Event.arg) list -> string -> unit
+  t ->
+  cat:string ->
+  dur_ns:float ->
+  ?args:(string * Event.arg) list ->
+  ?span:int ->
+  ?parent:int ->
+  string ->
+  unit
 
-val span_begin : t -> cat:string -> ?args:(string * Event.arg) list -> string -> unit
+val span_begin : t -> cat:string -> ?args:(string * Event.arg) list -> ?span:int -> string -> unit
 val span_end : t -> cat:string -> string -> unit
 
 val with_span : t -> cat:string -> ?args:(string * Event.arg) list -> string -> (unit -> 'a) -> 'a
-(** Emits the [End] even if the body raises. *)
+(** Emits the [End] even if the body raises. The span's id is the
+    causal parent of everything the body emits. *)
 
 val report : t -> ?args:(string * Event.arg) list -> string -> unit
 (** Emits an [Instant] of category ["report"] into the report sink,
-    bypassing {!enabled}. *)
+    bypassing {!enabled}. Carries provenance args only when tracing
+    is enabled, so untraced report streams keep their historical
+    byte-exact shape. *)

@@ -1,0 +1,60 @@
+#!/bin/sh
+# Observability smoke (make obs-smoke).
+#
+# End-to-end check of the decision-provenance plane:
+#   1. the traced quickstart (Listing 2 against the Figure 2 workload)
+#      produces a trace whose t=3s REPORT `grc explain` can walk back
+#      to the sim dispatch that caused it, with the rule disassembly,
+#      the SAVE effect and the recursive input data flow all present;
+#   2. `grc run --metrics` emits the expected OpenMetrics exposition,
+#      single-node and 2-node fleet, golden-diffed after filtering the
+#      selfcost host-time lines (the only host-dependent series —
+#      everything else is sim-deterministic).
+set -eu
+
+ROOT=$(pwd)
+GRC="$ROOT/_build/default/bin/grc.exe"
+QUICKSTART="$ROOT/_build/default/examples/quickstart.exe"
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+fail() {
+    echo "obs-smoke: $1" >&2
+    exit 1
+}
+
+# 1. Traced quickstart, then explain its first (t=3s) REPORT.
+(cd "$TMP" && "$QUICKSTART" > quickstart.out) \
+    || fail "quickstart run failed"
+[ -s "$TMP/quickstart_trace.json" ] || fail "quickstart wrote no trace"
+"$GRC" explain "$TMP/quickstart_trace.json" --report 0 > "$TMP/explain.txt" \
+    || fail "grc explain failed"
+for needle in \
+    "sim dispatch" \
+    "check low-false-submit" \
+    "report low-false-submit" \
+    "action SAVE" \
+    "inputs read:" \
+    "false_submit_rate" \
+    "hook blk:io_complete"
+do
+    grep -q "$needle" "$TMP/explain.txt" \
+        || fail "explanation is missing '$needle' (see $TMP/explain.txt)"
+done
+
+# 2. OpenMetrics goldens: grc run with telemetry, single-node and fleet.
+"$GRC" run specs/listing2.grd --until 4 --trace "$TMP/l2_trace.json" \
+    --metrics "$TMP/single.prom" > /dev/null \
+    || fail "grc run --metrics failed"
+grep -v selfcost_host_ns "$TMP/single.prom" > "$TMP/single.filtered"
+diff -u scripts/obs_golden_single.prom "$TMP/single.filtered" \
+    || fail "single-node OpenMetrics exposition diverged from golden"
+
+"$GRC" run specs/listing2.grd --until 4 --nodes 2 \
+    --metrics "$TMP/fleet.prom" > /dev/null \
+    || fail "grc run --nodes 2 --metrics failed"
+grep -v selfcost_host_ns "$TMP/fleet.prom" > "$TMP/fleet.filtered"
+diff -u scripts/obs_golden_fleet.prom "$TMP/fleet.filtered" \
+    || fail "fleet OpenMetrics exposition diverged from golden"
+
+echo "obs-smoke: OK (explained report 0, both OpenMetrics goldens match)"

@@ -9,6 +9,8 @@ module Tracer = Gr_trace.Tracer
 module Metrics = Gr_trace.Metrics
 module Export = Gr_trace.Export
 module Json = Gr_trace.Json
+module Provenance = Gr_trace.Provenance
+module Selfcost = Gr_trace.Selfcost
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -45,6 +47,37 @@ let test_sink_overwrite_oldest () =
     "most recent window kept" [ "e7"; "e8"; "e9"; "e10" ]
     (List.map (fun (e : Event.t) -> e.name) (Sink.to_list s))
 
+(* Fleet discipline: node tracers run small Overwrite_oldest rings, so
+   a long soak keeps the freshest window per node while the accounting
+   still reflects everything that was ever emitted. *)
+let test_sink_overwrite_oldest_node_tagged () =
+  let tr =
+    Tracer.create
+      ~clock:(fun () -> 0)
+      ~capacity:4 ~overflow:Sink.Overwrite_oldest ~node_id:3 ()
+  in
+  Tracer.set_enabled tr true;
+  for i = 1 to 10 do
+    Tracer.instant tr ~cat:"test" (Printf.sprintf "e%d" i)
+  done;
+  let s = Tracer.events tr in
+  check_int "bounded at capacity" 4 (Sink.length s);
+  check_int "all emits counted" 10 (Sink.emitted s);
+  check_int "evictions counted as drops" 6 (Sink.dropped s);
+  let survivors = Sink.to_list s in
+  Alcotest.(check (list string))
+    "most recent window kept" [ "e7"; "e8"; "e9"; "e10" ]
+    (List.map (fun (e : Event.t) -> e.name) survivors);
+  List.iteri
+    (fun i (e : Event.t) ->
+      check_bool "survivor keeps its node tag" true
+        (List.assoc_opt "node" e.args = Some (Event.Int 3));
+      (* Span ids are allocated per emission, so the surviving window
+         carries the ids of the last four emissions, in order. *)
+      check_bool "survivor keeps its original span id" true
+        (List.assoc_opt "span" e.args = Some (Event.Int (6 + i))))
+    survivors
+
 let test_sink_clear_keeps_accounting () =
   let s = Sink.create ~capacity:2 () in
   for i = 1 to 5 do
@@ -77,10 +110,11 @@ let test_tracer_node_tagging () =
   Tracer.instant tr ~cat:"test" "tagged-bare";
   (match Sink.to_list (Tracer.events tr) with
   | [ a; b ] ->
-    check_bool "node id appended to existing args" true
-      (a.Event.args = [ ("x", Event.Float 1.); ("node", Event.Int 2) ]);
+    check_bool "provenance then node id appended to existing args" true
+      (a.Event.args
+      = [ ("x", Event.Float 1.); ("span", Event.Int 0); ("node", Event.Int 2) ]);
     check_bool "node id materializes args when absent" true
-      (b.Event.args = [ ("node", Event.Int 2) ])
+      (b.Event.args = [ ("span", Event.Int 1); ("node", Event.Int 2) ])
   | l -> Alcotest.failf "expected 2 events, got %d" (List.length l));
   (* Metrics inherit the tag and surface it as a leading JSON field;
      an untagged tracer's output shape is unchanged. *)
@@ -244,12 +278,160 @@ let test_violations_are_report_view () =
   check_bool "fires at the first check after the step" true
     (v.Guardrails.Engine.at = Time_ns.ms 500)
 
+(* ---------- Provenance ---------- *)
+
+(* Reconstruct the causal forest of the traced scenario above and walk
+   the t=500ms REPORT back to the sim dispatch that caused it. *)
+let test_provenance_reconstruction () =
+  let d = run_traced () in
+  let chrome = Guardrails.Trace_export.chrome_string (Guardrails.Deployment.tracer d) in
+  match Gr_trace.Provenance.of_chrome_string chrome with
+  | Error e -> Alcotest.failf "provenance parse failed: %s" e
+  | Ok prov ->
+    check_bool "non-trivial trace" true (Gr_trace.Provenance.size prov > 10);
+    check_int "no orphan events" 0 (List.length (Gr_trace.Provenance.orphans prov));
+    let reports = Gr_trace.Provenance.reports prov in
+    check_bool "at least one report" true (reports <> []);
+    let e = Gr_trace.Provenance.explain prov (List.hd reports) in
+    (* Chain: sim dispatch roots it, the rule check decides it. *)
+    let root = List.hd e.Gr_trace.Provenance.chain in
+    check_string "rooted at a sim dispatch" "sim" root.Gr_trace.Provenance.event.Event.cat;
+    (match e.Gr_trace.Provenance.decision with
+    | Some dn ->
+      check_string "decided by the rule check" "check" dn.Gr_trace.Provenance.event.Event.cat;
+      check_string "by the installed monitor" "trace-test" dn.Gr_trace.Provenance.event.Event.name
+    | None -> Alcotest.fail "report must have a deciding check");
+    check_bool "SAVE action is a sibling effect" true
+      (List.exists
+         (fun n ->
+           n.Gr_trace.Provenance.event.Event.cat = "action"
+           && n.Gr_trace.Provenance.event.Event.name = "SAVE")
+         e.Gr_trace.Provenance.effects);
+    (* The snapshot input resolves to the store write that produced
+       the value the rule read. *)
+    (match e.Gr_trace.Provenance.inputs with
+    | { Gr_trace.Provenance.key = "x"; value = Some v; writer = Some w; _ } :: _ ->
+      check_bool "input value is the violating one" true (v > 0.5);
+      check_string "writer is the store counter" "store:x" w.Gr_trace.Provenance.event.Event.name
+    | _ -> Alcotest.fail "expected input x with a resolved writer");
+    (* Both renderers accept the explanation. *)
+    check_bool "text rendering non-empty" true
+      (String.length (Format.asprintf "%a" Gr_trace.Provenance.pp_explanation e) > 100);
+    match Gr_trace.Provenance.explanation_to_json e with
+    | Json.Obj fields -> check_bool "json has a chain" true (List.mem_assoc "chain" fields)
+    | _ -> Alcotest.fail "explanation_to_json must be an object"
+
+let test_provenance_actions_same_decision () =
+  let d = run_traced () in
+  let chrome = Guardrails.Trace_export.chrome_string (Guardrails.Deployment.tracer d) in
+  let prov = Result.get_ok (Gr_trace.Provenance.of_chrome_string chrome) in
+  match Gr_trace.Provenance.actions ~name:"SAVE" prov with
+  | [] -> Alcotest.fail "expected a SAVE action"
+  | save :: _ ->
+    let e = Gr_trace.Provenance.explain prov save in
+    check_bool "action's decision is a check" true
+      (match e.Gr_trace.Provenance.decision with
+      | Some n -> n.Gr_trace.Provenance.event.Event.cat = "check"
+      | None -> false);
+    check_bool "monitor_decisions finds it" true
+      (List.memq save (Gr_trace.Provenance.monitor_decisions prov "trace-test"))
+
+(* ---------- OpenMetrics ---------- *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_openmetrics_exposition () =
+  let d = run_traced () in
+  let om = Guardrails.Trace_export.openmetrics (Guardrails.Deployment.tracer d) in
+  check_bool "counter family typed" true
+    (contains ~needle:"# TYPE guardrail_checks counter" om);
+  check_bool "per-monitor labelled row" true
+    (contains ~needle:{|guardrail_checks_total{monitor="trace-test"} 11|} om);
+  check_bool "latency summary present" true
+    (contains ~needle:"# TYPE guardrail_check_latency_ns summary" om);
+  check_bool "quantile rows present" true (contains ~needle:{|quantile="0.99"|} om);
+  check_bool "sink accounting exported" true
+    (contains ~needle:"guardrail_trace_emitted_total" om);
+  check_bool "terminated" true
+    (String.length om > 5 && String.sub om (String.length om - 6) 6 = "# EOF\n")
+
+let test_openmetrics_fleet_rollup () =
+  let make id checks =
+    let tr = Tracer.create ~clock:(fun () -> 0) ~node_id:id () in
+    let mon = Metrics.monitor (Tracer.metrics tr) "g" in
+    for _ = 1 to checks do
+      Metrics.record_check mon ~cost_ns:10. ~insts:1 ~samples:1 ~violated:false
+    done;
+    tr
+  in
+  let om =
+    Guardrails.Trace_export.openmetrics_of_tracers [ make 0 3; make 1 4 ]
+  in
+  check_bool "node label on per-node rows" true
+    (contains ~needle:{|guardrail_checks_total{monitor="g",node="0"} 3|} om);
+  check_bool "fleet rollup sums across nodes" true
+    (contains ~needle:{|guardrail_checks_total{monitor="g",scope="fleet"} 7|} om);
+  check_bool "rollup stays inside its typed family" true
+    (contains ~needle:"# TYPE guardrail_checks counter" om)
+
+(* ---------- Selfcost ---------- *)
+
+let test_selfcost_gating () =
+  Selfcost.set_enabled false;
+  Selfcost.reset ();
+  check_bool "off by default" true (not (Selfcost.enabled ()));
+  Selfcost.add Selfcost.Check ~ops:1 ~host_ns:10.;
+  check_int "add is a no-op when disabled" 0 (Selfcost.ops Selfcost.Check);
+  check_int "time charges nothing when disabled" 41 (Selfcost.time Selfcost.Check (fun () -> 41));
+  check_int "still zero ops" 0 (Selfcost.ops Selfcost.Check);
+  Selfcost.set_enabled true;
+  Selfcost.add Selfcost.Provenance ~ops:2 ~host_ns:7.;
+  check_int "enabled add counts ops" 2 (Selfcost.ops Selfcost.Provenance);
+  check_bool "enabled add counts ns" true (Selfcost.host_ns Selfcost.Provenance = 7.);
+  check_int "time returns the thunk's value" 42 (Selfcost.time Selfcost.Check (fun () -> 42));
+  check_int "and charges one op" 1 (Selfcost.ops Selfcost.Check);
+  Selfcost.reset ();
+  check_int "reset zeroes" 0 (Selfcost.ops Selfcost.Provenance);
+  check_bool "reset keeps it enabled" true (Selfcost.enabled ());
+  Selfcost.set_enabled false
+
+(* ---------- Fleet provenance ---------- *)
+
+let test_fleet_shared_span_ctx () =
+  let fleet = Guardrails.Fleet.create ~nodes:2 ~seed:3 ~tracing:true () in
+  let control = Guardrails.Fleet.tracer fleet in
+  let node0 = Guardrails.Deployment.tracer (Guardrails.Fleet.node fleet 0) in
+  let node1 = Guardrails.Deployment.tracer (Guardrails.Fleet.node fleet 1) in
+  (* One allocator across tiers: ids interleave instead of colliding. *)
+  let a = Tracer.fresh_span control in
+  let b = Tracer.fresh_span node0 in
+  let c = Tracer.fresh_span node1 in
+  check_int "node allocates after control" (a + 1) b;
+  check_int "second node continues the sequence" (b + 1) c;
+  (* A causal parent set on the control tier is visible to node
+     emissions, so cross-tier effects parent back to their cause. *)
+  Tracer.set_current control (Some a);
+  Tracer.instant node0 ~cat:"test" "cross";
+  (match Sink.to_list (Tracer.events node0) with
+  | [ e ] ->
+    check_bool "node event parents to control span" true
+      (List.assoc_opt "parent" e.Event.args = Some (Event.Int a));
+    check_bool "node event keeps its node tag" true
+      (List.assoc_opt "node" e.Event.args = Some (Event.Int 0))
+  | l -> Alcotest.failf "expected 1 node event, got %d" (List.length l));
+  Tracer.set_current control None
+
 let suite =
   [
     ( "trace.sink",
       [
         Alcotest.test_case "drop_newest overflow" `Quick test_sink_drop_newest;
         Alcotest.test_case "overwrite_oldest overflow" `Quick test_sink_overwrite_oldest;
+        Alcotest.test_case "overwrite_oldest node-tagged accounting" `Quick
+          test_sink_overwrite_oldest_node_tagged;
         Alcotest.test_case "clear keeps accounting" `Quick test_sink_clear_keeps_accounting;
       ] );
     ( "trace.tracer",
@@ -266,6 +448,20 @@ let suite =
       ] );
     ("trace.json", [ Alcotest.test_case "parser" `Quick test_json_parser ]);
     ("trace.metrics", [ Alcotest.test_case "registry" `Quick test_metrics_registry ]);
+    ( "trace.provenance",
+      [
+        Alcotest.test_case "report chain reconstruction" `Quick test_provenance_reconstruction;
+        Alcotest.test_case "actions share the decision" `Quick
+          test_provenance_actions_same_decision;
+        Alcotest.test_case "fleet tracers share the span context" `Quick
+          test_fleet_shared_span_ctx;
+      ] );
+    ( "trace.openmetrics",
+      [
+        Alcotest.test_case "exposition format" `Quick test_openmetrics_exposition;
+        Alcotest.test_case "fleet rollup rows" `Quick test_openmetrics_fleet_rollup;
+      ] );
+    ("trace.selfcost", [ Alcotest.test_case "gating" `Quick test_selfcost_gating ]);
     ( "trace.report",
       [
         Alcotest.test_case "violation log is a report view" `Quick
