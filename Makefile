@@ -1,4 +1,4 @@
-.PHONY: all build test fmt fmt-check lint bench bench-smoke soak-smoke fleet-smoke obs-smoke examples-run ci
+.PHONY: all build test fmt fmt-check lint bench bench-smoke soak-smoke fleet-smoke par-smoke obs-smoke examples-run ci
 
 all: build
 
@@ -45,6 +45,13 @@ fleet-smoke:
 	dune exec bench/main.exe -- fleet
 	dune exec bin/grc.exe -- soak --scenario fleet --nodes 4 --runs 3 --duration 0.5
 
+# Parallel-runtime smoke (docs/PARALLEL.md): `--domains 1` must be
+# byte-identical to the sequential path (trace + stdout diff), a
+# `--domains 2` run must complete clean, and the fleet chaos soak
+# must hold its invariants with node event streams on two domains.
+par-smoke: build
+	sh scripts/par_smoke.sh
+
 # Observability smoke (docs/OBSERVABILITY.md): traced quickstart whose
 # t=3s REPORT `grc explain` must walk back to its sim dispatch, plus
 # golden-diffed OpenMetrics expositions from `grc run --metrics`
@@ -63,5 +70,6 @@ ci: fmt-check
 	$(MAKE) bench-smoke
 	$(MAKE) soak-smoke
 	$(MAKE) fleet-smoke
+	$(MAKE) par-smoke
 	$(MAKE) obs-smoke
 	$(MAKE) examples-run

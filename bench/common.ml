@@ -112,6 +112,11 @@ let first_violation deployment =
    finishes in seconds. Set by main.ml before dispatching experiments. *)
 let smoke = ref false
 
+(* Stamped into experiment headers so wall-clock numbers from
+   parallel sweeps are interpretable: a wall_speedup of ~1 on a
+   1-core host is expected, not a regression. *)
+let host_cores = Domain.recommended_domain_count ()
+
 let hr () = print_endline (String.make 78 '-')
 
 let section title =

@@ -80,7 +80,7 @@ let p3 ~faulty =
       ~actions:[ {|REPORT("illegal allocation", quota_req)|} ] ()
   in
   let h = List.hd (Guardrails.Deployment.install_source_exn d src) in
-  let rng = Rng.split kernel.rng in
+  let rng = Rng.fork kernel.rng in
   ignore
     (Gr_sim.Engine.every kernel.engine ~interval:(Time_ns.ms 100) (fun _ ->
          let q =

@@ -53,7 +53,7 @@ let build_faulty_world () =
   let advisor = Gr_policy.Quota_advisor.train ~rng:kernel.rng ~capacity:256 () in
   Gr_policy.Quota_advisor.inject_drift advisor ~scale:4.;
   Guardrails.Deployment.forward_hook_arg d ~hook:"mm:quota" ~arg:"requested" ~key:"quota_req" ();
-  let advisor_rng = Rng.split kernel.rng in
+  let advisor_rng = Rng.fork kernel.rng in
   ignore
     (Gr_sim.Engine.every kernel.engine ~interval:(Time_ns.ms 200) (fun _ ->
          let q =

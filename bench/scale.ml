@@ -45,8 +45,8 @@ let monitor_counts () = if !Common.smoke then [ 1; 10 ] else [ 1; 10; 50; 200; 1
 
 let fleet_run_until = Time_ns.sec 3
 
-let run_fleet_with ~nodes ~monitors =
-  let fleet = Guardrails.Fleet.create ~nodes ~seed:7 () in
+let run_fleet_with ~nodes ~monitors ~domains =
+  let fleet = Guardrails.Fleet.create ~nodes ~seed:7 ~domains () in
   Array.iter
     (fun node ->
       let rng = (Guardrails.Deployment.kernel node).Gr_kernel.Kernel.rng in
@@ -71,10 +71,25 @@ let run_fleet_with ~nodes ~monitors =
     wall,
     Common.compact_monitors_json (Guardrails.Fleet.control fleet) )
 
+(* The sweep is (nodes, monitors, domains) triples: the historical
+   sequential grid, plus a wide-fleet parallel grid (up to 64 nodes)
+   that exercises the epoch-barrier runtime at every domain count.
+   Speedup on a multi-core host comes from the node phases running
+   concurrently; Common.host_cores stamps the ceiling. *)
 let fleet_counts () =
-  let nodes = if !Common.smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
-  let monitors = if !Common.smoke then [ 1; 10 ] else [ 1; 10; 50 ] in
-  List.concat_map (fun n -> List.map (fun m -> (n, m)) monitors) nodes
+  if !Common.smoke then [ (1, 1, 1); (2, 10, 1); (2, 10, 2) ]
+  else
+    let sequential =
+      List.concat_map
+        (fun n -> List.map (fun m -> (n, m, 1)) [ 1; 10; 50 ])
+        [ 1; 2; 4; 8 ]
+    in
+    let parallel =
+      List.concat_map
+        (fun (n, m) -> List.map (fun d -> (n, m, d)) [ 1; 2; 4; 8 ])
+        [ (16, 10); (64, 10); (64, 50) ]
+    in
+    sequential @ parallel
 
 let run ~json =
   if not json then begin
@@ -92,27 +107,44 @@ let run ~json =
       (monitor_counts ())
   in
   if not json then begin
-    Common.section "Ablation F' — fleet scalability (nodes x monitors)";
-    Printf.printf "  %-7s %-10s %-12s %-18s %s\n" "nodes" "monitors" "checks"
-      "est. check work" "host s/sim s"
+    Common.section
+      (Printf.sprintf "Ablation F' — fleet scalability (nodes x monitors x domains, %d core(s))"
+         Common.host_cores);
+    Printf.printf "  %-7s %-10s %-8s %-12s %-18s %-14s %s\n" "nodes" "monitors" "domains"
+      "checks" "est. check work" "host s/sim s" "wall speedup"
   end;
   let fleet_rows =
     List.map
-      (fun (nodes, n) ->
-        let checks, overhead, wall, monitors = run_fleet_with ~nodes ~monitors:n in
+      (fun (nodes, n, domains) ->
+        let checks, overhead, wall, monitors = run_fleet_with ~nodes ~monitors:n ~domains in
         let per_sim_s = wall /. Time_ns.to_float_sec fleet_run_until in
-        if not json then
-          Printf.printf "  %-7d %-10d %-12d %12.0f ns    %8.3f\n" nodes n checks overhead
-            per_sim_s;
-        (nodes, n, checks, overhead, per_sim_s, monitors))
+        (nodes, n, domains, checks, overhead, wall, per_sim_s, monitors))
       (fleet_counts ())
   in
+  (* wall_speedup: the same (nodes, monitors) point's --domains 1 wall
+     over this row's — 1.0 for the baseline itself, NaN (JSON null)
+     when no baseline ran. *)
+  let speedup_of (nodes, n, _, _, _, wall, _, _) =
+    match
+      List.find_opt (fun (n', m', d', _, _, _, _, _) -> n' = nodes && m' = n && d' = 1)
+        fleet_rows
+    with
+    | Some (_, _, _, _, _, base_wall, _, _) when wall > 0. -> base_wall /. wall
+    | _ -> Float.nan
+  in
+  if not json then
+    List.iter
+      (fun ((nodes, n, domains, checks, overhead, _, per_sim_s, _) as row) ->
+        Printf.printf "  %-7d %-10d %-8d %-12d %12.0f ns    %10.3f    %8.2fx\n" nodes n
+          domains checks overhead per_sim_s (speedup_of row))
+      fleet_rows;
   if json then
     let open Common.Json in
     Common.print_json
       (Obj
          [
            ("experiment", Str "scale");
+           ("host_cores", Common.json_int Common.host_cores);
            ( "rows",
              Arr
                (List.map
@@ -127,14 +159,17 @@ let run ~json =
                       ])
                   rows
                 @ List.map
-                    (fun (nodes, n, checks, overhead, per_sim_s, monitors) ->
+                    (fun ((nodes, n, domains, checks, overhead, _, per_sim_s, monitors) as
+                          row) ->
                       Obj
                         [
                           ("nodes", Common.json_int nodes);
                           ("monitors", Common.json_int n);
+                          ("domains", Common.json_int domains);
                           ("checks", Common.json_int checks);
                           ("est_check_work_ns", Common.json_num overhead);
                           ("host_sec_per_sim_sec", Common.json_num per_sim_s);
+                          ("wall_speedup", Common.json_num (speedup_of row));
                           ("monitor_metrics", monitors);
                         ])
                     fleet_rows) );

@@ -283,6 +283,42 @@ let load_spec_source path =
         | Error (e :: _) -> Error (Format.asprintf "grc: %s: %a" path Guardrails.Typecheck.pp_error e)
         | Error [] | Ok () -> Ok src))
 
+(* Shared --domains contract (docs/PARALLEL.md): an explicit integer
+   must be positive (0/negative is a usage error, exit 2), "auto"
+   resolves via the runtime's recommendation clamped to the node
+   count and says so once at startup. *)
+let resolve_domains ~cmd ~nodes = function
+  | None -> Ok 1
+  | Some "auto" ->
+    let recommended = Domain.recommended_domain_count () in
+    let domains = max 1 (min recommended nodes) in
+    Printf.printf
+      "%s: --domains auto -> %d (Domain.recommended_domain_count () = %d, clamped to %d \
+       node(s))\n\
+       %!"
+      cmd domains recommended nodes;
+    Ok domains
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some d when d > 0 -> Ok d
+    | Some _ -> Error (Printf.sprintf "%s: --domains must be positive (got %s)" cmd s)
+    | None -> Error (Printf.sprintf "%s: --domains expects a positive integer or 'auto'" cmd))
+
+let domains_arg ~cmd =
+  Cmdliner.Arg.(
+    value
+    & opt (some string) None
+    & info [ "domains" ] ~docv:"K|auto"
+        ~doc:
+          (Printf.sprintf
+             "OCaml domains for fleet execution (default 1). With K > 1, $(b,%s) runs each \
+              node's kernel on its own domain under the deterministic epoch-barrier protocol \
+              (see docs/PARALLEL.md): identical REPORTs, actions and merged-store state for \
+              every K, only wall-clock changes. $(b,auto) resolves to the runtime's \
+              recommended domain count clamped to --nodes. Clamped to the node count; 1 is \
+              bit-identical to the historical sequential path."
+             cmd))
+
 let run_cmd =
   (* Post-run telemetry plumbing shared by the single-node and fleet
      paths: the OpenMetrics exposition, the dropped-report warning
@@ -305,13 +341,28 @@ let run_cmd =
         dropped_reports;
     if strict_drops && dropped_reports > 0 then 1 else ok_code
   in
-  let run path until seed trace_out nodes metrics_out strict_drops =
+  let run path until seed trace_out nodes metrics_out strict_drops domains =
     if nodes < 1 then begin
       prerr_endline "grc run: --nodes must be positive";
       2
     end
     else begin
-      if Option.is_some metrics_out then Guardrails.Selfcost.set_enabled true;
+      match resolve_domains ~cmd:"grc run" ~nodes domains with
+      | Error msg ->
+        prerr_endline msg;
+        2
+      | Ok domains ->
+      let domains = max 1 (min domains nodes) in
+      (* Selfcost's accumulators are process-global; node domains
+         would race them, so host-cost accounting stays single-domain
+         only (the rest of the telemetry is per-tracer and safe). *)
+      if Option.is_some metrics_out then begin
+        Guardrails.Selfcost.set_enabled (domains = 1);
+        if domains > 1 then
+          prerr_endline
+            "grc run: note: self-cost accounting is disabled under --domains > 1 (its \
+             process-global counters are not domain-safe)"
+      end;
       match load_spec_source path with
       | Error msg ->
         prerr_endline msg;
@@ -341,7 +392,7 @@ let run_cmd =
           ~metrics_out ~strict_drops 0)
       | Ok src -> (
         let fleet =
-          Guardrails.Fleet.create ~nodes ~seed ~tracing:(Option.is_some trace_out) ()
+          Guardrails.Fleet.create ~nodes ~seed ~tracing:(Option.is_some trace_out) ~domains ()
         in
         match Guardrails.Fleet.install_source fleet src with
         | Error e ->
@@ -416,7 +467,9 @@ let run_cmd =
        ~doc:
          "Install monitors against an idle simulated kernel (or fleet of kernels), drive \
           their TIMER triggers, and report per-monitor telemetry")
-    Term.(const run $ path_arg $ until $ seed $ trace_out $ nodes $ metrics_out $ strict_drops)
+    Term.(
+      const run $ path_arg $ until $ seed $ trace_out $ nodes $ metrics_out $ strict_drops
+      $ domains_arg ~cmd:"grc run")
 
 (* grc explain: offline decision forensics over a Chrome trace file
    written by `grc run --trace` (or any deployment export). Selects a
@@ -521,11 +574,12 @@ let explain_cmd =
 let soak_cmd =
   let module Soak = Gr_fault.Soak in
   let module Fault = Gr_fault.Fault in
-  let run scenario seed runs duration plan_str spec_path dump_trace smoke nodes =
+  let run scenario seed runs duration plan_str spec_path dump_trace smoke nodes domains_str =
     let fail2 msg =
       prerr_endline ("grc soak: " ^ msg);
       2
     in
+    let domains_r = resolve_domains ~cmd:"grc soak" ~nodes domains_str in
     let scenarios_r =
       if scenario = "all" then Ok Soak.scenario_names
       else if List.mem scenario Soak.scenario_names then Ok [ scenario ]
@@ -550,20 +604,21 @@ let soak_cmd =
         | Ok src -> Ok (Some src)
         | Error msg -> Error msg)
     in
-    match (scenarios_r, plan_r, spec_r) with
-    | Error e, _, _ | _, Error e, _ -> fail2 e
-    | _, _, Error msg ->
-      (* load_spec_source already prefixes "grc:". *)
+    match (scenarios_r, plan_r, spec_r, domains_r) with
+    | Error e, _, _, _ | _, Error e, _, _ -> fail2 e
+    | _, _, Error msg, _ | _, _, _, Error msg ->
+      (* load_spec_source / resolve_domains already carry the prefix. *)
       prerr_endline msg;
       2
-    | Ok scenarios, Ok plan, Ok extra_source -> (
+    | Ok scenarios, Ok plan, Ok extra_source, Ok domains -> (
       let duration_ns = Guardrails.Util.Time_ns.of_float_sec duration in
       match plan with
       | Some plan -> (
         match scenarios with
         | [ scenario ] ->
           let r =
-            Soak.run_one ?extra_source ~nodes ~scenario ~seed ~duration:duration_ns ~plan ()
+            Soak.run_one ?extra_source ~nodes ~domains ~scenario ~seed ~duration:duration_ns
+              ~plan ()
           in
           if dump_trace then
             List.iter (fun e -> Format.printf "%a@." Guardrails.Trace_event.pp e) r.Soak.trace;
@@ -590,8 +645,8 @@ let soak_cmd =
               Guardrails.Util.Time_ns.of_float_sec 0.5 )
           else (scenarios, List.init runs (fun i -> seed + i), duration_ns)
         in
-        let report = Soak.soak ~log:print_endline ?extra_source ~nodes ~scenarios ~seeds
-            ~duration:duration_ns ()
+        let report = Soak.soak ~log:print_endline ?extra_source ~nodes ~domains ~scenarios
+            ~seeds ~duration:duration_ns ()
         in
         Format.printf "%a" Soak.pp_report report;
         if report.Soak.failures = [] then 0 else 1)
@@ -655,7 +710,8 @@ let soak_cmd =
          "Chaos soak: run fault-injection scenarios under global invariants; failures shrink \
           to a minimal reproducible (seed, plan) command line")
     Term.(
-      const run $ scenario $ seed $ runs $ duration $ plan $ spec $ dump_trace $ smoke $ nodes)
+      const run $ scenario $ seed $ runs $ duration $ plan $ spec $ dump_trace $ smoke $ nodes
+      $ domains_arg ~cmd:"grc soak")
 
 let () =
   let info = Cmd.info "grc" ~version:"1.0.0" ~doc:"Guardrail compiler for learned OS policies" in

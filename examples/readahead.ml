@@ -46,7 +46,7 @@ let () =
   ignore (Guardrails.Deployment.install_source_exn d p3 : Guardrails.Engine.handle list);
 
   (* Streaming reader: 48-page sequential runs separated by seeks. *)
-  let rng = Rng.split kernel.rng in
+  let rng = Rng.fork kernel.rng in
   let offset = ref 0 and left = ref 0 in
   let hit_series = ref [] in
   let last_reads = ref 0 and last_hits = ref 0 in

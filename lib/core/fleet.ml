@@ -1,3 +1,5 @@
+open Gr_util
+
 let src = Logs.Src.create "guardrails.fleet" ~doc:"Guardrail fleet deployment"
 
 module Log = (val Logs.src_log src : Logs.LOG)
@@ -7,18 +9,38 @@ module Store = Gr_runtime.Feature_store
 type stats = { mutable replaces : int; mutable restores : int; mutable retrains : int;
                mutable pushes : int }
 
+(* A cross-node effect captured on a node domain mid-epoch and applied
+   by the control deployment at the next barrier (docs/PARALLEL.md).
+   [its] is the node's (skew-adjusted) clock at capture. *)
+type intent_kind =
+  | Global_save of { key : string; value : float }
+  | Hook_fire of { hook : string; args : (string * float) list }
+
+type intent = { its : Time_ns.t; kind : intent_kind }
+
+(* Sequential: one shared event heap drives control and every node —
+   today's bit-exact path. Parallel: each node kernel owns its engine
+   and advances on a pool of OCaml domains in lock-step epochs; the
+   per-node intent buffers are each written only by their node's
+   domain mid-epoch and drained only at the barrier. *)
+type runtime =
+  | Sequential
+  | Parallel of { domains : int; epoch : Time_ns.t; intents : intent Vec.t array }
+
 type t = {
-  sim : Gr_sim.Engine.t;
+  sim : Gr_sim.Engine.t;  (* the fleet clock: shared heap, or the control engine *)
   control : Deployment.t;  (* fleet-level kernel/store/engine; store = global tier *)
   nodes : Node.t array;
+  runtime : runtime;
   canaries : (string, int list) Hashtbl.t;  (* policy -> node ids REPLACE targets *)
   forwarded_hooks : (string, unit) Hashtbl.t;
   proxied_policies : (string, unit) Hashtbl.t;
   stats : stats;
 }
 
-let create ~nodes:n ~seed ?config ?store_capacity ?(tracing = false) () =
-  if n < 1 then invalid_arg "Fleet.create: a fleet has at least one node";
+let default_epoch = Time_ns.ms 50
+
+let create_sequential ~nodes:n ~seed ?config ?store_capacity ~tracing () =
   let sim = Gr_sim.Engine.create () in
   let control_kernel = Gr_kernel.Kernel.create_on ~engine:sim ~seed in
   (* The control deployment claims the sim trace channel (the clock is
@@ -37,12 +59,67 @@ let create ~nodes:n ~seed ?config ?store_capacity ?(tracing = false) () =
     (fun node ->
       Gr_trace.Tracer.share_ctx ~src:(Deployment.tracer control) (Node.tracer node))
     nodes;
+  (sim, control, nodes, Sequential)
+
+let create_parallel ~nodes:n ~seed ~domains ~epoch ?config ?store_capacity ~tracing () =
+  (* Every kernel owns its engine: node i's seed is the same
+     [seed + id + 1] the sequential path uses, so each node replays
+     the identical event stream either way — that is what makes the
+     two modes comparable at all. Span ids can't come from a shared
+     counter across domains, so each tracer gets a disjoint arithmetic
+     channel instead: control allocates ids = 0 mod (n+1), node i ids
+     = i+1 mod (n+1), all reproducible with no coordination. *)
+  let control_kernel = Gr_kernel.Kernel.create ~seed in
+  let control = Deployment.create ~kernel:control_kernel ?config ?store_capacity ~tracing () in
+  let stride = n + 1 in
+  Gr_trace.Tracer.set_span_channel (Deployment.tracer control) ~offset:0 ~stride;
+  let intents = Array.init n (fun _ -> Vec.create ()) in
+  let nodes =
+    Array.init n (fun id ->
+        let kernel = Gr_kernel.Kernel.create ~seed:(seed + id + 1) in
+        let node = Node.create ~kernel ?config ?store_capacity ~tracing ~node_id:id () in
+        Gr_trace.Tracer.set_span_channel (Node.tracer node) ~offset:(id + 1) ~stride;
+        node)
+  in
+  (* A node's GLOBAL save would write the control store from the
+     node's domain mid-epoch; intercept it into the node's intent
+     buffer instead, stamped with the node clock so the barrier can
+     replay it at its original time. *)
+  Array.iteri
+    (fun id node ->
+      let kernel = Node.kernel node in
+      Store.set_global_publish (Node.store node)
+        (Some
+           (fun key value ->
+             Vec.push intents.(id)
+               { its = Gr_kernel.Kernel.now kernel; kind = Global_save { key; value } })))
+    nodes;
+  ((Deployment.kernel control).Gr_kernel.Kernel.engine, control, nodes,
+   Parallel { domains; epoch; intents })
+
+let create ~nodes:n ~seed ?config ?store_capacity ?(tracing = false) ?(domains = 1)
+    ?(epoch = default_epoch) () =
+  if n < 1 then invalid_arg "Fleet.create: a fleet has at least one node";
+  if Time_ns.compare epoch Time_ns.zero <= 0 then
+    invalid_arg "Fleet.create: epoch must be positive";
+  (* More domains than nodes buys nothing: one task per node per
+     epoch. One (or fewer) means no parallelism at all, which is
+     exactly the sequential path — keep it bit-identical by taking
+     that path verbatim. *)
+  let domains = max 1 (min domains n) in
+  let sim, control, nodes, runtime =
+    if domains = 1 then create_sequential ~nodes:n ~seed ?config ?store_capacity ~tracing ()
+    else create_parallel ~nodes:n ~seed ~domains ~epoch ?config ?store_capacity ~tracing ()
+  in
   let global = Deployment.store control in
   Store.set_shards global (Array.map Node.store nodes);
   Array.iter (fun node -> Store.set_global_tier (Node.store node) global) nodes;
   (* Replay global-tier writes into every node engine so a node's
      ON_CHANGE(GLOBAL(key)) fires no matter which member saved the
-     key. The control engine already subscribes to its own store. *)
+     key. The control engine already subscribes to its own store. In
+     parallel mode this subscriber only ever runs in the barrier's
+     control phase (node global saves arrive as intents), when the
+     node domains are parked. *)
   Store.on_save global (fun key _value ->
       if Gr_dsl.Ast.is_global_key key then
         Array.iter
@@ -52,6 +129,7 @@ let create ~nodes:n ~seed ?config ?store_capacity ?(tracing = false) () =
     sim;
     control;
     nodes;
+    runtime;
     canaries = Hashtbl.create 8;
     forwarded_hooks = Hashtbl.create 8;
     proxied_policies = Hashtbl.create 8;
@@ -65,6 +143,8 @@ let engine t = Deployment.engine t.control
 let tracer t = Deployment.tracer t.control
 let nodes t = Array.copy t.nodes
 let node_count t = Array.length t.nodes
+let domains t = match t.runtime with Sequential -> 1 | Parallel p -> p.domains
+let epoch t = match t.runtime with Sequential -> default_epoch | Parallel p -> p.epoch
 
 let node t id =
   if id < 0 || id >= Array.length t.nodes then invalid_arg "Fleet.node: no such node";
@@ -85,7 +165,76 @@ let save_global t key value =
   Store.save (store t) (Gr_dsl.Ast.global_key key) value
 
 let load_global t key = Store.load (store t) (Gr_dsl.Ast.global_key key)
-let run_until t limit = Gr_sim.Engine.run_until t.sim limit
+
+(* Barrier drain: buffered intents are merged across nodes into
+   (timestamp, node id, node-local order) order — node-local order is
+   the node's span-allocation order, so the sort key is effectively
+   (time, span, node) — and re-scheduled onto the control engine at
+   their original timestamps. The control engine then runs to the
+   boundary, interleaving replayed intents with its own timers in
+   plain (time, seq) order, which is what makes the result independent
+   of both the domain count and the pool's scheduling. *)
+let drain_intents t intents =
+  let batch = ref [] in
+  Array.iteri
+    (fun node vec ->
+      let idx = ref 0 in
+      Vec.iter
+        (fun it ->
+          batch := (it.its, node, !idx, it.kind) :: !batch;
+          incr idx)
+        vec;
+      Vec.clear vec)
+    intents;
+  let batch =
+    List.sort
+      (fun (ta, na, ia, _) (tb, nb, ib, _) -> compare (ta, na, ia) (tb, nb, ib))
+      !batch
+  in
+  let control_hooks = (Deployment.kernel t.control).Gr_kernel.Kernel.hooks in
+  let global = Deployment.store t.control in
+  List.iter
+    (fun (its, node_id, _, kind) ->
+      (* A skewed node clock can stamp an intent ahead of the epoch —
+         it just stays queued for a later barrier. Behind the control
+         clock is impossible mid-run, but clamp instead of raising so
+         a pathological injector can't abort the fleet. *)
+      let at = Time_ns.max its (Gr_sim.Engine.now t.sim) in
+      ignore
+        (Gr_sim.Engine.schedule_at t.sim at (fun _ ->
+             match kind with
+             | Global_save { key; value } -> Store.save global key value
+             | Hook_fire { hook; args } ->
+               Gr_kernel.Hooks.fire control_hooks hook
+                 (("node", float_of_int node_id) :: args))
+          : Gr_sim.Engine.handle))
+    batch
+
+let run_epochs ?(on_barrier = fun (_ : Time_ns.t) -> ()) t limit =
+  match t.runtime with
+  | Sequential ->
+    Gr_sim.Engine.run_until t.sim limit;
+    on_barrier limit
+  | Parallel { domains; epoch; intents } ->
+    let node_engines =
+      Array.map (fun node -> (Deployment.kernel node).Gr_kernel.Kernel.engine) t.nodes
+    in
+    (* Control events stamped exactly at the start time — typically
+       TIMER(0) ticks armed at installation — precede every node event
+       of the first epoch in the sequential order, so run them before
+       the first node phase; each later boundary's control phase
+       already runs boundary-stamped events after that epoch's node
+       phase, which is the sequential order for them too. *)
+    Gr_sim.Engine.run_until t.sim (Gr_sim.Engine.now t.sim);
+    Gr_sim.Pool.with_pool ~domains (fun pool ->
+        Gr_sim.Engine.run_epochs ~pool ~epoch ~limit
+          ~at_barrier:(fun boundary ->
+            drain_intents t intents;
+            Gr_sim.Engine.run_until t.sim boundary;
+            on_barrier boundary)
+          node_engines)
+
+let run_until t limit = run_epochs t limit
 
 let replaces t = t.stats.replaces
 let restores t = t.stats.restores
@@ -102,7 +251,11 @@ let model_pushes t = t.stats.pushes
    - RESTORE always broadcasts (healing is never canaried);
    - RETRAIN runs once, on the lowest-id node that owns the policy,
      and the refreshed model is then pushed to every other owner —
-     the paper's train-once/deploy-everywhere fleet shape. *)
+     the paper's train-once/deploy-everywhere fleet shape.
+
+   Proxies always execute on the control engine (monitor actions run
+   there), so in parallel mode they mutate node policy state only
+   while the node domains are parked at a barrier. *)
 
 let node_controls node name =
   Gr_kernel.Policy_slot.Registry.find (Node.kernel node).Gr_kernel.Kernel.registry name
@@ -178,19 +331,34 @@ let proxy_policy t name =
 
 (* A fleet monitor's FUNCTION trigger listens on the control kernel's
    hook table; forward each node's firings of that hook (tagging the
-   origin) so one fleet monitor observes every member's call sites. *)
+   origin) so one fleet monitor observes every member's call sites.
+   Sequentially that forward is immediate; in parallel mode a node's
+   firing happens on its own domain mid-epoch, so it is buffered as an
+   intent and replayed at the barrier instead. *)
 let forward_hook t hook =
   if not (Hashtbl.mem t.forwarded_hooks hook) then begin
     Hashtbl.replace t.forwarded_hooks hook ();
-    let control_hooks = (Deployment.kernel t.control).Gr_kernel.Kernel.hooks in
-    Array.iteri
-      (fun id node ->
-        let id = float_of_int id in
-        ignore
-          (Gr_kernel.Hooks.subscribe (Node.kernel node).Gr_kernel.Kernel.hooks hook
-             (fun args -> Gr_kernel.Hooks.fire control_hooks hook (("node", id) :: args))
-            : Gr_kernel.Hooks.subscription))
-      t.nodes
+    match t.runtime with
+    | Sequential ->
+      let control_hooks = (Deployment.kernel t.control).Gr_kernel.Kernel.hooks in
+      Array.iteri
+        (fun id node ->
+          let id = float_of_int id in
+          ignore
+            (Gr_kernel.Hooks.subscribe (Node.kernel node).Gr_kernel.Kernel.hooks hook
+               (fun args -> Gr_kernel.Hooks.fire control_hooks hook (("node", id) :: args))
+              : Gr_kernel.Hooks.subscription))
+        t.nodes
+    | Parallel { intents; _ } ->
+      Array.iteri
+        (fun id node ->
+          let kernel = Node.kernel node in
+          ignore
+            (Gr_kernel.Hooks.subscribe kernel.Gr_kernel.Kernel.hooks hook (fun args ->
+                 Vec.push intents.(id)
+                   { its = Gr_kernel.Kernel.now kernel; kind = Hook_fire { hook; args } })
+              : Gr_kernel.Hooks.subscription))
+        t.nodes
   end
 
 let wire_monitor t (monitor : Gr_compiler.Monitor.t) =
@@ -237,3 +405,13 @@ let install_source_exn t src =
   | Error e -> failwith (Format.asprintf "%a" Deployment.pp_error e)
 
 let violations t = Gr_runtime.Engine.violations (Deployment.engine t.control)
+
+let events_fired t =
+  match t.runtime with
+  | Sequential -> Gr_sim.Engine.events_fired t.sim
+  | Parallel _ ->
+    Array.fold_left
+      (fun acc node ->
+        acc + Gr_sim.Engine.events_fired (Deployment.kernel node).Gr_kernel.Kernel.engine)
+      (Gr_sim.Engine.events_fired t.sim)
+      t.nodes

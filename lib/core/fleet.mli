@@ -1,5 +1,5 @@
-(** A fleet deployment: N node kernels on one shared simulated clock,
-    plus a fleet-level control deployment that owns the global
+(** A fleet deployment: N node kernels advancing on one simulated
+    clock, plus a fleet-level control deployment that owns the global
     feature-store tier and runs fleet-wide guardrails.
 
     {[
@@ -35,7 +35,23 @@
     [fleet.replace]/[fleet.restore]/[fleet.retrain]/[fleet.model_push],
     category ["fleet"]). FUNCTION triggers of fleet monitors are
     forwarded from every node's hook table with a ["node"] argument
-    tagging the origin. *)
+    tagging the origin.
+
+    {2 Execution modes}
+
+    With [~domains:1] (the default) every member kernel shares one
+    event heap and one thread — the historical, bit-exact sequential
+    path. With [~domains:K] (K > 1) each node kernel owns its engine
+    and the fleet advances in lock-step sim-time epochs on K OCaml
+    domains under the epoch-barrier protocol of docs/PARALLEL.md:
+    nodes drain only node-local events mid-epoch, cross-node effects
+    (GLOBAL saves, forwarded FUNCTION hook firings) are buffered as
+    intents and replayed by the control deployment at each barrier in
+    (timestamp, node id, node-local order) order, and
+    REPLACE/RESTORE/RETRAIN broadcasts run in the control phase while
+    node domains are parked. REPORTs, actions and merged-store
+    contents are identical for every K on epoch-aligned workloads;
+    only host wall-clock changes. *)
 
 type t
 
@@ -45,16 +61,35 @@ val create :
   ?config:Gr_runtime.Engine.config ->
   ?store_capacity:int ->
   ?tracing:bool ->
+  ?domains:int ->
+  ?epoch:Gr_util.Time_ns.t ->
   unit ->
   t
-(** Builds one shared sim engine, a control kernel seeded with [seed],
-    and [nodes] node deployments (ids [0..nodes-1], seeds
-    [seed + id + 1]) wired as store shards of the control store.
-    [nodes] must be positive; [nodes:1] is a fleet-of-one whose node
-    behaves exactly like a standalone {!Deployment}. *)
+(** Builds a control kernel seeded with [seed] and [nodes] node
+    deployments (ids [0..nodes-1], seeds [seed + id + 1]) wired as
+    store shards of the control store. [nodes] must be positive;
+    [nodes:1] is a fleet-of-one whose node behaves exactly like a
+    standalone {!Deployment}.
+
+    [domains] (default 1) selects the execution mode; it is clamped to
+    [nodes] (more domains than nodes buys nothing) and any value <= 1
+    takes the sequential shared-heap path verbatim. [epoch] (default
+    50ms) is the parallel mode's barrier interval; it must be
+    positive. Shorter epochs tighten cross-node latency (a node sees a
+    peer's GLOBAL save at the next barrier), longer epochs amortize
+    barrier cost. @raise Invalid_argument on bad [nodes] or
+    [epoch]. *)
 
 val sim : t -> Gr_sim.Engine.t
-(** The shared virtual clock every member kernel runs on. *)
+(** The fleet's virtual clock: the shared engine in sequential mode,
+    the control deployment's own engine in parallel mode. Events
+    scheduled here run in the control phase in both modes. *)
+
+val domains : t -> int
+(** The effective domain count (1 = sequential shared-heap mode). *)
+
+val epoch : t -> Gr_util.Time_ns.t
+(** The epoch-barrier interval parallel runs advance by. *)
 
 val control : t -> Deployment.t
 (** The fleet-level deployment: its store is the global tier, its
@@ -113,8 +148,22 @@ val save_global : t -> string -> float -> unit
 val load_global : t -> string -> float
 
 val run_until : t -> Gr_util.Time_ns.t -> unit
-(** Advances the shared clock; all nodes and the control engine make
-    progress in one deterministic event order. *)
+(** Advances the fleet clock; all nodes and the control engine make
+    progress in one deterministic event order. In parallel mode this
+    spawns the domain pool for the duration of the call and runs the
+    epoch-barrier loop ([= run_epochs] without a callback). *)
+
+val run_epochs : ?on_barrier:(Gr_util.Time_ns.t -> unit) -> t -> Gr_util.Time_ns.t -> unit
+(** Like {!run_until}, with [on_barrier] called sequentially after
+    every epoch's control phase (and once at [limit] in sequential
+    mode, where the whole run is one epoch) — the fault-injection
+    soak's window for checking cross-shard invariants while node
+    domains are parked. *)
+
+val events_fired : t -> int
+(** Total sim events dispatched across every member engine — one
+    shared heap's count in sequential mode, the sum over control and
+    node engines in parallel mode. *)
 
 (** {1 Fleet action counters} *)
 

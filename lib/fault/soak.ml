@@ -67,6 +67,9 @@ type built = {
       (** REPLACE/RESTORE bookkeeping vs. the slot's actual state *)
   b_retrain_runs : int ref;
   b_anomalies : string list ref;
+  b_fleet : Guardrails.Fleet.t option;
+      (** parallel fleets drive via {!Guardrails.Fleet.run_epochs}
+          instead of stepping one shared engine *)
 }
 
 let blk_spec =
@@ -134,6 +137,7 @@ let build_blk ~seed ~duration =
     b_fallback = Some (expected_fallback, fun () -> Slot.on_fallback (Blk.slot blk));
     b_retrain_runs = retrain_runs;
     b_anomalies = ref [];
+    b_fleet = None;
   }
 
 let sched_spec =
@@ -191,7 +195,7 @@ let build_sched ~seed ~duration =
       expected_fallback := false)
     ();
   let handles = D.install_source_exn d sched_spec in
-  let spawn_rng = Rng.split kernel.rng in
+  let spawn_rng = Rng.fork kernel.rng in
   ignore
     (Gr_sim.Engine.every kernel.engine ~stop:duration ~interval:(Time_ns.ms 4) (fun _ ->
          let cls = if Rng.int spawn_rng 3 = 0 then "latency" else "batch" in
@@ -210,6 +214,7 @@ let build_sched ~seed ~duration =
     b_fallback = Some (expected_fallback, fun () -> Slot.on_fallback (Sched.slot sched));
     b_retrain_runs = ref 0;
     b_anomalies = anomalies;
+    b_fleet = None;
   }
 
 let store_spec =
@@ -246,7 +251,7 @@ let build_store ~seed ~duration =
   let d = D.create ~kernel ~tracing:true ~store_capacity:256 () in
   D.forward_hook_arg d ~hook:"soak:tick" ~arg:"v" ~key:"err" ();
   let handles = D.install_source_exn d store_spec in
-  let wl_rng = Rng.split kernel.rng in
+  let wl_rng = Rng.fork kernel.rng in
   ignore
     (Gr_sim.Engine.every kernel.engine ~stop:duration ~interval:(Time_ns.ms 1) (fun _ ->
          let store = D.store d in
@@ -266,6 +271,7 @@ let build_store ~seed ~duration =
     b_fallback = None;
     b_retrain_runs = ref 0;
     b_anomalies = ref [];
+    b_fleet = None;
   }
 
 let fleet_spec =
@@ -297,8 +303,10 @@ guardrail fleet-pressure {
    REPLACE proxy. The injector targets node 0 exclusively (see
    [caps_of]), so surviving shards keep feeding the merged view while
    one member is dead or lying. *)
-let build_fleet ~nodes ~seed ~duration =
-  let fleet = Guardrails.Fleet.create ~nodes ~seed ~store_capacity:1024 ~tracing:true () in
+let build_fleet ~nodes ~domains ~seed ~duration =
+  let fleet =
+    Guardrails.Fleet.create ~nodes ~seed ~store_capacity:1024 ~tracing:true ~domains ()
+  in
   let n = Guardrails.Fleet.node_count fleet in
   (* The broadcast REPLACE proxy flips every node's slot in one action
      execution, so "all slots on fallback" tracks the fleet action
@@ -351,9 +359,16 @@ let build_fleet ~nodes ~seed ~duration =
            (if Float.is_nan avg then 0. else avg /. 1000.))
       : Gr_sim.Engine.handle);
   let node0 = Guardrails.Fleet.node fleet 0 in
+  (* The injector runs inside node 0's event stream. In parallel mode
+     that stream executes on node 0's own domain, so fault trace events
+     must go to node 0's tracer — writing the control tracer from
+     another domain would race with the control engine's own events. *)
+  let inj_tracer =
+    if Guardrails.Fleet.domains fleet > 1 then D.tracer node0 else D.tracer control
+  in
   let inj =
-    Injector.create ~kernel:(D.kernel node0) ~tracer:(D.tracer control)
-      ~store:(D.store node0) ~devices:!node_devices ?blk:!node_blk ~seed ()
+    Injector.create ~kernel:(D.kernel node0) ~tracer:inj_tracer ~store:(D.store node0)
+      ~devices:!node_devices ?blk:!node_blk ~seed ()
   in
   {
     b_kernel = D.kernel node0;
@@ -364,14 +379,15 @@ let build_fleet ~nodes ~seed ~duration =
       Some (expected_fallback, fun () -> List.for_all Slot.on_fallback slots);
     b_retrain_runs = ref 0;
     b_anomalies = ref [];
+    b_fleet = Some fleet;
   }
 
-let build ?(nodes = 3) ~scenario ~seed ~duration () =
+let build ?(nodes = 3) ?(domains = 1) ~scenario ~seed ~duration () =
   match scenario with
   | "blk" -> build_blk ~seed ~duration
   | "sched" -> build_sched ~seed ~duration
   | "store" -> build_store ~seed ~duration
-  | "fleet" -> build_fleet ~nodes ~seed ~duration
+  | "fleet" -> build_fleet ~nodes ~domains ~seed ~duration
   | s -> invalid_arg ("Soak: unknown scenario " ^ s)
 
 (* Oracle comparison. Exact aggregates (COUNT, MIN, MAX, QUANTILE,
@@ -416,8 +432,8 @@ type run_result = {
   trace : Gr_trace.Event.t list;
 }
 
-let run_one ?extra_source ?nodes ~scenario ~seed ~duration ~plan () =
-  let b = build ?nodes ~scenario ~seed ~duration () in
+let run_one ?extra_source ?nodes ?domains ~scenario ~seed ~duration ~plan () =
+  let b = build ?nodes ?domains ~scenario ~seed ~duration () in
   let seen = Hashtbl.create 16 in
   let problems = ref [] in
   let push msg =
@@ -471,19 +487,30 @@ let run_one ?extra_source ?nodes ~scenario ~seed ~duration ~plan () =
                (agg_name fn) key window_ns inc.Store.value naive))
       (Store.demand_shapes store)
   in
-  let engine = b.b_kernel.engine in
   let events = ref 0 in
   (try
-     let continue = ref true in
-     while !continue do
-       match Gr_sim.Engine.next_event_time engine with
-       | Some t when Time_ns.compare t duration <= 0 ->
-         ignore (Gr_sim.Engine.step engine : bool);
-         incr events;
-         check_cheap ();
-         if !events mod 64 = 0 then check_oracle ()
-       | Some _ | None -> continue := false
-     done
+     match b.b_fleet with
+     | Some fleet when Guardrails.Fleet.domains fleet > 1 ->
+       (* Parallel fleet: the per-event stepping loop has no meaning
+          across domains, so invariants are checked at every epoch
+          barrier instead — the only points where node state is
+          quiescent and safe to read from here. *)
+       Guardrails.Fleet.run_epochs fleet duration ~on_barrier:(fun _ ->
+           check_cheap ();
+           check_oracle ());
+       events := Guardrails.Fleet.events_fired fleet
+     | Some _ | None ->
+       let engine = b.b_kernel.engine in
+       let continue = ref true in
+       while !continue do
+         match Gr_sim.Engine.next_event_time engine with
+         | Some t when Time_ns.compare t duration <= 0 ->
+           ignore (Gr_sim.Engine.step engine : bool);
+           incr events;
+           check_cheap ();
+           if !events mod 64 = 0 then check_oracle ()
+         | Some _ | None -> continue := false
+       done
    with exn ->
      push (Printf.sprintf "engine raised %s — corrective machinery must never throw"
              (Printexc.to_string exn)));
@@ -558,6 +585,7 @@ type failure = {
   scenario : string;
   seed : int;
   duration : Time_ns.t;
+  domains : int;
   plan : Fault.plan;
   shrunk : Fault.plan;
   problems : string list;
@@ -572,11 +600,12 @@ type report = {
 }
 
 let repro_command f =
-  Printf.sprintf "grc soak --scenario %s --seed %d --duration %g --plan '%s'" f.scenario
+  Printf.sprintf "grc soak --scenario %s --seed %d --duration %g%s --plan '%s'" f.scenario
     f.seed (Time_ns.to_float_sec f.duration)
+    (if f.domains > 1 then Printf.sprintf " --domains %d" f.domains else "")
     (Fault.plan_to_string f.shrunk)
 
-let soak ?(log = ignore) ?extra_source ?nodes ~scenarios ~seeds ~duration () =
+let soak ?(log = ignore) ?extra_source ?nodes ?(domains = 1) ~scenarios ~seeds ~duration () =
   let runs = ref 0 and passed = ref 0 and total_events = ref 0 and total_faults = ref 0 in
   let failures = ref [] in
   List.iter
@@ -585,7 +614,7 @@ let soak ?(log = ignore) ?extra_source ?nodes ~scenarios ~seeds ~duration () =
         (fun seed ->
           incr runs;
           let plan = gen_plan ~scenario ~seed ~duration in
-          let r = run_one ?extra_source ?nodes ~scenario ~seed ~duration ~plan () in
+          let r = run_one ?extra_source ?nodes ~domains ~scenario ~seed ~duration ~plan () in
           total_events := !total_events + r.events;
           total_faults := !total_faults + r.faults_injected;
           if r.ok then begin
@@ -599,11 +628,14 @@ let soak ?(log = ignore) ?extra_source ?nodes ~scenarios ~seeds ~duration () =
               (Printf.sprintf "FAIL %-5s seed=%-3d %s" scenario seed
                  (String.concat "; " r.problems));
             let still_fails p =
-              not (run_one ?extra_source ?nodes ~scenario ~seed ~duration ~plan:p ()).ok
+              not
+                (run_one ?extra_source ?nodes ~domains ~scenario ~seed ~duration ~plan:p ())
+                  .ok
             in
             let shrunk = shrink ~still_fails plan in
             failures :=
-              { scenario; seed; duration; plan; shrunk; problems = r.problems } :: !failures
+              { scenario; seed; duration; domains; plan; shrunk; problems = r.problems }
+              :: !failures
           end)
         seeds)
     scenarios;

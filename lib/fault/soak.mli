@@ -58,6 +58,7 @@ type run_result = {
 val run_one :
   ?extra_source:string ->
   ?nodes:int ->
+  ?domains:int ->
   scenario:string ->
   seed:int ->
   duration:Gr_util.Time_ns.t ->
@@ -68,12 +69,18 @@ val run_one :
     guardrails (the [grc soak --spec] path) into the scenario's
     deployment; an install failure is reported as a problem.
     [nodes] (default 3) sizes the ["fleet"] scenario and is ignored
-    by the single-node scenarios. *)
+    by the single-node scenarios. [domains] (default 1) runs the
+    ["fleet"] scenario in parallel epoch-barrier mode
+    (docs/PARALLEL.md); the invariant checks then run at every epoch
+    barrier — the only quiescent points — instead of after every sim
+    event, and the injector's fault traces land on node 0's tracer
+    channel. Ignored by the single-node scenarios. *)
 
 type failure = {
   scenario : string;
   seed : int;
   duration : Gr_util.Time_ns.t;
+  domains : int;  (** execution mode the failure reproduced under *)
   plan : Fault.plan;  (** as generated *)
   shrunk : Fault.plan;  (** minimal still-failing subset *)
   problems : string list;
@@ -96,13 +103,16 @@ val soak :
   ?log:(string -> unit) ->
   ?extra_source:string ->
   ?nodes:int ->
+  ?domains:int ->
   scenarios:string list ->
   seeds:int list ->
   duration:Gr_util.Time_ns.t ->
   unit ->
   report
 (** Runs every scenario x seed with generated plans, shrinking each
-    failure. [log] receives one progress line per run. *)
+    failure. [log] receives one progress line per run. [domains]
+    (default 1) is forwarded to {!run_one} for fleet runs and
+    recorded in each failure's repro command. *)
 
 val repro_command : failure -> string
 (** The [grc soak --scenario .. --seed .. --duration .. --plan '..']

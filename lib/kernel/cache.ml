@@ -7,7 +7,7 @@ type policy = { policy_name : string; choose_victim : victim_chooser }
 let lru = { policy_name = "lru"; choose_victim = (fun ~candidates -> candidates.(0)) }
 
 let random rng =
-  let rng = Rng.split rng in
+  let rng = Rng.fork rng in
   { policy_name = "random"; choose_victim = (fun ~candidates -> Rng.choice rng candidates) }
 
 type t = {

@@ -47,7 +47,7 @@ type t = {
 let dead_latency = Time_ns.ms 2000
 
 let create ~rng ~profile ~id =
-  let rng = Rng.split rng in
+  let rng = Rng.fork rng in
   {
     id;
     rng;

@@ -23,14 +23,14 @@ let fit t =
         ([| len /. 16.; is0 |], [| len /. 16. |]))
   in
   let model =
-    Mlp.create ~rng:(Rng.split t.rng) ~layers:[ 2; 6; 1 ] ~hidden:Gr_nn.Mlp.Tanh
+    Mlp.create ~rng:(Rng.fork t.rng) ~layers:[ 2; 6; 1 ] ~hidden:Gr_nn.Mlp.Tanh
       ~output:Gr_nn.Mlp.Linear ()
   in
   ignore (Mlp.train model ~rng:t.rng ~epochs:t.epochs ~batch_size:16 ~lr:0.1 data : float);
   t.model <- model
 
 let train ~rng ~cpus ?(samples = 800) ?(epochs = 30) () =
-  let rng = Rng.split rng in
+  let rng = Rng.fork rng in
   let t =
     {
       rng;

@@ -51,14 +51,14 @@ let fit t trace =
   let scaler = Scaler.fit (Array.map fst raw) in
   let data = Array.map (fun (x, y) -> (Scaler.transform scaler x, y)) raw in
   let model =
-    Mlp.create ~rng:(Rng.split t.rng) ~layers:[ 2; 10; 1 ] ~output:Gr_nn.Mlp.Linear ()
+    Mlp.create ~rng:(Rng.fork t.rng) ~layers:[ 2; 10; 1 ] ~output:Gr_nn.Mlp.Linear ()
   in
   ignore (Mlp.train model ~rng:t.rng ~epochs:t.epochs ~batch_size:32 ~lr:0.02 data : float);
   t.model <- model;
   t.scaler <- scaler
 
 let train ~rng ~hooks ~trace ?(epochs = 10) () =
-  let rng = Rng.split rng in
+  let rng = Rng.fork rng in
   let t =
     {
       rng;

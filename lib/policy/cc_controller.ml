@@ -13,13 +13,13 @@ let target ~rtt_ms ~loss =
   backoff /. 2. (* map into (0,1) for the sigmoid output *)
 
 let train ~rng ?(samples = 800) ?(epochs = 50) () =
-  let rng = Rng.split rng in
+  let rng = Rng.fork rng in
   let data =
     Array.init samples (fun _ ->
         let rtt_ms = Rng.float rng 120. and loss = Rng.float rng 0.15 in
         ([| rtt_ms /. 120.; loss /. 0.15 |], [| target ~rtt_ms ~loss |]))
   in
-  let model = Mlp.create ~rng:(Rng.split rng) ~layers:[ 2; 10; 1 ] ~hidden:Gr_nn.Mlp.Tanh () in
+  let model = Mlp.create ~rng:(Rng.fork rng) ~layers:[ 2; 10; 1 ] ~hidden:Gr_nn.Mlp.Tanh () in
   ignore (Mlp.train model ~rng ~epochs ~batch_size:16 ~lr:0.15 data : float);
   { model; wobble = 0.; enabled = true }
 

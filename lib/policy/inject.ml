@@ -1,7 +1,7 @@
 open Gr_util
 
 let flip_blk_decisions ~rng ~p policy =
-  let rng = Rng.split rng in
+  let rng = Rng.fork rng in
   {
     Gr_kernel.Blk.policy_name = policy.Gr_kernel.Blk.policy_name ^ "+flip";
     decide =
@@ -30,7 +30,7 @@ let never_promote =
   { Gr_kernel.Mm.policy_name = "never-promote"; promote = (fun _ -> false) }
 
 let wild_slices ~rng ~max_ms =
-  let rng = Rng.split rng in
+  let rng = Rng.fork rng in
   {
     Gr_kernel.Sched.policy_name = "wild-slices";
     slice =
@@ -45,7 +45,7 @@ let mru_eviction =
   }
 
 let skewed_balancer ~rng ~hot_fraction =
-  let rng = Rng.split rng in
+  let rng = Rng.fork rng in
   {
     Gr_kernel.Sched.balancer_name = "skewed";
     place =

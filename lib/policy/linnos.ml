@@ -26,7 +26,7 @@ let probe_dataset ~rng ~devices ~history ~slow_threshold_us ~samples_per_device 
   Array.iteri
     (fun i dev ->
       let profile = Gr_kernel.Ssd.profile dev in
-      let probe = Gr_kernel.Ssd.create ~rng:(Rng.split rng) ~profile ~id:(1000 + i) in
+      let probe = Gr_kernel.Ssd.create ~rng:(Rng.fork rng) ~profile ~id:(1000 + i) in
       let window = Ring.create ~capacity:history in
       for _ = 1 to history do
         Ring.push window 0.
@@ -73,7 +73,7 @@ let fit t =
     balance ~rng:t.rng (Array.map (fun (x, y) -> (Scaler.transform scaler x, y)) raw)
   in
   let model =
-    Mlp.create ~rng:(Rng.split t.rng) ~layers:[ 2 + t.history; 16; 16; 1 ] ()
+    Mlp.create ~rng:(Rng.fork t.rng) ~layers:[ 2 + t.history; 16; 16; 1 ] ()
   in
   ignore (Mlp.train model ~rng:t.rng ~epochs:t.epochs ~batch_size:32 ~lr:0.08 data : float);
   t.model <- model;
@@ -81,7 +81,7 @@ let fit t =
 
 let train ~rng ~devices ?(history = 4) ?(slow_threshold_us = 300.)
     ?(samples_per_device = 1500) ?(epochs = 25) () =
-  let rng = Rng.split rng in
+  let rng = Rng.fork rng in
   let t =
     {
       rng;

@@ -15,14 +15,14 @@ let target ~capacity ~miss_rate ~occupancy =
   share *. float_of_int capacity
 
 let train ~rng ~capacity ?(samples = 600) ?(epochs = 40) () =
-  let rng = Rng.split rng in
+  let rng = Rng.fork rng in
   let data =
     Array.init samples (fun _ ->
         let miss_rate = Rng.float rng 1.0 and occupancy = Rng.float rng 1.0 in
         ( [| miss_rate; occupancy |],
           [| target ~capacity ~miss_rate ~occupancy /. float_of_int capacity |] ))
   in
-  let model = Mlp.create ~rng:(Rng.split rng) ~layers:[ 2; 8; 1 ] () in
+  let model = Mlp.create ~rng:(Rng.fork rng) ~layers:[ 2; 8; 1 ] () in
   ignore (Mlp.train model ~rng ~epochs ~batch_size:16 ~lr:0.2 data : float);
   { capacity; model; drift = 1. }
 

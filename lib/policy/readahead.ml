@@ -42,14 +42,14 @@ let fit t ~mean_run =
   let raw = dataset ~rng:t.rng ~mean_run ~samples:t.samples in
   let data = Array.map (fun (x, y) -> (shape x, y)) raw in
   let model =
-    Mlp.create ~rng:(Rng.split t.rng) ~layers:[ 3; 10; 1 ] ~hidden:Gr_nn.Mlp.Tanh
+    Mlp.create ~rng:(Rng.fork t.rng) ~layers:[ 3; 10; 1 ] ~hidden:Gr_nn.Mlp.Tanh
       ~output:Gr_nn.Mlp.Linear ()
   in
   ignore (Mlp.train model ~rng:t.rng ~epochs:t.epochs ~batch_size:32 ~lr:0.05 data : float);
   t.model <- model
 
 let train ~rng ?(mean_run = 24.) ?(samples = 4000) ?(epochs = 20) () =
-  let rng = Rng.split rng in
+  let rng = Rng.fork rng in
   let t =
     {
       rng;

@@ -34,12 +34,12 @@ let fit t ~max_training_runnable =
     dataset ~rng:t.rng ~max_training_runnable ~samples:t.samples
       ~sees_runqueue:t.sees_runqueue
   in
-  let model = Mlp.create ~rng:(Rng.split t.rng) ~layers:[ 3; 8; 1 ] ~hidden:Gr_nn.Mlp.Tanh () in
+  let model = Mlp.create ~rng:(Rng.fork t.rng) ~layers:[ 3; 8; 1 ] ~hidden:Gr_nn.Mlp.Tanh () in
   ignore (Mlp.train model ~rng:t.rng ~epochs:t.epochs ~batch_size:16 ~lr:0.2 data : float);
   t.model <- model
 
 let train ~rng ?(max_training_runnable = 4) ?(samples = 800) ?(epochs = 40) () =
-  let rng = Rng.split rng in
+  let rng = Rng.fork rng in
   let t =
     {
       rng;

@@ -69,13 +69,13 @@ let fit t trace =
   let shaped = Array.map (fun (x, y) -> (shape x, y)) raw in
   let scaler = Scaler.fit (Array.map fst shaped) in
   let data = Array.map (fun (x, y) -> (Scaler.transform scaler x, y)) shaped in
-  let model = Mlp.create ~rng:(Rng.split t.rng) ~layers:[ 3; 12; 1 ] () in
+  let model = Mlp.create ~rng:(Rng.fork t.rng) ~layers:[ 3; 12; 1 ] () in
   ignore (Mlp.train model ~rng:t.rng ~epochs:t.epochs ~batch_size:32 ~lr:0.1 data : float);
   t.model <- model;
   t.scaler <- scaler
 
 let train ~rng ~trace ?(reuse_horizon = 64) ?(mean_gap_ms = 0.05) ?(epochs = 15) () =
-  let rng = Rng.split rng in
+  let rng = Rng.fork rng in
   let t =
     {
       rng;

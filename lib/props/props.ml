@@ -68,7 +68,7 @@ module P2_robustness = struct
       ~actions
 
   let instrument_cc d controller ~rng ~key ~every =
-    let rng = Rng.split rng in
+    let rng = Rng.fork rng in
     Guardrails.Deployment.derive_periodic d ~key ~every (fun () ->
         Gr_policy.Cc_controller.sensitivity_probe controller ~rng ~rtt_ms:40. ~loss:0.02 ())
 end

@@ -90,6 +90,10 @@ type t = {
   mutable node_id : int;
   mutable global_tier : t option; (* None: this store is its own tier *)
   mutable shards : t array; (* fleet tier: node stores merged under plain keys *)
+  (* Parallel fleet interception: when set, saves that would cross
+     into a foreign global tier are handed to this hook instead of
+     mutating the tier directly (docs/PARALLEL.md). *)
+  mutable global_publish : (string -> float -> unit) option;
 }
 
 let create ~clock ?(capacity_per_key = 4096) () =
@@ -110,6 +114,7 @@ let create ~clock ?(capacity_per_key = 4096) () =
     node_id = 0;
     global_tier = None;
     shards = [||];
+    global_publish = None;
   }
 
 let set_tracer t tracer = t.tracer <- Some tracer
@@ -289,7 +294,19 @@ let save_here t key value =
   end
   else Vec.iter (fun fn -> fn key value) t.subscribers
 
-let save t key value = save_here (resolve t key) key value
+let set_global_publish t fn = t.global_publish <- fn
+
+let save t key value =
+  (* A global-scoped save from a node normally writes straight into
+     the fleet tier. In a parallel fleet that write would cross domain
+     boundaries mid-epoch, so node stores install a [global_publish]
+     hook that buffers the save as an intent; the control deployment
+     replays it at the epoch barrier in deterministic order. Saves
+     that stay local (including a fleet tier's own global saves, where
+     [resolve] is the store itself) are never intercepted. *)
+  match t.global_publish with
+  | Some publish when not (resolve t key == t) -> publish key value
+  | _ -> save_here (resolve t key) key value
 
 (* Merged latest for plain keys on a fleet-tier store: the value of
    the newest sample across all members. Ties on the timestamp go to
@@ -670,11 +687,18 @@ end
    exports the demand's running state after lazy expiry; without a
    demand (or under force_naive) the state is rebuilt by scanning the
    in-window suffix. *)
-let export_here t ~key ~fn ~window_ns ~param =
+let export_here t ?now ~key ~fn ~window_ns ~param () =
   match Hashtbl.find_opt t.entries key with
   | None -> (Merge.empty, 0, true)
   | Some e -> (
-    let now = t.clock () in
+    (* [?now] lets a merged read cut every member's window with the
+       reader's clock. In a sequential fleet all stores share the sim
+       clock so this changes nothing; in a parallel fleet the shards'
+       clocks sit at the epoch boundary, ahead of the control plane
+       mid-epoch, and using the shard's own clock here would expire
+       samples the naive concat-and-scan oracle (which always cuts
+       with the reading store's clock) still sees. *)
+    let now = match now with Some n -> n | None -> t.clock () in
     let streaming =
       if t.force_naive then None else find_demand e ~fn ~window_ns ~param
     in
@@ -745,21 +769,22 @@ let export_here t ~key ~fn ~window_ns ~param =
         win;
       ({ !st with samples = Array.map snd win }, n, false))
 
-let rec export_state t ~key ~fn ~window_ns ~param =
+let rec export_state ?now t ~key ~fn ~window_ns ~param =
   let t = resolve t key in
+  let now = match now with Some n -> n | None -> t.clock () in
   if sharded t key then
     List.fold_left
       (fun acc m ->
         let s =
           if m == t then
-            let s, _, _ = export_here m ~key ~fn ~window_ns ~param in
+            let s, _, _ = export_here m ~now ~key ~fn ~window_ns ~param () in
             s
-          else export_state m ~key ~fn ~window_ns ~param
+          else export_state ~now m ~key ~fn ~window_ns ~param
         in
         Merge.union acc s)
       Merge.empty (members t)
   else
-    let s, _, _ = export_here t ~key ~fn ~window_ns ~param in
+    let s, _, _ = export_here t ~now ~key ~fn ~window_ns ~param () in
     s
 
 (* Fleet-tier aggregate over a plain key: fold every member's export
@@ -769,12 +794,13 @@ let rec export_state t ~key ~fn ~window_ns ~param =
 let merged_aggregate t ~key ~fn ~window_ns ~param =
   if t.force_naive then naive_aggregate t ~key ~fn ~window_ns ~param
   else begin
+    let now = t.clock () in
     let scanned = ref 0 in
     let incremental = ref true in
     let fold () =
       List.fold_left
         (fun acc m ->
-          let s, n, inc = export_here m ~key ~fn ~window_ns ~param in
+          let s, n, inc = export_here m ~now ~key ~fn ~window_ns ~param () in
           scanned := !scanned + n;
           if not inc then incremental := false;
           Merge.union acc s)

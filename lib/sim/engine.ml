@@ -128,6 +128,28 @@ let run_until t limit =
 
 let run t = while step t do () done
 
+let run_epochs ~pool ~epoch ~limit ~at_barrier engines =
+  (* Lock-step epoch driver for the parallel fleet (docs/PARALLEL.md):
+     every engine in [engines] advances to the same epoch boundary on
+     the pool — each owns a disjoint event set, so the only sharing is
+     the barrier itself — then [at_barrier] runs sequentially on the
+     calling domain to apply buffered cross-engine effects and advance
+     whatever sequential engine (the fleet's control plane) rides
+     between the boundaries. Determinism does not depend on the pool's
+     task-to-domain mapping because each engine's event stream is
+     node-local by construction. *)
+  if Time_ns.compare epoch Time_ns.zero <= 0 then
+    invalid_arg "Engine.run_epochs: epoch must be positive";
+  let n = Array.length engines in
+  let start = Array.fold_left (fun acc e -> Time_ns.max acc (now e)) Time_ns.zero engines in
+  let t = ref start in
+  while Time_ns.compare !t limit < 0 do
+    let boundary = Time_ns.min (Time_ns.add !t epoch) limit in
+    Pool.run pool (fun i -> run_until engines.(i) boundary) n;
+    at_barrier boundary;
+    t := boundary
+  done
+
 let pending t =
   (* Heap may contain cancelled tombstones; count live ones. *)
   List.length (List.filter (fun ev -> ev.live) (Heap.to_sorted_list t.queue))

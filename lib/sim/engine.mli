@@ -71,6 +71,23 @@ val run : t -> unit
 (** Runs until the queue is empty. Periodic events without [stop] make
     this diverge; prefer [run_until] in experiments. *)
 
+val run_epochs :
+  pool:Pool.t ->
+  epoch:Gr_util.Time_ns.t ->
+  limit:Gr_util.Time_ns.t ->
+  at_barrier:(Gr_util.Time_ns.t -> unit) ->
+  t array ->
+  unit
+(** [run_epochs ~pool ~epoch ~limit ~at_barrier engines] advances all
+    [engines] in lock-step sim-time epochs: each epoch, every engine
+    is [run_until] the next boundary in parallel on [pool], then
+    [at_barrier boundary] runs sequentially on the calling domain.
+    This is the parallel fleet's substrate (docs/PARALLEL.md): engines
+    must own disjoint event sets and buffer any cross-engine effect
+    for the barrier callback. Epochs start at the max of the engines'
+    clocks and the last boundary is exactly [limit]. Requires
+    [epoch > 0]. @raise Invalid_argument otherwise. *)
+
 val pending : t -> int
 (** Number of queued (non-cancelled) events. *)
 

@@ -1,0 +1,134 @@
+(* A tiny fork-join pool over OCaml 5 domains.
+
+   The epoch-barrier fleet runs one task per node per epoch; tasks are
+   claimed work-stealing style off a shared atomic counter, so the
+   mapping from node to domain is load-dependent — which is exactly why
+   the fleet protocol requires node tasks to be mutually independent
+   and to buffer cross-node effects for the sequential barrier phase.
+
+   Workers are spawned once per pool and parked on a condition
+   variable between epochs: spawning a domain costs far more than an
+   epoch's worth of node events, so per-epoch spawn would erase the
+   parallelism being bought. The main domain participates in every
+   round, so a pool of [domains] executes on [domains] cores using
+   [domains - 1] spawned workers; [domains = 1] degenerates to a plain
+   loop with no domains, no locks and no atomics. *)
+
+type job = {
+  f : int -> unit;
+  n : int;
+  next : int Atomic.t; (* next unclaimed task index *)
+  mutable live : int; (* workers still inside this round *)
+  mutable error : (int * exn) option; (* lowest task index that raised *)
+}
+
+type t = {
+  domains : int;
+  mutex : Mutex.t;
+  wake : Condition.t; (* workers wait here for a round (or shutdown) *)
+  done_ : Condition.t; (* main waits here for round completion *)
+  mutable job : job option;
+  mutable generation : int; (* bumped per round so workers can't rejoin one *)
+  mutable shutdown : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let size t = t.domains
+
+let run_tasks mutex job =
+  (* Claim task indices until the counter runs dry. A task that raises
+     poisons the round; recording happens under the pool mutex and the
+     lowest raising index wins, so the error re-raised in the main
+     domain is deterministic even when several tasks fail. *)
+  let rec claim () =
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i < job.n then begin
+      (match job.f i with
+      | () -> ()
+      | exception e ->
+        Mutex.lock mutex;
+        (match job.error with
+        | Some (j, _) when j <= i -> ()
+        | _ -> job.error <- Some (i, e));
+        Mutex.unlock mutex);
+      claim ()
+    end
+  in
+  claim ()
+
+let worker t () =
+  let gen = ref 0 in
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while (not t.shutdown) && (t.job = None || t.generation = !gen) do
+      Condition.wait t.wake t.mutex
+    done;
+    if t.shutdown then Mutex.unlock t.mutex
+    else begin
+      let job = Option.get t.job in
+      gen := t.generation;
+      Mutex.unlock t.mutex;
+      run_tasks t.mutex job;
+      Mutex.lock t.mutex;
+      job.live <- job.live - 1;
+      if job.live = 0 then Condition.broadcast t.done_;
+      Mutex.unlock t.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  let t =
+    {
+      domains;
+      mutex = Mutex.create ();
+      wake = Condition.create ();
+      done_ = Condition.create ();
+      job = None;
+      generation = 0;
+      shutdown = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (domains - 1) (fun _ -> Domain.spawn (worker t));
+  t
+
+let run t f n =
+  if n = 0 then ()
+  else if t.domains = 1 then
+    for i = 0 to n - 1 do
+      f i
+    done
+  else begin
+    let job = { f; n; next = Atomic.make 0; live = t.domains; error = None } in
+    Mutex.lock t.mutex;
+    t.job <- Some job;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.mutex;
+    (* The main domain works the same queue, then joins the round. *)
+    run_tasks t.mutex job;
+    Mutex.lock t.mutex;
+    job.live <- job.live - 1;
+    while job.live > 0 do
+      Condition.wait t.done_ t.mutex
+    done;
+    t.job <- None;
+    let error = job.error in
+    Mutex.unlock t.mutex;
+    match error with None -> () | Some (_, e) -> raise e
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.shutdown <- true;
+  Condition.broadcast t.wake;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool ~domains f =
+  let t = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -3,10 +3,16 @@
    seed replays the same dispatch sequence, hence the same ids. The
    context is shared between every tracer riding the same sim engine
    (fleet control + nodes), so a cross-node effect parents to the
-   dispatch that caused it no matter which tracer records it. *)
-type span_ctx = { mutable next_span : int; mutable current : int option }
+   dispatch that caused it no matter which tracer records it.
 
-let create_ctx () = { next_span = 0; current = None }
+   In parallel fleet mode each domain instead owns a private context
+   on a disjoint arithmetic channel: channel [c] of [stride] allocates
+   ids [c, c + stride, c + 2*stride, ..] so merged traces carry
+   globally unique, reproducible span ids (the id mod stride recovers
+   the emitting channel) without any cross-domain coordination. *)
+type span_ctx = { mutable next_span : int; stride : int; mutable current : int option }
+
+let create_ctx ?(offset = 0) ?(stride = 1) () = { next_span = offset; stride; current = None }
 
 type t = {
   clock : unit -> Gr_util.Time_ns.t;
@@ -60,9 +66,14 @@ let ctx t = t.ctx
 let set_ctx t ctx = t.ctx <- ctx
 let share_ctx ~src t = t.ctx <- src.ctx
 
+let set_span_channel t ~offset ~stride =
+  if offset < 0 || stride < 1 || offset >= stride then
+    invalid_arg "Tracer.set_span_channel: need 0 <= offset < stride";
+  t.ctx <- create_ctx ~offset ~stride ()
+
 let fresh_span t =
   let id = t.ctx.next_span in
-  t.ctx.next_span <- id + 1;
+  t.ctx.next_span <- id + t.ctx.stride;
   id
 
 let current_span t = t.ctx.current

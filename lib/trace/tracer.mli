@@ -76,8 +76,19 @@ val share_ctx : src:t -> t -> unit
     the fleet wires every node tracer to the control tracer's context
     at creation. *)
 
+val set_span_channel : t -> offset:int -> stride:int -> unit
+(** [set_span_channel t ~offset ~stride] replaces [t]'s context with a
+    fresh one allocating ids [offset, offset + stride, ..]. Parallel
+    fleets give each domain's tracer a disjoint channel (control is
+    channel 0, node [i] channel [i+1], stride [nodes+1]) so merged
+    traces carry globally unique span ids with no cross-domain
+    coordination; [id mod stride] recovers the emitting channel.
+    Requires [0 <= offset < stride].
+    @raise Invalid_argument otherwise. *)
+
 val fresh_span : t -> int
-(** Allocate the next span id (monotonic within the context). *)
+(** Allocate the next span id (monotonic within the context, advancing
+    by the channel stride — 1 for sequential deployments). *)
 
 val current_span : t -> int option
 val set_current : t -> int option -> unit

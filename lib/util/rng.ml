@@ -16,7 +16,16 @@ let int64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix t.state
 
-let split t = { state = mix (int64 t) }
+let fork t = { state = mix (int64 t) }
+
+let split t i =
+  (* Pure indexed derivation: hash the parent state with a
+     golden-gamma-spaced function of [i] so distinct indices land in
+     well-separated regions of the splitmix64 state space. Does not
+     advance [t], so per-node seeding is independent of how many other
+     streams were derived before it. *)
+  let salt = mix (Int64.add (Int64.mul (Int64.of_int i) golden_gamma) 0x1F123BB5159A55E5L) in
+  { state = mix (Int64.logxor t.state salt) }
 
 let int t bound =
   assert (bound > 0);

@@ -5,7 +5,14 @@
     explicit [Rng.t] so that experiments are reproducible bit-for-bit
     from a seed. The generator is splitmix64, which is fast, has a
     one-word state, and supports cheap splitting into independent
-    streams. *)
+    streams.
+
+    Domain-safety: a generator is single-owner mutable state. Every
+    operation below mutates [t] in place with no internal locking, so a
+    [t] must only ever be used from the domain that owns it. For
+    parallel fleets, derive one independent stream per node with
+    {!split} (pure, indexed) before spawning and hand each domain its
+    own generator; never share one [t] across domains. *)
 
 type t
 
@@ -17,10 +24,19 @@ val copy : t -> t
 (** [copy t] duplicates the generator state; the copy evolves
     independently afterwards. *)
 
-val split : t -> t
-(** [split t] derives a new independent generator from [t], advancing
-    [t]. Use one split stream per subsystem so that adding draws in one
-    subsystem does not perturb another. *)
+val fork : t -> t
+(** [fork t] derives a new independent generator from [t], advancing
+    [t]. Use one forked stream per subsystem so that adding draws in
+    one subsystem does not perturb another. *)
+
+val split : t -> int -> t
+(** [split t i] derives a new independent generator from [t] and the
+    stream index [i] {e without} advancing [t]: it is a pure function
+    of [t]'s current state and [i], so [split t i] is the same stream
+    no matter how many other indices were split before it. This is the
+    per-node seeding primitive for parallel fleets — node [i]'s stream
+    depends only on the fleet seed and [i], never on construction
+    order. *)
 
 val int64 : t -> int64
 (** Next raw 64-bit output. *)

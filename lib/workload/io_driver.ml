@@ -52,7 +52,7 @@ let start ~engine ~rng ~blk ~arrival ~n_devices ?(zipf_s = 0.9) ?until () =
   let t =
     {
       engine;
-      rng = Rng.split rng;
+      rng = Rng.fork rng;
       blk;
       arrival;
       zipf = Rng.Zipf.create ~n:n_devices ~s:zipf_s;

@@ -14,7 +14,7 @@ and t = kind
 
 let zipfian ~rng ~n_pages ?(s = 1.1) ?(hot_offset = 0) () =
   if n_pages <= 0 then invalid_arg "Mem_trace.zipfian: n_pages must be positive";
-  Zipfian { rng = Rng.split rng; zipf = Rng.Zipf.create ~n:n_pages ~s; n_pages; hot_offset }
+  Zipfian { rng = Rng.fork rng; zipf = Rng.Zipf.create ~n:n_pages ~s; n_pages; hot_offset }
 
 let scan ~n_pages =
   if n_pages <= 0 then invalid_arg "Mem_trace.scan: n_pages must be positive";
@@ -23,7 +23,7 @@ let scan ~n_pages =
 let mixed ~rng ~scan_fraction main other =
   if not (scan_fraction >= 0. && scan_fraction <= 1.) then
     invalid_arg "Mem_trace.mixed: scan_fraction must be in [0,1]";
-  Mixed { rng = Rng.split rng; scan_fraction; main; other }
+  Mixed { rng = Rng.fork rng; scan_fraction; main; other }
 
 let rec next = function
   | Zipfian z ->

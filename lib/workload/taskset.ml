@@ -21,7 +21,7 @@ let batch ~rate_per_sec =
 let run ~engine ~rng ~sched ~specs ~until =
   List.iteri
     (fun i spec ->
-      let rng = Rng.split rng in
+      let rng = Rng.fork rng in
       let counter = ref 0 in
       let rec spawn_next e =
         if Time_ns.compare (Gr_sim.Engine.now e) until < 0 then begin

@@ -257,7 +257,7 @@ let autotune_source ~hi =
     hi
 
 let feed_latency kernel d ~mean =
-  let rng = Rng.split kernel.Gr_kernel.Kernel.rng in
+  let rng = Rng.fork kernel.Gr_kernel.Kernel.rng in
   ignore
     (Gr_sim.Engine.every kernel.Gr_kernel.Kernel.engine ~interval:(Time_ns.ms 2) (fun _ ->
          Guardrails.Deployment.save d "lat" (Float.max 0. (Rng.gaussian rng ~mu:mean ~sigma:(mean /. 10.))))

@@ -140,6 +140,7 @@ let test_repro_command_shape () =
       Soak.scenario = "store";
       seed = 9;
       duration = Time_ns.of_float_sec 0.5;
+      domains = 1;
       plan = [];
       shrunk =
         [ { Fault.at = Time_ns.ms 50; kind = Fault.Corrupt_key { key = "lat"; corruption = Fault.Huge } } ];
@@ -147,14 +148,18 @@ let test_repro_command_shape () =
     }
   in
   let cmd = Soak.repro_command f in
-  let contains needle =
-    let n = String.length needle and h = String.length cmd in
-    let rec go i = i + n <= h && (String.sub cmd i n = needle || go (i + 1)) in
+  let contains_in hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
     go 0
   in
+  let contains = contains_in cmd in
   check "names the scenario" true (contains "--scenario store");
   check "names the seed" true (contains "--seed 9");
-  check "carries the shrunk plan" true (contains (Fault.plan_to_string f.Soak.shrunk))
+  check "carries the shrunk plan" true (contains (Fault.plan_to_string f.Soak.shrunk));
+  check "sequential repro omits --domains" false (contains "--domains");
+  check "parallel repro pins --domains" true
+    (contains_in (Soak.repro_command { f with Soak.domains = 4 }) "--domains 4")
 
 (* ------------------------------------------------------------------ *)
 (* Corrective actions end-to-end under injected faults                *)

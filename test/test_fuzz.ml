@@ -223,6 +223,123 @@ let test_differential () =
     Alcotest.failf "%d/%d differential cases diverged (first %d shown):\n%s" (List.length fs)
       fuzz_cases (List.length shown) (String.concat "\n" shown)
 
+(* ------------------------------------------------------------------ *)
+(* Fleet differential: sequential vs. parallel epoch-barrier mode.    *)
+(* ------------------------------------------------------------------ *)
+
+module Fleet = Guardrails.Fleet
+module D = Guardrails.Deployment
+
+let fleet_fuzz_cases = 30
+
+(* Distinct prime feeder cadences (µs). Primes above 5000 cannot land
+   on the ms-grained epoch boundaries or monitor timers inside a
+   sub-2s horizon, and two distinct primes first coincide at their
+   product (>= 25 simulated seconds), so cross-node event order is
+   unambiguous and seq/par equality is exact rather than modulo
+   tie-breaking (docs/PARALLEL.md explains why ties are the only
+   wiggle room the protocol leaves). *)
+let fleet_primes =
+  [| 5003; 6007; 7919; 8009; 9973; 12007; 15013; 23003; 31013; 41999; 104729; 149993 |]
+
+let run_fleet_case i failures violations_seen =
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg -> failures := Printf.sprintf "fleet case %d: %s" i msg :: !failures)
+      fmt
+  in
+  let rng = Rng.create (0xF1EE7 + i) in
+  let nodes = 2 + Rng.int rng 5 in
+  let seed = 101 + Rng.int rng 10_000 in
+  (* Epoch-compatible workload (docs/PARALLEL.md): control-side TIMER
+     periods and the horizon are multiples of the epoch, so every
+     control tick lands on a barrier where both modes have dispatched
+     exactly the same node events. A tick strictly inside an epoch
+     would read the shards' streaming aggregate state as of the
+     enclosing boundary — deterministic, but ahead of the sequential
+     interleaving by up to one epoch. *)
+  let epoch_ms = 10 * (2 + Rng.int rng 9) in
+  let epoch = Time_ns.ms epoch_ms in
+  let limit = Time_ns.ms (epoch_ms * (8 + Rng.int rng 8)) in
+  let beacon_stride = 1 + Rng.int rng 3 in
+  (* Random permutation of the cadence table: node n feeds "lat" on
+     perm[n], beacon publishers tick on perm[nodes + n]. *)
+  let perm = Array.init (Array.length fleet_primes) (fun j -> j) in
+  for j = Array.length perm - 1 downto 1 do
+    let k = Rng.int rng (j + 1) in
+    let tmp = perm.(j) in
+    perm.(j) <- perm.(k);
+    perm.(k) <- tmp
+  done;
+  let source =
+    Printf.sprintf
+      {|guardrail fz_lat { trigger: { TIMER(0, %dms) } rule: { AVG(lat, 1s) <= %d } action: { REPORT("lat high", lat) } }
+        guardrail fz_beacon { trigger: { ON_CHANGE(GLOBAL(beacon)) } rule: { COUNT(GLOBAL(beacon), 1s) <= %d } action: { REPORT("beacon burst", GLOBAL(beacon)) } }
+        guardrail fz_act { trigger: { TIMER(0, %dms) } rule: { QUANTILE(lat, 0.9, 1s) <= %d } action: { REPORT("tail", lat) REPLACE("dummy_policy") } }|}
+      (epoch_ms * (1 + Rng.int rng 3))
+      (30 + (10 * Rng.int rng 7))
+      (Rng.int rng 6)
+      (epoch_ms * (1 + Rng.int rng 5))
+      (40 + (10 * Rng.int rng 8))
+  in
+  let build domains =
+    let fleet = Fleet.create ~nodes ~seed ~tracing:true ~domains ~epoch () in
+    Array.iteri
+      (fun n node ->
+        let krng = (D.kernel node).Gr_kernel.Kernel.rng in
+        D.derive_periodic node ~key:"lat"
+          ~every:(Time_ns.us fleet_primes.(perm.(n)))
+          (fun () -> Rng.float krng 100.);
+        if n mod beacon_stride = 0 then
+          D.derive_periodic node
+            ~key:(Gr_dsl.Ast.global_key "beacon")
+            ~every:(Time_ns.us fleet_primes.(perm.(nodes + n)))
+            (fun () -> Rng.float krng 10.);
+        Gr_kernel.Policy_slot.Registry.register
+          (D.kernel node).Gr_kernel.Kernel.registry "dummy_policy"
+          { replace = (fun () -> ()); restore = (fun () -> ()); retrain = (fun () -> ()) })
+      (Fleet.nodes fleet);
+    ignore (Fleet.install_source_exn fleet source : Gr_runtime.Engine.handle list);
+    Fleet.run_until fleet limit;
+    fleet
+  in
+  let seq = build 1 and par = build 4 in
+  if Fleet.domains seq <> 1 then fail "seq side not sequential";
+  if Fleet.domains par < 2 then fail "par side did not engage domains";
+  let vs, acts_s, aggs_s, gs = Test_par.observables seq in
+  let vp, acts_p, aggs_p, gp = Test_par.observables par in
+  violations_seen := !violations_seen + List.length vs;
+  if List.length vs <> List.length vp then
+    fail "violation counts diverged (seq %d vs par %d)" (List.length vs) (List.length vp)
+  else
+    List.iter2 (fun a b -> if a <> b then fail "violation record diverged: %s vs %s" a b) vs vp;
+  if acts_s <> acts_p then fail "fleet action counters diverged";
+  if aggs_s <> aggs_p then fail "merged aggregates diverged";
+  if not (gs = gp || (Float.is_nan gs && Float.is_nan gp)) then
+    fail "global-tier beacon value diverged (%h vs %h)" gs gp;
+  List.iter2
+    (fun ts tp ->
+      let es = Test_par.normalized_events ts and ep = Test_par.normalized_events tp in
+      if es <> ep then
+        fail "trace channel diverged (%d vs %d observable events)" (List.length es)
+          (List.length ep))
+    (Test_par.channels seq) (Test_par.channels par)
+
+let test_fleet_differential () =
+  let failures = ref [] in
+  let violations_seen = ref 0 in
+  for i = 0 to fleet_fuzz_cases - 1 do
+    run_fleet_case i failures violations_seen
+  done;
+  if !violations_seen = 0 then
+    Alcotest.fail "fleet differential never produced a violation — thresholds too lax to test anything";
+  match List.rev !failures with
+  | [] -> ()
+  | fs ->
+    let shown = List.filteri (fun i _ -> i < 10) fs in
+    Alcotest.failf "%d/%d fleet differential cases diverged (first %d shown):\n%s"
+      (List.length fs) fleet_fuzz_cases (List.length shown) (String.concat "\n" shown)
+
 (* Pin the property tests' seed too: CI replays the same inputs. *)
 let pinned t = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5EED |]) t
 
@@ -236,5 +353,8 @@ let suite =
         pinned compiled_monitors_always_verify;
         Alcotest.test_case "differential: VM vs reference interpreter, 500 pinned seeds" `Quick
           test_differential;
+        Alcotest.test_case
+          "differential: fleet sequential vs parallel epoch-barrier, 30 pinned seeds" `Quick
+          test_fleet_differential;
       ] );
   ]

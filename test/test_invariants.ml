@@ -100,7 +100,7 @@ let blk_counters =
             Gr_kernel.Ssd.create ~rng ~profile:Gr_kernel.Ssd.aged_profile ~id:i)
       in
       let blk = Gr_kernel.Blk.create ~engine ~hooks ~devices () in
-      let policy_rng = Rng.split rng in
+      let policy_rng = Rng.fork rng in
       Gr_kernel.Policy_slot.install (Gr_kernel.Blk.slot blk) ~name:"random"
         {
           Gr_kernel.Blk.policy_name = "random";

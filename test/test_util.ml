@@ -24,11 +24,11 @@ let test_rng_different_seeds () =
 
 let test_rng_split_independent () =
   let parent = Rng.create 7 in
-  let child = Rng.split parent in
+  let child = Rng.fork parent in
   (* Drawing from the child must not influence the parent's stream
      relative to a parent that splits but never uses the child. *)
   let parent2 = Rng.create 7 in
-  let _child2 = Rng.split parent2 in
+  let _child2 = Rng.fork parent2 in
   for _ = 1 to 5 do
     ignore (Rng.int64 child : int64)
   done;
