@@ -1,4 +1,4 @@
-.PHONY: all build test fmt fmt-check lint bench bench-smoke soak-smoke fleet-smoke par-smoke obs-smoke examples-run ci
+.PHONY: all build test fmt fmt-check lint bench bench-smoke soak-smoke fleet-smoke par-smoke tsan-smoke obs-smoke examples-run ci
 
 all: build
 
@@ -26,9 +26,11 @@ bench:
 	dune exec bench/main.exe
 
 # Tiny-N benchmark pass: exercises the aggregation micro-bench and the
-# monitor-count sweep end to end in seconds, machine-readable output.
+# monitor-count sweep end to end in seconds, machine-readable output,
+# plus the small sizes of the grc verify pass-cost ablation.
 bench-smoke:
 	dune exec bench/main.exe -- agg scale --json --smoke
+	dune exec bench/main.exe -- verify --smoke
 
 # Bounded chaos soak: every scenario x seeds 1-7 with generated fault
 # plans, invariants checked after every sim event (docs/TESTING.md).
@@ -52,6 +54,22 @@ fleet-smoke:
 par-smoke: build
 	sh scripts/par_smoke.sh
 
+# ThreadSanitizer smoke (docs/PARALLEL.md): on a TSan-enabled
+# compiler — OCaml >= 5.2 configured with --enable-tsan, which makes
+# `ocamlopt -config` report `tsan: true` — rebuild under the tsan
+# dune profile and run the parallel-runtime suites (domain pool,
+# epoch barriers, deterministic fleet RNG) with the instrumented
+# runtime watching for data races. On any other toolchain (including
+# the pinned 5.1.1 build image) it prints a skip line and succeeds,
+# so `make ci` stays portable.
+tsan-smoke:
+	@if ocamlopt -config 2>/dev/null | grep -q '^tsan:.*true'; then \
+	  echo "tsan-smoke: ThreadSanitizer-enabled compiler detected; running par suites under --profile tsan"; \
+	  dune exec --profile tsan test/test_main.exe -- test par -e; \
+	else \
+	  echo "tsan-smoke: skipped (ocamlopt -config reports no tsan support; needs OCaml >= 5.2 built with --enable-tsan)"; \
+	fi
+
 # Observability smoke (docs/OBSERVABILITY.md): traced quickstart whose
 # t=3s REPORT `grc explain` must walk back to its sim dispatch, plus
 # golden-diffed OpenMetrics expositions from `grc run --metrics`
@@ -71,5 +89,6 @@ ci: fmt-check
 	$(MAKE) soak-smoke
 	$(MAKE) fleet-smoke
 	$(MAKE) par-smoke
+	$(MAKE) tsan-smoke
 	$(MAKE) obs-smoke
 	$(MAKE) examples-run

@@ -19,6 +19,7 @@
      agg          Ablation G: naive vs incremental window aggregation
      fleet        Ablation H: fleet-wide merged aggregation + canary
      soak         Chaos soak: fault injection vs guardrail invariants
+     verify       Ablation I: grc verify pass cost (fixpoint, model checking)
 
    With --json, experiments that support it (fig2, overhead, scale,
    agg) print one machine-readable JSON document to stdout instead of
@@ -44,6 +45,7 @@ let experiments : (string * (json:bool -> unit)) list =
     ("agg", Agg.run);
     ("fleet", Fleet_bench.run);
     ("soak", Soak.run);
+    ("verify", fun ~json:_ -> Verify_bench.run ());
   ]
 
 let () =

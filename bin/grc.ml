@@ -7,6 +7,10 @@
      grc lint    FILE...  static analysis: abstract interpretation over each
                           rule plus whole-deployment interference checks;
                           exit 0 clean, 1 warnings (with --strict), 2 errors
+     grc verify  FILE...  lint on the inter-rule dataflow fixpoint, plus
+                          action-machine model checking (GRL2xx) with
+                          executable counterexamples and, under --fleet,
+                          GLOBAL-key race analysis (GRL301)
      grc fmt     FILE     parse and pretty-print canonical form
      grc run     FILE     install against an idle simulated kernel and run;
                           report per-monitor telemetry, optionally export a
@@ -107,28 +111,30 @@ let deps_cmd =
     (Cmd.info "deps" ~doc:"Dependency analysis: interference edges and feedback loops")
     Term.(const run $ file_arg)
 
+(* Shared by grc lint / grc verify: one spec file -> optimised
+   monitors tagged with their source path, or a printable error. *)
+let compile_spec_file path =
+  let src = read_file path in
+  match Guardrails.Parser.parse src with
+  | Error (pos, msg) ->
+    Error (Format.asprintf "%s: parse error at %a: %s" path Guardrails.Ast.pp_pos pos msg)
+  | Ok spec -> (
+    match Guardrails.Typecheck.check_spec spec with
+    | Error errs ->
+      Error
+        (String.concat "\n"
+           (List.map
+              (fun e -> Format.asprintf "%s: %a" path Guardrails.Typecheck.pp_error e)
+              errs))
+    | Ok () ->
+      Ok
+        (List.map
+           (fun m -> (path, Guardrails.Opt.optimize_monitor m))
+           (Guardrails.Lower.spec spec)))
+
 let lint_cmd =
   let run paths json strict budget fleet =
-    let compile_one path =
-      let src = read_file path in
-      match Guardrails.Parser.parse src with
-      | Error (pos, msg) ->
-        Error (Format.asprintf "%s: parse error at %a: %s" path Guardrails.Ast.pp_pos pos msg)
-      | Ok spec -> (
-        match Guardrails.Typecheck.check_spec spec with
-        | Error errs ->
-          Error
-            (String.concat "\n"
-               (List.map
-                  (fun e -> Format.asprintf "%s: %a" path Guardrails.Typecheck.pp_error e)
-                  errs))
-        | Ok () ->
-          Ok
-            (List.map
-               (fun m -> (path, Guardrails.Opt.optimize_monitor m))
-               (Guardrails.Lower.spec spec)))
-    in
-    let compiled = List.map compile_one paths in
+    let compiled = List.map compile_spec_file paths in
     let failures = List.filter_map (function Error e -> Some e | Ok _ -> None) compiled in
     if failures <> [] then begin
       List.iter (fun e -> Format.eprintf "%s@." e) failures;
@@ -223,6 +229,195 @@ let lint_cmd =
          "Static analysis: abstract interpretation over each rule and whole-deployment \
           interference checks")
     Term.(const run $ files $ json $ strict $ budget $ fleet)
+
+(* grc verify: the whole-deployment static pass family on top of lint.
+   Runs the inter-rule dataflow fixpoint (so GRL001-005 see through
+   SAVE-defined keys), the action-machine model checker (GRL201-203,
+   with executable counterexample schedules), and — under --fleet —
+   the GLOBAL-key race analysis (GRL301). Exit codes match grc lint:
+   0 clean, 1 warnings with --strict, 2 errors. *)
+let verify_cmd =
+  let run paths json strict budget fleet max_states canary_strs =
+    let parse_canary s =
+      let bad () =
+        Error (Printf.sprintf "grc verify: --canary expects POLICY=ID[,ID...] (got %S)" s)
+      in
+      match String.index_opt s '=' with
+      | None -> bad ()
+      | Some i -> (
+        let name = String.sub s 0 i in
+        let ids = String.sub s (i + 1) (String.length s - i - 1) in
+        if name = "" then bad ()
+        else
+          match
+            List.map
+              (fun p -> int_of_string_opt (String.trim p))
+              (String.split_on_char ',' ids)
+          with
+          | parts when List.for_all Option.is_some parts ->
+            Ok (name, List.filter_map Fun.id parts)
+          | _ -> bad ())
+    in
+    let canaries_r =
+      List.fold_left
+        (fun acc s ->
+          match (acc, parse_canary s) with
+          | Error e, _ -> Error e
+          | _, Error e -> Error e
+          | Ok l, Ok c -> Ok (l @ [ c ]))
+        (Ok []) canary_strs
+    in
+    match canaries_r with
+    | Error msg ->
+      prerr_endline msg;
+      2
+    | Ok canaries -> (
+      let compiled = List.map compile_spec_file paths in
+      let failures = List.filter_map (function Error e -> Some e | Ok _ -> None) compiled in
+      if failures <> [] then begin
+        List.iter (fun e -> Format.eprintf "%s@." e) failures;
+        2
+      end
+      else begin
+        (* Same --fleet contract as grc lint: each FILE is one node's
+           deployment; node-local keys and monitor names are qualified
+           per file so only genuinely shared (GLOBAL) state collides.
+           The node id also feeds the GRL301 race analysis. *)
+        let tagged =
+          List.concat
+            (List.mapi
+               (fun node_id -> function
+                 | Error _ -> []
+                 | Ok l ->
+                   List.map
+                     (fun (f, m) ->
+                       let m =
+                         if fleet then Guardrails.Monitor.qualify ~node_id m else m
+                       in
+                       (node_id, (f, m)))
+                     l)
+               compiled)
+        in
+        let file_of =
+          let tbl = Hashtbl.create 16 in
+          List.iter
+            (fun (_, (f, (m : Guardrails.Monitor.t))) ->
+              if not (Hashtbl.mem tbl m.name) then Hashtbl.add tbl m.name f)
+            tagged;
+          fun name -> Hashtbl.find_opt tbl name
+        in
+        (* A repro command line only makes sense when there is exactly
+           one spec file to hand to grc soak --spec. *)
+        let repro =
+          match paths with
+          | [ spec ] -> Some (fun s -> Gr_fault.Replay.repro_command ~spec s)
+          | _ -> None
+        in
+        let config =
+          {
+            Guardrails.Audit.lint = { Guardrails.Analyze.hook_budget_ns = budget };
+            machine = { Guardrails.Machine.max_states; canaries };
+            fleet;
+          }
+        in
+        let audit =
+          Guardrails.Audit.run ~config ?repro (List.map (fun (n, (_, m)) -> (n, m)) tagged)
+        in
+        let diags = audit.Guardrails.Audit.diagnostics in
+        let machine = audit.Guardrails.Audit.machine in
+        if json then begin
+          let with_file (d : Guardrails.Diagnostic.t) =
+            let file =
+              match d.monitor with
+              | Some m -> (
+                match file_of m with
+                | Some f -> Guardrails.Json.Str f
+                | None -> Guardrails.Json.Null)
+              | None -> Guardrails.Json.Null
+            in
+            match Guardrails.Diagnostic.to_json d with
+            | Guardrails.Json.Obj fields -> Guardrails.Json.Obj (("file", file) :: fields)
+            | other -> other
+          in
+          print_endline
+            (Guardrails.Json.to_string (Guardrails.Json.Arr (List.map with_file diags)))
+        end
+        else begin
+          List.iter
+            (fun (d : Guardrails.Diagnostic.t) ->
+              let prefix =
+                match d.monitor with
+                | Some m -> ( match file_of m with Some f -> f ^ ": " | None -> "")
+                | None -> ""
+              in
+              Format.printf "%s%a@." prefix Guardrails.Diagnostic.pp d;
+              match d.repro with
+              | Some r -> Format.printf "  repro: %s@." r
+              | None -> ())
+            diags;
+          Format.printf "verify: %d diagnostic(s); %d state(s), %d transition(s) explored%s@."
+            (List.length diags) machine.Guardrails.Machine.states
+            machine.Guardrails.Machine.transitions
+            (if machine.Guardrails.Machine.truncated then
+               " (truncated: GRL201/202 suppressed, raise --max-states)"
+             else "")
+        end;
+        let has sev =
+          List.exists (fun (d : Guardrails.Diagnostic.t) -> d.severity = sev) diags
+        in
+        if has Guardrails.Diagnostic.Error then 2
+        else if has Guardrails.Diagnostic.Warning && strict then 1
+        else 0
+      end)
+  in
+  let files =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"Guardrail source file(s); verified together as one deployment.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as a JSON array.") in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Exit 1 when warnings are found (errors always exit 2).")
+  in
+  let budget =
+    Arg.(
+      value & opt float 500.
+      & info [ "hook-budget-ns" ] ~docv:"NS"
+          ~doc:"Per-FUNCTION-hook cumulative static cost budget in nanoseconds (default 500).")
+  in
+  let fleet =
+    Arg.(
+      value & flag
+      & info [ "fleet" ]
+          ~doc:
+            "Treat each FILE as one fleet node's deployment: node-local keys and monitor \
+             names are qualified per file, interference checks only fire for genuinely \
+             shared state, and the GRL301 GLOBAL-key race analysis runs across nodes.")
+  in
+  let max_states =
+    Arg.(
+      value & opt int 4096
+      & info [ "max-states" ] ~docv:"N"
+          ~doc:
+            "Action-machine exploration cap (default 4096). When hit, GRL201/GRL202 \
+             absence proofs are suppressed; GRL203 cycles found so far still report.")
+  in
+  let canary =
+    Arg.(
+      value & opt_all string []
+      & info [ "canary" ] ~docv:"POLICY=ID[,ID...]"
+          ~doc:
+            "Model POLICY's REPLACE as canaried onto the given node subset; repeatable. \
+             Enables the GRL202 never-promoting-canary check for that policy.")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Whole-deployment verification: inter-rule fixpoint dataflow, action-machine \
+          model checking with executable counterexamples, and fleet race analysis")
+    Term.(const run $ files $ json $ strict $ budget $ fleet $ max_states $ canary)
 
 let cgen_cmd =
   let run path header =
@@ -627,6 +822,12 @@ let soak_cmd =
              violations@."
             scenario seed r.Soak.events r.Soak.faults_injected r.Soak.faults_skipped
             r.Soak.checks r.Soak.violations;
+          List.iter
+            (fun (name, on_fallback, flips) ->
+              Format.printf "slot %s: %s (%d transition(s))@." name
+                (if on_fallback then "fallback" else "learned")
+                flips)
+            r.Soak.slots;
           if r.Soak.ok then begin
             print_endline "OK";
             0
@@ -723,6 +924,7 @@ let () =
             compile_cmd;
             deps_cmd;
             lint_cmd;
+            verify_cmd;
             cgen_cmd;
             fmt_cmd;
             run_cmd;

@@ -8,101 +8,14 @@ let default_config = { hook_budget_ns = 500. }
 
 (* ---------- Abstract evaluation ---------- *)
 
-let eval_unop op v =
-  match op with
-  | Ast.Neg -> Interval.neg v
-  | Ast.Abs -> Interval.abs v
-  | Ast.Not -> Interval.not_ v
-
-let eval_binop op a b =
-  match op with
-  | Ast.Add -> Interval.add a b
-  | Ast.Sub -> Interval.sub a b
-  | Ast.Mul -> Interval.mul a b
-  | Ast.Div -> Interval.div a b
-  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne -> Interval.cmp op a b
-  | Ast.And -> Interval.and_ a b
-  | Ast.Or -> Interval.or_ a b
-
-(* Range of a windowed aggregate given the key's sample range. An
-   empty window yields 0 in the feature store, so 0 is always
-   included. *)
-let eval_agg (fn : Ast.agg) key_av =
-  match fn with
-  | Ast.Count | Ast.Rate | Ast.Stddev -> Interval.finite 0. infinity
-  | Ast.Avg | Ast.Min | Ast.Max | Ast.Quantile -> Interval.join (Interval.const 0.) key_av
-  | Ast.Sum ->
-    (* Magnitude scales with the (unbounded) sample count. *)
-    let h = Interval.join (Interval.const 0.) key_av in
-    {
-      h with
-      Interval.lo = (if Interval.may_neg h then neg_infinity else h.Interval.lo);
-      hi = (if Interval.may_pos h then infinity else h.Interval.hi);
-    }
-  | Ast.Delta ->
-    (* last − first: the self-difference of the sample range. *)
-    Interval.join (Interval.const 0.) (Interval.sub key_av key_av)
-
-(* Evaluates a straight-line program, returning the per-register
-   abstract values (single assignment makes the final register file a
-   complete record of every intermediate). *)
-let eval_program ~lookup ~(slots : string array) (p : Ir.program) =
-  let regs = Array.make (max 1 p.Ir.n_regs) Interval.bot in
-  Array.iter
-    (fun inst ->
-      let v =
-        match inst with
-        | Ir.Const { value; _ } -> Interval.const value
-        | Ir.Load { slot; _ } -> lookup slots.(slot)
-        | Ir.Agg { fn; slot; _ } -> eval_agg fn (lookup slots.(slot))
-        | Ir.Unop { op; src; _ } -> eval_unop op regs.(src)
-        | Ir.Binop { op; lhs; rhs; _ } -> eval_binop op regs.(lhs) regs.(rhs)
-      in
-      regs.(Ir.dst inst) <- v)
-    p.Ir.insts;
-  regs
-
-let result_value ~lookup ~slots (p : Ir.program) =
-  if Array.length p.Ir.insts = 0 then Interval.unknown
-  else (eval_program ~lookup ~slots p).(p.Ir.result)
-
-(* ---------- Slot seeding ---------- *)
-
-let saves m =
-  List.filter_map
-    (function Monitor.Save { key; value } -> Some (key, value) | _ -> None)
-    m.Monitor.actions
-
-(* Abstract store contents: keys written by some monitor are the join
-   of all their SAVE programs' values plus 0 (the initial value);
-   everything else is external telemetry — finite but unknown. Two
-   rounds of downward iteration from top refine self-referential
-   saves soundly (each iterate over-approximates the fixpoint). *)
-let key_env monitors =
-  let written = Hashtbl.create 16 in
-  List.iter (fun m -> List.iter (fun (k, _) -> Hashtbl.replace written k ()) (saves m)) monitors;
-  let env = ref (fun key -> if Hashtbl.mem written key then Interval.top else Interval.unknown) in
-  for _round = 1 to 2 do
-    let lookup = !env in
-    let next = Hashtbl.create 16 in
-    List.iter
-      (fun m ->
-        List.iter
-          (fun (key, value) ->
-            let v = result_value ~lookup ~slots:m.Monitor.slots value in
-            let joined =
-              match Hashtbl.find_opt next key with
-              | Some prev -> Interval.join prev v
-              | None -> Interval.join (Interval.const 0.) v
-            in
-            Hashtbl.replace next key joined)
-          (saves m))
-      monitors;
-    env :=
-      fun key ->
-        match Hashtbl.find_opt next key with Some v -> v | None -> Interval.unknown
-  done;
-  !env
+(* The straight-line abstract evaluator and the whole-deployment SAVE
+   fixpoint both live in {!Dataflow}; keys written by some monitor's
+   SAVE carry the fixpoint value range, everything else is external
+   telemetry — finite but unknown. *)
+let eval_program = Dataflow.eval_program
+let result_value = Dataflow.result_value
+let saves = Dataflow.saves
+let key_env monitors = Dataflow.lookup (Dataflow.fixpoint monitors)
 
 (* ---------- Pass 1: per-program diagnostics ---------- *)
 
@@ -275,10 +188,13 @@ let check_deployment ~config ~diag (monitors : Monitor.t list) =
                 (Printf.sprintf "key %S is written by multiple monitors (%s): last writer wins"
                    key (String.concat ", " ws)))
          | _ -> ());
-  (* GRL103: SAVE <-> ON_CHANGE trigger cycles. *)
-  List.iter
-    (fun comp ->
-      let names = names_of comp monitors in
+  (* GRL103: SAVE <-> ON_CHANGE trigger cycles, in sorted member
+     order so the emission sequence is independent of Tarjan's
+     traversal order. *)
+  trigger_sccs monitors
+  |> List.map (fun comp -> names_of comp monitors)
+  |> List.sort compare
+  |> List.iter (fun names ->
       match names with
       | [ only ] ->
         diag
@@ -291,8 +207,7 @@ let check_deployment ~config ~diag (monitors : Monitor.t list) =
              (Printf.sprintf
                 "SAVE/ON_CHANGE trigger cycle among monitors %s: each SAVE re-triggers the next"
                 (String.concat ", " names)))
-      | [] -> ())
-    (trigger_sccs monitors);
+      | [] -> ());
   (* GRL104: REPLACE/RESTORE flap on a shared policy. *)
   let replacers = Hashtbl.create 4 and restorers = Hashtbl.create 4 in
   List.iter

@@ -1,0 +1,40 @@
+module Monitor = Gr_compiler.Monitor
+
+type config = {
+  lint : Analyze.config;
+  machine : Machine.config;
+  fleet : bool;
+}
+
+let default_config =
+  { lint = Analyze.default_config; machine = Machine.default_config; fleet = false }
+
+type t = {
+  diagnostics : Diagnostic.t list;
+  machine : Machine.result;
+  race : Diagnostic.t list;
+}
+
+let run ?(config = default_config) ?repro (tagged : (int * Monitor.t) list) =
+  let monitors = List.map snd tagged in
+  let lint = Analyze.deployment ~config:config.lint monitors in
+  let machine = Machine.check ~config:config.machine monitors in
+  (* The model checker subsumes GRL104: where the pattern is a real
+     storm it returns a GRL203 proof (with a replayable schedule),
+     where the opposing actions can never interleave it stays silent
+     — which is the point. The pattern heuristic survives only when
+     exploration truncated. *)
+  let lint =
+    if machine.Machine.truncated then lint
+    else List.filter (fun d -> d.Diagnostic.code <> "GRL104") lint
+  in
+  let machine_diags =
+    List.map
+      (fun (f : Machine.finding) ->
+        match (f.Machine.schedule, repro) with
+        | Some s, Some render -> { f.Machine.diag with Diagnostic.repro = Some (render s) }
+        | _ -> f.Machine.diag)
+      machine.Machine.findings
+  in
+  let race = if config.fleet then Race.check tagged else [] in
+  { diagnostics = lint @ machine_diags @ race; machine; race }

@@ -8,9 +8,11 @@ type t = {
   monitor : string option;
   pos : Gr_dsl.Ast.pos option;
   message : string;
+  repro : string option;
 }
 
-let make severity ?monitor ?pos ~code message = { severity; code; monitor; pos; message }
+let make severity ?monitor ?pos ?repro ~code message =
+  { severity; code; monitor; pos; message; repro }
 let error = make Error
 let warning = make Warning
 
@@ -37,4 +39,5 @@ let to_json d =
       ("line", match d.pos with Some p -> Json.Num (float_of_int p.Gr_dsl.Ast.line) | None -> Json.Null);
       ("col", match d.pos with Some p -> Json.Num (float_of_int p.Gr_dsl.Ast.col) | None -> Json.Null);
       ("message", Json.Str d.message);
+      ("repro", match d.repro with Some r -> Json.Str r | None -> Json.Null);
     ]

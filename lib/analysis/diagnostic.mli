@@ -9,7 +9,12 @@
     - [GRL0xx] — per-program abstract-interpretation findings
       (constant rules, division by zero, NaN comparisons).
     - [GRL1xx] — whole-deployment interference findings (SAVE
-      conflicts, trigger cycles, action flap, hook cost budgets). *)
+      conflicts, trigger cycles, action flap, hook cost budgets).
+    - [GRL2xx] — action-machine reachability proofs ({!Machine}):
+      dead RESTOREs, never-promoting canaries, REPLACE storms.
+    - [GRL3xx] — fleet determinism findings ({!Race}): GLOBAL-key
+      write-write races resolved only by the intent-replay
+      tie-break. *)
 
 type severity = Error | Warning
 
@@ -19,10 +24,15 @@ type t = {
   monitor : string option;  (** [None] for deployment-wide findings *)
   pos : Gr_dsl.Ast.pos option;
   message : string;
+  repro : string option;
+      (** executable repro command for findings that ship one — the
+          [grc soak --plan] replay of a model-checker counterexample
+          ({!Machine}); not printed by {!pp} (goldens pin the one-line
+          format), surfaced by [grc verify] and [to_json]. *)
 }
 
-val error : ?monitor:string -> ?pos:Gr_dsl.Ast.pos -> code:string -> string -> t
-val warning : ?monitor:string -> ?pos:Gr_dsl.Ast.pos -> code:string -> string -> t
+val error : ?monitor:string -> ?pos:Gr_dsl.Ast.pos -> ?repro:string -> code:string -> string -> t
+val warning : ?monitor:string -> ?pos:Gr_dsl.Ast.pos -> ?repro:string -> code:string -> string -> t
 
 val severity_name : severity -> string
 (** ["error"] / ["warning"]. *)
@@ -36,4 +46,4 @@ val to_string : t -> string
 
 val to_json : t -> Gr_trace.Json.t
 (** Object with fields [severity], [code], [monitor], [line], [col],
-    [message]; absent monitor/position become [null]. *)
+    [message], [repro]; absent fields become [null]. *)

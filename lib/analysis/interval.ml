@@ -37,6 +37,28 @@ let join a b =
   in
   { lo; hi; pinf = a.pinf || b.pinf; ninf = a.ninf || b.ninf; nan = a.nan || b.nan }
 
+let subset a b = equal (join a b) b
+
+(* Classic interval widening, flag-aware: join, then jump any finite
+   bound that moved past [prev]'s to its infinity. Each abstract value
+   can widen only a bounded number of times (two bound jumps plus
+   three flag flips), so ascending chains stabilize. A finite part
+   appearing where [prev] had none counts as the join step, not a
+   jump — the next movement widens. *)
+let widen prev next =
+  if is_bot prev then next
+  else if is_bot next then prev
+  else begin
+    let j = join prev next in
+    if not (has_finite j && has_finite prev) then j
+    else
+      {
+        j with
+        lo = (if j.lo < prev.lo then neg_infinity else j.lo);
+        hi = (if j.hi > prev.hi then infinity else j.hi);
+      }
+  end
+
 let may_zero t = has_finite t && t.lo <= 0. && 0. <= t.hi
 let must_zero t = has_finite t && t.lo = 0. && t.hi = 0. && (not t.pinf) && (not t.ninf) && not t.nan
 let may_pos t = t.pinf || (has_finite t && t.hi > 0.)

@@ -37,6 +37,16 @@ val finite : float -> float -> t
 val join : t -> t -> t
 val equal : t -> t -> bool
 
+val subset : t -> t -> bool
+(** [subset a b]: every value [a] admits is admitted by [b]
+    ([join a b = b]). *)
+
+val widen : t -> t -> t
+(** [widen prev next]: over-approximation of [join prev next] under
+    which ascending chains stabilize in a bounded number of steps —
+    any finite bound that moved past [prev]'s jumps straight to its
+    infinity. Used by {!Dataflow} for the inter-rule fixpoint. *)
+
 val is_bot : t -> bool
 val has_finite : t -> bool
 val is_unconstrained : t -> bool

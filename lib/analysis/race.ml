@@ -1,0 +1,179 @@
+module Ast = Gr_dsl.Ast
+module Ir = Gr_compiler.Ir
+module Monitor = Gr_compiler.Monitor
+
+(* One node's write into a GLOBAL key. *)
+type writer = {
+  w_node : int;
+  w_monitor : Monitor.t;
+  w_value : Interval.t;  (* SAVE value under the dataflow fixpoint *)
+}
+
+(* All GLOBAL-key writers, grouped by key, in deployment order. *)
+let global_writers df (tagged : (int * Monitor.t) list) =
+  let tbl = Hashtbl.create 8 and order = ref [] in
+  List.iter
+    (fun (node, m) ->
+      List.iter
+        (fun (key, value) ->
+          if Ast.is_global_key key then begin
+            if not (Hashtbl.mem tbl key) then order := key :: !order;
+            let w =
+              {
+                w_node = node;
+                w_monitor = m;
+                w_value =
+                  Dataflow.result_value ~lookup:(Dataflow.lookup df) ~slots:m.Monitor.slots
+                    value;
+              }
+            in
+            Hashtbl.replace tbl key (Option.value ~default:[] (Hashtbl.find_opt tbl key) @ [ w ])
+          end)
+        (Dataflow.saves m))
+    tagged;
+  List.rev_map (fun k -> (k, Hashtbl.find tbl k)) !order |> List.rev
+
+(* Two periodic check grids share an instant iff
+   (s2 − s1) mod gcd(i1, i2) = 0; ON_CHANGE and FUNCTION triggers can
+   coincide with anything. *)
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let timers m =
+  List.filter_map
+    (function
+      | Monitor.Timer { start_ns; interval_ns; stop_ns } -> Some (start_ns, interval_ns, stop_ns)
+      | _ -> None)
+    m.Monitor.triggers
+
+let only_timer_triggered m =
+  m.Monitor.triggers <> []
+  && List.for_all (function Monitor.Timer _ -> true | _ -> false) m.Monitor.triggers
+
+(* The earliest shared instant of two timer grids, if any. *)
+let tie_instant (s1, i1, stop1) (s2, i2, stop2) =
+  if i1 <= 0 || i2 <= 0 then None
+  else begin
+    let (sl, il, stl), (sh, ih, sth) =
+      if s1 <= s2 then ((s1, i1, stop1), (s2, i2, stop2))
+      else ((s2, i2, stop2), (s1, i1, stop1))
+    in
+    if (sh - sl) mod gcd il ih <> 0 then None
+    else begin
+      (* Walk the later-starting grid; the gcd test guarantees a hit
+         within lcm/ih steps, bounded here far beyond any real
+         spec. *)
+      let ok t =
+        (match stl with None -> true | Some s -> t < s)
+        && match sth with None -> true | Some s -> t < s
+      in
+      let rec walk t k =
+        if k > 1_000_000 then None
+        else if t >= sl && (t - sl) mod il = 0 then if ok t then Some t else None
+        else walk (t + ih) (k + 1)
+      in
+      walk sh 0
+    end
+  end
+
+let coincide a b =
+  if only_timer_triggered a.w_monitor && only_timer_triggered b.w_monitor then begin
+    let rec first = function
+      | [] -> None
+      | ta :: rest -> (
+        match List.find_map (fun tb -> tie_instant ta tb) (timers b.w_monitor) with
+        | Some t -> Some t
+        | None -> first rest)
+    in
+    first (timers a.w_monitor)
+  end
+  else Some 0 (* ON_CHANGE / FUNCTION triggers can always coincide *)
+
+(* Writers whose merged value cannot depend on order: every SAVE is
+   provably the same single constant. *)
+let commutative writers =
+  let single w =
+    let v = w.w_value in
+    if
+      Interval.has_finite v && v.Interval.lo = v.Interval.hi
+      && (not v.Interval.pinf) && (not v.Interval.ninf) && not v.Interval.nan
+    then Some v.Interval.lo
+    else None
+  in
+  match writers with
+  | [] -> true
+  | w0 :: rest -> (
+    match single w0 with
+    | None -> false
+    | Some c -> List.for_all (fun w -> single w = Some c) rest)
+
+(* Readers for which the merged key's replay order is observable:
+   LOAD sees the last write, DELTA the first-vs-last of the window.
+   The multiset aggregates (COUNT/SUM/AVG/.../RATE) are insensitive
+   to same-timestamp ordering. *)
+let sensitive_reads key (m : Monitor.t) =
+  let progs = m.Monitor.rule :: List.map snd (Dataflow.saves m) in
+  let kinds = ref [] in
+  List.iter
+    (fun (p : Ir.program) ->
+      Array.iter
+        (fun inst ->
+          match inst with
+          | Ir.Load { slot; _ } when m.Monitor.slots.(slot) = key ->
+            kinds := "LOAD" :: !kinds
+          | Ir.Agg { fn = Ast.Delta; slot; _ } when m.Monitor.slots.(slot) = key ->
+            kinds := "DELTA" :: !kinds
+          | _ -> ())
+        p.Ir.insts)
+    progs;
+  List.sort_uniq compare !kinds
+
+let check (tagged : (int * Monitor.t) list) =
+  let df = Dataflow.fixpoint (List.map snd tagged) in
+  let out = ref [] in
+  List.iter
+    (fun (key, writers) ->
+      let nodes = List.map (fun w -> w.w_node) writers |> List.sort_uniq compare in
+      if List.length nodes >= 2 && not (commutative writers) then begin
+        (* A pair of writers on different nodes whose checks can land
+           on the same instant: the merge tie-breaks on
+           (ts, node, order). *)
+        let pair =
+          List.find_map
+            (fun a ->
+              List.find_map
+                (fun b ->
+                  if a.w_node <> b.w_node then
+                    Option.map (fun t -> (a, b, t)) (coincide a b)
+                  else None)
+                writers)
+            writers
+        in
+        match pair with
+        | None -> ()
+        | Some (a, b, t) ->
+          let readers =
+            List.filter_map
+              (fun (_, m) ->
+                match sensitive_reads key m with
+                | [] -> None
+                | ks -> Some (Printf.sprintf "%s via %s" m.Monitor.name (String.concat "+" ks)))
+              tagged
+            |> List.sort_uniq compare
+          in
+          if readers <> [] then
+            out :=
+              Diagnostic.warning ~monitor:a.w_monitor.Monitor.name
+                ~pos:a.w_monitor.Monitor.pos ~code:"GRL301"
+                (Printf.sprintf
+                   "GLOBAL key %S is written from %d nodes with checks that can coincide (e.g. \
+                    t=%dns: %s on node %d vs %s on node %d, values %s vs %s): the merged value \
+                    depends on the (ts, node, order) intent-replay tie-break; order-sensitive \
+                    reader(s): %s"
+                   key (List.length nodes) t a.w_monitor.Monitor.name a.w_node
+                   b.w_monitor.Monitor.name b.w_node
+                   (Interval.to_string a.w_value) (Interval.to_string b.w_value)
+                   (String.concat ", " readers))
+              :: !out
+      end)
+    (global_writers df tagged);
+  List.rev !out

@@ -45,11 +45,15 @@ let writes t =
    from different fleet nodes can be analysed as one deployment
    without conflating same-named keys. Global keys pass through: they
    really do name one shared cell. Hook names, policy names and
-   scheduling classes are left alone. *)
+   scheduling classes are left alone. The monitor name is qualified
+   too: same-named monitors from different node files are distinct
+   deployment members, and diagnostics keyed by monitor name would
+   otherwise attribute every node's findings to the first file. *)
 let qualify ~node_id t =
   let q = Gr_dsl.Ast.node_key node_id in
   {
     t with
+    name = q t.name;
     slots = Array.map q t.slots;
     triggers =
       List.map

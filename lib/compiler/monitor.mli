@@ -48,11 +48,13 @@ val writes : t -> string list
 
 val qualify : node_id:int -> t -> t
 (** Copy of the monitor with every node-local key (slots, ON_CHANGE
-    triggers, SAVE and REPORT keys) rewritten to its
-    {!Gr_dsl.Ast.node_key} form. Monitors from several fleet nodes can
-    then be linted together as one deployment without conflating
-    same-named node-local keys, while [GLOBAL] keys — unqualified by
-    design — still surface genuine cross-node conflicts. *)
+    triggers, SAVE and REPORT keys) {e and the monitor name} rewritten
+    to its {!Gr_dsl.Ast.node_key} form. Monitors from several fleet
+    nodes can then be linted together as one deployment without
+    conflating same-named node-local keys — and diagnostics attribute
+    to the right node's file, since the qualified name is unique per
+    node. [GLOBAL] keys — unqualified by design — still surface
+    genuine cross-node conflicts. *)
 
 val pp : Format.formatter -> t -> unit
 (** Disassembly of the whole monitor. *)

@@ -35,10 +35,14 @@ module Deps = Gr_compiler.Deps
 module Compile = Gr_compiler.Compile
 module Cgen = Gr_compiler.Cgen
 
-(* Static analysis (grc lint) *)
+(* Static analysis (grc lint / grc verify) *)
 module Interval = Gr_analysis.Interval
 module Diagnostic = Gr_analysis.Diagnostic
 module Analyze = Gr_analysis.Analyze
+module Dataflow = Gr_analysis.Dataflow
+module Machine = Gr_analysis.Machine
+module Race = Gr_analysis.Race
+module Audit = Gr_analysis.Audit
 
 (* Runtime *)
 module Store = Gr_runtime.Feature_store

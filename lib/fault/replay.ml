@@ -1,0 +1,25 @@
+module Machine = Gr_analysis.Machine
+
+let plan_of_schedule (s : Machine.schedule) : Fault.plan =
+  List.map
+    (fun (st : Machine.step) ->
+      {
+        Fault.at = st.Machine.at_ns;
+        kind = Fault.Corrupt_key { key = st.Machine.step_key; corruption = Fault.Value st.Machine.step_value };
+      })
+    s.Machine.steps
+
+(* Round the horizon up to a whole millisecond so the rendered
+   command stays short and still covers every step. *)
+let duration_sec (s : Machine.schedule) =
+  Float.ceil (float_of_int s.Machine.horizon_ns /. 1e6) /. 1e3
+
+let repro_command ~spec (s : Machine.schedule) =
+  Printf.sprintf "grc soak --scenario store --seed 1 --duration %g --spec %s --plan '%s'"
+    (duration_sec s) spec
+    (Fault.plan_to_string (plan_of_schedule s))
+
+let run ~spec_source (s : Machine.schedule) =
+  Soak.run_one ~extra_source:spec_source ~scenario:"store" ~seed:1
+    ~duration:(int_of_float (duration_sec s *. 1e9))
+    ~plan:(plan_of_schedule s) ()

@@ -1,0 +1,34 @@
+(** Executable counterexamples: [grc verify] schedules as fault plans.
+
+    The action-machine model checker
+    ({!Gr_analysis.Machine}) renders each GRL203 storm as a
+    {!Gr_analysis.Machine.schedule} — a timed list of store writes
+    plus the slot states the firing sequence must end in. This module
+    turns that neutral schedule into a {!Fault.plan} of
+    [Corrupt_key/Value] faults the {!Injector} already knows how to
+    deliver, making every static finding replayable on the real
+    engine:
+
+    {[ grc soak --scenario store --seed 1 --duration .. --spec f.grd --plan '..' ]}
+
+    The [store] scenario is the neutral host — its own workload only
+    touches [lat/rate/err] keys, so the schedule's writes are the
+    only traffic on the spec's keys, and {!Soak.run_one}
+    auto-registers a policy slot for every policy the spec acts on
+    (reported in {!Soak.run_result}[.slots]). *)
+
+val plan_of_schedule : Gr_analysis.Machine.schedule -> Fault.plan
+(** Each schedule step as a [Corrupt_key { key; Value v }] fault at
+    its timestamp. *)
+
+val duration_sec : Gr_analysis.Machine.schedule -> float
+(** The schedule's horizon, rounded up to a whole millisecond. *)
+
+val repro_command : spec:string -> Gr_analysis.Machine.schedule -> string
+(** The [grc soak] command line that replays the schedule against
+    [spec] (a path). *)
+
+val run : spec_source:string -> Gr_analysis.Machine.schedule -> Soak.run_result
+(** Replays the schedule via {!Soak.run_one} on the [store] scenario
+    with the spec source installed — what the counterexample-validity
+    tests assert against. *)

@@ -430,6 +430,7 @@ type run_result = {
   checks : int;
   violations : int;
   trace : Gr_trace.Event.t list;
+  slots : (string * bool * int) list;
 }
 
 let run_one ?extra_source ?nodes ?domains ~scenario ~seed ~duration ~plan () =
@@ -442,11 +443,43 @@ let run_one ?extra_source ?nodes ?domains ~scenario ~seed ~duration ~plan () =
       problems := msg :: !problems
     end
   in
+  let auto_slots = ref ([] : (string * unit Slot.t * int) list) in
   (match extra_source with
   | None -> ()
   | Some src -> (
     match D.install_source b.b_d src with
-    | Ok _ -> ()
+    | Ok _ -> (
+      (* Register a plain unit slot for each policy the extra spec
+         acts on that the scenario didn't already register, so
+         model-checker counterexample schedules (grc verify ->
+         grc soak --plan) replay against a real policy slot whose
+         final state and transition count the caller can assert. *)
+      match Guardrails.Compile.source src with
+      | Error _ -> ()
+      | Ok ms ->
+        let registered = Slot.Registry.names b.b_kernel.registry in
+        List.concat_map
+          (fun (m : Guardrails.Monitor.t) ->
+            List.filter_map
+              (function
+                | Guardrails.Monitor.Replace p
+                | Guardrails.Monitor.Restore p
+                | Guardrails.Monitor.Retrain p -> Some p
+                | _ -> None)
+              m.Guardrails.Monitor.actions)
+          ms
+        |> List.sort_uniq compare
+        |> List.iter (fun name ->
+               if not (List.mem name registered) then begin
+                 let slot = Slot.create ~name ~fallback:("fallback", ()) in
+                 Slot.install slot ~name:"learned" ();
+                 let baseline = List.length (Slot.transitions slot) in
+                 Kernel.register_policy b.b_kernel ~name
+                   ~replace:(fun () -> Slot.use_fallback slot)
+                   ~restore:(fun () -> Slot.restore slot)
+                   ();
+                 auto_slots := (name, slot, baseline) :: !auto_slots
+               end))
     | Error e -> push (Format.asprintf "extra spec rejected: %a" D.pp_error e)));
   Injector.arm b.b_inj plan;
   let store = D.store b.b_d in
@@ -564,6 +597,12 @@ let run_one ?extra_source ?nodes ?domains ~scenario ~seed ~duration ~plan () =
     checks;
     violations;
     trace = Sink.to_list (Tracer.events tracer);
+    slots =
+      List.rev_map
+        (fun (name, slot, baseline) ->
+          (name, Slot.on_fallback slot, List.length (Slot.transitions slot) - baseline))
+        !auto_slots
+      |> List.sort compare;
   }
 
 (* Shrinking: greedy ddmin on single faults. Re-running the predicate

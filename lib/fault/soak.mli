@@ -53,6 +53,11 @@ type run_result = {
   checks : int;  (** guardrail rule evaluations across monitors *)
   violations : int;
   trace : Gr_trace.Event.t list;  (** full trace-event stream *)
+  slots : (string * bool * int) list;
+      (** [(policy, on_fallback, transitions)] for each policy slot
+          auto-registered for the extra spec (see {!run_one}), sorted
+          by name; transitions counted from after the initial learned
+          install. *)
 }
 
 val run_one :
@@ -67,7 +72,12 @@ val run_one :
   run_result
 (** One deterministic run. [extra_source] installs additional
     guardrails (the [grc soak --spec] path) into the scenario's
-    deployment; an install failure is reported as a problem.
+    deployment; an install failure is reported as a problem. Each
+    policy the extra spec REPLACEs/RESTOREs/RETRAINs that the
+    scenario didn't register gets a plain unit slot (fallback
+    ["fallback"], learned ["learned"]) registered on the kernel, and
+    its end state is reported in [slots] — this is what makes
+    [grc verify] counterexample schedules executable end to end.
     [nodes] (default 3) sizes the ["fleet"] scenario and is ignored
     by the single-node scenarios. [domains] (default 1) runs the
     ["fleet"] scenario in parallel epoch-barrier mode

@@ -55,6 +55,29 @@ let restore t =
 let on_fallback t = t.saved <> None
 let transitions t = List.rev t.transitions
 
+module Model = struct
+  type state = Learned | Fallback
+  type input = Replace | Restore
+
+  (* REPLACE parks the learned policy whatever is live (use_fallback
+     is idempotent); RESTORE reinstates it (a no-op when live). The
+     resulting state depends on the input alone. *)
+  let step _state = function Replace -> Fallback | Restore -> Learned
+
+  let table =
+    [
+      (Learned, Replace, Fallback);
+      (Learned, Restore, Learned);
+      (Fallback, Replace, Fallback);
+      (Fallback, Restore, Learned);
+    ]
+
+  let abstract t = if on_fallback t then Fallback else Learned
+
+  let state_name = function Learned -> "learned" | Fallback -> "fallback"
+  let input_name = function Replace -> "REPLACE" | Restore -> "RESTORE"
+end
+
 module Registry = struct
   type controls = {
     replace : unit -> unit;

@@ -35,6 +35,28 @@ val on_fallback : 'a t -> bool
 val transitions : 'a t -> (string * string) list
 (** Chronological (from, to) implementation-name changes. *)
 
+module Model : sig
+  (** The slot's REPLACE/RESTORE behavior as a finite transition
+      table — the ground truth the [grc verify] action-machine
+      checker ({!Gr_analysis.Machine}) explores. Exposed as data so
+      the checker cannot drift from the implementation: a property
+      test folds {!step} over random action sequences and compares
+      against a real slot's {!on_fallback}. *)
+
+  type state = Learned | Fallback
+  type input = Replace | Restore
+
+  val step : state -> input -> state
+  val table : (state * input * state) list
+  (** Every [(from, input, to)] triple of {!step}. *)
+
+  val abstract : 'a t -> state
+  (** The abstraction map: [Fallback] iff {!on_fallback}. *)
+
+  val state_name : state -> string
+  val input_name : input -> string
+end
+
 module Registry : sig
   (** Name-indexed registry of controls the action engine can invoke.
       Policies register [replace]/[restore]/[retrain] closures; the

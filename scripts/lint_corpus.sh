@@ -3,6 +3,8 @@
 # pins two things per file: the exit code (1 = warnings only, 2 =
 # errors) and the GRLxxx code of the expected diagnostic family. The
 # shipped specs in specs/ are checked to lint clean as one deployment.
+# A second section does the same for `grc verify` (the GRL2xx/GRL3xx
+# families plus the fixpoint-powered GRL001 cases; docs/LINT.md).
 # Run from the repo root (the Makefile's `lint` target does).
 set -u
 
@@ -47,5 +49,86 @@ expect save_conflict.grd    1 GRL102
 expect cascade_cycle.grd    2 GRL103
 expect replace_flap.grd     1 GRL104
 expect hook_budget.grd      2 GRL105
+
+# --- grc verify ---------------------------------------------------------
+# vexpect LABEL WANT_RC WANT_CODE ARGS...: run `grc verify --strict
+# ARGS...`, pin the exit code and require a WANT_CODE diagnostic.
+vexpect() {
+    label=$1
+    want_rc=$2
+    want_code=$3
+    shift 3
+    out=$($GRC verify --strict "$@" 2>&1)
+    rc=$?
+    if [ "$rc" -ne "$want_rc" ]; then
+        echo "FAIL verify $label: exit $rc, expected $want_rc" >&2
+        echo "$out" | sed 's/^/    /' >&2
+        fail=1
+    elif ! echo "$out" | grep -q "\[$want_code\]"; then
+        echo "FAIL verify $label: expected a $want_code diagnostic, got:" >&2
+        echo "$out" | sed 's/^/    /' >&2
+        fail=1
+    else
+        echo "ok   verify $label ($want_code, exit $rc)"
+    fi
+}
+
+# Shipped specs must also verify clean, as one deployment.
+if $GRC verify --strict specs/*.grd; then
+    echo "ok   verify specs/*.grd (clean deployment)"
+else
+    echo "FAIL verify specs/*.grd: shipped specs must verify clean" >&2
+    fail=1
+fi
+
+vexpect dataflow_chain.grd       1 GRL001 specs/bad/dataflow_chain.grd
+vexpect unreachable_restore.grd  1 GRL201 specs/bad/unreachable_restore.grd
+vexpect replace_storm.grd        1 GRL203 specs/bad/replace_storm.grd
+vexpect "never_promote.grd --canary" 1 GRL202 --canary lat_model=0 specs/bad/never_promote.grd
+vexpect "race_budget (fleet)"    1 GRL301 --fleet \
+    specs/bad/race_budget_node0.grd specs/bad/race_budget_node1.grd
+
+# The canary finding is a property of the rollout configuration:
+# without --canary the same spec must verify clean.
+if $GRC verify --strict specs/bad/never_promote.grd; then
+    echo "ok   verify never_promote.grd (clean without --canary)"
+else
+    echo "FAIL verify never_promote.grd: must be clean without --canary" >&2
+    fail=1
+fi
+
+# Commutative GLOBAL double-writer: the plain write-write conflict
+# (GRL102) must fire, the race analysis (GRL301) must stay silent.
+out=$($GRC verify --strict --fleet \
+    specs/bad/race_heartbeat_node0.grd specs/bad/race_heartbeat_node1.grd 2>&1)
+rc=$?
+if [ "$rc" -ne 1 ] || ! echo "$out" | grep -q '\[GRL102\]' \
+    || echo "$out" | grep -q '\[GRL301\]'; then
+    echo "FAIL verify race_heartbeat: want exit 1 with GRL102 and no GRL301, got exit $rc:" >&2
+    echo "$out" | sed 's/^/    /' >&2
+    fail=1
+else
+    echo "ok   verify race_heartbeat (GRL102 only, commutative writes)"
+fi
+
+# The GRL203 counterexample must replay: run the schedule the checker
+# prints through grc soak and require a clean pass whose slot line
+# shows the policy back on its learned implementation after >= 2
+# transitions (the flagged REPLACE -> RESTORE cycle, driven for real).
+repro=$($GRC verify specs/bad/replace_storm.grd 2>&1 | sed -n 's/^  repro: grc //p')
+if [ -z "$repro" ]; then
+    echo "FAIL verify replace_storm.grd: no repro line emitted" >&2
+    fail=1
+else
+    out=$(eval "$GRC $repro" 2>&1)
+    if [ $? -eq 0 ] && echo "$out" | grep -q '^slot svc_policy: learned' \
+        && ! echo "$out" | grep -q '(0 transition(s))\|(1 transition(s))'; then
+        echo "ok   verify replace_storm.grd counterexample replays (slot learned, >=2 flips)"
+    else
+        echo "FAIL verify replace_storm.grd: counterexample did not replay:" >&2
+        echo "$out" | sed 's/^/    /' >&2
+        fail=1
+    fi
+fi
 
 exit $fail

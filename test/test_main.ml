@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "guardrails"
     (Test_util.suite @ Test_sim.suite @ Test_nn.suite @ Test_kernel.suite @ Test_net.suite @ Test_fs.suite
-   @ Test_dsl.suite @ Test_compiler.suite @ Test_cgen.suite @ Test_lint.suite @ Test_trace.suite
+   @ Test_dsl.suite @ Test_compiler.suite @ Test_cgen.suite @ Test_lint.suite @ Test_verify.suite
+   @ Test_trace.suite
    @ Test_runtime.suite
    @ Test_core.suite @ Test_par.suite @ Test_props.suite @ Test_policy.suite @ Test_invariants.suite @ Test_fuzz.suite @ Test_fault.suite @ Test_integration.suite)
