@@ -1,4 +1,4 @@
-.PHONY: all build test fmt fmt-check lint bench bench-smoke soak-smoke fleet-smoke par-smoke tsan-smoke obs-smoke examples-run ci
+.PHONY: all build test fmt fmt-check lint bench bench-smoke soak-smoke fleet-smoke par-smoke jit-smoke tsan-smoke obs-smoke examples-run ci
 
 all: build
 
@@ -54,6 +54,13 @@ fleet-smoke:
 par-smoke: build
 	sh scripts/par_smoke.sh
 
+# Tiered-execution smoke (docs/PERFORMANCE.md): the fig. 2 guardrail
+# run under all three execution tiers (--engine tree/reg/jit) must
+# produce byte-identical traces and reports — the tier-invariance
+# contract checked end to end through the CLI in seconds.
+jit-smoke: build
+	sh scripts/jit_smoke.sh
+
 # ThreadSanitizer smoke (docs/PARALLEL.md): on a TSan-enabled
 # compiler — OCaml >= 5.2 configured with --enable-tsan, which makes
 # `ocamlopt -config` report `tsan: true` — rebuild under the tsan
@@ -89,6 +96,7 @@ ci: fmt-check
 	$(MAKE) soak-smoke
 	$(MAKE) fleet-smoke
 	$(MAKE) par-smoke
+	$(MAKE) jit-smoke
 	$(MAKE) tsan-smoke
 	$(MAKE) obs-smoke
 	$(MAKE) examples-run

@@ -38,6 +38,12 @@ let aging_at = Time_ns.sec 2
 let workload_until = Time_ns.sec 8
 let run_until = Time_ns.sec 9
 
+(* --engine pins the monitor execution tier for every deployment the
+   experiments build (default: the closure template JIT). Tiers are
+   bit-identical in results and accounting, so figures must not move
+   with this knob — only the tiers experiment's wall-clock does. *)
+let engine = ref Guardrails.Vm.Jit
+
 (* [rate_window]/[rate_every] control the false_submit_rate derivation
    the Listing 2 guardrail consumes. *)
 let make_fig2_rig ?(seed = 7) ?(rate_window = Time_ns.sec 2) ?(rate_every = Time_ns.ms 100)
@@ -52,7 +58,7 @@ let make_fig2_rig ?(seed = 7) ?(rate_window = Time_ns.sec 2) ?(rate_every = Time
   if with_model then
     Gr_kernel.Policy_slot.install (Gr_kernel.Blk.slot blk) ~name:"linnos"
       (Gr_policy.Linnos.policy model);
-  let deployment = Guardrails.Deployment.create ~kernel ~tracing ?trace_capacity () in
+  let deployment = Guardrails.Deployment.create ~kernel ~tracing ?trace_capacity ~engine:!engine () in
   Guardrails.Deployment.forward_hook_arg deployment ~hook:"blk:io_complete" ~arg:"false_submit" ();
   Guardrails.Deployment.derive_window_avg deployment ~src:"false_submit" ~dst:"false_submit_rate"
     ~window:rate_window ~every:rate_every;

@@ -33,7 +33,7 @@ guardrail fleet-tail-latency {
 |}
 
 let run_once ~domains =
-  let fleet = Fleet.create ~nodes:n_nodes ~seed:7 ~domains () in
+  let fleet = Fleet.create ~nodes:n_nodes ~seed:7 ~domains ~engine:!Common.engine () in
   let replaced = Array.make n_nodes 0 in
   Array.iteri
     (fun id node ->

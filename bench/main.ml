@@ -20,6 +20,7 @@
      fleet        Ablation H: fleet-wide merged aggregation + canary
      soak         Chaos soak: fault injection vs guardrail invariants
      verify       Ablation I: grc verify pass cost (fixpoint, model checking)
+     tiers        Execution tiers: ns/check by tier x monitor count
 
    With --json, experiments that support it (fig2, overhead, scale,
    agg) print one machine-readable JSON document to stdout instead of
@@ -46,10 +47,31 @@ let experiments : (string * (json:bool -> unit)) list =
     ("fleet", Fleet_bench.run);
     ("soak", Soak.run);
     ("verify", fun ~json:_ -> Verify_bench.run ());
+    ("tiers", Tiers.run);
   ]
 
+let set_engine v =
+  match Guardrails.Vm.tier_of_string v with
+  | Some t -> Common.engine := t
+  | None ->
+    Printf.eprintf "bench: --engine expects tree, reg or jit (got %s)\n" v;
+    exit 2
+
+(* --engine TIER / --engine=TIER pins the monitor execution tier for
+   every deployment the experiments build; figures are tier-invariant
+   (make jit-smoke byte-diffs fig2 across all three). *)
+let rec strip_engine acc = function
+  | [] -> List.rev acc
+  | "--engine" :: v :: rest ->
+    set_engine v;
+    strip_engine acc rest
+  | a :: rest when String.length a > 9 && String.sub a 0 9 = "--engine=" ->
+    set_engine (String.sub a 9 (String.length a - 9));
+    strip_engine acc rest
+  | a :: rest -> strip_engine (a :: acc) rest
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let args = strip_engine [] (List.tl (Array.to_list Sys.argv)) in
   let json = List.mem "--json" args in
   Common.smoke := List.mem "--smoke" args;
   let requested = List.filter (fun a -> a <> "--json" && a <> "--smoke") args in

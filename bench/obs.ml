@@ -59,7 +59,7 @@ let calibrate ?(warmup = 10_000) n f =
    tracing — provenance-tagged events into a bounded ring. *)
 let make_checker ~tracing =
   let kernel = Gr_kernel.Kernel.create ~seed:11 in
-  let d = Guardrails.Deployment.create ~kernel ~tracing ~trace_capacity:ring () in
+  let d = Guardrails.Deployment.create ~kernel ~tracing ~trace_capacity:ring ~engine:!Common.engine () in
   let handle =
     match Guardrails.Deployment.install_source d avg_source with
     | Ok [ h ] -> h
@@ -146,7 +146,7 @@ let run ~json =
   let render_per_check_ns = render_ns /. float_of_int (max 1 recorded_checks) in
   (* Fleet-tier merge: AVG over a plain key sharded across 4 node
      stores, the per-read cost the Store_merge counter tracks. *)
-  let fleet = Guardrails.Fleet.create ~nodes:4 ~seed:11 () in
+  let fleet = Guardrails.Fleet.create ~nodes:4 ~seed:11 ~engine:!Common.engine () in
   Array.iter
     (fun node ->
       let store = Guardrails.Node.store node in

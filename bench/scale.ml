@@ -46,7 +46,7 @@ let monitor_counts () = if !Common.smoke then [ 1; 10 ] else [ 1; 10; 50; 200; 1
 let fleet_run_until = Time_ns.sec 3
 
 let run_fleet_with ~nodes ~monitors ~domains =
-  let fleet = Guardrails.Fleet.create ~nodes ~seed:7 ~domains () in
+  let fleet = Guardrails.Fleet.create ~nodes ~seed:7 ~domains ~engine:!Common.engine () in
   Array.iter
     (fun node ->
       let rng = (Guardrails.Deployment.kernel node).Gr_kernel.Kernel.rng in

@@ -499,6 +499,31 @@ let resolve_domains ~cmd ~nodes = function
     | Some _ -> Error (Printf.sprintf "%s: --domains must be positive (got %s)" cmd s)
     | None -> Error (Printf.sprintf "%s: --domains expects a positive integer or 'auto'" cmd))
 
+(* Shared --engine contract: selects the monitor execution tier
+   (docs/PERFORMANCE.md). Anything but the three tier names is a
+   usage error — one line on stderr, exit 2. *)
+let resolve_engine ~cmd = function
+  | None -> Ok None
+  | Some s -> (
+    match Guardrails.Vm.tier_of_string s with
+    | Some t -> Ok (Some t)
+    | None -> Error (Printf.sprintf "%s: --engine expects tree, reg or jit (got %s)" cmd s))
+
+let engine_arg ~cmd =
+  Cmdliner.Arg.(
+    value
+    & opt (some string) None
+    & info [ "engine" ] ~docv:"tree|reg|jit"
+        ~doc:
+          (Printf.sprintf
+             "Monitor execution tier for $(b,%s) (default jit): $(b,tree) is the reference \
+              tree-walking interpreter, $(b,reg) the register/superinstruction VM, $(b,jit) \
+              the closure template JIT (which falls back to reg per-monitor on cross-shard \
+              fleet reads). All tiers are bit-identical in verdicts, cost accounting, store \
+              effects and traces — proven by the cross-tier differential fuzzer — so this is \
+              a pure performance knob."
+             cmd))
+
 let domains_arg ~cmd =
   Cmdliner.Arg.(
     value
@@ -536,12 +561,17 @@ let run_cmd =
         dropped_reports;
     if strict_drops && dropped_reports > 0 then 1 else ok_code
   in
-  let run path until seed trace_out nodes metrics_out strict_drops domains =
+  let run path until seed trace_out nodes metrics_out strict_drops domains engine_str =
     if nodes < 1 then begin
       prerr_endline "grc run: --nodes must be positive";
       2
     end
     else begin
+      match resolve_engine ~cmd:"grc run" engine_str with
+      | Error msg ->
+        prerr_endline msg;
+        2
+      | Ok engine -> (
       match resolve_domains ~cmd:"grc run" ~nodes domains with
       | Error msg ->
         prerr_endline msg;
@@ -565,7 +595,7 @@ let run_cmd =
       | Ok src when nodes = 1 -> (
         let kernel = Guardrails.Kernel.create ~seed in
         let d =
-          Guardrails.Deployment.create ~kernel ~tracing:(Option.is_some trace_out) ()
+          Guardrails.Deployment.create ~kernel ~tracing:(Option.is_some trace_out) ?engine ()
         in
         match Guardrails.Deployment.install_source d src with
         | Error e ->
@@ -587,7 +617,8 @@ let run_cmd =
           ~metrics_out ~strict_drops 0)
       | Ok src -> (
         let fleet =
-          Guardrails.Fleet.create ~nodes ~seed ~tracing:(Option.is_some trace_out) ~domains ()
+          Guardrails.Fleet.create ~nodes ~seed ~tracing:(Option.is_some trace_out) ~domains
+            ?engine ()
         in
         match Guardrails.Fleet.install_source fleet src with
         | Error e ->
@@ -610,7 +641,7 @@ let run_cmd =
             Guardrails.Fleet.tracer fleet
             :: Array.to_list (Array.map Guardrails.Node.tracer (Guardrails.Fleet.nodes fleet))
           in
-          finish ~tracers ~metrics_out ~strict_drops 0)
+          finish ~tracers ~metrics_out ~strict_drops 0))
     end
   in
   let until =
@@ -664,7 +695,8 @@ let run_cmd =
           their TIMER triggers, and report per-monitor telemetry")
     Term.(
       const run $ path_arg $ until $ seed $ trace_out $ nodes $ metrics_out $ strict_drops
-      $ domains_arg ~cmd:"grc run")
+      $ domains_arg ~cmd:"grc run"
+      $ engine_arg ~cmd:"grc run")
 
 (* grc explain: offline decision forensics over a Chrome trace file
    written by `grc run --trace` (or any deployment export). Selects a
@@ -769,12 +801,14 @@ let explain_cmd =
 let soak_cmd =
   let module Soak = Gr_fault.Soak in
   let module Fault = Gr_fault.Fault in
-  let run scenario seed runs duration plan_str spec_path dump_trace smoke nodes domains_str =
+  let run scenario seed runs duration plan_str spec_path dump_trace smoke nodes domains_str
+      engine_str =
     let fail2 msg =
       prerr_endline ("grc soak: " ^ msg);
       2
     in
     let domains_r = resolve_domains ~cmd:"grc soak" ~nodes domains_str in
+    let engine_r = resolve_engine ~cmd:"grc soak" engine_str in
     let scenarios_r =
       if scenario = "all" then Ok Soak.scenario_names
       else if List.mem scenario Soak.scenario_names then Ok [ scenario ]
@@ -799,21 +833,22 @@ let soak_cmd =
         | Ok src -> Ok (Some src)
         | Error msg -> Error msg)
     in
-    match (scenarios_r, plan_r, spec_r, domains_r) with
-    | Error e, _, _, _ | _, Error e, _, _ -> fail2 e
-    | _, _, Error msg, _ | _, _, _, Error msg ->
-      (* load_spec_source / resolve_domains already carry the prefix. *)
+    match (scenarios_r, plan_r, spec_r, domains_r, engine_r) with
+    | Error e, _, _, _, _ | _, Error e, _, _, _ -> fail2 e
+    | _, _, Error msg, _, _ | _, _, _, Error msg, _ | _, _, _, _, Error msg ->
+      (* load_spec_source / resolve_domains / resolve_engine already
+         carry the prefix. *)
       prerr_endline msg;
       2
-    | Ok scenarios, Ok plan, Ok extra_source, Ok domains -> (
+    | Ok scenarios, Ok plan, Ok extra_source, Ok domains, Ok engine -> (
       let duration_ns = Guardrails.Util.Time_ns.of_float_sec duration in
       match plan with
       | Some plan -> (
         match scenarios with
         | [ scenario ] ->
           let r =
-            Soak.run_one ?extra_source ~nodes ~domains ~scenario ~seed ~duration:duration_ns
-              ~plan ()
+            Soak.run_one ?extra_source ~nodes ~domains ?engine ~scenario ~seed
+              ~duration:duration_ns ~plan ()
           in
           if dump_trace then
             List.iter (fun e -> Format.printf "%a@." Guardrails.Trace_event.pp e) r.Soak.trace;
@@ -846,8 +881,9 @@ let soak_cmd =
               Guardrails.Util.Time_ns.of_float_sec 0.5 )
           else (scenarios, List.init runs (fun i -> seed + i), duration_ns)
         in
-        let report = Soak.soak ~log:print_endline ?extra_source ~nodes ~domains ~scenarios
-            ~seeds ~duration:duration_ns ()
+        let report =
+          Soak.soak ~log:print_endline ?extra_source ~nodes ~domains ?engine ~scenarios ~seeds
+            ~duration:duration_ns ()
         in
         Format.printf "%a" Soak.pp_report report;
         if report.Soak.failures = [] then 0 else 1)
@@ -912,7 +948,8 @@ let soak_cmd =
           to a minimal reproducible (seed, plan) command line")
     Term.(
       const run $ scenario $ seed $ runs $ duration $ plan $ spec $ dump_trace $ smoke $ nodes
-      $ domains_arg ~cmd:"grc soak")
+      $ domains_arg ~cmd:"grc soak"
+      $ engine_arg ~cmd:"grc soak")
 
 let () =
   let info = Cmd.info "grc" ~version:"1.0.0" ~doc:"Guardrail compiler for learned OS policies" in

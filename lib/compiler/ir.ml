@@ -49,6 +49,16 @@ let with_dst inst dst =
   | Unop u -> Unop { u with dst }
   | Binop b -> Binop { b with dst }
 
+(* Per-register reader counts, with the program result counted as one
+   extra use — a register with use_counts = 1 feeding the next
+   instruction is safe to eliminate by fusion (the install-time
+   specializers' superinstruction test). *)
+let use_counts p =
+  let uses = Array.make (max 1 p.n_regs) 0 in
+  Array.iter (fun inst -> List.iter (fun r -> uses.(r) <- uses.(r) + 1) (operands inst)) p.insts;
+  uses.(p.result) <- uses.(p.result) + 1;
+  uses
+
 let map_operands inst f =
   match inst with
   | Const _ | Load _ | Agg _ -> inst

@@ -54,6 +54,13 @@ val static_cost_ns : program -> float
 
 val dst : inst -> int
 val operands : inst -> int list
+
+val use_counts : program -> int array
+(** Reader count per register (the program result counts as one use).
+    The execution-tier specializers fuse away an intermediate register
+    only when its count is exactly 1. *)
+
+
 val with_dst : inst -> int -> inst
 val map_operands : inst -> (int -> int) -> inst
 

@@ -57,7 +57,7 @@ let owns_tracer t =
      | None -> false)
 
 let create ~kernel ?config ?(store_capacity = 4096) ?(tracing = false)
-    ?(trace_capacity = 65536) ?(attach_sim = true) ?node_id () =
+    ?(trace_capacity = 65536) ?(attach_sim = true) ?node_id ?engine () =
   let tracer =
     Gr_trace.Tracer.create
       ~clock:(fun () -> Gr_kernel.Kernel.now kernel)
@@ -70,7 +70,7 @@ let create ~kernel ?config ?(store_capacity = 4096) ?(tracing = false)
   in
   Gr_runtime.Feature_store.set_tracer store tracer;
   Option.iter (Gr_runtime.Feature_store.set_node_id store) node_id;
-  let engine = Gr_runtime.Engine.create ~kernel ~store ?config ~tracer () in
+  let engine = Gr_runtime.Engine.create ~kernel ~store ?config ~tracer ?engine () in
   let t = { kernel; store; engine; tracer; attach_sim; monitors_rev = [] } in
   attach_tracer t;
   t

@@ -30,6 +30,7 @@ val create :
   ?trace_capacity:int ->
   ?attach_sim:bool ->
   ?node_id:int ->
+  ?engine:Gr_runtime.Vm.tier ->
   unit ->
   t
 (** [tracing] (default [false]) turns the deployment's trace-event
@@ -49,7 +50,11 @@ val create :
 
     [node_id] tags every trace event, report and metrics export this
     deployment produces with the owning fleet node's id; single-node
-    deployments omit it and emit exactly what they always did. *)
+    deployments omit it and emit exactly what they always did.
+
+    [engine] picks the default execution tier monitors are
+    specialized onto at install (default: the closure template JIT;
+    all tiers produce bit-identical results — see {!Gr_runtime.Vm}). *)
 
 val attach_tracer : t -> unit
 (** (Re)claim the kernel's hook — and, unless the deployment was

@@ -40,16 +40,19 @@ type t = {
 
 let default_epoch = Time_ns.ms 50
 
-let create_sequential ~nodes:n ~seed ?config ?store_capacity ~tracing () =
+let create_sequential ~nodes:n ~seed ?config ?store_capacity ~tracing ?engine () =
   let sim = Gr_sim.Engine.create () in
   let control_kernel = Gr_kernel.Kernel.create_on ~engine:sim ~seed in
   (* The control deployment claims the sim trace channel (the clock is
      fleet property); nodes attach hooks-only. *)
-  let control = Deployment.create ~kernel:control_kernel ?config ?store_capacity ~tracing () in
+  let control =
+    Deployment.create ~kernel:control_kernel ?config ?store_capacity ~tracing ?engine ()
+  in
   let nodes =
     Array.init n (fun id ->
         let kernel = Gr_kernel.Kernel.create_on ~engine:sim ~seed:(seed + id + 1) in
-        Node.create ~kernel ?config ?store_capacity ~tracing ~attach_sim:false ~node_id:id ())
+        Node.create ~kernel ?config ?store_capacity ~tracing ~attach_sim:false ~node_id:id
+          ?engine ())
   in
   (* One span context for the whole fleet: node tracers allocate ids
      from the control tracer's counter, so a cross-node cascade
@@ -61,7 +64,8 @@ let create_sequential ~nodes:n ~seed ?config ?store_capacity ~tracing () =
     nodes;
   (sim, control, nodes, Sequential)
 
-let create_parallel ~nodes:n ~seed ~domains ~epoch ?config ?store_capacity ~tracing () =
+let create_parallel ~nodes:n ~seed ~domains ~epoch ?config ?store_capacity ~tracing ?engine
+    () =
   (* Every kernel owns its engine: node i's seed is the same
      [seed + id + 1] the sequential path uses, so each node replays
      the identical event stream either way — that is what makes the
@@ -70,14 +74,16 @@ let create_parallel ~nodes:n ~seed ~domains ~epoch ?config ?store_capacity ~trac
      channel instead: control allocates ids = 0 mod (n+1), node i ids
      = i+1 mod (n+1), all reproducible with no coordination. *)
   let control_kernel = Gr_kernel.Kernel.create ~seed in
-  let control = Deployment.create ~kernel:control_kernel ?config ?store_capacity ~tracing () in
+  let control =
+    Deployment.create ~kernel:control_kernel ?config ?store_capacity ~tracing ?engine ()
+  in
   let stride = n + 1 in
   Gr_trace.Tracer.set_span_channel (Deployment.tracer control) ~offset:0 ~stride;
   let intents = Array.init n (fun _ -> Vec.create ()) in
   let nodes =
     Array.init n (fun id ->
         let kernel = Gr_kernel.Kernel.create ~seed:(seed + id + 1) in
-        let node = Node.create ~kernel ?config ?store_capacity ~tracing ~node_id:id () in
+        let node = Node.create ~kernel ?config ?store_capacity ~tracing ~node_id:id ?engine () in
         Gr_trace.Tracer.set_span_channel (Node.tracer node) ~offset:(id + 1) ~stride;
         node)
   in
@@ -98,7 +104,7 @@ let create_parallel ~nodes:n ~seed ~domains ~epoch ?config ?store_capacity ~trac
    Parallel { domains; epoch; intents })
 
 let create ~nodes:n ~seed ?config ?store_capacity ?(tracing = false) ?(domains = 1)
-    ?(epoch = default_epoch) () =
+    ?(epoch = default_epoch) ?engine () =
   if n < 1 then invalid_arg "Fleet.create: a fleet has at least one node";
   if Time_ns.compare epoch Time_ns.zero <= 0 then
     invalid_arg "Fleet.create: epoch must be positive";
@@ -108,8 +114,9 @@ let create ~nodes:n ~seed ?config ?store_capacity ?(tracing = false) ?(domains =
      that path verbatim. *)
   let domains = max 1 (min domains n) in
   let sim, control, nodes, runtime =
-    if domains = 1 then create_sequential ~nodes:n ~seed ?config ?store_capacity ~tracing ()
-    else create_parallel ~nodes:n ~seed ~domains ~epoch ?config ?store_capacity ~tracing ()
+    if domains = 1 then
+      create_sequential ~nodes:n ~seed ?config ?store_capacity ~tracing ?engine ()
+    else create_parallel ~nodes:n ~seed ~domains ~epoch ?config ?store_capacity ~tracing ?engine ()
   in
   let global = Deployment.store control in
   Store.set_shards global (Array.map Node.store nodes);

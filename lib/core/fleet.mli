@@ -63,6 +63,7 @@ val create :
   ?tracing:bool ->
   ?domains:int ->
   ?epoch:Gr_util.Time_ns.t ->
+  ?engine:Gr_runtime.Vm.tier ->
   unit ->
   t
 (** Builds a control kernel seeded with [seed] and [nodes] node
@@ -78,7 +79,12 @@ val create :
     positive. Shorter epochs tighten cross-node latency (a node sees a
     peer's GLOBAL save at the next barrier), longer epochs amortize
     barrier cost. @raise Invalid_argument on bad [nodes] or
-    [epoch]. *)
+    [epoch].
+
+    [engine] is the default execution tier for every member engine
+    and the control engine (see {!Deployment.create}); monitors over
+    GLOBAL keys fall back from the JIT to the register tier because
+    cross-shard merged reads have no handle fast path. *)
 
 val sim : t -> Gr_sim.Engine.t
 (** The fleet's virtual clock: the shared engine in sequential mode,

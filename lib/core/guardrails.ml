@@ -47,6 +47,7 @@ module Audit = Gr_analysis.Audit
 (* Runtime *)
 module Store = Gr_runtime.Feature_store
 module Vm = Gr_runtime.Vm
+module Jit = Gr_runtime.Jit
 module Engine = Gr_runtime.Engine
 
 (* Observability *)

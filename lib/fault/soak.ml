@@ -93,7 +93,7 @@ guardrail soak-tail-latency {
 }
 |}
 
-let build_blk ~seed ~duration =
+let build_blk ~engine ~seed ~duration =
   let kernel = Kernel.create ~seed in
   let devices =
     Array.init 4 (fun i -> Ssd.create ~rng:kernel.rng ~profile:Ssd.young_profile ~id:i)
@@ -101,7 +101,7 @@ let build_blk ~seed ~duration =
   let blk = Blk.create ~engine:kernel.engine ~hooks:kernel.hooks ~devices () in
   let model = Gr_policy.Linnos.train ~rng:kernel.rng ~devices () in
   Slot.install (Blk.slot blk) ~name:"linnos" (Gr_policy.Linnos.policy model);
-  let d = D.create ~kernel ~tracing:true ~store_capacity:1024 () in
+  let d = D.create ~kernel ~tracing:true ~store_capacity:1024 ?engine () in
   D.forward_hook_arg d ~hook:"blk:io_complete" ~arg:"false_submit" ();
   D.forward_hook_arg d ~hook:"blk:io_complete" ~arg:"latency_us" ();
   D.derive_window_avg d ~src:"false_submit" ~dst:"false_submit_rate" ~window:(Time_ns.sec 1)
@@ -161,12 +161,12 @@ guardrail soak-fairness {
 }
 |}
 
-let build_sched ~seed ~duration =
+let build_sched ~engine ~seed ~duration =
   let kernel = Kernel.create ~seed in
   let sched = Sched.create ~engine:kernel.engine ~hooks:kernel.hooks ~cpus:2 () in
   Slot.install (Sched.slot sched) ~name:"wild-slices"
     (Gr_policy.Inject.wild_slices ~rng:kernel.rng ~max_ms:120);
-  let d = D.create ~kernel ~tracing:true () in
+  let d = D.create ~kernel ~tracing:true ?engine () in
   D.wire_scheduler d sched;
   let anomalies = ref [] in
   (* Re-route DEPRIORITIZE through a handler that performs the action
@@ -244,11 +244,11 @@ guardrail soak-trend {
 }
 |}
 
-let build_store ~seed ~duration =
+let build_store ~engine ~seed ~duration =
   let kernel = Kernel.create ~seed in
   (* A small per-key ring keeps capacity eviction constantly active
      under the 1ms save cadence. *)
-  let d = D.create ~kernel ~tracing:true ~store_capacity:256 () in
+  let d = D.create ~kernel ~tracing:true ~store_capacity:256 ?engine () in
   D.forward_hook_arg d ~hook:"soak:tick" ~arg:"v" ~key:"err" ();
   let handles = D.install_source_exn d store_spec in
   let wl_rng = Rng.fork kernel.rng in
@@ -303,9 +303,9 @@ guardrail fleet-pressure {
    REPLACE proxy. The injector targets node 0 exclusively (see
    [caps_of]), so surviving shards keep feeding the merged view while
    one member is dead or lying. *)
-let build_fleet ~nodes ~domains ~seed ~duration =
+let build_fleet ~engine ~nodes ~domains ~seed ~duration =
   let fleet =
-    Guardrails.Fleet.create ~nodes ~seed ~store_capacity:1024 ~tracing:true ~domains ()
+    Guardrails.Fleet.create ~nodes ~seed ~store_capacity:1024 ~tracing:true ~domains ?engine ()
   in
   let n = Guardrails.Fleet.node_count fleet in
   (* The broadcast REPLACE proxy flips every node's slot in one action
@@ -382,12 +382,12 @@ let build_fleet ~nodes ~domains ~seed ~duration =
     b_fleet = Some fleet;
   }
 
-let build ?(nodes = 3) ?(domains = 1) ~scenario ~seed ~duration () =
+let build ?(nodes = 3) ?(domains = 1) ?engine ~scenario ~seed ~duration () =
   match scenario with
-  | "blk" -> build_blk ~seed ~duration
-  | "sched" -> build_sched ~seed ~duration
-  | "store" -> build_store ~seed ~duration
-  | "fleet" -> build_fleet ~nodes ~domains ~seed ~duration
+  | "blk" -> build_blk ~engine ~seed ~duration
+  | "sched" -> build_sched ~engine ~seed ~duration
+  | "store" -> build_store ~engine ~seed ~duration
+  | "fleet" -> build_fleet ~engine ~nodes ~domains ~seed ~duration
   | s -> invalid_arg ("Soak: unknown scenario " ^ s)
 
 (* Oracle comparison. Exact aggregates (COUNT, MIN, MAX, QUANTILE,
@@ -433,8 +433,8 @@ type run_result = {
   slots : (string * bool * int) list;
 }
 
-let run_one ?extra_source ?nodes ?domains ~scenario ~seed ~duration ~plan () =
-  let b = build ?nodes ?domains ~scenario ~seed ~duration () in
+let run_one ?extra_source ?nodes ?domains ?engine ~scenario ~seed ~duration ~plan () =
+  let b = build ?nodes ?domains ?engine ~scenario ~seed ~duration () in
   let seen = Hashtbl.create 16 in
   let problems = ref [] in
   let push msg =
@@ -644,7 +644,8 @@ let repro_command f =
     (if f.domains > 1 then Printf.sprintf " --domains %d" f.domains else "")
     (Fault.plan_to_string f.shrunk)
 
-let soak ?(log = ignore) ?extra_source ?nodes ?(domains = 1) ~scenarios ~seeds ~duration () =
+let soak ?(log = ignore) ?extra_source ?nodes ?(domains = 1) ?engine ~scenarios ~seeds ~duration
+    () =
   let runs = ref 0 and passed = ref 0 and total_events = ref 0 and total_faults = ref 0 in
   let failures = ref [] in
   List.iter
@@ -653,7 +654,7 @@ let soak ?(log = ignore) ?extra_source ?nodes ?(domains = 1) ~scenarios ~seeds ~
         (fun seed ->
           incr runs;
           let plan = gen_plan ~scenario ~seed ~duration in
-          let r = run_one ?extra_source ?nodes ~domains ~scenario ~seed ~duration ~plan () in
+          let r = run_one ?extra_source ?nodes ~domains ?engine ~scenario ~seed ~duration ~plan () in
           total_events := !total_events + r.events;
           total_faults := !total_faults + r.faults_injected;
           if r.ok then begin
@@ -668,7 +669,7 @@ let soak ?(log = ignore) ?extra_source ?nodes ?(domains = 1) ~scenarios ~seeds ~
                  (String.concat "; " r.problems));
             let still_fails p =
               not
-                (run_one ?extra_source ?nodes ~domains ~scenario ~seed ~duration ~plan:p ())
+                (run_one ?extra_source ?nodes ~domains ?engine ~scenario ~seed ~duration ~plan:p ())
                   .ok
             in
             let shrunk = shrink ~still_fails plan in

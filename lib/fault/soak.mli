@@ -64,6 +64,7 @@ val run_one :
   ?extra_source:string ->
   ?nodes:int ->
   ?domains:int ->
+  ?engine:Gr_runtime.Vm.tier ->
   scenario:string ->
   seed:int ->
   duration:Gr_util.Time_ns.t ->
@@ -84,7 +85,11 @@ val run_one :
     (docs/PARALLEL.md); the invariant checks then run at every epoch
     barrier — the only quiescent points — instead of after every sim
     event, and the injector's fault traces land on node 0's tracer
-    channel. Ignored by the single-node scenarios. *)
+    channel. Ignored by the single-node scenarios. [engine]
+    selects the monitor execution tier for every deployment the
+    scenario builds (default: the JIT tier) — tiers are bit-identical,
+    so a soak failure reproduces under any of them unless the tier
+    machinery itself is the bug. *)
 
 type failure = {
   scenario : string;
@@ -114,6 +119,7 @@ val soak :
   ?extra_source:string ->
   ?nodes:int ->
   ?domains:int ->
+  ?engine:Gr_runtime.Vm.tier ->
   scenarios:string list ->
   seeds:int list ->
   duration:Gr_util.Time_ns.t ->

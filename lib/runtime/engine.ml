@@ -52,9 +52,15 @@ type state = {
   monitor : Monitor.t;
   id : int;
   rule_cost_ns : float;  (** static VM cost of the rule, summed once *)
-  actions_costed : (Monitor.action * float) list;
-      (** each action paired with its SAVE value program's static VM
-          cost (0 for non-SAVE actions), precomputed at install *)
+  tier : Vm.tier;
+      (** the tier the rule actually executes on after any JIT→Reg
+          fallback (not necessarily the tier requested at install) *)
+  exec : unit -> Vm.result;
+      (** the rule, specialized onto [tier] at install *)
+  actions_costed : (Monitor.action * (unit -> Vm.result) option) list;
+      (** each action paired with its SAVE value program's executor
+          (specialized like the rule; [None] for non-SAVE actions),
+          built at install *)
   demands : Gr_compiler.Deps.agg_demand list;
       (** aggregate demands registered with the store on install *)
   mutable installed : bool;
@@ -80,6 +86,7 @@ type t = {
   kernel : Gr_kernel.Kernel.t;
   store : Feature_store.t;
   config : config;
+  default_tier : Vm.tier;
   tracer : Tracer.t;
   monitors : state Vec.t;
   mutable next_id : int;
@@ -90,7 +97,7 @@ type t = {
   mutable cascade_depth : int;
 }
 
-let rec create ~kernel ~store ?(config = default_config) ?tracer () =
+let rec create ~kernel ~store ?(config = default_config) ?tracer ?(engine = Vm.Jit) () =
   let tracer =
     match tracer with
     | Some tr -> tr
@@ -104,6 +111,7 @@ let rec create ~kernel ~store ?(config = default_config) ?tracer () =
       kernel;
       store;
       config;
+      default_tier = engine;
       tracer;
       monitors = Vec.create ();
       next_id = 0;
@@ -169,7 +177,7 @@ and run_actions t st =
   Metrics.record_fire (Metrics.monitor (Tracer.metrics t.tracer) st.monitor.Monitor.name);
   let reported = ref false in
   List.iter
-    (fun (action, action_cost_ns) ->
+    (fun (action, save_exec) ->
       match (action : Monitor.action) with
       | Monitor.Report { message; keys } ->
         reported := true;
@@ -239,9 +247,9 @@ and run_actions t st =
         match t.kill with
         | Some handler -> with_current t.tracer aspan (fun () -> handler ~cls)
         | None -> Log.warn (fun m -> m "KILL(%s): no handler wired (monitor %s)" cls st.monitor.name))
-      | Monitor.Save { key; value } ->
-        let result =
-          Vm.run ~static_cost_ns:action_cost_ns ~store:t.store ~slots:st.monitor.slots value
+      | Monitor.Save { key; value = _ } ->
+        let result : Vm.result =
+          match save_exec with Some run -> run () | None -> assert false
         in
         st.overhead_ns <- st.overhead_ns +. result.est_cost_ns;
         Metrics.record_action_cost
@@ -294,12 +302,8 @@ and check ?(via = "manual") t st =
         ~finally:(fun () -> t.cascade_depth <- t.cascade_depth - 1)
         (fun () ->
           st.checks <- st.checks + 1;
-          let run_vm () =
-            Vm.run ~static_cost_ns:st.rule_cost_ns ~store:t.store ~slots:st.monitor.slots
-              st.monitor.rule
-          in
           let result =
-            if Selfcost.enabled () then Selfcost.time Selfcost.Check run_vm else run_vm ()
+            if Selfcost.enabled () then Selfcost.time Selfcost.Check st.exec else st.exec ()
           in
           st.overhead_ns <- st.overhead_ns +. result.est_cost_ns;
           let healthy = Vm.truthy result.value in
@@ -383,22 +387,59 @@ let arm_trigger t st (trigger : Monitor.trigger) =
     in
     states := st :: !states
 
-let install t monitor =
+(* Specialize one program onto the requested tier, returning the tier
+   actually used: the JIT declines programs over cross-shard (fleet
+   merged) keys and falls back to the register tier, which shares its
+   operator semantics and superinstructions but reads the store
+   through the generic path. *)
+let build_exec t ~tier ~slots program =
+  match (tier : Vm.tier) with
+  | Vm.Tree ->
+    let static_cost_ns = Vm.static_cost_ns program in
+    (Vm.Tree, fun () -> Vm.run ~static_cost_ns ~store:t.store ~slots program)
+  | Vm.Reg ->
+    let c = Vm.compile ~store:t.store ~slots program in
+    (Vm.Reg, fun () -> Vm.run_compiled c)
+  | Vm.Jit -> (
+    match Jit.compile ~store:t.store ~slots program with
+    | Some j -> (Vm.Jit, fun () -> Jit.run j)
+    | None ->
+      let c = Vm.compile ~store:t.store ~slots program in
+      (Vm.Reg, fun () -> Vm.run_compiled c))
+
+let install ?engine t monitor =
   match Gr_compiler.Verify.verify monitor with
   | Error errs -> Error errs
   | Ok _stats ->
     let demands = Gr_compiler.Deps.aggregates monitor in
+    (* Register the monitor's aggregate shapes before specializing the
+       executors: registration switches them to the store's streaming
+       path, and the JIT's aggregate handles pin the streaming demand
+       at compile time. Refcounting inside the store lets monitors
+       share demands. *)
+    List.iter
+      (fun (d : Gr_compiler.Deps.agg_demand) ->
+        Feature_store.register_demand t.store ~key:d.key ~fn:d.fn ~window_ns:d.window_ns
+          ~param:d.param)
+      demands;
+    let requested = match engine with Some e -> e | None -> t.default_tier in
+    let slots = monitor.Monitor.slots in
+    let tier, exec = build_exec t ~tier:requested ~slots monitor.Monitor.rule in
     let st =
       {
         monitor;
         id = t.next_id;
         rule_cost_ns = Vm.static_cost_ns monitor.Monitor.rule;
+        tier;
+        exec;
         actions_costed =
           List.map
             (fun (action : Monitor.action) ->
               match action with
-              | Monitor.Save { value; _ } -> (action, Vm.static_cost_ns value)
-              | _ -> (action, 0.))
+              | Monitor.Save { value; _ } ->
+                let _, run = build_exec t ~tier:requested ~slots value in
+                (action, Some run)
+              | _ -> (action, None))
             monitor.Monitor.actions;
         demands;
         installed = true;
@@ -420,14 +461,6 @@ let install t monitor =
     in
     t.next_id <- t.next_id + 1;
     Vec.push t.monitors st;
-    (* Registering the monitor's aggregate shapes switches them to the
-       store's streaming path; refcounting inside the store lets
-       monitors share demands. *)
-    List.iter
-      (fun (d : Gr_compiler.Deps.agg_demand) ->
-        Feature_store.register_demand t.store ~key:d.key ~fn:d.fn ~window_ns:d.window_ns
-          ~param:d.param)
-      demands;
     List.iter (arm_trigger t st) monitor.triggers;
     if Tracer.enabled t.tracer then
       Tracer.instant t.tracer ~cat:"runtime"
@@ -457,6 +490,8 @@ let uninstall t st =
   end
 
 let monitor_name st = st.monitor.Monitor.name
+let tier st = st.tier
+let default_tier t = t.default_tier
 let set_deprioritize_handler t handler = t.deprioritize <- Some handler
 let set_kill_handler t handler = t.kill <- Some handler
 let tracer t = t.tracer

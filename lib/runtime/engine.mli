@@ -48,12 +48,18 @@ val create :
   store:Feature_store.t ->
   ?config:config ->
   ?tracer:Gr_trace.Tracer.t ->
+  ?engine:Vm.tier ->
   unit ->
   t
 (** Without [?tracer], the engine creates a private one (trace events
     disabled). Either way the per-monitor metrics registry records
     every check and the REPORT channel — the bounded ring-buffer sink
-    behind {!violations} — is always live. *)
+    behind {!violations} — is always live.
+
+    [?engine] picks the default execution tier monitors are
+    specialized onto at install ({!Vm.tier}; default [Jit]). All
+    tiers are bit-identical in results, accounting, store counters
+    and trace events, so the choice is a pure performance knob. *)
 
 val tracer : t -> Gr_trace.Tracer.t
 val metrics : t -> Gr_trace.Metrics.t
@@ -62,9 +68,17 @@ val metrics : t -> Gr_trace.Metrics.t
 
 type handle
 
-val install : t -> Gr_compiler.Monitor.t -> (handle, string list) result
+val install : ?engine:Vm.tier -> t -> Gr_compiler.Monitor.t -> (handle, string list) result
 (** Verifies the monitor (installation is the trust boundary, exactly
-    as for eBPF program load) and arms its triggers. *)
+    as for eBPF program load), specializes its rule and SAVE programs
+    onto the requested tier (default: the engine's), and arms its
+    triggers. *)
+
+val tier : handle -> Vm.tier
+(** The tier the monitor's rule actually executes on — [Reg] when a
+    [Jit] request fell back because the rule reads cross-shard keys. *)
+
+val default_tier : t -> Vm.tier
 
 val uninstall : t -> handle -> unit
 (** Cancels timers and unsubscribes hooks; idempotent. *)

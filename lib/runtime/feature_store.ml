@@ -94,6 +94,10 @@ type t = {
      into a foreign global tier are handed to this hook instead of
      mutating the tier directly (docs/PARALLEL.md). *)
   mutable global_publish : (string -> float -> unit) option;
+  (* Bumped whenever key routing changes (global tier / shards), so
+     pre-resolved handles can detect that their cached store is no
+     longer the right one and fall back to the exact slow path. *)
+  mutable topo_gen : int;
 }
 
 let create ~clock ?(capacity_per_key = 4096) () =
@@ -115,6 +119,7 @@ let create ~clock ?(capacity_per_key = 4096) () =
     global_tier = None;
     shards = [||];
     global_publish = None;
+    topo_gen = 0;
   }
 
 let set_tracer t tracer = t.tracer <- Some tracer
@@ -123,10 +128,14 @@ let node_id t = t.node_id
 let set_node_id t id = t.node_id <- id
 
 let set_global_tier t g =
-  if g == t then t.global_tier <- None else t.global_tier <- Some g
+  (if g == t then t.global_tier <- None else t.global_tier <- Some g);
+  t.topo_gen <- t.topo_gen + 1
 
 let global_tier t = match t.global_tier with Some g -> g | None -> t
-let set_shards t shards = t.shards <- Array.copy shards
+
+let set_shards t shards =
+  t.shards <- Array.copy shards;
+  t.topo_gen <- t.topo_gen + 1
 let shards t = Array.copy t.shards
 
 (* Where a key's entry lives: global-scoped keys go to the fleet tier
@@ -818,6 +827,19 @@ let merged_aggregate t ~key ~fn ~window_ns ~param =
     }
   end
 
+(* [t] must already be the resolved store for [key]. *)
+let emit_agg_trace t ~key ~fn ~window_ns (r : agg_result) =
+  if tracing t then
+    Gr_trace.Tracer.instant (Option.get t.tracer) ~cat:"store"
+      ~args:
+        [
+          ("key", Gr_trace.Event.Str key);
+          ("window_ns", Gr_trace.Event.Float window_ns);
+          ("samples", Gr_trace.Event.Int r.scanned);
+          ("incremental", Gr_trace.Event.Bool r.incremental);
+        ]
+      ("agg:" ^ agg_name fn)
+
 let aggregate_result t ~key ~fn ~window_ns ~param =
   let t = resolve t key in
   let r =
@@ -841,20 +863,129 @@ let aggregate_result t ~key ~fn ~window_ns ~param =
         t.agg_misses <- t.agg_misses + 1;
         naive_aggregate t ~key ~fn ~window_ns ~param
   in
-  if tracing t then
-    Gr_trace.Tracer.instant (Option.get t.tracer) ~cat:"store"
-      ~args:
-        [
-          ("key", Gr_trace.Event.Str key);
-          ("window_ns", Gr_trace.Event.Float window_ns);
-          ("samples", Gr_trace.Event.Int r.scanned);
-          ("incremental", Gr_trace.Event.Bool r.incremental);
-        ]
-      ("agg:" ^ agg_name fn);
+  emit_agg_trace t ~key ~fn ~window_ns r;
   r
 
 let aggregate t ~key ~fn ~window_ns ~param =
   (aggregate_result t ~key ~fn ~window_ns ~param).value
+
+(* ---------- pre-resolved handles (JIT fast path) ----------
+
+   A handle pins the resolve step and, lazily, the entry and streaming
+   demand lookups, so the per-check read is a couple of loads and
+   generation compares instead of hashing the key and walking the
+   demand list. Handles never create entries (that would be observable
+   through [mem]/[keys]); they cache an entry the first time it exists.
+   Correctness guards, checked on every read:
+   - [topo_gen] on both the handle's root store and its resolved store:
+     any [set_global_tier]/[set_shards] after creation voids the
+     cached routing and the read degrades to the exact slow path.
+   - [force_naive] and a cached demand's [refs]: a released demand
+     (refs = 0) is no longer maintained, so the handle re-finds or
+     falls back. Demands are only removed when refs reaches 0, so an
+     object with refs > 0 is guaranteed live. *)
+
+type load_handle = {
+  lh_root : t;
+  lh_store : t; (* resolve lh_root lh_key, at creation *)
+  lh_key : string;
+  mutable lh_entry : entry option;
+  lh_root_gen : int;
+  lh_store_gen : int;
+}
+
+let load_handle t key =
+  let s = resolve t key in
+  if sharded s key then None
+  else
+    Some
+      {
+        lh_root = t;
+        lh_store = s;
+        lh_key = key;
+        lh_entry = Hashtbl.find_opt s.entries key;
+        lh_root_gen = t.topo_gen;
+        lh_store_gen = s.topo_gen;
+      }
+
+let handle_load h =
+  if h.lh_root.topo_gen <> h.lh_root_gen || h.lh_store.topo_gen <> h.lh_store_gen then
+    load h.lh_root h.lh_key
+  else begin
+    let s = h.lh_store in
+    s.loads <- s.loads + 1;
+    match h.lh_entry with
+    | Some e -> e.latest
+    | None -> (
+      match Hashtbl.find_opt s.entries h.lh_key with
+      | Some e ->
+        h.lh_entry <- Some e;
+        e.latest
+      | None -> 0.)
+  end
+
+type agg_handle = {
+  ah_root : t;
+  ah_store : t;
+  ah_key : string;
+  ah_fn : Gr_dsl.Ast.agg;
+  ah_window_ns : float;
+  ah_param : float;
+  mutable ah_entry : entry option;
+  mutable ah_demand : demand option;
+  ah_root_gen : int;
+  ah_store_gen : int;
+}
+
+let agg_handle t ~key ~fn ~window_ns ~param =
+  let s = resolve t key in
+  if sharded s key then None
+  else begin
+    let e = Hashtbl.find_opt s.entries key in
+    let d =
+      match e with Some e -> find_demand e ~fn ~window_ns ~param | None -> None
+    in
+    Some
+      {
+        ah_root = t;
+        ah_store = s;
+        ah_key = key;
+        ah_fn = fn;
+        ah_window_ns = window_ns;
+        ah_param = param;
+        ah_entry = e;
+        ah_demand = d;
+        ah_root_gen = t.topo_gen;
+        ah_store_gen = s.topo_gen;
+      }
+  end
+
+let handle_aggregate h =
+  let s = h.ah_store in
+  if h.ah_root.topo_gen <> h.ah_root_gen || s.topo_gen <> h.ah_store_gen || s.force_naive then
+    aggregate_result h.ah_root ~key:h.ah_key ~fn:h.ah_fn ~window_ns:h.ah_window_ns
+      ~param:h.ah_param
+  else begin
+    (match h.ah_demand with
+    | Some d when d.refs > 0 -> ()
+    | _ ->
+      (match h.ah_entry with
+      | None -> h.ah_entry <- Hashtbl.find_opt s.entries h.ah_key
+      | Some _ -> ());
+      h.ah_demand <-
+        (match h.ah_entry with
+        | Some e -> find_demand e ~fn:h.ah_fn ~window_ns:h.ah_window_ns ~param:h.ah_param
+        | None -> None));
+    match (h.ah_entry, h.ah_demand) with
+    | Some e, Some d when d.refs > 0 ->
+      s.agg_hits <- s.agg_hits + 1;
+      let r = demand_aggregate s e d ~window_ns:h.ah_window_ns ~param:h.ah_param in
+      emit_agg_trace s ~key:h.ah_key ~fn:h.ah_fn ~window_ns:h.ah_window_ns r;
+      r
+    | _ ->
+      aggregate_result h.ah_root ~key:h.ah_key ~fn:h.ah_fn ~window_ns:h.ah_window_ns
+        ~param:h.ah_param
+  end
 
 let on_save t fn = Vec.push t.subscribers fn
 let save_count t = t.saves

@@ -1,0 +1,36 @@
+#!/bin/sh
+# Tiered-execution smoke (make jit-smoke), docs/PERFORMANCE.md.
+#
+# The tier-invariance contract through the CLI: the fig. 2
+# false-submit guardrail run under all three execution tiers —
+# tree-walking reference, register VM, template JIT — must produce
+# byte-identical traces and reports. Any divergence in verdicts,
+# cost accounting, or event ordering shows up as a byte diff.
+# Budget: well under 10s.
+set -eu
+
+ROOT=$(pwd)
+GRC="$ROOT/_build/default/bin/grc.exe"
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+fail() {
+    echo "jit-smoke: $1" >&2
+    exit 1
+}
+
+for tier in tree reg jit; do
+    "$GRC" run specs/listing2.grd --until 3 --engine "$tier" \
+        --trace "$TMP/$tier.json" > "$TMP/$tier.out" \
+        || fail "--engine $tier run failed"
+done
+
+for tier in reg jit; do
+    cmp -s "$TMP/tree.json" "$TMP/$tier.json" \
+        || fail "--engine $tier trace diverged from the tree reference"
+    # The report text only differs in the trace filename it echoes.
+    sed "s/$tier\.json/tree.json/" "$TMP/$tier.out" | diff -u "$TMP/tree.out" - \
+        || fail "--engine $tier stdout diverged from the tree reference"
+done
+
+echo "jit-smoke: OK (tree/reg/jit traces and reports byte-identical)"

@@ -6,9 +6,15 @@
    Differential: random well-typed specs are compiled twice — the
    real pipeline (optimised, streaming aggregates) and a reference
    configuration (unoptimised, naive full-scan aggregates) — and the
-   VM's result is compared against an independent IR interpreter
-   written directly from the semantics in vm.mli. A divergence means
-   a bug in the optimiser, the VM, or the incremental store.
+   result is compared four ways: the tree-walking VM, the register
+   VM (Vm.compile), the closure template JIT (Jit.compile), and an
+   independent IR reference interpreter written directly from the
+   semantics in vm.mli. The three engine tiers must agree BIT-exactly
+   — value, instruction count, scanned samples, estimated cost, and
+   store counter effects; the reference comparison allows a rounding
+   tolerance. A divergence means a bug in the optimiser, a VM tier,
+   or the incremental store, and the failure message carries a
+   `grc run --engine` repro line.
 
    Every case derives from a pinned seed ([0x5EED + i]), so CI runs
    the exact same 500 programs every time and a failure message
@@ -16,6 +22,7 @@
 
 module Store = Gr_runtime.Feature_store
 module Vm = Gr_runtime.Vm
+module Jit = Gr_runtime.Jit
 module Ir = Gr_compiler.Ir
 module Monitor = Gr_compiler.Monitor
 module Compile = Gr_compiler.Compile
@@ -203,6 +210,52 @@ let run_case i failures =
             if not (close vm.Vm.value again.Vm.value) then
               fail "%s: VM not idempotent at fixed clock (%h vs %h)" label vm.Vm.value
                 again.Vm.value;
+            (* Cross-tier: the first run above paid any lazy window
+               expiry, so from here the store is at a steady state and
+               every execution tier must agree bit-for-bit — value,
+               accounting AND store counter effects. *)
+            let slots = om.Monitor.slots in
+            let counters () =
+              (Store.load_count store, Store.agg_hit_count store, Store.agg_miss_count store)
+            in
+            let run_tier tier : Vm.result * (int * int * int) =
+              let (l0, h0, m0) = counters () in
+              let r =
+                match (tier : Vm.tier) with
+                | Vm.Tree -> Vm.run ~store ~slots p_opt
+                | Vm.Reg -> Vm.run_compiled (Vm.compile ~store ~slots p_opt)
+                | Vm.Jit -> (
+                  match Jit.compile ~store ~slots p_opt with
+                  | Some j -> Jit.run j
+                  | None -> Alcotest.failf "case %d: JIT declined an unsharded program" i)
+              in
+              let (l1, h1, m1) = counters () in
+              (r, (l1 - l0, h1 - h0, m1 - m0))
+            in
+            let (tree, d_tree) = run_tier Vm.Tree in
+            List.iter
+              (fun tier ->
+                let (r, d) = run_tier tier in
+                let bits = Int64.bits_of_float in
+                if
+                  bits r.Vm.value <> bits tree.Vm.value
+                  || r.Vm.insts_executed <> tree.Vm.insts_executed
+                  || r.Vm.samples_scanned <> tree.Vm.samples_scanned
+                  || bits r.Vm.est_cost_ns <> bits tree.Vm.est_cost_ns
+                  || d <> d_tree
+                then (
+                  let (dl, dh, dm) = d and (tl, th, tm) = d_tree in
+                  fail
+                    "%s: tier %s diverged from tree (value %h/%h insts %d/%d scanned %d/%d cost \
+                     %h/%h counters %d,%d,%d/%d,%d,%d)\n\
+                     repro: save the spec below as f.grd, then `grc run f.grd --engine %s` \
+                     (generator seed 0x%X)\n\
+                     %s"
+                    label (Vm.tier_to_string tier) r.Vm.value tree.Vm.value r.Vm.insts_executed
+                    tree.Vm.insts_executed r.Vm.samples_scanned tree.Vm.samples_scanned
+                    r.Vm.est_cost_ns tree.Vm.est_cost_ns dl dh dm tl th tm
+                    (Vm.tier_to_string tier) (0x5EED + i) src))
+              [ Vm.Reg; Vm.Jit ];
             Store.set_force_naive store true;
             let reference = eval_ref ~store ~slots:rm.Monitor.slots p_ref in
             Store.set_force_naive store false;
@@ -210,6 +263,48 @@ let run_case i failures =
               fail "%s: VM=%h reference=%h@\n%s" label vm.Vm.value reference src)
           (labeled_programs om) (labeled_programs rm))
       opts refs
+
+(* Property: cost accounting is tier-invariant. GRL105's budget
+   enforcement reads est_cost_ns / samples_scanned; if a faster tier
+   reported cheaper checks, budget verdicts would change with the
+   --engine flag. *)
+let accounting_tier_invariant =
+  QCheck2.Test.make ~name:"cost accounting identical across tree/reg/jit" ~count:200
+    Gen.guardrail_gen (fun g ->
+      let src = Gr_dsl.Pretty.spec_to_string [ g ] in
+      match Compile.source src with
+      | Error _ -> true
+      | Ok monitors ->
+        let clock = ref Time_ns.zero in
+        let store = Store.create ~clock:(fun () -> !clock) ~capacity_per_key:512 () in
+        List.iter (register_demands store) monitors;
+        let rng = Rng.create 0xACC7 in
+        for _ = 1 to 200 do
+          clock := Time_ns.add !clock (Time_ns.us (1 + Rng.int rng 999));
+          Store.save store
+            fuzz_keys.(Rng.int rng (Array.length fuzz_keys))
+            (float_of_int (Rng.int rng 13))
+        done;
+        List.for_all
+          (fun (m : Monitor.t) ->
+            List.for_all
+              (fun (_, (p : Ir.program)) ->
+                let slots = m.Monitor.slots in
+                (* the first run settles lazy window expiry *)
+                ignore (Vm.run ~store ~slots p : Vm.result);
+                let tree = Vm.run ~static_cost_ns:(Vm.static_cost_ns p) ~store ~slots p in
+                let reg = Vm.run_compiled (Vm.compile ~store ~slots p) in
+                let jit =
+                  match Jit.compile ~store ~slots p with Some j -> Jit.run j | None -> tree
+                in
+                let same (a : Vm.result) (b : Vm.result) =
+                  a.Vm.insts_executed = b.Vm.insts_executed
+                  && a.Vm.samples_scanned = b.Vm.samples_scanned
+                  && Int64.bits_of_float a.Vm.est_cost_ns = Int64.bits_of_float b.Vm.est_cost_ns
+                in
+                same tree reg && same tree jit)
+              (labeled_programs m))
+          monitors)
 
 let test_differential () =
   let failures = ref [] in
@@ -351,7 +446,9 @@ let suite =
         pinned parser_total_on_token_soup;
         pinned compile_total_on_token_soup;
         pinned compiled_monitors_always_verify;
-        Alcotest.test_case "differential: VM vs reference interpreter, 500 pinned seeds" `Quick
+        pinned accounting_tier_invariant;
+        Alcotest.test_case
+          "differential: tree/reg/jit/reference 4-way, 500 pinned seeds" `Quick
           test_differential;
         Alcotest.test_case
           "differential: fleet sequential vs parallel epoch-barrier, 30 pinned seeds" `Quick

@@ -1,0 +1,196 @@
+(* Tier-selection edge cases for the tiered execution engine:
+
+   - the --engine CLI knob rejects garbage with exit 2 and a single
+     diagnostic line (no usage dump, no backtrace);
+   - Engine.install honors the requested tier, and the JIT declines
+     programs whose keys resolve to sharded (fleet-merged) reads —
+     falling back to the register tier, never to an error;
+   - re-installing a monitor under a different tier keeps the store's
+     aggregate demands refcounted correctly: shapes shared across
+     installs survive a partial uninstall, and a full uninstall
+     releases them. *)
+
+module Store = Gr_runtime.Feature_store
+module Vm = Gr_runtime.Vm
+module Engine = Gr_runtime.Engine
+module D = Guardrails.Deployment
+module Fleet = Guardrails.Fleet
+module Time_ns = Gr_util.Time_ns
+
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* CLI: --engine validation                                           *)
+(* ------------------------------------------------------------------ *)
+
+let grc_exe () =
+  List.find_opt Sys.file_exists [ "../bin/grc.exe"; "_build/default/bin/grc.exe" ]
+
+let with_spec_file body =
+  let path = Filename.temp_file "grc-tiers" ".grd" in
+  let oc = open_out path in
+  output_string oc
+    {|guardrail tiers_cli { trigger: { TIMER(0, 100ms) } rule: { LOAD(x) <= 1 } action: { REPORT("hi") } }|};
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> body path)
+
+let test_engine_flag_garbage () =
+  match grc_exe () with
+  | None -> Alcotest.fail "grc.exe not found next to the test runner"
+  | Some grc ->
+    with_spec_file (fun spec ->
+        let err = Filename.temp_file "grc-tiers" ".err" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove err)
+          (fun () ->
+            let code =
+              Sys.command
+                (Printf.sprintf "%s run %s --engine turbo >/dev/null 2>%s" grc spec err)
+            in
+            check_int "garbage --engine exits 2" 2 code;
+            let ic = open_in err in
+            let lines = ref [] in
+            (try
+               while true do
+                 lines := input_line ic :: !lines
+               done
+             with End_of_file -> ());
+            close_in ic;
+            check_int "diagnostic is a single line" 1 (List.length !lines);
+            check_int "soak rejects garbage --engine too" 2
+              (Sys.command
+                 (Printf.sprintf
+                    "%s soak --scenario store --seed 1 --duration 0.05 --engine warp \
+                     >/dev/null 2>&1"
+                    grc))))
+
+let test_engine_flag_accepted () =
+  match grc_exe () with
+  | None -> Alcotest.fail "grc.exe not found next to the test runner"
+  | Some grc ->
+    with_spec_file (fun spec ->
+        List.iter
+          (fun tier ->
+            check_int
+              (Printf.sprintf "run --engine %s exits 0" tier)
+              0
+              (Sys.command
+                 (Printf.sprintf "%s run %s --until 0.2 --engine %s >/dev/null 2>&1" grc spec
+                    tier)))
+          [ "tree"; "reg"; "jit" ])
+
+(* ------------------------------------------------------------------ *)
+(* Engine.install: tier selection and the sharded-store fallback      *)
+(* ------------------------------------------------------------------ *)
+
+let avg_source =
+  {|guardrail tiers_avg { trigger: { TIMER(0, 100ms) } rule: { AVG(lat, 1s) <= 100 } action: { REPORT("slow") } }|}
+
+let compile_one src =
+  match Guardrails.Compile.source src with
+  | Ok [ m ] -> m
+  | Ok _ -> Alcotest.fail "expected one monitor"
+  | Error e -> Alcotest.failf "compile: %a" Guardrails.Compile.pp_error e
+
+let test_requested_tier_honored () =
+  let kernel = Gr_kernel.Kernel.create ~seed:11 in
+  let d = D.create ~kernel () in
+  let engine = D.engine d in
+  Alcotest.check
+    (Alcotest.testable (fun ppf t -> Format.pp_print_string ppf (Vm.tier_to_string t)) ( = ))
+    "deployment default is the JIT" Vm.Jit (Engine.default_tier engine);
+  List.iter
+    (fun tier ->
+      match Engine.install ~engine:tier engine (compile_one avg_source) with
+      | Error msgs -> Alcotest.failf "install failed: %s" (String.concat "; " msgs)
+      | Ok h ->
+        if Engine.tier h <> tier then
+          Alcotest.failf "requested %s, got %s" (Vm.tier_to_string tier)
+            (Vm.tier_to_string (Engine.tier h));
+        ignore (Engine.check_now engine h : bool);
+        Engine.uninstall engine h)
+    [ Vm.Tree; Vm.Reg; Vm.Jit ]
+
+let test_jit_falls_back_on_sharded_store () =
+  (* A fleet's control store reads plain keys as the cross-shard
+     merged view — no handle fast path, so a JIT request must come
+     back as the register tier, not an error. Node stores are
+     unsharded: their monitors keep the JIT. *)
+  let fleet = Fleet.create ~nodes:2 ~seed:3 () in
+  (match Fleet.install_source fleet avg_source with
+  | Error e -> Alcotest.failf "fleet install: %a" D.pp_error e
+  | Ok [ h ] ->
+    if Engine.tier h <> Vm.Reg then
+      Alcotest.failf "fleet monitor should fall back to reg, got %s"
+        (Vm.tier_to_string (Engine.tier h))
+  | Ok _ -> Alcotest.fail "expected one handle");
+  match D.install_source (Fleet.node fleet 0) avg_source with
+  | Error e -> Alcotest.failf "node install: %a" D.pp_error e
+  | Ok [ h ] ->
+    if Engine.tier h <> Vm.Jit then
+      Alcotest.failf "node monitor should keep the JIT, got %s"
+        (Vm.tier_to_string (Engine.tier h))
+  | Ok _ -> Alcotest.fail "expected one handle"
+
+(* ------------------------------------------------------------------ *)
+(* Re-install across tiers: demand refcounts                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_reinstall_preserves_demands () =
+  let kernel = Gr_kernel.Kernel.create ~seed:5 in
+  let d = D.create ~kernel () in
+  let engine = D.engine d and store = D.store d in
+  D.save d "lat" 42.;
+  check_int "no demands before install" 0 (Store.demand_count store);
+  let install tier =
+    match Engine.install ~engine:tier engine (compile_one avg_source) with
+    | Ok h -> h
+    | Error msgs -> Alcotest.failf "install: %s" (String.concat "; " msgs)
+  in
+  let h_jit = install Vm.Jit in
+  check_int "one demand after first install" 1 (Store.demand_count store);
+  (* same aggregate shape from a second monitor on another tier:
+     refcounted, not duplicated *)
+  let h_tree = install Vm.Tree in
+  check_int "shared shape still one demand" 1 (Store.demand_count store);
+  Engine.uninstall engine h_jit;
+  check_int "demand survives partial uninstall" 1 (Store.demand_count store);
+  (* the surviving monitor still takes the streaming path *)
+  let hits_before = Store.agg_hit_count store in
+  ignore (Engine.check_now engine h_tree : bool);
+  if Store.agg_hit_count store <= hits_before then
+    Alcotest.fail "surviving monitor no longer streams its aggregate";
+  Engine.uninstall engine h_tree;
+  check_int "full uninstall releases the demand" 0 (Store.demand_count store);
+  (* tier switching round-trip: reinstall under each tier in turn;
+     the demand comes back and the verdict is tier-invariant *)
+  let verdicts =
+    List.map
+      (fun tier ->
+        let h = install tier in
+        check_int "reinstall re-registers the demand" 1 (Store.demand_count store);
+        let v = Engine.check_now engine h in
+        Engine.uninstall engine h;
+        check_int "uninstall releases again" 0 (Store.demand_count store);
+        v)
+      [ Vm.Tree; Vm.Reg; Vm.Jit ]
+  in
+  match verdicts with
+  | [ a; b; c ] ->
+    if not (a = b && b = c) then Alcotest.failf "verdicts differ across tiers: %b %b %b" a b c
+  | _ -> assert false
+
+let suite =
+  [
+    ( "tiers",
+      [
+        Alcotest.test_case "grc --engine rejects garbage with exit 2, one line" `Quick
+          test_engine_flag_garbage;
+        Alcotest.test_case "grc --engine accepts tree/reg/jit" `Quick test_engine_flag_accepted;
+        Alcotest.test_case "install honors the requested tier" `Quick test_requested_tier_honored;
+        Alcotest.test_case "JIT falls back to reg on sharded stores" `Quick
+          test_jit_falls_back_on_sharded_store;
+        Alcotest.test_case "re-install across tiers preserves demand refcounts" `Quick
+          test_reinstall_preserves_demands;
+      ] );
+  ]
