@@ -1,4 +1,4 @@
-.PHONY: all build test fmt fmt-check lint bench bench-smoke soak-smoke fleet-smoke par-smoke jit-smoke tsan-smoke obs-smoke examples-run ci
+.PHONY: all build test fmt fmt-check lint bench bench-smoke soak-smoke fleet-smoke par-smoke jit-smoke tsan-smoke obs-smoke serve-smoke examples-run ci
 
 all: build
 
@@ -84,6 +84,14 @@ tsan-smoke:
 obs-smoke: build
 	sh scripts/obs_smoke.sh
 
+# Live control-plane smoke (docs/SERVE.md): a scripted `grc serve`
+# session over the unix socket — good push canaries and promotes, a
+# GRL003 push bounces with diagnostics, a guardrail-violating push
+# auto-rolls-back, the session's audit log byte-diffs against its
+# golden, and a --nodes 1 serve trace byte-diffs against `grc run`.
+serve-smoke: build
+	sh scripts/serve_smoke.sh
+
 # Compile and run every file in examples/ end to end.
 examples-run:
 	dune build @examples-run
@@ -99,4 +107,5 @@ ci: fmt-check
 	$(MAKE) jit-smoke
 	$(MAKE) tsan-smoke
 	$(MAKE) obs-smoke
+	$(MAKE) serve-smoke
 	$(MAKE) examples-run

@@ -20,6 +20,7 @@
      fleet        Ablation H: fleet-wide merged aggregation + canary
      soak         Chaos soak: fault injection vs guardrail invariants
      verify       Ablation I: grc verify pass cost (fixpoint, model checking)
+     serve        Ablation J: live control-plane rollout lifecycle cost
      tiers        Execution tiers: ns/check by tier x monitor count
 
    With --json, experiments that support it (fig2, overhead, scale,
@@ -47,6 +48,7 @@ let experiments : (string * (json:bool -> unit)) list =
     ("fleet", Fleet_bench.run);
     ("soak", Soak.run);
     ("verify", fun ~json:_ -> Verify_bench.run ());
+    ("serve", Serve_bench.run);
     ("tiers", Tiers.run);
   ]
 

@@ -28,6 +28,14 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* Spec input convention shared by grc lint / verify / push: the
+   filename "-" means standard input. This is the same source text
+   the serve daemon's admission controller sees — a CI pipeline can
+   pipe the exact bytes it is about to push through `grc verify -`
+   first. The returned label replaces the path in diagnostics. *)
+let read_spec_input path =
+  if path = "-" then ("<stdin>", In_channel.input_all stdin) else (path, read_file path)
+
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Guardrail source file.")
 
@@ -114,23 +122,25 @@ let deps_cmd =
 (* Shared by grc lint / grc verify: one spec file -> optimised
    monitors tagged with their source path, or a printable error. *)
 let compile_spec_file path =
-  let src = read_file path in
-  match Guardrails.Parser.parse src with
-  | Error (pos, msg) ->
-    Error (Format.asprintf "%s: parse error at %a: %s" path Guardrails.Ast.pp_pos pos msg)
-  | Ok spec -> (
-    match Guardrails.Typecheck.check_spec spec with
-    | Error errs ->
-      Error
-        (String.concat "\n"
-           (List.map
-              (fun e -> Format.asprintf "%s: %a" path Guardrails.Typecheck.pp_error e)
-              errs))
-    | Ok () ->
-      Ok
-        (List.map
-           (fun m -> (path, Guardrails.Opt.optimize_monitor m))
-           (Guardrails.Lower.spec spec)))
+  match read_spec_input path with
+  | exception Sys_error e -> Error (Printf.sprintf "grc: %s" e)
+  | label, src -> (
+    match Guardrails.Parser.parse src with
+    | Error (pos, msg) ->
+      Error (Format.asprintf "%s: parse error at %a: %s" label Guardrails.Ast.pp_pos pos msg)
+    | Ok spec -> (
+      match Guardrails.Typecheck.check_spec spec with
+      | Error errs ->
+        Error
+          (String.concat "\n"
+             (List.map
+                (fun e -> Format.asprintf "%s: %a" label Guardrails.Typecheck.pp_error e)
+                errs))
+      | Ok () ->
+        Ok
+          (List.map
+             (fun m -> (label, Guardrails.Opt.optimize_monitor m))
+             (Guardrails.Lower.spec spec))))
 
 let lint_cmd =
   let run paths json strict budget fleet =
@@ -199,8 +209,11 @@ let lint_cmd =
   in
   let files =
     Arg.(
-      non_empty & pos_all file []
-      & info [] ~docv:"FILE" ~doc:"Guardrail source file(s); linted together as one deployment.")
+      non_empty & pos_all string []
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Guardrail source file(s); linted together as one deployment. $(b,-) reads a \
+             spec from standard input (the same text a serve push would carry).")
   in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as a JSON array.") in
   let strict =
@@ -372,8 +385,12 @@ let verify_cmd =
   in
   let files =
     Arg.(
-      non_empty & pos_all file []
-      & info [] ~docv:"FILE" ~doc:"Guardrail source file(s); verified together as one deployment.")
+      non_empty & pos_all string []
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Guardrail source file(s); verified together as one deployment. $(b,-) reads a \
+             spec from standard input — pipe the exact bytes you are about to $(b,grc push) \
+             through the same static pass the daemon's admission controller runs.")
   in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as a JSON array.") in
   let strict =
@@ -798,6 +815,500 @@ let explain_cmd =
           hook -> check -> actions, with rule disassembly and recursive input provenance")
     Term.(const run $ trace_arg $ report_n $ action_name $ monitor_name $ json $ depth)
 
+(* ---- grc serve: the spec lifecycle as a live control plane ----
+
+   A long-running daemon owning a deployment (or a fleet), ingesting
+   the simulated workload continuously, and accepting versioned spec
+   pushes over a unix-domain socket. One JSON request per connection:
+   the client sends a single object and shuts down its write side,
+   the server replies with one object and closes.
+
+     {"cmd":"push","who":"alice","spec":"..."}  -> admission decision
+     {"cmd":"advance","epochs":N}               -> drive N epoch barriers
+     {"cmd":"status"}                           -> lifecycle snapshot
+     {"cmd":"quit"}                             -> final report, exit
+
+   Admission, canary, verdict, promotion and rollback all live in
+   Guardrails.Lifecycle and happen at epoch barriers; serve is only
+   the transport. With --hold the sim advances ONLY on advance
+   commands, so a scripted session is fully deterministic (the
+   serve-smoke golden audit log relies on this); without it the
+   daemon free-runs to --until, polling the socket between epochs,
+   then keeps serving until quit. *)
+
+let write_fd_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then go (off + Unix.write_substring fd s off (len - off))
+  in
+  go 0
+
+let read_fd_all fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> Buffer.contents buf
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      go ()
+  in
+  go ()
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket the daemon listens on.")
+
+let serve_cmd =
+  let module J = Guardrails.Json in
+  let module L = Guardrails.Lifecycle in
+  let module Time_ns = Guardrails.Util.Time_ns in
+  let obj_field name = function J.Obj fields -> List.assoc_opt name fields | _ -> None in
+  let str_field name j = match obj_field name j with Some (J.Str s) -> Some s | _ -> None in
+  let int_field name j =
+    match obj_field name j with Some (J.Num n) -> Some (int_of_float n) | _ -> None
+  in
+  let decision_json = function
+    | L.Admitted { version } ->
+      J.Obj
+        [
+          ("ok", J.Bool true);
+          ("decision", J.Str "admitted");
+          ("version", J.Num (float_of_int version));
+        ]
+    | L.Rejected { version; reason; diagnostics } ->
+      J.Obj
+        [
+          ("ok", J.Bool false);
+          ("decision", J.Str "rejected");
+          ("version", J.Num (float_of_int version));
+          ("reason", J.Str reason);
+          ("diagnostics", J.Arr (List.map Guardrails.Diagnostic.to_json diagnostics));
+        ]
+  in
+  let run path socket_path until seed nodes domains_str engine_str hold audit_path trace_out
+      metrics_out canary_nodes canary_barriers max_fire_rate who =
+    if nodes < 1 then begin
+      prerr_endline "grc serve: --nodes must be positive";
+      2
+    end
+    else begin
+      match resolve_engine ~cmd:"grc serve" engine_str with
+      | Error msg ->
+        prerr_endline msg;
+        2
+      | Ok engine -> (
+        match resolve_domains ~cmd:"grc serve" ~nodes domains_str with
+        | Error msg ->
+          prerr_endline msg;
+          2
+        | Ok domains -> (
+          let domains = max 1 (min domains nodes) in
+          match load_spec_source path with
+          | Error msg ->
+            prerr_endline msg;
+            2
+          | Ok src -> (
+            let tracing = Option.is_some trace_out in
+            let target, kernel_engine, tracer =
+              if nodes = 1 then begin
+                let kernel = Guardrails.Kernel.create ~seed in
+                let d = Guardrails.Deployment.create ~kernel ~tracing ?engine () in
+                ( L.Deployment d,
+                  kernel.Guardrails.Kernel.engine,
+                  Guardrails.Deployment.tracer d )
+              end
+              else begin
+                let fleet =
+                  Guardrails.Fleet.create ~nodes ~seed ~tracing ~domains ?engine ()
+                in
+                (L.Fleet fleet, Guardrails.Fleet.sim fleet, Guardrails.Fleet.tracer fleet)
+              end
+            in
+            let audit_log =
+              Option.map (fun p -> Guardrails.Audit_log.create ~path:p) audit_path
+            in
+            let audit =
+              match audit_log with
+              | Some log -> fun e -> Guardrails.Audit_log.append log e
+              | None -> fun _ -> ()
+            in
+            let config =
+              { L.default_config with canary_nodes; canary_barriers; max_fire_rate }
+            in
+            let lc = L.create ~config ~audit target in
+            match L.boot lc ~who src with
+            | Error e ->
+              Format.eprintf "%s: %a@." path Guardrails.Deployment.pp_error e;
+              Option.iter Guardrails.Audit_log.close audit_log;
+              1
+            | Ok handles ->
+              let epoch =
+                match target with
+                | L.Fleet f -> Guardrails.Fleet.epoch f
+                | L.Deployment _ -> Guardrails.Fleet.default_epoch
+              in
+              let now () = Guardrails.Sim.now kernel_engine in
+              (* One epoch per step: the fleet path fires its
+                 registered lifecycle hook inside run_until; the
+                 single-deployment path drives the same barrier via
+                 run_chunked, whose event stream is byte-identical to
+                 an unchunked run. *)
+              let advance_epochs n =
+                for _ = 1 to n do
+                  let limit = Time_ns.add (now ()) epoch in
+                  match target with
+                  | L.Fleet f -> Guardrails.Fleet.run_until f limit
+                  | L.Deployment _ ->
+                    Guardrails.Sim.run_chunked kernel_engine ~epoch ~limit
+                      ~at_barrier:(L.barrier lc)
+                done
+              in
+              let status_json () =
+                J.Obj
+                  [
+                    ("ok", J.Bool true);
+                    ("phase", J.Str (L.phase_name lc));
+                    ("now_sec", J.Num (Time_ns.to_float_sec (now ())));
+                    ( "active",
+                      match L.active lc with
+                      | None -> J.Null
+                      | Some v ->
+                        J.Obj
+                          [
+                            ("version", J.Num (float_of_int v.L.id));
+                            ("digest", J.Str v.L.digest);
+                            ("who", J.Str v.L.who);
+                          ] );
+                    ("versions", J.Num (float_of_int (L.version_count lc)));
+                    ("promotions", J.Num (float_of_int (L.promotions lc)));
+                    ("rollbacks", J.Num (float_of_int (L.rollbacks lc)));
+                  ]
+              in
+              let stop = ref false in
+              let dispatch req =
+                match str_field "cmd" req with
+                | Some "push" -> (
+                  match str_field "spec" req with
+                  | None ->
+                    J.Obj
+                      [ ("ok", J.Bool false); ("error", J.Str "push requires a spec field") ]
+                  | Some spec ->
+                    let who = Option.value ~default:"anonymous" (str_field "who" req) in
+                    decision_json (L.push lc ~who spec))
+                | Some "advance" ->
+                  advance_epochs (max 0 (Option.value ~default:1 (int_field "epochs" req)));
+                  status_json ()
+                | Some "status" -> status_json ()
+                | Some "quit" ->
+                  stop := true;
+                  J.Obj [ ("ok", J.Bool true); ("stopping", J.Bool true) ]
+                | _ ->
+                  J.Obj
+                    [
+                      ("ok", J.Bool false);
+                      ("error", J.Str "unknown cmd (expected push|advance|status|quit)");
+                    ]
+              in
+              let handle_conn fd =
+                Fun.protect
+                  ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+                  (fun () ->
+                    let resp =
+                      match J.parse (read_fd_all fd) with
+                      | Error e ->
+                        J.Obj
+                          [ ("ok", J.Bool false); ("error", J.Str ("bad request: " ^ e)) ]
+                      | Ok req -> dispatch req
+                    in
+                    write_fd_all fd (J.to_string resp ^ "\n"))
+              in
+              if Sys.file_exists socket_path then Sys.remove socket_path;
+              let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+              Unix.bind sock (Unix.ADDR_UNIX socket_path);
+              Unix.listen sock 16;
+              Printf.printf "grc serve: %s: installed %d monitor(s) as v1, listening on %s (%s)\n%!"
+                path (List.length handles) socket_path
+                (if hold then "hold: sim advances on push/advance commands"
+                 else Printf.sprintf "free-running %gs then serving until quit" until);
+              let until_ns = Time_ns.of_float_sec until in
+              if not hold then
+                while (not !stop) && Time_ns.compare (now ()) until_ns < 0 do
+                  (match Unix.select [ sock ] [] [] 0. with
+                  | [ _ ], _, _ ->
+                    let fd, _ = Unix.accept sock in
+                    handle_conn fd
+                  | _ -> ());
+                  advance_epochs 1
+                done;
+              while not !stop do
+                let fd, _ = Unix.accept sock in
+                handle_conn fd
+              done;
+              (try Unix.close sock with Unix.Unix_error _ -> ());
+              if Sys.file_exists socket_path then Sys.remove socket_path;
+              let report_engine =
+                match target with
+                | L.Deployment d -> Guardrails.Deployment.engine d
+                | L.Fleet f -> Guardrails.Fleet.engine f
+              in
+              Format.printf "%a@." Guardrails.Engine.pp_report report_engine;
+              Format.printf "%a" Guardrails.Trace_export.pp_summary tracer;
+              Format.printf "%a@." L.pp_status lc;
+              (match trace_out with
+              | Some out ->
+                (match target with
+                | L.Deployment d -> Guardrails.Deployment.write_chrome_trace d ~path:out
+                | L.Fleet f ->
+                  Guardrails.Deployment.write_chrome_trace (Guardrails.Fleet.control f)
+                    ~path:out);
+                Format.printf "Chrome trace written to %s (open at chrome://tracing)@." out
+              | None -> ());
+              (match audit_log with
+              | Some log ->
+                Guardrails.Audit_log.close log;
+                Format.printf "audit log: %d decision event(s) in %s@."
+                  (Guardrails.Audit_log.appended log)
+                  (Guardrails.Audit_log.path log)
+              | None -> ());
+              (match metrics_out with
+              | Some out ->
+                let tracers =
+                  match target with
+                  | L.Deployment d -> [ Guardrails.Deployment.tracer d ]
+                  | L.Fleet f ->
+                    Guardrails.Fleet.tracer f
+                    :: Array.to_list
+                         (Array.map Guardrails.Node.tracer (Guardrails.Fleet.nodes f))
+                in
+                Guardrails.Trace_export.write_openmetrics ~path:out tracers;
+                Format.printf "OpenMetrics telemetry written to %s@." out
+              | None -> ());
+              0)))
+    end
+  in
+  let until =
+    Arg.(
+      value & opt float 5.
+      & info [ "until" ] ~docv:"SECONDS"
+          ~doc:
+            "Simulated seconds to free-run before settling into request-driven serving \
+             (default 5); ignored under --hold.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Kernel PRNG seed.") in
+  let nodes =
+    Arg.(
+      value & opt int 1
+      & info [ "nodes" ] ~docv:"N"
+          ~doc:
+            "Fleet size (default 1). With N > 1, admitted pushes canary onto a node subset \
+             before fleet-wide promotion; with N = 1 the canary window still gates \
+             promotion, judged on the whole deployment.")
+  in
+  let hold =
+    Arg.(
+      value & flag
+      & info [ "hold" ]
+          ~doc:
+            "Deterministic mode: simulated time advances only on $(b,advance) commands \
+             (and never free-runs). Scripted sessions — e.g. the serve-smoke golden — \
+             produce identical audit logs and traces on every host.")
+  in
+  let audit_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "audit-log" ] ~docv:"OUT.jsonl"
+          ~doc:
+            "Append every control-plane decision (push, admit/reject, canary, verdict, \
+             promote, rollback) as one JSON trace event per line; $(b,grc explain) walks \
+             the same file.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"OUT.json" ~doc:"Write a Chrome trace_event file on exit.")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"OUT.prom"
+          ~doc:"Write the final telemetry as an OpenMetrics text exposition on exit.")
+  in
+  let canary_nodes =
+    Arg.(
+      value & opt int 1
+      & info [ "canary-nodes" ] ~docv:"N"
+          ~doc:"Nodes an admitted push canaries onto (default 1; clamped below --nodes).")
+  in
+  let canary_barriers =
+    Arg.(
+      value & opt int 3
+      & info [ "canary-barriers" ] ~docv:"N"
+          ~doc:"Consecutive clean epoch-barrier verdicts required to promote (default 3).")
+  in
+  let max_fire_rate =
+    Arg.(
+      value & opt float 5.
+      & info [ "max-fire-rate" ] ~docv:"PER_SEC"
+          ~doc:
+            "Rollback guardrail: a canary firing actions faster than this (per simulated \
+             second) is rolled back at the next barrier (default 5). Oscillation alerts \
+             on the canary always roll back.")
+  in
+  let who =
+    Arg.(
+      value & opt string "operator"
+      & info [ "who" ] ~docv:"NAME" ~doc:"Identity recorded for the boot spec (default operator).")
+  in
+  let path_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Boot guardrail spec, installed directly as version 1.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the spec lifecycle as a live control plane: a daemon owning a deployment or \
+          fleet, admitting versioned spec pushes over a unix socket through static \
+          analysis, canarying them onto a node subset, and auto-promoting or rolling back \
+          on epoch-barrier guardrail verdicts — every decision audit-logged")
+    Term.(
+      const run $ path_arg $ socket_arg $ until $ seed $ nodes
+      $ domains_arg ~cmd:"grc serve"
+      $ engine_arg ~cmd:"grc serve"
+      $ hold $ audit_path $ trace_out $ metrics_out $ canary_nodes $ canary_barriers
+      $ max_fire_rate $ who)
+
+(* grc push: the client side of the serve socket. Also carries the
+   ctl verbs (advance/status/quit) so a scripted rollout session is
+   entirely push invocations. *)
+let push_cmd =
+  let module J = Guardrails.Json in
+  let obj_field name = function J.Obj fields -> List.assoc_opt name fields | _ -> None in
+  let run socket_path spec_path who advance status quit json_out =
+    let request req =
+      match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+      | fd ->
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+            | exception Unix.Unix_error (e, _, _) ->
+              Error (Printf.sprintf "%s: %s" socket_path (Unix.error_message e))
+            | () ->
+              write_fd_all fd (J.to_string req);
+              Unix.shutdown fd Unix.SHUTDOWN_SEND;
+              Ok (read_fd_all fd))
+    in
+    let req_r =
+      if quit then Ok (J.Obj [ ("cmd", J.Str "quit") ])
+      else if status then Ok (J.Obj [ ("cmd", J.Str "status") ])
+      else
+        match advance with
+        | Some n when n >= 0 ->
+          Ok (J.Obj [ ("cmd", J.Str "advance"); ("epochs", J.Num (float_of_int n)) ])
+        | Some _ -> Error "grc push: --advance must be non-negative"
+        | None -> (
+          match spec_path with
+          | None ->
+            Error "grc push: pass a SPEC file (or -), or one of --advance/--status/--quit"
+          | Some path -> (
+            match read_spec_input path with
+            | exception Sys_error e -> Error (Printf.sprintf "grc push: %s" e)
+            | _, src ->
+              Ok
+                (J.Obj
+                   [ ("cmd", J.Str "push"); ("who", J.Str who); ("spec", J.Str src) ])))
+    in
+    match req_r with
+    | Error msg ->
+      prerr_endline msg;
+      2
+    | Ok req -> (
+      match request req with
+      | Error msg ->
+        Printf.eprintf "grc push: %s\n" msg;
+        2
+      | Ok raw -> (
+        match J.parse (String.trim raw) with
+        | Error e ->
+          Printf.eprintf "grc push: bad response: %s\n" e;
+          2
+        | Ok resp ->
+          if json_out then print_endline (J.to_string resp)
+          else begin
+            (match (obj_field "decision" resp, obj_field "version" resp) with
+            | Some (J.Str d), Some (J.Num v) ->
+              Printf.printf "v%d %s\n" (int_of_float v) d
+            | _ -> ());
+            (match obj_field "reason" resp with
+            | Some (J.Str r) -> Printf.printf "reason: %s\n" r
+            | _ -> ());
+            (match obj_field "diagnostics" resp with
+            | Some (J.Arr diags) ->
+              List.iter
+                (fun d ->
+                  match
+                    (obj_field "severity" d, obj_field "code" d, obj_field "message" d)
+                  with
+                  | Some (J.Str sev), Some (J.Str code), Some (J.Str msg) ->
+                    Printf.printf "  %s %s: %s\n" sev code msg
+                  | _ -> ())
+                diags
+            | _ -> ());
+            (match obj_field "phase" resp with
+            | Some (J.Str p) -> Printf.printf "phase: %s\n" p
+            | _ -> ());
+            (match obj_field "error" resp with
+            | Some (J.Str e) -> Printf.printf "error: %s\n" e
+            | _ -> ())
+          end;
+          (* Exit code mirrors the daemon's decision: 0 admitted /
+             acknowledged, 1 rejected, 2 transport or usage error. *)
+          (match obj_field "ok" resp with
+          | Some (J.Bool true) -> 0
+          | _ -> 1)))
+  in
+  let spec =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"SPEC"
+          ~doc:"Guardrail spec to push ($(b,-) reads standard input).")
+  in
+  let who =
+    Arg.(
+      value & opt string "anonymous"
+      & info [ "who" ] ~docv:"NAME" ~doc:"Identity recorded in the audit log for this push.")
+  in
+  let advance =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "advance" ] ~docv:"N"
+          ~doc:"Instead of pushing, drive N epoch barriers (the rollout decision points).")
+  in
+  let status =
+    Arg.(value & flag & info [ "status" ] ~doc:"Instead of pushing, print the lifecycle snapshot.")
+  in
+  let quit =
+    Arg.(value & flag & info [ "quit" ] ~doc:"Instead of pushing, shut the daemon down.")
+  in
+  let json_out =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the daemon's raw JSON response.")
+  in
+  Cmd.v
+    (Cmd.info "push"
+       ~doc:
+         "Push a versioned spec to a running grc serve daemon (or drive/inspect it with \
+          --advance, --status, --quit)")
+    Term.(const run $ socket_arg $ spec $ who $ advance $ status $ quit $ json_out)
+
 let soak_cmd =
   let module Soak = Gr_fault.Soak in
   let module Fault = Gr_fault.Fault in
@@ -892,7 +1403,7 @@ let soak_cmd =
     Arg.(
       value & opt string "all"
       & info [ "scenario" ] ~docv:"NAME"
-          ~doc:"Scenario template: blk, sched, store, fleet, or all (default).")
+          ~doc:"Scenario template: blk, sched, store, fleet, serve, or all (default).")
   in
   let seed =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"First seed (default 1).")
@@ -939,7 +1450,9 @@ let soak_cmd =
     Arg.(
       value & opt int 3
       & info [ "nodes" ] ~docv:"N"
-          ~doc:"Fleet size for the fleet scenario (default 3); other scenarios ignore it.")
+          ~doc:
+            "Fleet size for the fleet and serve scenarios (default 3); other scenarios \
+             ignore it.")
   in
   Cmd.v
     (Cmd.info "soak"
@@ -966,5 +1479,7 @@ let () =
             fmt_cmd;
             run_cmd;
             explain_cmd;
+            serve_cmd;
+            push_cmd;
             soak_cmd;
           ]))

@@ -37,3 +37,22 @@ val run :
   t
 (** [run tagged] over [(node id, monitor)] pairs. Single-file
     deployments pass node id 0 for every monitor. *)
+
+(** {1 Admission control}
+
+    The PDP decision for one pushed spec (the serving daemon's gate,
+    also behind [grc lint -] / [grc verify -] on stdin). *)
+
+type admission = {
+  admitted : bool;
+  monitors : Gr_compiler.Monitor.t list;  (** empty when compilation failed *)
+  diagnostics : Diagnostic.t list;  (** static findings (admitted or not) *)
+  reason : string option;
+      (** rendered compile error, or a findings summary, when rejected *)
+}
+
+val admit : ?config:config -> ?repro:(Machine.schedule -> string) -> string -> admission
+(** Compile the source and run the full static pass family ({!run})
+    under the strict contract: any error {e or warning} rejects, as
+    [grc lint --strict] would. Admitted pushes return the compiled
+    monitors ready to install. *)

@@ -37,3 +37,17 @@ let source_exn ?limits ?optimize src =
   match source ?limits ?optimize src with
   | Ok monitors -> monitors
   | Error e -> failwith (Format.asprintf "%a" pp_error e)
+
+(* Spec versioning: the content digest stamped on every pushed spec
+   version. FNV-1a over the raw source bytes — dependency-free,
+   deterministic across hosts (unlike Hashtbl.hash, which the manual
+   only promises to be stable within one runtime version), and cheap
+   enough to run on every push. Not cryptographic; it identifies
+   versions in audit logs, it does not authenticate them. *)
+let digest source =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    source;
+  Printf.sprintf "%016Lx" !h

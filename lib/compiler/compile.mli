@@ -19,3 +19,8 @@ val source :
 
 val source_exn : ?limits:Verify.limits -> ?optimize:bool -> string -> Monitor.t list
 (** @raise Failure with a rendered error message. *)
+
+val digest : string -> string
+(** Content digest of a spec source (16 hex chars, FNV-1a 64).
+    Deterministic across hosts; identifies spec versions in the
+    serving lifecycle's audit log. Not cryptographic. *)

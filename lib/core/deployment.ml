@@ -94,8 +94,8 @@ let pp_error fmt = function
     Format.fprintf fmt "installing monitor %s failed:" name;
     List.iter (fun e -> Format.fprintf fmt "@\n  %s" e) errs
 
-let install_monitor t monitor =
-  match Gr_runtime.Engine.install t.engine monitor with
+let install_monitor ?version t monitor =
+  match Gr_runtime.Engine.install ?version t.engine monitor with
   | Ok handle ->
     t.monitors_rev <- (handle, monitor) :: t.monitors_rev;
     Ok handle
@@ -105,21 +105,26 @@ let uninstall t handle =
   Gr_runtime.Engine.uninstall t.engine handle;
   t.monitors_rev <- List.filter (fun (h, _) -> h != handle) t.monitors_rev
 
+(* Shared by install_source and the versioned lifecycle: install a
+   compiled monitor set atomically — on any failure everything from
+   this set is rolled back (demand refcounts released) before the
+   error returns. *)
+let install_monitors ?version t monitors =
+  let rec go installed = function
+    | [] -> Ok (List.rev installed)
+    | m :: rest -> (
+      match install_monitor ?version t m with
+      | Ok handle -> go (handle :: installed) rest
+      | Error e ->
+        List.iter (uninstall t) installed;
+        Error e)
+  in
+  go [] monitors
+
 let install_source t src =
   match Gr_compiler.Compile.source src with
   | Error e -> Error (Compile e)
-  | Ok monitors ->
-    let rec go installed = function
-      | [] -> Ok (List.rev installed)
-      | m :: rest -> (
-        match install_monitor t m with
-        | Ok handle -> go (handle :: installed) rest
-        | Error e ->
-          (* Roll back monitors from this source. *)
-          List.iter (uninstall t) installed;
-          Error e)
-    in
-    go [] monitors
+  | Ok monitors -> install_monitors t monitors
 
 let install_source_exn t src =
   match install_source t src with

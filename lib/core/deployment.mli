@@ -106,7 +106,20 @@ val install_source : t -> string -> (Gr_runtime.Engine.handle list, error) resul
 val install_source_exn : t -> string -> Gr_runtime.Engine.handle list
 
 val install_monitor :
-  t -> Gr_compiler.Monitor.t -> (Gr_runtime.Engine.handle, error) result
+  ?version:int -> t -> Gr_compiler.Monitor.t -> (Gr_runtime.Engine.handle, error) result
+(** [version] stamps the monitor with the spec version it came from
+    (see {!Gr_runtime.Engine.install}). *)
+
+val install_monitors :
+  ?version:int ->
+  t ->
+  Gr_compiler.Monitor.t list ->
+  (Gr_runtime.Engine.handle list, error) result
+(** Installs an already-compiled monitor set atomically: on any
+    failure everything from this set is uninstalled again (demand
+    refcounts released) before the error returns. The versioned
+    lifecycle installs each spec version through this, next to
+    whatever other versions are still running. *)
 
 val installed_monitors : t -> Gr_compiler.Monitor.t list
 

@@ -36,6 +36,9 @@ type t = {
   forwarded_hooks : (string, unit) Hashtbl.t;
   proxied_policies : (string, unit) Hashtbl.t;
   stats : stats;
+  barrier_hooks : (Time_ns.t -> unit) Vec.t;
+      (* persistent per-epoch-boundary callbacks (the spec lifecycle's
+         promotion decision point); registration order *)
 }
 
 let default_epoch = Time_ns.ms 50
@@ -141,6 +144,7 @@ let create ~nodes:n ~seed ?config ?store_capacity ?(tracing = false) ?(domains =
     forwarded_hooks = Hashtbl.create 8;
     proxied_policies = Hashtbl.create 8;
     stats = { replaces = 0; restores = 0; retrains = 0; pushes = 0 };
+    barrier_hooks = Vec.create ();
   }
 
 let sim t = t.sim
@@ -217,10 +221,22 @@ let drain_intents t intents =
           : Gr_sim.Engine.handle))
     batch
 
+let add_barrier_hook t hook = Vec.push t.barrier_hooks hook
+let fire_barrier_hooks t boundary = Vec.iter (fun hook -> hook boundary) t.barrier_hooks
+
 let run_epochs ?(on_barrier = fun (_ : Time_ns.t) -> ()) t limit =
   match t.runtime with
-  | Sequential ->
+  | Sequential when Vec.is_empty t.barrier_hooks ->
     Gr_sim.Engine.run_until t.sim limit;
+    on_barrier limit
+  | Sequential ->
+    (* Barrier hooks need boundaries to fire at, so a sequential fleet
+       steps in epoch-sized chunks. run_until fires every event <= the
+       boundary before clamping the clock, so the event stream — and
+       its trace — is byte-identical to the historical one-shot path;
+       the hooks are pure decision points between events. *)
+    Gr_sim.Engine.run_chunked t.sim ~epoch:default_epoch ~limit
+      ~at_barrier:(fire_barrier_hooks t);
     on_barrier limit
   | Parallel { domains; epoch; intents } ->
     let node_engines =
@@ -238,6 +254,10 @@ let run_epochs ?(on_barrier = fun (_ : Time_ns.t) -> ()) t limit =
           ~at_barrier:(fun boundary ->
             drain_intents t intents;
             Gr_sim.Engine.run_until t.sim boundary;
+            (* Hooks (lifecycle decisions) run before on_barrier
+               (invariant checks) so checkers observe post-decision
+               state at the same boundary. *)
+            fire_barrier_hooks t boundary;
             on_barrier boundary)
           node_engines)
 
@@ -386,6 +406,15 @@ let wire_monitor t (monitor : Gr_compiler.Monitor.t) =
 let install_monitor t monitor =
   wire_monitor t monitor;
   Deployment.install_monitor t.control monitor
+
+let install_monitors ?version t monitors =
+  (* Wire before installing so triggers are live the moment the engine
+     arms them; wiring is idempotent so rollback on a failed install
+     leaves only inert forwarders. *)
+  List.iter (wire_monitor t) monitors;
+  Deployment.install_monitors ?version t.control monitors
+
+let uninstall t handle = Deployment.uninstall t.control handle
 
 let install_source t src =
   match Gr_compiler.Compile.source src with

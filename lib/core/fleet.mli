@@ -97,6 +97,11 @@ val domains : t -> int
 val epoch : t -> Gr_util.Time_ns.t
 (** The epoch-barrier interval parallel runs advance by. *)
 
+val default_epoch : Gr_util.Time_ns.t
+(** The default epoch interval (50ms). Single-deployment spec-serving
+    paths reuse it so [grc serve --nodes 1] barriers land where a
+    fleet's would. *)
+
 val control : t -> Deployment.t
 (** The fleet-level deployment: its store is the global tier, its
     engine runs the fleet-wide monitors, its tracer owns the sim
@@ -129,6 +134,22 @@ val install_source_exn : t -> string -> Gr_runtime.Engine.handle list
 
 val install_monitor :
   t -> Gr_compiler.Monitor.t -> (Gr_runtime.Engine.handle, Deployment.error) result
+
+val install_monitors :
+  ?version:int ->
+  t ->
+  Gr_compiler.Monitor.t list ->
+  (Gr_runtime.Engine.handle list, Deployment.error) result
+(** Wires and installs an already-compiled monitor set atomically on
+    the control engine, stamped with [version] when given (the
+    versioned lifecycle's install path — see
+    {!Gr_runtime.Engine.install}). On error nothing from this set
+    stays installed. *)
+
+val uninstall : t -> Gr_runtime.Engine.handle -> unit
+(** Uninstall a fleet-wide monitor from the control engine (demand
+    refcounts released exactly once; policy proxies and hook
+    forwarders stay, inert, for future installs). *)
 
 val violations : t -> Gr_runtime.Engine.violation_record list
 (** The control engine's violation log (fleet-wide monitors only;
@@ -165,6 +186,16 @@ val run_epochs : ?on_barrier:(Gr_util.Time_ns.t -> unit) -> t -> Gr_util.Time_ns
     mode, where the whole run is one epoch) — the fault-injection
     soak's window for checking cross-shard invariants while node
     domains are parked. *)
+
+val add_barrier_hook : t -> (Gr_util.Time_ns.t -> unit) -> unit
+(** Register a persistent callback invoked at every epoch boundary of
+    every subsequent {!run_until}/{!run_epochs} — before any
+    [on_barrier] callback, so invariant checkers observe
+    post-decision state. This is the promotion decision point for
+    canaried spec rollouts ({!Lifecycle}). A sequential fleet with
+    hooks registered steps in {!epoch}-sized chunks; since the shared
+    heap fires every event up to each boundary either way, the event
+    stream and its trace stay byte-identical to the hook-free path. *)
 
 val events_fired : t -> int
 (** Total sim events dispatched across every member engine — one

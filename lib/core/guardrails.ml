@@ -57,6 +57,7 @@ module Trace_sink = Gr_trace.Sink
 module Trace_export = Gr_trace.Export
 module Metrics = Gr_trace.Metrics
 module Provenance = Gr_trace.Provenance
+module Audit_log = Gr_trace.Audit_log
 module Selfcost = Gr_trace.Selfcost
 module Json = Gr_trace.Json
 
@@ -80,6 +81,7 @@ module Fs = Gr_kernel.Fs
 module Deployment = Deployment
 module Node = Node
 module Fleet = Fleet
+module Lifecycle = Lifecycle
 module Autotune = Autotune
 
 let compile = Gr_compiler.Compile.source

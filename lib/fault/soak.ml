@@ -11,7 +11,7 @@ module Sink = Gr_trace.Sink
 module Tracer = Gr_trace.Tracer
 module D = Guardrails.Deployment
 
-let scenario_names = [ "blk"; "sched"; "store"; "fleet" ]
+let scenario_names = [ "blk"; "sched"; "store"; "fleet"; "serve" ]
 
 let caps_of = function
   | "blk" ->
@@ -46,6 +46,16 @@ let caps_of = function
       hooks = [ "blk:io_complete"; "blk:io_submit" ];
       blk_policy = false;
     }
+  | "serve" ->
+    (* Same node-0 fault surface as fleet — and node 0 is exactly the
+       node canaried rollouts target, so device death or a GC storm
+       there lands mid-rollout on the canary. *)
+    {
+      Fault.n_devices = 2;
+      keys = [ "latency_us"; "false_submit" ];
+      hooks = [ "blk:io_complete"; "blk:io_submit" ];
+      blk_policy = false;
+    }
   | s -> invalid_arg ("Soak: unknown scenario " ^ s)
 
 let gen_plan ~scenario ~seed ~duration =
@@ -70,6 +80,10 @@ type built = {
   b_fleet : Guardrails.Fleet.t option;
       (** parallel fleets drive via {!Guardrails.Fleet.run_epochs}
           instead of stepping one shared engine *)
+  b_lifecycle : Guardrails.Lifecycle.t option;
+      (** the serve scenario's rollout state machine; its targets also
+          drive via run_epochs so barrier hooks (the promotion
+          decision points) fire *)
 }
 
 let blk_spec =
@@ -138,6 +152,7 @@ let build_blk ~engine ~seed ~duration =
     b_retrain_runs = retrain_runs;
     b_anomalies = ref [];
     b_fleet = None;
+    b_lifecycle = None;
   }
 
 let sched_spec =
@@ -215,6 +230,7 @@ let build_sched ~engine ~seed ~duration =
     b_retrain_runs = ref 0;
     b_anomalies = anomalies;
     b_fleet = None;
+    b_lifecycle = None;
   }
 
 let store_spec =
@@ -272,6 +288,7 @@ let build_store ~engine ~seed ~duration =
     b_retrain_runs = ref 0;
     b_anomalies = ref [];
     b_fleet = None;
+    b_lifecycle = None;
   }
 
 let fleet_spec =
@@ -380,6 +397,227 @@ let build_fleet ~engine ~nodes ~domains ~seed ~duration =
     b_retrain_runs = ref 0;
     b_anomalies = ref [];
     b_fleet = Some fleet;
+    b_lifecycle = None;
+  }
+
+(* The serve scenario: the canaried rollout path under chaos. A fleet
+   like build_fleet's (workload per node, injector on node 0 — which
+   is also the canary node, so device death and GC storms land
+   mid-rollout on the canary), plus a spec lifecycle pushing a
+   rotation of specs every 150ms while faults fly:
+
+     - two promotable variants of the boot guardrail (same aggregate
+       shapes, different thresholds — so whenever the machine is
+       Steady the store's demand set must equal the boot baseline,
+       whichever version won; a refcount leaked by any push/rollback/
+       promote cycle moves that count and fails the run);
+     - a hot spec whose fire rate violates the rollout guardrail and
+       must be rolled back;
+     - a spec that must die at admission (GRL003).
+
+   Lifecycle invariants ride the fleet's own barrier hook, registered
+   after the lifecycle's so they see post-decision state: demand
+   refcounts at Steady, at most one Active version, dead versions
+   hold no handles, engine monitor table consistent with live
+   handles, and the audit event chain parent-resolvable with
+   promote/rollback counts matching the machine's. *)
+
+let serve_boot_spec =
+  {|
+guardrail serve-tail {
+  trigger: { TIMER(0, 100ms) },
+  rule: { COUNT(latency_us, 1s) == 0 || QUANTILE(latency_us, 0.99, 1s) <= 1e9 },
+  action: {
+    REPORT("fleet p99 latency degraded", latency_us)
+    REPLACE("blk_policy")
+  }
+}
+|}
+
+let serve_push_specs =
+  [|
+    (* Promotable: boot shapes, tighter threshold. *)
+    {|
+guardrail serve-tail {
+  trigger: { TIMER(0, 100ms) },
+  rule: { COUNT(latency_us, 1s) == 0 || QUANTILE(latency_us, 0.99, 1s) <= 5e8 },
+  action: {
+    REPORT("fleet p99 latency degraded", latency_us)
+    REPLACE("blk_policy")
+  }
+}
+|};
+    (* Rolls back: a 10ms timer on a key nothing feeds fires ~100/s on
+       the canary, far over the 5/s rollout guardrail. *)
+    {|
+guardrail serve-heartbeat {
+  trigger: { TIMER(0, 10ms) },
+  rule: { COUNT(serve_heartbeat, 1s) >= 1 },
+  action: {
+    REPORT("no model heartbeat", serve_heartbeat)
+    REPLACE("blk_policy")
+  }
+}
+|};
+    (* Promotable: boot shapes again, threshold back up. *)
+    {|
+guardrail serve-tail {
+  trigger: { TIMER(0, 100ms) },
+  rule: { COUNT(latency_us, 1s) == 0 || QUANTILE(latency_us, 0.99, 1s) <= 2e9 },
+  action: {
+    REPORT("fleet p99 latency degraded", latency_us)
+    REPLACE("blk_policy")
+  }
+}
+|};
+    (* Dies at admission: GRL003, divisor constantly zero. *)
+    {|
+guardrail serve-bad {
+  trigger: { TIMER(0, 100ms) },
+  rule: { LOAD(latency_us) / 0 <= 1 },
+  action: { REPORT("unreachable") }
+}
+|};
+  |]
+
+let build_serve ~engine ~nodes ~domains ~seed ~duration =
+  let fleet =
+    Guardrails.Fleet.create ~nodes ~seed ~store_capacity:1024 ~tracing:true ~domains ?engine ()
+  in
+  let n = Guardrails.Fleet.node_count fleet in
+  let node_devices = ref [||] and node_blk = ref None in
+  for id = 0 to n - 1 do
+    let node = Guardrails.Fleet.node fleet id in
+    let kernel = D.kernel node in
+    let devices =
+      Array.init 2 (fun i -> Ssd.create ~rng:kernel.rng ~profile:Ssd.young_profile ~id:i)
+    in
+    let blk = Blk.create ~engine:kernel.engine ~hooks:kernel.hooks ~devices () in
+    let model = Gr_policy.Linnos.train ~rng:kernel.rng ~devices () in
+    Slot.install (Blk.slot blk) ~name:"linnos" (Gr_policy.Linnos.policy model);
+    Kernel.register_policy kernel ~name:"blk_policy"
+      ~replace:(fun () -> Slot.use_fallback (Blk.slot blk))
+      ~restore:(fun () -> Slot.restore (Blk.slot blk))
+      ();
+    D.forward_hook_arg node ~hook:"blk:io_complete" ~arg:"latency_us" ();
+    D.forward_hook_arg node ~hook:"blk:io_complete" ~arg:"false_submit" ();
+    ignore
+      (Gr_workload.Io_driver.start ~engine:kernel.engine ~rng:kernel.rng ~blk
+         ~arrival:(Gr_workload.Arrival.poisson ~rate_per_sec:400.)
+         ~n_devices:2 ~zipf_s:0.5 ~until:duration ()
+        : Gr_workload.Io_driver.t);
+    if id = 0 then begin
+      node_devices := devices;
+      node_blk := Some blk
+    end
+  done;
+  let anomalies = ref [] in
+  let push_anomaly msg =
+    if not (List.mem msg !anomalies) then anomalies := msg :: !anomalies
+  in
+  let audit_events = ref [] in
+  let lc =
+    Guardrails.Lifecycle.create
+      ~config:
+        { Guardrails.Lifecycle.default_config with canary_barriers = 2 }
+      ~audit:(fun e -> audit_events := e :: !audit_events)
+      (Guardrails.Lifecycle.Fleet fleet)
+  in
+  let handles =
+    match Guardrails.Lifecycle.boot lc ~who:"soak" serve_boot_spec with
+    | Ok handles -> handles
+    | Error e -> failwith (Format.asprintf "serve boot spec rejected: %a" D.pp_error e)
+  in
+  let control = Guardrails.Fleet.control fleet in
+  let store = D.store control in
+  let demand_baseline = Store.demand_count store in
+  (* Pushes arrive as shared-engine events — inside the fault storm,
+     possibly while a previous rollout is still in flight (those must
+     be rejected busy, never wedge the machine). *)
+  let push_n = ref 0 in
+  ignore
+    (Gr_sim.Engine.every (Guardrails.Fleet.sim fleet) ~stop:duration
+       ~interval:(Time_ns.ms 150) (fun _ ->
+         let spec = serve_push_specs.(!push_n mod Array.length serve_push_specs) in
+         incr push_n;
+         ignore
+           (Guardrails.Lifecycle.push lc ~who:(Printf.sprintf "push-%d" !push_n) spec
+             : Guardrails.Lifecycle.decision))
+      : Gr_sim.Engine.handle);
+  (* Invariant hook: registered after the lifecycle's, so it sees the
+     post-decision state of every barrier. *)
+  Guardrails.Fleet.add_barrier_hook fleet (fun _ ->
+      let module L = Guardrails.Lifecycle in
+      (match L.phase lc with
+      | L.Steady ->
+        let demands = Store.demand_count store in
+        if demands <> demand_baseline then
+          push_anomaly
+            (Printf.sprintf
+               "demand refcounts drifted: %d at a Steady barrier, boot baseline %d — an \
+                install/uninstall cycle leaked or double-released"
+               demands demand_baseline)
+      | L.Pending _ | L.Rolling _ -> ());
+      let history = L.history lc in
+      let active = List.filter (fun (v : L.version) -> v.L.status = L.Active) history in
+      if List.length active <> 1 then
+        push_anomaly
+          (Printf.sprintf "%d Active version(s) in the registry (exactly 1 expected)"
+             (List.length active));
+      List.iter
+        (fun (v : L.version) ->
+          match v.L.status with
+          | L.Superseded | L.Rolled_back | L.Rejected ->
+            if v.L.handles <> [] then
+              push_anomaly
+                (Printf.sprintf "version v%d is %s but still holds %d engine handle(s)"
+                   v.L.id (L.status_name v.L.status)
+                   (List.length v.L.handles))
+          | L.Staged | L.Canarying | L.Active -> ())
+        history;
+      let live =
+        List.fold_left (fun acc (v : L.version) -> acc + List.length v.L.handles) 0 history
+      in
+      if Rt.installed_count (D.engine control) <> live then
+        push_anomaly
+          (Printf.sprintf
+             "engine monitor table holds %d entries but the registry accounts for %d live \
+              handle(s)"
+             (Rt.installed_count (D.engine control))
+             live);
+      let audit = Gr_trace.Provenance.of_events (List.rev !audit_events) in
+      (match Gr_trace.Provenance.orphans audit with
+      | [] -> ()
+      | orphans ->
+        push_anomaly
+          (Printf.sprintf "%d audit event(s) reference a missing parent span"
+             (List.length orphans)));
+      let count name =
+        List.length
+          (List.filter (fun (e : Gr_trace.Event.t) -> e.name = name) !audit_events)
+      in
+      if count "rollout.promote" <> L.promotions lc then
+        push_anomaly "audit log promote events diverge from the machine's promotion count";
+      if count "rollout.rollback" <> L.rollbacks lc then
+        push_anomaly "audit log rollback events diverge from the machine's rollback count");
+  let node0 = Guardrails.Fleet.node fleet 0 in
+  let inj_tracer =
+    if Guardrails.Fleet.domains fleet > 1 then D.tracer node0 else D.tracer control
+  in
+  let inj =
+    Injector.create ~kernel:(D.kernel node0) ~tracer:inj_tracer ~store:(D.store node0)
+      ~devices:!node_devices ?blk:!node_blk ~seed ()
+  in
+  {
+    b_kernel = D.kernel node0;
+    b_d = control;
+    b_handles = handles;
+    b_inj = inj;
+    b_fallback = None;
+    b_retrain_runs = ref 0;
+    b_anomalies = anomalies;
+    b_fleet = Some fleet;
+    b_lifecycle = Some lc;
   }
 
 let build ?(nodes = 3) ?(domains = 1) ?engine ~scenario ~seed ~duration () =
@@ -388,6 +626,7 @@ let build ?(nodes = 3) ?(domains = 1) ?engine ~scenario ~seed ~duration () =
   | "sched" -> build_sched ~engine ~seed ~duration
   | "store" -> build_store ~engine ~seed ~duration
   | "fleet" -> build_fleet ~engine ~nodes ~domains ~seed ~duration
+  | "serve" -> build_serve ~engine ~nodes ~domains ~seed ~duration
   | s -> invalid_arg ("Soak: unknown scenario " ^ s)
 
 (* Oracle comparison. Exact aggregates (COUNT, MIN, MAX, QUANTILE,
@@ -523,11 +762,14 @@ let run_one ?extra_source ?nodes ?domains ?engine ~scenario ~seed ~duration ~pla
   let events = ref 0 in
   (try
      match b.b_fleet with
-     | Some fleet when Guardrails.Fleet.domains fleet > 1 ->
+     | Some fleet when Guardrails.Fleet.domains fleet > 1 || Option.is_some b.b_lifecycle ->
        (* Parallel fleet: the per-event stepping loop has no meaning
           across domains, so invariants are checked at every epoch
           barrier instead — the only points where node state is
-          quiescent and safe to read from here. *)
+          quiescent and safe to read from here. Lifecycle targets
+          also drive through run_epochs (at any domain count): the
+          epoch barriers are their promotion decision points, and
+          the scenario's own invariant hook rides the same barrier. *)
        Guardrails.Fleet.run_epochs fleet duration ~on_barrier:(fun _ ->
            check_cheap ();
            check_oracle ());

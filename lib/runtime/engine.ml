@@ -51,6 +51,9 @@ type violation_record = {
 type state = {
   monitor : Monitor.t;
   id : int;
+  version : int option;
+      (** the spec version this monitor came from, when the install
+          went through the versioned lifecycle (grc serve) *)
   rule_cost_ns : float;  (** static VM cost of the rule, summed once *)
   tier : Vm.tier;
       (** the tier the rule actually executes on after any JIT→Reg
@@ -407,7 +410,7 @@ let build_exec t ~tier ~slots program =
       let c = Vm.compile ~store:t.store ~slots program in
       (Vm.Reg, fun () -> Vm.run_compiled c))
 
-let install ?engine t monitor =
+let install ?engine ?version t monitor =
   match Gr_compiler.Verify.verify monitor with
   | Error errs -> Error errs
   | Ok _stats ->
@@ -429,6 +432,7 @@ let install ?engine t monitor =
       {
         monitor;
         id = t.next_id;
+        version;
         rule_cost_ns = Vm.static_cost_ns monitor.Monitor.rule;
         tier;
         exec;
@@ -473,6 +477,11 @@ let install ?engine t monitor =
     Ok st
 
 let uninstall t st =
+  (* The [installed] guard makes the whole teardown — and in
+     particular the demand release below — exactly-once: a double
+     uninstall (rollback paths can race operator commands) must not
+     decrement a shared streaming aggregate's refcount twice and kill
+     state a still-installed monitor depends on. *)
   if st.installed then begin
     st.installed <- false;
     List.iter Gr_sim.Engine.cancel st.timer_handles;
@@ -486,10 +495,24 @@ let uninstall t st =
       st.demands;
     Hashtbl.iter
       (fun _ states -> states := List.filter (fun s -> s.id <> st.id) !states)
-      t.on_change_index
+      t.on_change_index;
+    (* Drop the state record from the monitor table. A load-once
+       deployment never noticed the leak, but a serving engine
+       install/uninstalls monitors on every push/rollback cycle and
+       the dead records (with their flip rings) accumulated without
+       bound — and kept padding pp_report/Stats forever. The handle
+       itself stays valid for post-mortem [Stats.get]. *)
+    Vec.filter_in_place (fun (s : state) -> s.id <> st.id) t.monitors;
+    if Tracer.enabled t.tracer then
+      Tracer.instant t.tracer ~cat:"runtime"
+        ~args:[ ("monitor", Event.Str st.monitor.Monitor.name) ]
+        "monitor.uninstall"
   end
 
 let monitor_name st = st.monitor.Monitor.name
+let version st = st.version
+let installed st = st.installed
+let installed_count t = Vec.length t.monitors
 let tier st = st.tier
 let default_tier t = t.default_tier
 let set_deprioritize_handler t handler = t.deprioritize <- Some handler

@@ -68,11 +68,15 @@ val metrics : t -> Gr_trace.Metrics.t
 
 type handle
 
-val install : ?engine:Vm.tier -> t -> Gr_compiler.Monitor.t -> (handle, string list) result
+val install :
+  ?engine:Vm.tier -> ?version:int -> t -> Gr_compiler.Monitor.t -> (handle, string list) result
 (** Verifies the monitor (installation is the trust boundary, exactly
     as for eBPF program load), specializes its rule and SAVE programs
     onto the requested tier (default: the engine's), and arms its
-    triggers. *)
+    triggers. [version] stamps the monitor with the spec version it
+    came from when the install goes through the versioned lifecycle
+    ({!Gr_core.Lifecycle} / grc serve); it changes no runtime
+    behavior and no trace bytes. *)
 
 val tier : handle -> Vm.tier
 (** The tier the monitor's rule actually executes on — [Reg] when a
@@ -81,9 +85,23 @@ val tier : handle -> Vm.tier
 val default_tier : t -> Vm.tier
 
 val uninstall : t -> handle -> unit
-(** Cancels timers and unsubscribes hooks; idempotent. *)
+(** Cancels timers, unsubscribes hooks, releases the monitor's
+    streaming-aggregate demand refcounts ({e exactly} once — shapes
+    shared with still-installed monitors keep streaming), and drops
+    the monitor from the engine's table so a long-running serving
+    engine doesn't accumulate dead records across push/rollback
+    cycles. Idempotent; the handle stays valid for {!Stats.get}. *)
 
 val monitor_name : handle -> string
+
+val version : handle -> int option
+(** The spec version stamped at install, if the monitor came in
+    through the versioned lifecycle. *)
+
+val installed : handle -> bool
+
+val installed_count : t -> int
+(** Monitors currently in the engine's table (uninstalls shrink it). *)
 
 val set_deprioritize_handler : t -> (cls:string -> weight:int -> unit) -> unit
 val set_kill_handler : t -> (cls:string -> unit) -> unit

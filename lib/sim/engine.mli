@@ -88,6 +88,21 @@ val run_epochs :
     clocks and the last boundary is exactly [limit]. Requires
     [epoch > 0]. @raise Invalid_argument otherwise. *)
 
+val run_chunked :
+  t ->
+  epoch:Gr_util.Time_ns.t ->
+  limit:Gr_util.Time_ns.t ->
+  at_barrier:(Gr_util.Time_ns.t -> unit) ->
+  unit
+(** Single-engine sibling of {!run_epochs}: advances the engine in
+    epoch-sized chunks with [at_barrier] called at every boundary
+    (the last exactly [limit]). Since {!run_until} fires every event
+    [<= boundary] before clamping the clock, the event stream is
+    byte-identical to one [run_until limit] — barriers are pure
+    decision points. This is the promotion decision point for
+    single-deployment (--nodes 1) spec rollouts. Requires
+    [epoch > 0]. @raise Invalid_argument otherwise. *)
+
 val pending : t -> int
 (** Number of queued (non-cancelled) events. *)
 

@@ -1,0 +1,48 @@
+(* Append-only audit log: one Chrome trace-event object per line.
+
+   The control plane's decision record (spec pushes, admission
+   verdicts, canary/promote/rollback transitions) has different
+   durability needs than the debug trace: it must survive the
+   process, never wrap, and stay readable while the daemon is live.
+   So instead of a bounded ring sink it is a flat JSONL file, opened
+   in append mode and flushed after every event — `tail -f`-able,
+   byte-diffable against goldens, and loadable by grc explain (the
+   JSONL side of Export.events_of_any_string).
+
+   Events reuse Event.t wholesale: timestamps are simulated time,
+   span/parent args link the decision chain exactly like the live
+   tracer's provenance edges, so Provenance walks an audit log the
+   same way it walks a trace. *)
+
+type t = { path : string; oc : out_channel; mutable appended : int; mutable closed : bool }
+
+let create ~path =
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path in
+  { path; oc; appended = 0; closed = false }
+
+let path t = t.path
+let appended t = t.appended
+
+let append t event =
+  if t.closed then invalid_arg "Audit_log.append: log is closed";
+  output_string t.oc (Json.to_string (Export.json_of_event event));
+  output_char t.oc '\n';
+  flush t.oc;
+  t.appended <- t.appended + 1
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    close_out_noerr t.oc
+  end
+
+let read path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    let s =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    Export.events_of_jsonl_string s

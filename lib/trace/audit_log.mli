@@ -1,0 +1,38 @@
+(** Append-only audit log: one Chrome trace-event object per line
+    (JSONL).
+
+    The control plane's decision record — spec pushes, admission
+    verdicts, canary/promote/rollback transitions — needs durability
+    a bounded ring sink can't give: it must survive the process,
+    never wrap, and stay readable while the daemon is live. Each
+    {!append} writes one {!Export.json_of_event} line and flushes, so
+    the file is [tail -f]-able, byte-diffable against goldens, and
+    loadable by [grc explain] ({!Export.events_of_any_string}).
+
+    Events reuse {!Event.t} wholesale: timestamps are simulated time
+    and [span]/[parent] args link the decision chain exactly like the
+    live tracer's provenance edges, so {!Provenance} walks an audit
+    log the same way it walks a trace. *)
+
+type t
+
+val create : path:string -> t
+(** Opens (creating if needed) in append mode: an existing log is
+    extended, never truncated — append-only is the format's
+    contract, not just a habit. *)
+
+val path : t -> string
+
+val appended : t -> int
+(** Events appended through this handle (not lines already in the
+    file). *)
+
+val append : t -> Event.t -> unit
+(** One JSONL line, flushed before returning.
+    @raise Invalid_argument after {!close}. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val read : string -> (Event.t list, string) result
+(** Load a log back as events ({!Export.events_of_jsonl_string}). *)

@@ -113,6 +113,36 @@ let events_of_chrome_string s =
   let* j = Json.parse s in
   events_of_chrome j
 
+(* JSONL: one Chrome trace object per line — the append-only audit
+   log's format (Audit_log). Blank lines are tolerated so a reader
+   can cope with a trailing newline or a log truncated mid-append. *)
+let events_of_jsonl_string s =
+  let lines = String.split_on_char '\n' s in
+  let rec go acc n = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      if String.trim line = "" then go acc (n + 1) rest
+      else (
+        match Json.parse line with
+        | Error e -> Error (Printf.sprintf "line %d: %s" n e)
+        | Ok j -> (
+          match event_of_json j with
+          | Error e -> Error (Printf.sprintf "line %d: %s" n e)
+          | Ok ev -> go (ev :: acc) (n + 1) rest))
+  in
+  go [] 1 lines
+
+let events_of_any_string s =
+  match events_of_chrome_string s with
+  | Ok evs -> Ok evs
+  | Error chrome_err -> (
+    match events_of_jsonl_string s with
+    | Ok evs -> Ok evs
+    | Error jsonl_err ->
+      Error
+        (Printf.sprintf "neither a Chrome trace (%s) nor JSONL events (%s)" chrome_err
+           jsonl_err))
+
 let pp_events fmt events =
   List.iter (fun ev -> Format.fprintf fmt "%a@\n" Event.pp ev) events
 

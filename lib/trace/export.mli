@@ -29,6 +29,18 @@ val events_of_chrome : Json.t -> (Event.t list, string) result
 
 val events_of_chrome_string : string -> (Event.t list, string) result
 
+val event_of_json : Json.t -> (Event.t, string) result
+(** Inverse of {!json_of_event}, for one event object. *)
+
+val events_of_jsonl_string : string -> (Event.t list, string) result
+(** One Chrome trace object per line — the append-only audit log's
+    wire format ({!Audit_log}). Blank lines are skipped; the error
+    carries the offending 1-based line number. *)
+
+val events_of_any_string : string -> (Event.t list, string) result
+(** Accepts either a whole Chrome trace document or JSONL —
+    [grc explain] loads both through this. *)
+
 val pp_events : Format.formatter -> Event.t list -> unit
 (** Human-readable dump, one event per line. *)
 

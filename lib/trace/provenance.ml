@@ -74,8 +74,10 @@ let of_chrome_string s =
   | Error e -> Error e
 
 let load path =
+  (* Accept both a Chrome trace document (grc run --trace) and the
+     serving daemon's JSONL audit log — grc explain walks either. *)
   match In_channel.with_open_bin path In_channel.input_all with
-  | s -> of_chrome_string s
+  | s -> Result.map of_events (Export.events_of_any_string s)
   | exception Sys_error e -> Error e
 
 let size t = Array.length t.all
@@ -90,9 +92,12 @@ let reports t =
   Array.to_list t.all |> List.filter (fun n -> n.event.Event.cat = "report")
 
 let actions ?name t =
+  (* "audit" counts as an action category: control-plane decisions
+     (spec.push, rollout.promote, ...) are explained with the same
+     machinery as data-plane REPLACE/SAVE firings. *)
   Array.to_list t.all
   |> List.filter (fun n ->
-         n.event.Event.cat = "action"
+         (n.event.Event.cat = "action" || n.event.Event.cat = "audit")
          && match name with None -> true | Some nm -> n.event.Event.name = nm)
 
 let monitor_of n =

@@ -24,7 +24,9 @@ type t
 val of_events : Event.t list -> t
 val of_chrome_string : string -> (t, string) result
 val load : string -> (t, string) result
-(** Read and parse a Chrome trace_event file. *)
+(** Read and parse a Chrome trace_event file, or a JSONL audit log
+    written by {!Audit_log} (one event object per line) — both carry
+    the same (span, parent) provenance encoding. *)
 
 val size : t -> int
 val nodes : t -> node list
@@ -44,8 +46,9 @@ val reports : t -> node list
     what [grc explain --report N] selects. *)
 
 val actions : ?name:string -> t -> node list
-(** Action instants (category ["action"]), optionally filtered by
-    action name (["REPLACE"], ["SAVE"], ...). *)
+(** Action instants (category ["action"]) and control-plane decisions
+    (category ["audit"]: ["spec.push"], ["rollout.promote"], ...),
+    optionally filtered by event name. *)
 
 val monitor_decisions : t -> string -> node list
 (** Reports and actions attributed to the named monitor. *)

@@ -37,3 +37,15 @@ let exists p t = fold (fun acc x -> acc || p x) false t
 let clear t =
   Array.fill t.data 0 t.len None;
   t.len <- 0
+
+let filter_in_place p t =
+  let kept = ref 0 in
+  for i = 0 to t.len - 1 do
+    let x = get t i in
+    if p x then begin
+      if !kept <> i then t.data.(!kept) <- Some x;
+      incr kept
+    end
+  done;
+  Array.fill t.data !kept (t.len - !kept) None;
+  t.len <- !kept

@@ -33,3 +33,9 @@ val to_list : 'a t -> 'a list
 
 val exists : ('a -> bool) -> 'a t -> bool
 val clear : 'a t -> unit
+
+val filter_in_place : ('a -> bool) -> 'a t -> unit
+(** Keeps only the elements satisfying the predicate, preserving
+    insertion order; O(n), no allocation beyond the existing backing
+    array. Long-lived registries (a serving engine's monitor table)
+    use this so uninstalled entries don't accumulate forever. *)

@@ -4,4 +4,4 @@ let () =
    @ Test_dsl.suite @ Test_compiler.suite @ Test_cgen.suite @ Test_lint.suite @ Test_verify.suite
    @ Test_trace.suite
    @ Test_runtime.suite
-   @ Test_core.suite @ Test_tiers.suite @ Test_par.suite @ Test_props.suite @ Test_policy.suite @ Test_invariants.suite @ Test_fuzz.suite @ Test_fault.suite @ Test_integration.suite)
+   @ Test_core.suite @ Test_tiers.suite @ Test_par.suite @ Test_props.suite @ Test_policy.suite @ Test_invariants.suite @ Test_fuzz.suite @ Test_fault.suite @ Test_serve.suite @ Test_integration.suite)
